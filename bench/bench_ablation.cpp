@@ -1,0 +1,232 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   A1. QSS epsilon-greedy: epsilon = 0 never discovers images the whole
+//       committee gets confidently wrong (fakes/close-ups).
+//   A2. CQC questionnaire: dropping the questionnaire features collapses
+//       CQC toward majority-voting quality.
+//   A3. MIC strategies: crowd offloading vs retraining vs weight update,
+//       each disabled in turn.
+//   A4. IPD policy: UCB-ALP vs budget-unaware epsilon-greedy vs fixed.
+//   A5. QSS uncertainty metric: committee entropy of the weighted vote
+//       (Eq. 2-3) vs mean per-expert entropy — which better flags the
+//       images the committee actually gets wrong?
+//
+// Usage: bench_ablation [seed]
+
+#include "bench_common.hpp"
+#include "truth/voting.hpp"
+
+namespace {
+
+using namespace crowdlearn;
+
+double run_crowdlearn_f1(const core::ExperimentSetup& setup,
+                         const bench::PretrainedPool& pool, core::CrowdLearnConfig cfg,
+                         std::uint64_t run_index, double* queried_failure_fraction = nullptr,
+                         double* crowd_delay = nullptr) {
+  core::CrowdLearnRunner runner(cfg, pool.clone_committee());
+  const core::SchemeEvaluation eval = core::evaluate_scheme(runner, setup, run_index);
+  if (queried_failure_fraction != nullptr) {
+    std::size_t queried = 0, failures = 0;
+    for (const core::CycleOutcome& out : eval.outcomes) {
+      for (std::size_t id : out.queried_ids) {
+        ++queried;
+        if (setup.data.image(id).is_failure_case()) ++failures;
+      }
+    }
+    *queried_failure_fraction =
+        queried == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(queried);
+  }
+  if (crowd_delay != nullptr) *crowd_delay = eval.mean_crowd_delay_seconds;
+  return eval.report.f1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  std::cout << "=== Ablation studies (seed " << seed << ") ===\n";
+  core::ExperimentSetup setup = core::make_default_setup(seed);
+  const bench::PretrainedPool pool = bench::PretrainedPool::train(setup);
+  const core::CrowdLearnConfig base =
+      core::default_crowdlearn_config(setup, bench::kQueriesPerCycle,
+                                      bench::kDefaultBudgetCents);
+
+  // --- A1: QSS epsilon ---------------------------------------------------
+  std::cout << "\nA1. QSS epsilon-greedy (failure-mode discovery):\n";
+  {
+    TablePrinter t({"epsilon", "F1", "failure share of query set"});
+    for (double eps : {0.0, 0.1, 0.2, 0.4}) {
+      core::CrowdLearnConfig cfg = base;
+      cfg.qss.epsilon = eps;
+      double failure_frac = 0.0;
+      const double f1 = run_crowdlearn_f1(setup, pool, cfg, 100 + static_cast<std::uint64_t>(eps * 100),
+                                          &failure_frac);
+      t.add_row({TablePrinter::num(eps, 2), TablePrinter::num(f1),
+                 TablePrinter::num(failure_frac)});
+    }
+    t.print_ascii(std::cout);
+  }
+
+  // --- A2: CQC questionnaire ----------------------------------------------
+  std::cout << "\nA2. CQC with vs without the questionnaire features:\n";
+  {
+    const auto training = core::CqcModule::labeled_queries_from_pilot(setup.pilot, setup.data);
+    crowd::CrowdPlatform platform = core::make_platform(setup, 222);
+    std::vector<truth::LabeledQuery> eval;
+    Rng ctx_rng(mix_seed(seed ^ 0xA2));
+    for (std::size_t id : setup.data.test_indices) {
+      truth::LabeledQuery lq;
+      lq.response = platform.post_query(
+          id, 8.0, static_cast<dataset::TemporalContext>(ctx_rng.index(4)));
+      lq.true_label = dataset::label_index(setup.data.image(id).true_label);
+      eval.push_back(std::move(lq));
+    }
+
+    TablePrinter t({"aggregator", "accuracy"});
+    truth::CqcConfig with_q;
+    truth::CqcConfig without_q;
+    without_q.use_questionnaire = false;
+    truth::CqcAggregator cqc_full(with_q), cqc_labels_only(without_q);
+    truth::MajorityVoting voting;
+    cqc_full.fit(training);
+    cqc_labels_only.fit(training);
+    t.add_row({"CQC (labels + questionnaire)", TablePrinter::num(cqc_full.accuracy(eval))});
+    t.add_row({"CQC (labels only)", TablePrinter::num(cqc_labels_only.accuracy(eval))});
+    t.add_row({"Majority voting", TablePrinter::num(voting.accuracy(eval))});
+    t.print_ascii(std::cout);
+    std::cout << "Expected: labels-only CQC falls back to ~voting level — the\n"
+                 "questionnaire is what buys the Table I gap.\n";
+  }
+
+  // --- A3: MIC strategies ---------------------------------------------------
+  std::cout << "\nA3. MIC strategy toggles:\n";
+  {
+    TablePrinter t({"configuration", "F1"});
+    struct Case {
+      const char* name;
+      bool offload, retrain, weights;
+    };
+    const Case cases[] = {{"full MIC", true, true, true},
+                          {"no crowd offloading", false, true, true},
+                          {"no retraining", true, false, true},
+                          {"no weight update", true, true, false},
+                          {"offloading only", true, false, false}};
+    std::uint64_t run = 300;
+    for (const Case& c : cases) {
+      core::CrowdLearnConfig cfg = base;
+      cfg.mic.enable_offloading = c.offload;
+      cfg.mic.enable_retraining = c.retrain;
+      cfg.mic.enable_weight_update = c.weights;
+      t.add_row({c.name, TablePrinter::num(run_crowdlearn_f1(setup, pool, cfg, run++))});
+    }
+    t.print_ascii(std::cout);
+    std::cout << "Expected: offloading carries most of the gain (it is the only\n"
+                 "strategy that fixes innate failures in the current cycle).\n";
+  }
+
+  // --- A4: IPD policy ---------------------------------------------------
+  std::cout << "\nA4. IPD bandit vs simpler incentive policies (crowd delay):\n";
+  {
+    TablePrinter t({"policy", "F1", "mean crowd delay (s)", "spend($)"});
+    {
+      double delay = 0.0;
+      const double f1 = run_crowdlearn_f1(setup, pool, base, 400, nullptr, &delay);
+      t.add_row({"UCB-ALP (default)", TablePrinter::num(f1), TablePrinter::num(delay, 0),
+                 TablePrinter::num(bench::kDefaultBudgetCents / 100.0, 2)});
+    }
+    // Swap the policy inside CrowdLearn via a custom runner is not exposed;
+    // drive the policies directly instead (same methodology as Figure 8).
+    const std::size_t horizon = setup.stream_cfg.num_cycles * bench::kQueriesPerCycle;
+    auto drive = [&](std::unique_ptr<bandit::IncentivePolicy> policy, const char* name,
+                     std::uint64_t run_index) {
+      core::IpdConfig icfg;
+      icfg.total_budget_cents = bench::kDefaultBudgetCents;
+      icfg.horizon_queries = horizon;
+      core::Ipd ipd(icfg, std::move(policy));
+      crowd::CrowdPlatform platform = core::make_platform(setup, run_index);
+      dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+      Rng pick(mix_seed(seed ^ run_index));
+      double sum = 0.0;
+      std::size_t n = 0;
+      while (n < horizon) {
+        for (const auto& cycle : stream.cycles()) {
+          if (n >= horizon) break;
+          const double inc = ipd.assign_incentive(cycle.context);
+          const auto resp = platform.post_query(
+              cycle.image_ids[pick.index(cycle.image_ids.size())], inc, cycle.context);
+          ipd.feedback(cycle.context, inc, resp.completion_delay_seconds);
+          sum += resp.completion_delay_seconds;
+          ++n;
+        }
+      }
+      t.add_row({name, "-", TablePrinter::num(sum / static_cast<double>(n), 0),
+                 TablePrinter::num(platform.total_spent_cents() / 100.0, 2)});
+    };
+    drive(std::make_unique<bandit::EpsilonGreedyIncentivePolicy>(
+              std::vector<double>(crowd::kIncentiveLevels.begin(),
+                                  crowd::kIncentiveLevels.end()),
+              dataset::kNumContexts, 0.1, 1500.0, mix_seed(seed ^ 0x41)),
+          "epsilon-greedy (budget-unaware)", 401);
+    drive(std::make_unique<bandit::FixedIncentivePolicy>(
+              bench::kDefaultBudgetCents / static_cast<double>(horizon)),
+          "fixed", 402);
+    t.print_ascii(std::cout);
+    std::cout << "Expected: UCB-ALP meets the budget; epsilon-greedy can only beat it\n"
+                 "by overspending (it has no budget constraint); fixed pays the\n"
+                 "morning penalty.\n";
+  }
+
+  // --- A5: uncertainty metric ---------------------------------------------
+  std::cout << "\nA5. QSS uncertainty metric (which flags committee errors?):\n";
+  {
+    experts::ExpertCommittee committee = pool.clone_committee();
+    // Score every test image under both metrics.
+    struct Scored {
+      double weighted_entropy;
+      double mean_expert_entropy;
+      bool wrong;
+    };
+    std::vector<Scored> scored;
+    for (std::size_t id : setup.data.test_indices) {
+      const auto& img = setup.data.image(id);
+      const auto votes = committee.expert_votes(img);
+      Scored sc;
+      sc.weighted_entropy = committee.committee_entropy(votes);
+      double mean_h = 0.0;
+      for (const auto& v : votes) mean_h += stats::entropy(v);
+      sc.mean_expert_entropy = mean_h / static_cast<double>(votes.size());
+      sc.wrong = stats::argmax(committee.committee_vote(votes)) !=
+                 dataset::label_index(img.true_label);
+      scored.push_back(sc);
+    }
+    // Fraction of all committee errors captured in the top-20% most
+    // uncertain images, per metric (what QSS's budgeted query set can fix).
+    auto errors_captured = [&](auto metric) {
+      std::vector<std::size_t> order(scored.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return metric(scored[a]) > metric(scored[b]);
+      });
+      const std::size_t top = scored.size() / 5;
+      std::size_t caught = 0, total_errors = 0;
+      for (const Scored& sc : scored)
+        if (sc.wrong) ++total_errors;
+      for (std::size_t i = 0; i < top; ++i)
+        if (scored[order[i]].wrong) ++caught;
+      return total_errors == 0 ? 0.0
+                               : static_cast<double>(caught) /
+                                     static_cast<double>(total_errors);
+    };
+    TablePrinter t({"uncertainty metric", "errors captured in top-20%"});
+    t.add_row({"committee entropy (Eq. 2-3)",
+               TablePrinter::num(errors_captured(
+                   [](const Scored& s) { return s.weighted_entropy; }))});
+    t.add_row({"mean per-expert entropy",
+               TablePrinter::num(errors_captured(
+                   [](const Scored& s) { return s.mean_expert_entropy; }))});
+    t.print_ascii(std::cout);
+    std::cout << "Expected: the weighted-vote entropy captures disagreement between\n"
+                 "experts (not just individual doubt), so it flags more errors.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#pragma once
+// Shared plumbing for the paper-artifact benchmarks: CLI seed parsing,
+// a pretrained expert pool (each expert is trained once and cloned into
+// every scheme/sweep point — the evaluation host has a single core, so
+// redundant training dominates wall-clock otherwise), and construction /
+// evaluation of the full scheme roster from Section V.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "experts/bovw.hpp"
+#include "experts/ddm.hpp"
+#include "experts/vgg16_like.hpp"
+#include "stats/distribution.hpp"
+#include "util/csv.hpp"
+
+namespace crowdlearn::bench {
+
+inline std::uint64_t seed_from_args(int argc, char** argv, std::uint64_t fallback = 42) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+}
+
+/// Default evaluation budget: $16 over 200 queries (8 cents per task).
+inline constexpr double kDefaultBudgetCents = 1600.0;
+inline constexpr std::size_t kQueriesPerCycle = 5;
+
+/// The three DDA experts plus the boosted ensemble, trained once on the
+/// golden training set. Clones hand independently-retrainable copies to
+/// each scheme.
+struct PretrainedPool {
+  std::unique_ptr<experts::DdaAlgorithm> vgg;
+  std::unique_ptr<experts::DdaAlgorithm> bovw;
+  std::unique_ptr<experts::DdaAlgorithm> ddm;
+  std::unique_ptr<experts::DdaAlgorithm> ensemble;
+
+  static PretrainedPool train(const core::ExperimentSetup& setup) {
+    PretrainedPool pool;
+    Rng rng(mix_seed(setup.seed ^ 0x9001));
+    pool.vgg = std::make_unique<experts::Vgg16Like>();
+    pool.bovw = std::make_unique<experts::BovwClassifier>();
+    pool.ddm = std::make_unique<experts::DdmClassifier>();
+    for (auto* e : {pool.vgg.get(), pool.bovw.get(), pool.ddm.get()}) {
+      std::cerr << "  training " << e->name() << "...\n";
+      Rng child = rng.fork();
+      e->train(setup.data, setup.data.train_indices, child);
+    }
+    // The ensemble reuses clones of the trained members; train() then only
+    // fits the boosted aggregation.
+    auto ens = std::make_unique<experts::BoostedEnsemble>(clone_members(pool));
+    Rng child = rng.fork();
+    ens->train(setup.data, setup.data.train_indices, child);
+    pool.ensemble = std::move(ens);
+    return pool;
+  }
+
+  static std::vector<std::unique_ptr<experts::DdaAlgorithm>> clone_members(
+      const PretrainedPool& pool) {
+    std::vector<std::unique_ptr<experts::DdaAlgorithm>> members;
+    members.push_back(pool.vgg->clone());
+    members.push_back(pool.bovw->clone());
+    members.push_back(pool.ddm->clone());
+    return members;
+  }
+
+  experts::ExpertCommittee clone_committee() const {
+    return experts::ExpertCommittee(clone_members(*this));
+  }
+
+  experts::BoostedEnsemble clone_ensemble() const {
+    auto cloned = ensemble->clone();
+    auto* be = dynamic_cast<experts::BoostedEnsemble*>(cloned.get());
+    if (be == nullptr) throw std::logic_error("PretrainedPool: ensemble clone type");
+    return std::move(*be);
+  }
+};
+
+/// Build the complete Section V roster from pretrained clones: CrowdLearn,
+/// the four AI-only schemes and the two hybrid baselines.
+inline std::vector<std::unique_ptr<core::SchemeRunner>> make_all_schemes(
+    const core::ExperimentSetup& setup, const PretrainedPool& pool,
+    double budget_cents = kDefaultBudgetCents,
+    std::size_t queries_per_cycle = kQueriesPerCycle) {
+  using namespace crowdlearn::core;
+  using namespace crowdlearn::experts;
+
+  std::vector<std::unique_ptr<SchemeRunner>> runners;
+  runners.push_back(std::make_unique<CrowdLearnRunner>(
+      default_crowdlearn_config(setup, queries_per_cycle, budget_cents),
+      pool.clone_committee()));
+  runners.push_back(std::make_unique<AiOnlyRunner>(pool.vgg->clone()));
+  runners.push_back(std::make_unique<AiOnlyRunner>(pool.bovw->clone()));
+  runners.push_back(std::make_unique<AiOnlyRunner>(pool.ddm->clone()));
+  runners.push_back(std::make_unique<AiOnlyRunner>(pool.ensemble->clone()));
+
+  HybridConfig hybrid;
+  hybrid.queries_per_cycle = queries_per_cycle;
+  hybrid.fixed_incentive_cents =
+      fixed_incentive_for_budget(setup, queries_per_cycle, budget_cents);
+  hybrid.seed = mix_seed(setup.seed ^ 0xAA);
+  runners.push_back(
+      std::make_unique<HybridParaRunner>(hybrid, pool.clone_ensemble()));
+  hybrid.seed = mix_seed(setup.seed ^ 0xBB);
+  runners.push_back(std::make_unique<HybridAlRunner>(hybrid, pool.clone_ensemble()));
+  return runners;
+}
+
+/// Train the pool and evaluate the full roster, printing progress to stderr.
+inline std::vector<core::SchemeEvaluation> evaluate_all_schemes(
+    const core::ExperimentSetup& setup, double budget_cents = kDefaultBudgetCents,
+    std::size_t queries_per_cycle = kQueriesPerCycle) {
+  const PretrainedPool pool = PretrainedPool::train(setup);
+  auto runners = make_all_schemes(setup, pool, budget_cents, queries_per_cycle);
+  std::vector<core::SchemeEvaluation> evals;
+  evals.reserve(runners.size());
+  for (std::size_t i = 0; i < runners.size(); ++i) {
+    std::cerr << "  evaluating " << runners[i]->name() << "...\n";
+    evals.push_back(core::evaluate_scheme(*runners[i], setup, i));
+  }
+  return evals;
+}
+
+}  // namespace crowdlearn::bench

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// matrix multiply, convolution forward/backward, GBDT fitting, the ALP
+// solver, committee entropy, and platform query throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bandit/ucb_alp.hpp"
+#include "crowd/platform.hpp"
+#include "experts/committee.hpp"
+#include "gbdt/gbdt.hpp"
+#include "nn/conv.hpp"
+#include "nn/sequential.hpp"
+
+namespace {
+
+using namespace crowdlearn;
+
+void BM_MatrixMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.uniform(-1, 1);
+  for (double& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    nn::Matrix c = a.matmul(b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatrixMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Conv2D conv({1, 16, 16}, 8, 3, rng);
+  nn::Matrix x(batch, 256);
+  for (double& v : x.data()) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    nn::Matrix y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Conv2DForward)->Arg(1)->Arg(32);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(12));
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : rows[i]) v = rng.uniform(0, 1);
+    labels[i] = rng.index(3);
+  }
+  const auto x = gbdt::FeatureMatrix::from_rows(rows);
+  gbdt::GbdtConfig cfg;
+  cfg.num_rounds = 20;
+  for (auto _ : state) {
+    gbdt::Gbdt model;
+    model.fit(x, labels, 3, cfg);
+    benchmark::DoNotOptimize(model.num_rounds());
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(200)->Arg(560);
+
+void BM_AlpSolve(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rewards(4, std::vector<double>(7));
+  for (auto& row : rewards)
+    for (double& v : row) v = rng.uniform(0, 1);
+  const std::vector<double> costs{1, 2, 4, 6, 8, 10, 20};
+  const std::vector<double> probs(4, 0.25);
+  for (auto _ : state) {
+    bandit::AlpSolution s = bandit::solve_alp(rewards, costs, probs, 8.0);
+    benchmark::DoNotOptimize(s.expected_cost);
+  }
+}
+BENCHMARK(BM_AlpSolve);
+
+void BM_PlatformQuery(benchmark::State& state) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 64;
+  dcfg.train_images = 32;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  crowd::PlatformConfig pcfg;
+  crowd::CrowdPlatform platform(&data, pcfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto resp = platform.post_query(data.test_indices[i % data.test_indices.size()],
+                                          8.0, dataset::TemporalContext::kEvening);
+    benchmark::DoNotOptimize(resp.completion_delay_seconds);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlatformQuery);
+
+void BM_CommitteeVote(benchmark::State& state) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 96;
+  dcfg.train_images = 64;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  experts::ExpertCommittee committee = experts::make_default_committee();
+  Rng rng(6);
+  committee.train_all(data, data.train_indices, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double h =
+        committee.committee_entropy(data.image(data.test_indices[i % data.test_indices.size()]));
+    benchmark::DoNotOptimize(h);
+    ++i;
+  }
+}
+BENCHMARK(BM_CommitteeVote);
+
+}  // namespace
+
+// Custom main: the bench-suite driver passes a bare seed argument to every
+// binary; google-benchmark rejects unknown positional arguments, so strip
+// them (micro-benchmarks have no randomized workload to seed).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i)
+    if (argv[i][0] == '-') args.push_back(argv[i]);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Crowd-quality scenario: why CQC beats classical aggregation.
+//
+// Fits CQC (GBDT over labels + questionnaire) and the three baseline
+// aggregators on the same gold-labeled pilot responses, evaluates them on
+// fresh crowd answers, and breaks accuracy down by the image's failure mode
+// — showing the questionnaire is what rescues fake/close-up/implicit images
+// that fool a unanimous crowd-label vote.
+//
+// Usage: crowd_quality [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/experiment.hpp"
+#include "truth/filtering.hpp"
+#include "truth/td_em.hpp"
+#include "truth/voting.hpp"
+#include "truth/weighted_voting.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "=== Crowd quality control (seed " << seed << ") ===\n\n";
+  core::ExperimentSetup setup = core::make_default_setup(seed);
+
+  // Training data: the pilot study's gold-labeled responses.
+  const std::vector<truth::LabeledQuery> training =
+      core::CqcModule::labeled_queries_from_pilot(setup.pilot, setup.data);
+  std::cout << "Fitting aggregators on " << training.size() << " pilot responses\n";
+
+  // Fresh evaluation responses over the whole test set at 8 cents.
+  crowd::CrowdPlatform platform = core::make_platform(setup, 50);
+  Rng ctx_rng(mix_seed(seed ^ 0xC0DE));
+  std::vector<truth::LabeledQuery> eval_queries;
+  std::vector<crowd::QueryResponse> eval_batch;
+  for (std::size_t id : setup.data.test_indices) {
+    const auto ctx = static_cast<dataset::TemporalContext>(ctx_rng.index(4));
+    truth::LabeledQuery lq;
+    lq.response = platform.post_query(id, 8.0, ctx);
+    lq.true_label = dataset::label_index(setup.data.image(id).true_label);
+    eval_batch.push_back(lq.response);
+    eval_queries.push_back(std::move(lq));
+  }
+  std::cout << "Evaluating on " << eval_queries.size() << " fresh crowd queries\n\n";
+
+  truth::CqcAggregator cqc;
+  truth::MajorityVoting voting;
+  truth::TdEm tdem;
+  truth::FilteringAggregator filtering;
+  truth::WeightedVoting weighted;
+  std::vector<truth::Aggregator*> aggs{&cqc, &voting, &tdem, &filtering, &weighted};
+
+  TablePrinter table({"aggregator", "overall", "normal", "fake", "close_up",
+                      "low_resolution", "implicit"});
+  for (truth::Aggregator* agg : aggs) {
+    agg->fit(training);
+    const std::vector<std::size_t> pred = agg->aggregate_labels(eval_batch);
+
+    std::map<dataset::FailureMode, std::pair<std::size_t, std::size_t>> by_mode;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < eval_queries.size(); ++i) {
+      const auto& img = setup.data.image(eval_batch[i].image_id);
+      auto& [ok, total] = by_mode[img.failure];
+      ++total;
+      if (pred[i] == eval_queries[i].true_label) {
+        ++ok;
+        ++correct;
+      }
+    }
+    auto mode_acc = [&](dataset::FailureMode m) {
+      const auto it = by_mode.find(m);
+      if (it == by_mode.end() || it->second.second == 0) return std::string("-");
+      return TablePrinter::num(static_cast<double>(it->second.first) /
+                               static_cast<double>(it->second.second));
+    };
+    table.add_row({agg->name(),
+                   TablePrinter::num(static_cast<double>(correct) /
+                                     static_cast<double>(eval_queries.size())),
+                   mode_acc(dataset::FailureMode::kNone),
+                   mode_acc(dataset::FailureMode::kFake),
+                   mode_acc(dataset::FailureMode::kCloseUp),
+                   mode_acc(dataset::FailureMode::kLowRes),
+                   mode_acc(dataset::FailureMode::kImplicit)});
+  }
+  table.print_ascii(std::cout);
+
+  std::cout << "\nExpected shape: all aggregators are comparable on normal images; CQC\n"
+               "pulls ahead on the failure modes where the questionnaire carries the\n"
+               "signal the severity votes miss.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Disaster-response scenario: the paper's headline experiment end to end.
+//
+// Emulates a DDA deployment in the aftermath of an earthquake: 40 sensing
+// cycles of 10 social-media images across four temporal contexts, comparing
+// CrowdLearn against the strongest AI-only baseline (Ensemble) and the
+// strongest hybrid baseline (Hybrid-AL), and reporting accuracy, delay and
+// spend — the operational trade-off an emergency-response agency would see.
+//
+// Usage: disaster_response [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "=== Disaster-response deployment scenario (seed " << seed << ") ===\n\n";
+  core::ExperimentSetup setup = core::make_default_setup(seed);
+  std::cout << "Dataset: " << setup.data.images.size() << " images, "
+            << setup.data.test_indices.size() << " streamed over "
+            << setup.stream_cfg.num_cycles << " sensing cycles\n\n";
+
+  const double budget_cents = 1600.0;  // $16 across 200 queries
+  const std::size_t queries = 5;
+
+  std::vector<std::unique_ptr<core::SchemeRunner>> runners;
+  runners.push_back(std::make_unique<core::CrowdLearnRunner>(
+      core::default_crowdlearn_config(setup, queries, budget_cents)));
+  runners.push_back(std::make_unique<core::AiOnlyRunner>(
+      std::make_unique<experts::BoostedEnsemble>(experts::BoostedEnsemble::make_default())));
+  core::HybridConfig hybrid_cfg;
+  hybrid_cfg.queries_per_cycle = queries;
+  hybrid_cfg.fixed_incentive_cents =
+      core::fixed_incentive_for_budget(setup, queries, budget_cents);
+  runners.push_back(std::make_unique<core::HybridAlRunner>(hybrid_cfg));
+
+  TablePrinter table({"scheme", "accuracy", "macro F1", "AUC", "algo delay(s)",
+                      "crowd delay(s)", "spend($)"});
+  for (std::size_t i = 0; i < runners.size(); ++i) {
+    std::cout << "Running " << runners[i]->name() << "...\n";
+    const core::SchemeEvaluation eval = core::evaluate_scheme(*runners[i], setup, i);
+    table.add_row({eval.name, TablePrinter::num(eval.report.accuracy),
+                   TablePrinter::num(eval.report.f1), TablePrinter::num(eval.macro_auc),
+                   TablePrinter::num(eval.mean_algorithm_delay_seconds, 2),
+                   TablePrinter::num(eval.mean_crowd_delay_seconds, 0),
+                   TablePrinter::num(eval.total_spent_cents / 100.0, 2)});
+  }
+
+  std::cout << "\n";
+  table.print_ascii(std::cout);
+  std::cout << "\nExpected shape: CrowdLearn leads on accuracy/F1 at a lower crowd delay\n"
+               "than Hybrid-AL (context-aware incentives), with Ensemble cheapest but\n"
+               "least accurate on failure-mode images.\n";
+  return 0;
+}

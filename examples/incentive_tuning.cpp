@@ -1,0 +1,123 @@
+// Incentive-tuning scenario: what the IPD bandit actually learns.
+//
+// Runs the pilot study, prints the measured delay surface (context x
+// incentive), then replays 200 incentive decisions under three policies —
+// UCB-ALP (CrowdLearn's IPD), fixed, and random — under the same budget, and
+// reports the per-context incentives chosen and delays achieved.
+//
+// Usage: incentive_tuning [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "=== Incentive tuning with the IPD bandit (seed " << seed << ") ===\n\n";
+  core::ExperimentSetup setup = core::make_default_setup(seed);
+
+  // 1. The pilot-study delay surface (paper Figure 5).
+  std::cout << "Pilot-study mean query delay (seconds):\n";
+  {
+    std::vector<std::string> header{"context"};
+    for (double level : crowd::kIncentiveLevels)
+      header.push_back(TablePrinter::num(level, 0) + "c");
+    TablePrinter table(header);
+    for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+      std::vector<std::string> row{
+          dataset::context_name(static_cast<dataset::TemporalContext>(c))};
+      for (std::size_t l = 0; l < crowd::kIncentiveLevels.size(); ++l)
+        row.push_back(TablePrinter::num(
+            setup.pilot.cell(static_cast<dataset::TemporalContext>(c), l).mean_delay, 0));
+      table.add_row(std::move(row));
+    }
+    table.print_ascii(std::cout);
+  }
+
+  // 2. Replay 200 queries under each policy with the same $16 budget.
+  const double budget_cents = 1600.0;
+  const std::size_t horizon = 200;
+  dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+
+  struct PolicyRun {
+    std::string name;
+    std::array<double, dataset::kNumContexts> mean_incentive{};
+    std::array<double, dataset::kNumContexts> mean_delay{};
+    double spend_cents = 0.0;
+  };
+  std::vector<PolicyRun> results;
+
+  for (int which = 0; which < 3; ++which) {
+    core::IpdConfig ipd_cfg;
+    ipd_cfg.total_budget_cents = budget_cents;
+    ipd_cfg.horizon_queries = horizon;
+    ipd_cfg.seed = mix_seed(seed ^ static_cast<std::uint64_t>(which));
+
+    std::unique_ptr<core::Ipd> ipd;
+    if (which == 0) {
+      ipd = std::make_unique<core::Ipd>(ipd_cfg);
+      ipd->warm_start_from_pilot(setup.pilot);
+    } else if (which == 1) {
+      ipd = std::make_unique<core::Ipd>(
+          ipd_cfg, std::make_unique<bandit::FixedIncentivePolicy>(
+                       budget_cents / static_cast<double>(horizon)));
+    } else {
+      ipd = std::make_unique<core::Ipd>(
+          ipd_cfg, std::make_unique<bandit::RandomIncentivePolicy>(ipd_cfg.incentive_levels,
+                                                                   ipd_cfg.seed));
+    }
+
+    crowd::CrowdPlatform platform =
+        core::make_platform(setup, 10 + static_cast<std::uint64_t>(which));
+    PolicyRun run;
+    run.name = ipd->policy().name();
+
+    std::array<double, dataset::kNumContexts> incentive_sum{}, delay_sum{};
+    std::array<std::size_t, dataset::kNumContexts> count{};
+    std::size_t q = 0;
+    Rng pick_rng(mix_seed(seed ^ 0xBEEF));
+    while (q < horizon) {
+      for (const dataset::SensingCycle& cycle : stream.cycles()) {
+        if (q >= horizon) break;
+        const auto ctx = static_cast<std::size_t>(cycle.context);
+        const double incentive = ipd->assign_incentive(cycle.context);
+        const std::size_t image = cycle.image_ids[pick_rng.index(cycle.image_ids.size())];
+        const crowd::QueryResponse resp = platform.post_query(image, incentive, cycle.context);
+        ipd->feedback(cycle.context, incentive, resp.completion_delay_seconds);
+        incentive_sum[ctx] += incentive;
+        delay_sum[ctx] += resp.completion_delay_seconds;
+        ++count[ctx];
+        ++q;
+      }
+    }
+    for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+      if (count[c] == 0) continue;
+      run.mean_incentive[c] = incentive_sum[c] / static_cast<double>(count[c]);
+      run.mean_delay[c] = delay_sum[c] / static_cast<double>(count[c]);
+    }
+    run.spend_cents = platform.total_spent_cents();
+    results.push_back(std::move(run));
+  }
+
+  std::cout << "\nPolicy comparison over " << horizon << " queries, $"
+            << budget_cents / 100.0 << " budget:\n";
+  TablePrinter table({"policy", "context", "mean incentive(c)", "mean delay(s)"});
+  for (const PolicyRun& run : results)
+    for (std::size_t c = 0; c < dataset::kNumContexts; ++c)
+      table.add_row({run.name,
+                     dataset::context_name(static_cast<dataset::TemporalContext>(c)),
+                     TablePrinter::num(run.mean_incentive[c], 1),
+                     TablePrinter::num(run.mean_delay[c], 0)});
+  table.print_ascii(std::cout);
+
+  for (const PolicyRun& run : results)
+    std::cout << run.name << " total spend: " << run.spend_cents / 100.0 << " USD\n";
+  std::cout << "\nExpected shape: ucb_alp spends big in the morning/afternoon (where\n"
+               "incentives buy speed) and small in the evening/midnight (where they\n"
+               "don't), beating both fixed and random at equal budget.\n";
+  return 0;
+}

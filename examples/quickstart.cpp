@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end CrowdLearn run.
+//
+// Generates a synthetic disaster-image dataset, runs the MTurk pilot study,
+// initializes the CrowdLearn closed loop (QSS -> IPD -> CQC -> MIC), executes
+// a handful of sensing cycles and prints what happened in each.
+//
+// Usage: quickstart [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "CrowdLearn quickstart (seed " << seed << ")\n\n";
+
+  // A reduced setup so the quickstart finishes fast: 300 images, 8 cycles.
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.dataset.total_images = 300;
+  cfg.dataset.train_images = 220;
+  cfg.dataset.seed = seed;
+  cfg.stream.num_cycles = 8;
+  cfg.stream.images_per_cycle = 10;
+  cfg.stream.grouped_contexts = false;  // rotate contexts so all four appear
+  cfg.pilot.queries_per_cell = 6;
+
+  std::cout << "Generating dataset and running the pilot study...\n";
+  core::ExperimentSetup setup = core::make_setup(cfg);
+  std::cout << "  " << setup.data.images.size() << " images ("
+            << setup.data.train_indices.size() << " train / "
+            << setup.data.test_indices.size() << " test), "
+            << setup.data.failure_count(setup.data.test_indices)
+            << " failure-mode images in the test set\n\n";
+
+  std::cout << "Training the committee (VGG16, BoVW, DDM) and CQC...\n";
+  core::CrowdLearnConfig cl_cfg = core::default_crowdlearn_config(
+      setup, /*queries_per_cycle=*/5,
+      /*total_budget_cents=*/8.0 * 5.0 * static_cast<double>(cfg.stream.num_cycles));
+  core::CrowdLearnRunner runner(cl_cfg);
+  runner.initialize(setup.data, &setup.pilot);
+
+  crowd::CrowdPlatform platform = core::make_platform(setup, /*run_index=*/0);
+  dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+
+  TablePrinter table({"cycle", "context", "queried", "incentive(c)", "crowd delay(s)",
+                      "accuracy", "w(VGG16)", "w(BoVW)", "w(DDM)"});
+  for (const dataset::SensingCycle& cycle : stream.cycles()) {
+    const core::CycleOutcome out = runner.run_cycle(setup.data, platform, cycle);
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < out.image_ids.size(); ++i)
+      if (out.predictions[i] ==
+          dataset::label_index(setup.data.image(out.image_ids[i]).true_label))
+        ++correct;
+
+    double mean_incentive = 0.0;
+    for (double c : out.incentives_cents) mean_incentive += c;
+    if (!out.incentives_cents.empty())
+      mean_incentive /= static_cast<double>(out.incentives_cents.size());
+
+    table.add_row({std::to_string(out.cycle_index), dataset::context_name(out.context),
+                   std::to_string(out.queried_ids.size()),
+                   TablePrinter::num(mean_incentive, 1),
+                   TablePrinter::num(out.crowd_delay_seconds, 0),
+                   TablePrinter::num(static_cast<double>(correct) /
+                                         static_cast<double>(out.image_ids.size()),
+                                     2),
+                   TablePrinter::num(out.expert_weights.at(0), 2),
+                   TablePrinter::num(out.expert_weights.at(1), 2),
+                   TablePrinter::num(out.expert_weights.at(2), 2)});
+  }
+  table.print_ascii(std::cout);
+
+  std::cout << "\nTotal crowd spend: " << platform.total_spent_cents() << " cents\n";
+  std::cout << "Done. See examples/disaster_response.cpp for the full evaluation.\n";
+  return 0;
+}

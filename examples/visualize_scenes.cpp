@@ -1,0 +1,91 @@
+// Visualization scenario: dump synthetic disaster scenes and the DDM
+// expert's Grad-CAM damage heatmaps as PGM images.
+//
+// Writes, into the output directory (default "./scenes"):
+//   scene_<label>_<i>.pgm          — ordinary scenes per severity class
+//   failure_<mode>_<i>.pgm         — the four Figure-1 failure classes
+//   gradcam_<label>_<i>.pgm        — DDM's severe-class heatmap per scene
+//
+// Usage: visualize_scenes [output_dir] [seed]
+
+#include <cstdlib>
+#include <fstream>
+#include <filesystem>
+#include <iostream>
+
+#include "experts/ddm.hpp"
+#include "imaging/pgm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::string out_dir = argc > 1 ? argv[1] : "scenes";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  std::filesystem::create_directories(out_dir);
+
+  std::cout << "Writing PGM images to " << out_dir << "/ (seed " << seed << ")\n";
+
+  // 1. Ordinary scenes, three per class, upscaled 12x for visibility.
+  Rng rng(seed);
+  const imaging::RenderOptions opts;
+  for (auto severity : {imaging::Severity::kNone, imaging::Severity::kModerate,
+                        imaging::Severity::kSevere}) {
+    for (int i = 0; i < 3; ++i) {
+      const nn::Tensor3 img = imaging::render_scene(severity, opts, rng);
+      imaging::write_pgm_file(img,
+                              out_dir + "/scene_" + imaging::severity_name(severity) + "_" +
+                                  std::to_string(i) + ".pgm",
+                              0.0, 1.0, 12);
+    }
+  }
+
+  // 2. The Figure-1 failure classes.
+  for (int i = 0; i < 2; ++i) {
+    imaging::write_pgm_file(imaging::render_fake(opts, rng),
+                            out_dir + "/failure_fake_" + std::to_string(i) + ".pgm", 0.0,
+                            1.0, 12);
+    imaging::write_pgm_file(imaging::render_closeup(opts, rng),
+                            out_dir + "/failure_close_up_" + std::to_string(i) + ".pgm",
+                            0.0, 1.0, 12);
+    const nn::Tensor3 sharp = imaging::render_scene(imaging::Severity::kSevere, opts, rng);
+    imaging::write_pgm_file(imaging::degrade_low_resolution(sharp, rng),
+                            out_dir + "/failure_low_resolution_" + std::to_string(i) +
+                                ".pgm",
+                            0.0, 1.0, 12);
+  }
+
+  // 3. Train a small DDM and export Grad-CAM heatmaps next to their scenes.
+  std::cout << "Training a DDM expert for Grad-CAM heatmaps...\n";
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 240;
+  dcfg.train_images = 200;
+  dcfg.seed = seed;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  experts::DdmConfig ddm_cfg;
+  ddm_cfg.train.epochs = 10;
+  experts::DdmClassifier ddm(ddm_cfg);
+  Rng train_rng(mix_seed(seed));
+  ddm.train(data, data.train_indices, train_rng);
+
+  int exported = 0;
+  for (std::size_t id : data.test_indices) {
+    const auto& img = data.image(id);
+    if (img.is_failure_case()) continue;
+    const std::string label = imaging::severity_name(img.true_label);
+    imaging::write_pgm_file(img.pixels,
+                            out_dir + "/gradcam_input_" + label + "_" +
+                                std::to_string(exported) + ".pgm",
+                            0.0, 1.0, 12);
+    const nn::Tensor3 cam =
+        ddm.damage_heatmap(img, dataset::label_index(dataset::Severity::kSevere));
+    std::ofstream os(out_dir + "/gradcam_" + label + "_" + std::to_string(exported) +
+                     ".pgm");
+    imaging::write_pgm_autoscale(cam, os, 24);  // 8x8 map -> 192px
+    if (++exported >= 6) break;
+  }
+
+  std::cout << "Done. View with any image viewer, e.g.:\n"
+            << "  feh " << out_dir << "/scene_severe_damage_0.pgm\n"
+            << "Severe scenes show cracks/debris; fakes sit on unnaturally clean\n"
+            << "backgrounds; Grad-CAM maps light up over the damage evidence.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bandit/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::bandit {
+
+double delay_to_reward(double delay_seconds, double delay_scale_seconds) {
+  if (delay_scale_seconds <= 0.0)
+    throw std::invalid_argument("delay_to_reward: scale must be > 0");
+  if (delay_seconds < 0.0) throw std::invalid_argument("delay_to_reward: negative delay");
+  return std::clamp(1.0 - delay_seconds / delay_scale_seconds, 0.0, 1.0);
+}
+
+FixedIncentivePolicy::FixedIncentivePolicy(double cents) : cents_(cents) {
+  if (cents <= 0.0) throw std::invalid_argument("FixedIncentivePolicy: cents must be > 0");
+}
+
+double FixedIncentivePolicy::choose(std::size_t /*context*/) { return cents_; }
+
+RandomIncentivePolicy::RandomIncentivePolicy(std::vector<double> levels, std::uint64_t seed)
+    : levels_(std::move(levels)), rng_(seed) {
+  if (levels_.empty()) throw std::invalid_argument("RandomIncentivePolicy: no levels");
+}
+
+double RandomIncentivePolicy::choose(std::size_t /*context*/) {
+  return levels_[rng_.index(levels_.size())];
+}
+
+EpsilonGreedyIncentivePolicy::EpsilonGreedyIncentivePolicy(std::vector<double> levels,
+                                                           std::size_t num_contexts,
+                                                           double epsilon, double delay_scale,
+                                                           std::uint64_t seed)
+    : levels_(std::move(levels)),
+      num_contexts_(num_contexts),
+      epsilon_(epsilon),
+      delay_scale_(delay_scale),
+      rng_(seed),
+      reward_sum_(num_contexts, std::vector<double>(levels_.size(), 0.0)),
+      count_(num_contexts, std::vector<std::size_t>(levels_.size(), 0)) {
+  if (levels_.empty()) throw std::invalid_argument("EpsilonGreedy: no levels");
+  if (num_contexts == 0) throw std::invalid_argument("EpsilonGreedy: no contexts");
+  if (epsilon < 0.0 || epsilon > 1.0) throw std::invalid_argument("EpsilonGreedy: bad epsilon");
+}
+
+std::size_t EpsilonGreedyIncentivePolicy::level_index(double cents) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    if (std::abs(levels_[i] - cents) < 1e-9) return i;
+  throw std::invalid_argument("EpsilonGreedy: unknown incentive level");
+}
+
+double EpsilonGreedyIncentivePolicy::mean_reward(std::size_t context, std::size_t level) const {
+  if (context >= num_contexts_ || level >= levels_.size())
+    throw std::out_of_range("EpsilonGreedy::mean_reward");
+  const std::size_t n = count_[context][level];
+  return n == 0 ? 0.0 : reward_sum_[context][level] / static_cast<double>(n);
+}
+
+double EpsilonGreedyIncentivePolicy::choose(std::size_t context) {
+  if (context >= num_contexts_) throw std::out_of_range("EpsilonGreedy::choose");
+  // Play each arm once before exploiting.
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    if (count_[context][i] == 0) return levels_[i];
+  if (rng_.bernoulli(epsilon_)) return levels_[rng_.index(levels_.size())];
+
+  std::size_t best = 0;
+  double best_reward = mean_reward(context, 0);
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    const double r = mean_reward(context, i);
+    if (r > best_reward) {
+      best_reward = r;
+      best = i;
+    }
+  }
+  return levels_[best];
+}
+
+void EpsilonGreedyIncentivePolicy::observe(std::size_t context, double incentive_cents,
+                                           double delay_seconds) {
+  if (context >= num_contexts_) throw std::out_of_range("EpsilonGreedy::observe");
+  const std::size_t level = level_index(incentive_cents);
+  reward_sum_[context][level] += delay_to_reward(delay_seconds, delay_scale_);
+  ++count_[context][level];
+}
+
+}  // namespace crowdlearn::bandit

@@ -1,0 +1,88 @@
+#pragma once
+// Incentive policies. A policy maps the current temporal context to an
+// incentive level (cents) for the next crowd query, and learns from the
+// observed response delay. The paper's IPD module is the constrained
+// contextual bandit in ucb_alp.hpp; this header holds the interface and the
+// baseline policies it is compared against (fixed and random incentives,
+// Figure 8) plus an unconstrained epsilon-greedy for ablations.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace crowdlearn::bandit {
+
+/// Convert an observed delay into a bounded reward in [0, 1]: the payoff in
+/// the paper is the additive inverse of the delay (Definition 12); UCB-style
+/// analysis needs bounded rewards, so we scale by a delay ceiling.
+double delay_to_reward(double delay_seconds, double delay_scale_seconds);
+
+class IncentivePolicy {
+ public:
+  virtual ~IncentivePolicy() = default;
+
+  /// Pick the incentive (cents) for the next query in `context`.
+  virtual double choose(std::size_t context) = 0;
+
+  /// Report the observed delay for a query posted at (context, incentive).
+  virtual void observe(std::size_t context, double incentive_cents, double delay_seconds) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Constant incentive — the strategy Hybrid-Para/Hybrid-AL use (maximum
+/// incentive: total budget / number of queries).
+class FixedIncentivePolicy : public IncentivePolicy {
+ public:
+  explicit FixedIncentivePolicy(double cents);
+
+  double choose(std::size_t context) override;
+  void observe(std::size_t, double, double) override {}
+  const char* name() const override { return "fixed"; }
+
+ private:
+  double cents_;
+};
+
+/// Uniformly random incentive level — the heuristic baseline of Figure 8.
+class RandomIncentivePolicy : public IncentivePolicy {
+ public:
+  RandomIncentivePolicy(std::vector<double> levels, std::uint64_t seed);
+
+  double choose(std::size_t context) override;
+  void observe(std::size_t, double, double) override {}
+  const char* name() const override { return "random"; }
+
+ private:
+  std::vector<double> levels_;
+  Rng rng_;
+};
+
+/// Per-context epsilon-greedy over incentive levels (budget-unaware);
+/// used in the ablation against UCB-ALP.
+class EpsilonGreedyIncentivePolicy : public IncentivePolicy {
+ public:
+  EpsilonGreedyIncentivePolicy(std::vector<double> levels, std::size_t num_contexts,
+                               double epsilon, double delay_scale, std::uint64_t seed);
+
+  double choose(std::size_t context) override;
+  void observe(std::size_t context, double incentive_cents, double delay_seconds) override;
+  const char* name() const override { return "epsilon_greedy"; }
+
+  double mean_reward(std::size_t context, std::size_t level) const;
+
+ private:
+  std::vector<double> levels_;
+  std::size_t num_contexts_;
+  double epsilon_;
+  double delay_scale_;
+  Rng rng_;
+  // [context][level] running statistics
+  std::vector<std::vector<double>> reward_sum_;
+  std::vector<std::vector<std::size_t>> count_;
+
+  std::size_t level_index(double cents) const;
+};
+
+}  // namespace crowdlearn::bandit

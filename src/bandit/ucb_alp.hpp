@@ -1,0 +1,89 @@
+#pragma once
+// UCB-ALP: the constrained contextual multi-armed bandit (CCMB) behind the
+// paper's Incentive Policy Design module, following Wu, Srikant, Liu & Jiang,
+// "Algorithms with Logarithmic or Sublinear Regret for Constrained Contextual
+// Bandits" (NeurIPS 2015).
+//
+// Setting: contexts z in {0..Z-1} arrive with a known distribution; each
+// action k has a known cost c_k (the incentive) and an unknown expected
+// reward u_{z,k} (here 1 - delay/scale). A total budget B must cover T
+// rounds. Each round, the agent observes the context, solves an adaptive
+// linear program (ALP) over UCB reward estimates with the *remaining* budget
+// ratio rho = b / tau, and samples its action from the LP solution.
+//
+// The single-budget LP decomposes by Lagrangian duality: for a multiplier
+// lambda >= 0, each context picks argmax_k (ucb_{z,k} - lambda c_k); the
+// optimal lambda is the smallest making expected cost <= rho, with mixing at
+// the breakpoint. solve_alp() implements that exactly via the finite set of
+// candidate multipliers.
+
+#include <cstddef>
+#include <vector>
+
+#include "bandit/policies.hpp"
+
+namespace crowdlearn::bandit {
+
+struct UcbAlpConfig {
+  std::vector<double> action_costs;   ///< incentive levels in cents
+  std::size_t num_contexts = 4;
+  std::vector<double> context_probs;  ///< empty => uniform
+  double total_budget_cents = 1600.0;
+  std::size_t horizon = 200;          ///< total number of queries (T)
+  double delay_scale_seconds = 1500.0;
+  double exploration = 2.0;           ///< UCB radius factor
+  std::uint64_t seed = 11;
+};
+
+/// Per-context randomized action distribution produced by the ALP.
+struct AlpSolution {
+  /// probs[z][k]: probability of playing action k in context z.
+  std::vector<std::vector<double>> probs;
+  double expected_cost = 0.0;
+  double expected_reward = 0.0;
+  double lambda = 0.0;  ///< budget multiplier at the optimum
+};
+
+/// Solve the ALP exactly for given reward estimates. Exposed for testing.
+/// `rewards[z][k]` are (UCB) reward estimates; `rho` is the per-round budget.
+AlpSolution solve_alp(const std::vector<std::vector<double>>& rewards,
+                      const std::vector<double>& costs,
+                      const std::vector<double>& context_probs, double rho);
+
+class UcbAlpPolicy : public IncentivePolicy {
+ public:
+  explicit UcbAlpPolicy(const UcbAlpConfig& cfg);
+
+  double choose(std::size_t context) override;
+  void observe(std::size_t context, double incentive_cents, double delay_seconds) override;
+  const char* name() const override { return "ucb_alp"; }
+
+  /// Seed the reward estimates with pilot-study observations so the policy
+  /// starts near-optimal (the paper trains IPD on the training set).
+  void warm_start(std::size_t context, double incentive_cents, double delay_seconds);
+
+  double remaining_budget_cents() const { return remaining_budget_; }
+  std::size_t remaining_rounds() const { return remaining_rounds_; }
+  double mean_reward(std::size_t context, std::size_t action) const;
+  std::size_t pull_count(std::size_t context, std::size_t action) const;
+
+  /// The most recent ALP solution (for inspection / benchmarks).
+  const AlpSolution& last_solution() const { return last_solution_; }
+
+ private:
+  UcbAlpConfig cfg_;
+  Rng rng_;
+  double remaining_budget_;
+  std::size_t remaining_rounds_;
+  std::size_t total_pulls_ = 0;
+  // [context][action] statistics
+  std::vector<std::vector<double>> reward_sum_;
+  std::vector<std::vector<std::size_t>> count_;
+  AlpSolution last_solution_;
+
+  std::size_t action_index(double cents) const;
+  std::vector<std::vector<double>> ucb_estimates() const;
+  void add_observation(std::size_t context, double cents, double delay, bool charge);
+};
+
+}  // namespace crowdlearn::bandit

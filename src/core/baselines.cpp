@@ -1,0 +1,239 @@
+#include "core/baselines.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+#include "truth/voting.hpp"
+
+namespace crowdlearn::core {
+
+std::vector<CycleOutcome> SchemeRunner::run_stream(const dataset::Dataset& data,
+                                                   crowd::CrowdPlatform& platform,
+                                                   const dataset::SensingCycleStream& stream) {
+  std::vector<CycleOutcome> outcomes;
+  outcomes.reserve(stream.num_cycles());
+  for (const dataset::SensingCycle& cycle : stream.cycles())
+    outcomes.push_back(run_cycle(data, platform, cycle));
+  return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// AiOnlyRunner
+// ---------------------------------------------------------------------------
+
+AiOnlyRunner::AiOnlyRunner(std::unique_ptr<experts::DdaAlgorithm> algorithm)
+    : algorithm_(std::move(algorithm)) {
+  if (!algorithm_) throw std::invalid_argument("AiOnlyRunner: null algorithm");
+}
+
+void AiOnlyRunner::initialize(const dataset::Dataset& data,
+                              const crowd::PilotResult* /*pilot*/) {
+  if (algorithm_->is_trained()) return;  // arrived pre-trained (cloned)
+  algorithm_->train(data, data.train_indices, rng_);
+}
+
+CycleOutcome AiOnlyRunner::run_cycle(const dataset::Dataset& data,
+                                     crowd::CrowdPlatform& /*platform*/,
+                                     const dataset::SensingCycle& cycle) {
+  CycleOutcome out;
+  out.cycle_index = cycle.index;
+  out.context = cycle.context;
+  out.image_ids = cycle.image_ids;
+
+  Stopwatch clock;
+  for (std::size_t id : cycle.image_ids) {
+    std::vector<double> p = algorithm_->predict_proba(data.image(id));
+    out.predictions.push_back(stats::argmax(p));
+    out.probabilities.push_back(std::move(p));
+  }
+  out.algorithm_delay_seconds = clock.elapsed_seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Crowd agreement of one response set: majority vote fraction.
+double crowd_agreement(const std::vector<double>& vote_dist) {
+  double best = 0.0;
+  for (double v : vote_dist) best = std::max(best, v);
+  return best;
+}
+
+/// AI confidence: 1 - normalized entropy of the probability vector.
+double ai_confidence(const std::vector<double>& probs) {
+  return 1.0 - stats::entropy(probs) / stats::max_entropy(probs.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HybridParaRunner
+// ---------------------------------------------------------------------------
+
+HybridParaRunner::HybridParaRunner(HybridConfig cfg)
+    : HybridParaRunner(cfg, experts::BoostedEnsemble::make_default()) {}
+
+HybridParaRunner::HybridParaRunner(HybridConfig cfg, experts::BoostedEnsemble ai)
+    : cfg_(cfg), ai_(std::move(ai)), rng_(cfg.seed) {
+  if (cfg.fixed_incentive_cents <= 0.0)
+    throw std::invalid_argument("HybridParaRunner: incentive must be > 0");
+}
+
+void HybridParaRunner::initialize(const dataset::Dataset& data,
+                                  const crowd::PilotResult* /*pilot*/) {
+  if (ai_.is_trained()) return;  // arrived pre-trained (cloned)
+  Rng child = rng_.fork();
+  ai_.train(data, data.train_indices, child);
+}
+
+CycleOutcome HybridParaRunner::run_cycle(const dataset::Dataset& data,
+                                         crowd::CrowdPlatform& platform,
+                                         const dataset::SensingCycle& cycle) {
+  CycleOutcome out;
+  out.cycle_index = cycle.index;
+  out.context = cycle.context;
+  out.image_ids = cycle.image_ids;
+  const double spent_before = platform.total_spent_cents();
+
+  Stopwatch clock;
+  // AI labels everything.
+  std::vector<std::vector<double>> ai_probs;
+  ai_probs.reserve(cycle.image_ids.size());
+  for (std::size_t id : cycle.image_ids) ai_probs.push_back(ai_.predict_proba(data.image(id)));
+
+  // Humans label a random subset in parallel (no active selection).
+  const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
+  const std::vector<std::size_t> query_positions =
+      rng_.sample_without_replacement(cycle.image_ids.size(), query_count);
+
+  double delay_sum = 0.0;
+  std::vector<std::size_t> queried_pos_order;
+  std::vector<std::vector<double>> crowd_dists;
+  for (std::size_t pos : query_positions) {
+    const std::size_t id = cycle.image_ids[pos];
+    const crowd::QueryResponse resp =
+        platform.post_query(id, cfg_.fixed_incentive_cents, cycle.context);
+    delay_sum += resp.completion_delay_seconds;
+    out.queried_ids.push_back(id);
+    out.incentives_cents.push_back(cfg_.fixed_incentive_cents);
+    queried_pos_order.push_back(pos);
+    crowd_dists.push_back(truth::MajorityVoting::vote_distribution(resp));
+  }
+  if (query_count > 0) out.crowd_delay_seconds = delay_sum / static_cast<double>(query_count);
+
+  // Complexity-index integration: per queried image, the more self-consistent
+  // source (crowd agreement vs AI confidence) provides the label.
+  out.probabilities = ai_probs;
+  for (std::size_t q = 0; q < queried_pos_order.size(); ++q) {
+    const std::size_t pos = queried_pos_order[q];
+    if (crowd_agreement(crowd_dists[q]) >= ai_confidence(ai_probs[pos]))
+      out.probabilities[pos] = crowd_dists[q];
+  }
+  out.predictions.reserve(out.probabilities.size());
+  for (const auto& p : out.probabilities) out.predictions.push_back(stats::argmax(p));
+
+  out.algorithm_delay_seconds = clock.elapsed_seconds();
+  out.spent_cents = platform.total_spent_cents() - spent_before;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HybridAlRunner
+// ---------------------------------------------------------------------------
+
+HybridAlRunner::HybridAlRunner(HybridConfig cfg)
+    : HybridAlRunner(cfg, experts::BoostedEnsemble::make_default()) {}
+
+HybridAlRunner::HybridAlRunner(HybridConfig cfg, experts::BoostedEnsemble ai)
+    : cfg_(cfg), ai_(std::move(ai)), rng_(cfg.seed) {
+  if (cfg.fixed_incentive_cents <= 0.0)
+    throw std::invalid_argument("HybridAlRunner: incentive must be > 0");
+}
+
+void HybridAlRunner::initialize(const dataset::Dataset& data,
+                                const crowd::PilotResult* /*pilot*/) {
+  if (ai_.is_trained()) return;  // arrived pre-trained (cloned)
+  Rng child = rng_.fork();
+  ai_.train(data, data.train_indices, child);
+}
+
+CycleOutcome HybridAlRunner::run_cycle(const dataset::Dataset& data,
+                                       crowd::CrowdPlatform& platform,
+                                       const dataset::SensingCycle& cycle) {
+  CycleOutcome out;
+  out.cycle_index = cycle.index;
+  out.context = cycle.context;
+  out.image_ids = cycle.image_ids;
+  const double spent_before = platform.total_spent_cents();
+
+  Stopwatch clock;
+  // Predictions come from the (incrementally retrained) AI for every image.
+  std::vector<double> uncertainties;
+  for (std::size_t id : cycle.image_ids) {
+    std::vector<double> p = ai_.predict_proba(data.image(id));
+    uncertainties.push_back(stats::entropy(p));
+    out.predictions.push_back(stats::argmax(p));
+    out.probabilities.push_back(std::move(p));
+  }
+
+  // Uncertainty sampling: query the top-entropy images.
+  const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
+  std::vector<std::size_t> order(cycle.image_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return uncertainties[a] > uncertainties[b];
+  });
+
+  double delay_sum = 0.0;
+  std::vector<std::size_t> retrain_labels;
+  for (std::size_t q = 0; q < query_count; ++q) {
+    const std::size_t id = cycle.image_ids[order[q]];
+    const crowd::QueryResponse resp =
+        platform.post_query(id, cfg_.fixed_incentive_cents, cycle.context);
+    delay_sum += resp.completion_delay_seconds;
+    out.queried_ids.push_back(id);
+    out.incentives_cents.push_back(cfg_.fixed_incentive_cents);
+    retrain_labels.push_back(
+        stats::argmax(truth::MajorityVoting::vote_distribution(resp)));
+  }
+  if (query_count > 0) out.crowd_delay_seconds = delay_sum / static_cast<double>(query_count);
+
+  // Crowd labels are used only to retrain — never to relabel directly.
+  if (!out.queried_ids.empty()) {
+    Rng child = rng_.fork();
+    ai_.retrain(data, out.queried_ids, retrain_labels, child);
+  }
+
+  out.algorithm_delay_seconds = clock.elapsed_seconds();
+  out.spent_cents = platform.total_spent_cents() - spent_before;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CrowdLearnRunner
+// ---------------------------------------------------------------------------
+
+CrowdLearnRunner::CrowdLearnRunner(CrowdLearnConfig cfg)
+    : system_(experts::make_default_committee(), cfg) {}
+
+CrowdLearnRunner::CrowdLearnRunner(CrowdLearnConfig cfg, experts::ExpertCommittee committee)
+    : system_(std::move(committee), cfg) {}
+
+void CrowdLearnRunner::initialize(const dataset::Dataset& data,
+                                  const crowd::PilotResult* pilot) {
+  if (pilot == nullptr)
+    throw std::invalid_argument("CrowdLearnRunner: CrowdLearn requires the pilot study");
+  system_.initialize(data, *pilot);
+}
+
+CycleOutcome CrowdLearnRunner::run_cycle(const dataset::Dataset& data,
+                                         crowd::CrowdPlatform& platform,
+                                         const dataset::SensingCycle& cycle) {
+  return system_.run_cycle(data, platform, cycle);
+}
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,120 @@
+#pragma once
+// The evaluation schemes of Section V behind one interface: AI-only experts
+// (VGG16 / BoVW / DDM / Ensemble), the two hybrid human-AI baselines
+// (Hybrid-Para and Hybrid-AL), and an adapter for CrowdLearn itself. Every
+// scheme consumes the same sensing-cycle stream and emits CycleOutcomes, so
+// the benchmark harness can treat them uniformly.
+
+#include <memory>
+
+#include "core/crowdlearn_system.hpp"
+#include "experts/boosted_ensemble.hpp"
+
+namespace crowdlearn::core {
+
+class SchemeRunner {
+ public:
+  virtual ~SchemeRunner() = default;
+
+  /// One-time setup (training on the golden training set; hybrid schemes may
+  /// also use the pilot). `pilot` may be null for AI-only schemes.
+  virtual void initialize(const dataset::Dataset& data, const crowd::PilotResult* pilot) = 0;
+
+  virtual CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                                 const dataset::SensingCycle& cycle) = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<CycleOutcome> run_stream(const dataset::Dataset& data,
+                                       crowd::CrowdPlatform& platform,
+                                       const dataset::SensingCycleStream& stream);
+};
+
+/// Pure-AI scheme: one expert labels everything; no crowd involvement.
+class AiOnlyRunner : public SchemeRunner {
+ public:
+  explicit AiOnlyRunner(std::unique_ptr<experts::DdaAlgorithm> algorithm);
+
+  void initialize(const dataset::Dataset& data, const crowd::PilotResult* pilot) override;
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle) override;
+  std::string name() const override { return algorithm_->name(); }
+
+  experts::DdaAlgorithm& algorithm() { return *algorithm_; }
+
+ private:
+  std::unique_ptr<experts::DdaAlgorithm> algorithm_;
+  Rng rng_{2024};
+};
+
+struct HybridConfig {
+  std::size_t queries_per_cycle = 5;
+  /// Fixed incentive: total budget / number of queries ("the maximum
+  /// incentive for each query", Section V-C-2).
+  double fixed_incentive_cents = 8.0;
+  std::uint64_t seed = 77;
+};
+
+/// Hybrid-Para [53]: humans and AI label independently; a per-image
+/// complexity index arbitrates. Here the index compares the AI's confidence
+/// (1 - normalized vote entropy) with the crowd's agreement (majority
+/// fraction); the more self-consistent source wins. Random query selection,
+/// fixed incentive, majority-vote quality control, no feedback into the AI.
+class HybridParaRunner : public SchemeRunner {
+ public:
+  explicit HybridParaRunner(HybridConfig cfg);
+  /// Use a caller-supplied (possibly pre-trained) ensemble as the AI side.
+  HybridParaRunner(HybridConfig cfg, experts::BoostedEnsemble ai);
+
+  void initialize(const dataset::Dataset& data, const crowd::PilotResult* pilot) override;
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle) override;
+  std::string name() const override { return "Hybrid-Para"; }
+
+ private:
+  HybridConfig cfg_;
+  experts::BoostedEnsemble ai_;
+  Rng rng_;
+};
+
+/// Hybrid-AL [13]: classic crowdsourced active learning. The most uncertain
+/// images are sent to the crowd at a fixed incentive; majority-voted labels
+/// retrain the AI for later cycles. Predictions always come from the AI —
+/// crowd labels are never used directly, so innate failure modes persist.
+class HybridAlRunner : public SchemeRunner {
+ public:
+  explicit HybridAlRunner(HybridConfig cfg);
+  /// Use a caller-supplied (possibly pre-trained) ensemble as the AI side.
+  HybridAlRunner(HybridConfig cfg, experts::BoostedEnsemble ai);
+
+  void initialize(const dataset::Dataset& data, const crowd::PilotResult* pilot) override;
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle) override;
+  std::string name() const override { return "Hybrid-AL"; }
+
+ private:
+  HybridConfig cfg_;
+  experts::BoostedEnsemble ai_;
+  Rng rng_;
+};
+
+/// Adapter running the full CrowdLearn system through the same interface.
+class CrowdLearnRunner : public SchemeRunner {
+ public:
+  explicit CrowdLearnRunner(CrowdLearnConfig cfg);
+  /// Use a caller-supplied (possibly pre-trained) committee instead of the
+  /// default {VGG16, BoVW, DDM}.
+  CrowdLearnRunner(CrowdLearnConfig cfg, experts::ExpertCommittee committee);
+
+  void initialize(const dataset::Dataset& data, const crowd::PilotResult* pilot) override;
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle) override;
+  std::string name() const override { return "CrowdLearn"; }
+
+  CrowdLearnSystem& system() { return system_; }
+
+ private:
+  CrowdLearnSystem system_;
+};
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,45 @@
+#include "core/cqc_module.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::core {
+
+std::vector<truth::LabeledQuery> CqcModule::labeled_queries_from_pilot(
+    const crowd::PilotResult& pilot, const dataset::Dataset& data) {
+  std::vector<truth::LabeledQuery> out;
+  for (const auto& context_cells : pilot.cells) {
+    for (const crowd::PilotCell& cell : context_cells) {
+      for (const crowd::QueryResponse& resp : cell.responses) {
+        truth::LabeledQuery lq;
+        lq.response = resp;
+        lq.true_label = dataset::label_index(data.image(resp.image_id).true_label);
+        out.push_back(std::move(lq));
+      }
+    }
+  }
+  if (out.empty())
+    throw std::invalid_argument("labeled_queries_from_pilot: pilot has no responses");
+  return out;
+}
+
+void CqcModule::fit_from_pilot(const crowd::PilotResult& pilot, const dataset::Dataset& data) {
+  fit(labeled_queries_from_pilot(pilot, data));
+}
+
+void CqcModule::fit(const std::vector<truth::LabeledQuery>& training) {
+  aggregator_.fit(training);
+}
+
+std::vector<std::vector<double>> CqcModule::refine(
+    const std::vector<crowd::QueryResponse>& responses) {
+  return aggregator_.aggregate(responses);
+}
+
+std::vector<std::size_t> CqcModule::refine_labels(
+    const std::vector<crowd::QueryResponse>& responses) {
+  return aggregator_.aggregate_labels(responses);
+}
+
+}  // namespace crowdlearn::core

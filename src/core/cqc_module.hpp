@@ -1,0 +1,39 @@
+#pragma once
+// The CQC stage of the closed loop: fits the gradient-boosted aggregator on
+// the gold-labeled pilot-study responses and turns each cycle's raw crowd
+// answers into truthful label distributions for MIC.
+
+#include "crowd/pilot.hpp"
+#include "truth/cqc.hpp"
+
+namespace crowdlearn::core {
+
+class CqcModule {
+ public:
+  explicit CqcModule(truth::CqcConfig cfg = {}) : aggregator_(cfg) {}
+
+  /// Fit on all pilot-study responses (their images carry golden labels).
+  void fit_from_pilot(const crowd::PilotResult& pilot, const dataset::Dataset& data);
+
+  /// Fit on explicitly labeled queries.
+  void fit(const std::vector<truth::LabeledQuery>& training);
+
+  /// Truthful label distribution per query response.
+  std::vector<std::vector<double>> refine(const std::vector<crowd::QueryResponse>& responses);
+
+  /// Hard truthful labels (argmax of refine()).
+  std::vector<std::size_t> refine_labels(const std::vector<crowd::QueryResponse>& responses);
+
+  bool trained() const { return aggregator_.trained(); }
+  truth::CqcAggregator& aggregator() { return aggregator_; }
+
+  /// Collect every pilot response with its golden label — also used to fit
+  /// the Table I baselines on identical data.
+  static std::vector<truth::LabeledQuery> labeled_queries_from_pilot(
+      const crowd::PilotResult& pilot, const dataset::Dataset& data);
+
+ private:
+  truth::CqcAggregator aggregator_;
+};
+
+}  // namespace crowdlearn::core

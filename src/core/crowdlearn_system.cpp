@@ -1,0 +1,120 @@
+#include "core/crowdlearn_system.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::core {
+
+CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
+                                   const CrowdLearnConfig& cfg)
+    : cfg_(cfg),
+      committee_(std::move(committee)),
+      qss_(cfg.qss),
+      ipd_(cfg.ipd),
+      cqc_(cfg.cqc),
+      mic_(cfg.mic),
+      rng_(cfg.seed) {}
+
+void CrowdLearnSystem::initialize(const dataset::Dataset& data,
+                                  const crowd::PilotResult& pilot) {
+  // A committee cloned from a previous run arrives pre-trained; reuse it.
+  if (!committee_.all_trained()) committee_.train_all(data, data.train_indices, rng_);
+  cqc_.fit_from_pilot(pilot, data);
+  ipd_.warm_start_from_pilot(pilot);
+  initialized_ = true;
+}
+
+CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
+                                         crowd::CrowdPlatform& platform,
+                                         const dataset::SensingCycle& cycle) {
+  if (!initialized_) throw std::logic_error("CrowdLearnSystem: run_cycle before initialize");
+  if (cycle.image_ids.empty())
+    throw std::invalid_argument("CrowdLearnSystem: empty sensing cycle");
+
+  CycleOutcome out;
+  out.cycle_index = cycle.index;
+  out.context = cycle.context;
+  out.image_ids = cycle.image_ids;
+  out.probabilities.resize(cycle.image_ids.size());
+  out.predictions.resize(cycle.image_ids.size());
+
+  Stopwatch ai_clock;
+  const double spent_before = platform.total_spent_cents();
+
+  // (1) QSS: uncertainty-ranked, epsilon-greedy query-set selection.
+  const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
+  QssSelection sel = qss_.select(committee_, data, cycle.image_ids, query_count);
+  out.queried_ids = sel.queried_ids;
+
+  // (2) IPD + platform: one incentive decision per query. The platform's
+  // simulated crowd delay is not part of the AI-side wall clock.
+  const double ai_before_crowd = ai_clock.elapsed_seconds();
+  std::vector<crowd::QueryResponse> responses;
+  responses.reserve(sel.queried_ids.size());
+  double delay_sum = 0.0;
+  for (std::size_t q = 0; q < sel.queried_ids.size(); ++q) {
+    const double incentive = ipd_.assign_incentive(cycle.context);
+    out.incentives_cents.push_back(incentive);
+    crowd::QueryResponse resp =
+        platform.post_query(sel.queried_ids[q], incentive, cycle.context);
+    ipd_.feedback(cycle.context, incentive, resp.completion_delay_seconds);
+    delay_sum += resp.completion_delay_seconds;
+    responses.push_back(std::move(resp));
+  }
+  if (!responses.empty())
+    out.crowd_delay_seconds = delay_sum / static_cast<double>(responses.size());
+
+  std::vector<std::vector<double>> truth_dists;
+  std::vector<std::size_t> truth_labels;
+  if (!responses.empty()) {
+    // (3) CQC: refine raw answers into truthful distributions.
+    truth_dists = cqc_.refine(responses);
+    truth_labels.reserve(truth_dists.size());
+    for (const auto& d : truth_dists) truth_labels.push_back(stats::argmax(d));
+
+    // (4a) MIC weight update from the queried images' expert votes.
+    std::vector<std::vector<std::vector<double>>> queried_votes;
+    queried_votes.reserve(sel.queried_positions.size());
+    for (std::size_t pos : sel.queried_positions) queried_votes.push_back(sel.votes[pos]);
+    out.expert_losses = mic_.update_committee_weights(committee_, queried_votes, truth_dists);
+  }
+  out.expert_weights = committee_.weights();
+
+  // Final labels: crowd offloading for queried images, reweighted committee
+  // vote (cached expert votes, new weights) for the rest.
+  for (std::size_t q = 0; q < sel.queried_positions.size(); ++q) {
+    const std::size_t pos = sel.queried_positions[q];
+    if (mic_.offloading_enabled() && !truth_dists.empty()) {
+      out.probabilities[pos] = truth_dists[q];
+      out.predictions[pos] = truth_labels[q];
+    } else {
+      out.probabilities[pos] = committee_.committee_vote(sel.votes[pos]);
+      out.predictions[pos] = stats::argmax(out.probabilities[pos]);
+    }
+  }
+  for (std::size_t pos : sel.remaining_positions) {
+    out.probabilities[pos] = committee_.committee_vote(sel.votes[pos]);
+    out.predictions[pos] = stats::argmax(out.probabilities[pos]);
+  }
+
+  // (4b) MIC retraining with CQC labels, effective from the next cycle.
+  if (!truth_labels.empty()) mic_.retrain(committee_, data, sel.queried_ids, truth_labels, rng_);
+
+  out.algorithm_delay_seconds = ai_clock.elapsed_seconds();
+  (void)ai_before_crowd;  // platform calls are simulated and effectively instant
+  out.spent_cents = platform.total_spent_cents() - spent_before;
+  return out;
+}
+
+std::vector<CycleOutcome> CrowdLearnSystem::run_stream(
+    const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+    const dataset::SensingCycleStream& stream) {
+  std::vector<CycleOutcome> outcomes;
+  outcomes.reserve(stream.num_cycles());
+  for (const dataset::SensingCycle& cycle : stream.cycles())
+    outcomes.push_back(run_cycle(data, platform, cycle));
+  return outcomes;
+}
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,79 @@
+#pragma once
+// The CrowdLearn closed loop (paper Figure 4): each sensing cycle,
+//   (1) QSS selects the query set from the committee's uncertainty,
+//   (2) IPD assigns an incentive per query and posts them to the platform,
+//   (3) CQC refines the raw crowd answers into truthful labels,
+//   (4) MIC calibrates the committee — weight update, retraining, and crowd
+//       offloading of the queried images' labels.
+
+#include "core/cqc_module.hpp"
+#include "core/ipd.hpp"
+#include "core/mic.hpp"
+#include "core/qss.hpp"
+#include "dataset/stream.hpp"
+#include "util/stopwatch.hpp"
+
+namespace crowdlearn::core {
+
+struct CrowdLearnConfig {
+  std::size_t queries_per_cycle = 5;  ///< Y in Algorithm 1 (5 of 10 images)
+  QssConfig qss;
+  IpdConfig ipd;
+  truth::CqcConfig cqc;
+  MicConfig mic;
+  std::uint64_t seed = 31;
+};
+
+/// Everything observable about one executed sensing cycle.
+struct CycleOutcome {
+  std::size_t cycle_index = 0;
+  dataset::TemporalContext context = dataset::TemporalContext::kMorning;
+  std::vector<std::size_t> image_ids;  ///< cycle order
+  /// Final label distribution per image (offloaded CQC distribution for
+  /// queried images, reweighted committee vote for the rest).
+  std::vector<std::vector<double>> probabilities;
+  std::vector<std::size_t> predictions;
+  std::vector<std::size_t> queried_ids;
+  std::vector<double> incentives_cents;
+  double crowd_delay_seconds = 0.0;      ///< mean query completion delay
+  double algorithm_delay_seconds = 0.0;  ///< wall-clock of the AI-side work
+  double spent_cents = 0.0;
+  std::vector<double> expert_losses;   ///< Eq. 5 losses this cycle
+  std::vector<double> expert_weights;  ///< committee weights after MIC
+};
+
+class CrowdLearnSystem {
+ public:
+  CrowdLearnSystem(experts::ExpertCommittee committee, const CrowdLearnConfig& cfg);
+
+  /// Train the committee on the golden training set, fit CQC on the pilot
+  /// responses and warm-start the IPD bandit from the pilot delays.
+  void initialize(const dataset::Dataset& data, const crowd::PilotResult& pilot);
+
+  /// Execute one sensing cycle against the (black-box) platform.
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle);
+
+  /// Run every cycle of a stream in order.
+  std::vector<CycleOutcome> run_stream(const dataset::Dataset& data,
+                                       crowd::CrowdPlatform& platform,
+                                       const dataset::SensingCycleStream& stream);
+
+  experts::ExpertCommittee& committee() { return committee_; }
+  Ipd& ipd() { return ipd_; }
+  CqcModule& cqc() { return cqc_; }
+  const CrowdLearnConfig& config() const { return cfg_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  CrowdLearnConfig cfg_;
+  experts::ExpertCommittee committee_;
+  Qss qss_;
+  Ipd ipd_;
+  CqcModule cqc_;
+  Mic mic_;
+  Rng rng_;
+  bool initialized_ = false;
+};
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,134 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::core {
+
+ExperimentSetup make_setup(const ExperimentConfig& cfg) {
+  ExperimentSetup setup;
+  setup.seed = cfg.seed;
+  // The experiment seed governs every component: sub-config seeds are mixed
+  // with it so that changing cfg.seed alone re-randomizes the whole setup,
+  // while distinct sub-seeds still produce distinct realizations.
+  dataset::DatasetConfig dataset_cfg = cfg.dataset;
+  dataset_cfg.seed = mix_seed(cfg.seed ^ dataset_cfg.seed);
+  setup.data = dataset::generate_dataset(dataset_cfg);
+  setup.stream_cfg = cfg.stream;
+  setup.stream_cfg.seed = mix_seed(cfg.seed ^ setup.stream_cfg.seed);
+  setup.platform_cfg = cfg.platform;
+  setup.platform_cfg.seed = mix_seed(cfg.seed ^ setup.platform_cfg.seed);
+
+  // The pilot study runs against its own platform instance (the paper's
+  // pilot spends training budget before the evaluation begins).
+  // One worker population per experiment, shared by the pilot platform and
+  // every per-scheme platform instance.
+  setup.platform_cfg.population_seed = mix_seed(cfg.seed ^ 0xF09);
+  crowd::PlatformConfig pilot_platform_cfg = setup.platform_cfg;
+  pilot_platform_cfg.seed = mix_seed(cfg.seed ^ 0x9111);
+  crowd::CrowdPlatform pilot_platform(&setup.data, pilot_platform_cfg);
+  Rng pilot_rng(mix_seed(cfg.seed ^ 0x5151));
+  setup.pilot = crowd::run_pilot_study(pilot_platform, setup.data, cfg.pilot, pilot_rng);
+  return setup;
+}
+
+ExperimentSetup make_default_setup(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  return make_setup(cfg);
+}
+
+crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t run_index) {
+  crowd::PlatformConfig cfg = setup.platform_cfg;
+  cfg.seed = mix_seed(setup.seed ^ (0xABCD + run_index));
+  return crowd::CrowdPlatform(&setup.data, cfg);
+}
+
+FlattenedRun flatten_outcomes(const dataset::Dataset& data,
+                              const std::vector<CycleOutcome>& outcomes) {
+  FlattenedRun flat;
+  for (const CycleOutcome& out : outcomes) {
+    if (out.predictions.size() != out.image_ids.size() ||
+        out.probabilities.size() != out.image_ids.size())
+      throw std::invalid_argument("flatten_outcomes: misaligned cycle outcome");
+    for (std::size_t i = 0; i < out.image_ids.size(); ++i) {
+      flat.truth.push_back(dataset::label_index(data.image(out.image_ids[i]).true_label));
+      flat.predictions.push_back(out.predictions[i]);
+      flat.probabilities.push_back(out.probabilities[i]);
+    }
+  }
+  return flat;
+}
+
+SchemeEvaluation evaluate_scheme(SchemeRunner& runner, const ExperimentSetup& setup,
+                                 std::uint64_t run_index) {
+  crowd::CrowdPlatform platform = make_platform(setup, run_index);
+  dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+
+  runner.initialize(setup.data, &setup.pilot);
+  std::vector<CycleOutcome> outcomes = runner.run_stream(setup.data, platform, stream);
+
+  SchemeEvaluation eval;
+  eval.name = runner.name();
+
+  const FlattenedRun flat = flatten_outcomes(setup.data, outcomes);
+  eval.report = stats::evaluate_classification(flat.truth, flat.predictions,
+                                               dataset::kNumSeverityClasses);
+  eval.macro_auc =
+      stats::macro_auc(flat.probabilities, flat.truth, dataset::kNumSeverityClasses);
+  eval.roc = stats::macro_average_roc(flat.probabilities, flat.truth,
+                                      dataset::kNumSeverityClasses);
+
+  // Delay reductions (Table III / Figure 8).
+  std::array<std::vector<double>, dataset::kNumContexts> delays_by_context;
+  double algo_sum = 0.0, crowd_sum = 0.0;
+  std::size_t crowd_cycles = 0;
+  for (const CycleOutcome& out : outcomes) {
+    algo_sum += out.algorithm_delay_seconds;
+    eval.total_spent_cents += out.spent_cents;
+    if (!out.queried_ids.empty()) {
+      crowd_sum += out.crowd_delay_seconds;
+      ++crowd_cycles;
+      delays_by_context[static_cast<std::size_t>(out.context)].push_back(
+          out.crowd_delay_seconds);
+    }
+  }
+  eval.mean_algorithm_delay_seconds = algo_sum / static_cast<double>(outcomes.size());
+  eval.mean_crowd_delay_seconds =
+      crowd_cycles == 0 ? 0.0 : crowd_sum / static_cast<double>(crowd_cycles);
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+    if (!delays_by_context[c].empty()) {
+      eval.crowd_delay_by_context[c] = stats::mean(delays_by_context[c]);
+      eval.crowd_delay_sd_by_context[c] = stats::stddev(delays_by_context[c]);
+    }
+  }
+
+  eval.outcomes = std::move(outcomes);
+  return eval;
+}
+
+double fixed_incentive_for_budget(const ExperimentSetup& setup, std::size_t queries_per_cycle,
+                                  double total_budget_cents) {
+  const std::size_t total_queries = setup.stream_cfg.num_cycles * queries_per_cycle;
+  if (total_queries == 0)
+    throw std::invalid_argument("fixed_incentive_for_budget: zero queries");
+  return total_budget_cents / static_cast<double>(total_queries);
+}
+
+CrowdLearnConfig default_crowdlearn_config(const ExperimentSetup& setup,
+                                           std::size_t queries_per_cycle,
+                                           double total_budget_cents) {
+  CrowdLearnConfig cfg;
+  cfg.queries_per_cycle = queries_per_cycle;
+  cfg.seed = mix_seed(setup.seed ^ 0x1234);
+  cfg.qss.seed = mix_seed(setup.seed ^ 0x4321);
+  cfg.ipd.total_budget_cents = total_budget_cents;
+  cfg.ipd.horizon_queries =
+      std::max<std::size_t>(1, setup.stream_cfg.num_cycles * queries_per_cycle);
+  cfg.ipd.seed = mix_seed(setup.seed ^ 0x9876);
+  return cfg;
+}
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,82 @@
+#pragma once
+// Shared experiment harness for the Section V evaluation: builds the default
+// setup (dataset -> pilot study), runs any SchemeRunner over the sensing
+// stream on a fresh platform instance, and reduces the outcomes into the
+// metrics the paper's tables and figures report.
+
+#include <array>
+#include <optional>
+
+#include "core/baselines.hpp"
+#include "stats/metrics.hpp"
+#include "stats/roc.hpp"
+
+namespace crowdlearn::core {
+
+struct ExperimentSetup {
+  dataset::Dataset data;
+  dataset::StreamConfig stream_cfg;
+  crowd::PlatformConfig platform_cfg;
+  crowd::PilotResult pilot;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentConfig {
+  dataset::DatasetConfig dataset;
+  dataset::StreamConfig stream;
+  crowd::PlatformConfig platform;
+  crowd::PilotConfig pilot;
+  std::uint64_t seed = 42;
+};
+
+/// Generate the dataset and run the pilot study once. All schemes share the
+/// resulting setup; each gets its own platform instance (same configuration,
+/// scheme-specific seed) so crowd randomness is independent but comparable.
+ExperimentSetup make_setup(const ExperimentConfig& cfg);
+ExperimentSetup make_default_setup(std::uint64_t seed = 42);
+
+/// A fresh platform for one scheme run. `run_index` decorrelates the
+/// randomness of repeated runs.
+crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t run_index);
+
+/// All metrics the paper reports for one scheme.
+struct SchemeEvaluation {
+  std::string name;
+  stats::ClassificationReport report;           ///< Table II row
+  double macro_auc = 0.0;                       ///< Figure 7 summary
+  std::vector<stats::RocPoint> roc;             ///< Figure 7 curve
+  double mean_algorithm_delay_seconds = 0.0;    ///< Table III, per cycle
+  double mean_crowd_delay_seconds = 0.0;        ///< Table III, per cycle
+  std::array<double, dataset::kNumContexts> crowd_delay_by_context{};      ///< Figure 8
+  std::array<double, dataset::kNumContexts> crowd_delay_sd_by_context{};   ///< Figure 8 bars
+  double total_spent_cents = 0.0;
+  std::vector<CycleOutcome> outcomes;
+
+  bool uses_crowd() const { return mean_crowd_delay_seconds > 0.0; }
+};
+
+/// Initialize the runner, execute the full stream and reduce the outcomes.
+SchemeEvaluation evaluate_scheme(SchemeRunner& runner, const ExperimentSetup& setup,
+                                 std::uint64_t run_index = 0);
+
+/// Flattened golden labels / predictions / probabilities of a finished run,
+/// aligned across all cycles (used for ROC and custom metrics).
+struct FlattenedRun {
+  std::vector<std::size_t> truth;
+  std::vector<std::size_t> predictions;
+  std::vector<std::vector<double>> probabilities;
+};
+FlattenedRun flatten_outcomes(const dataset::Dataset& data,
+                              const std::vector<CycleOutcome>& outcomes);
+
+/// The default CrowdLearn configuration used across benches: 5 queries per
+/// 10-image cycle, $16 total budget over 200 queries (8 cents per task).
+CrowdLearnConfig default_crowdlearn_config(const ExperimentSetup& setup,
+                                           std::size_t queries_per_cycle = 5,
+                                           double total_budget_cents = 1600.0);
+
+/// Fixed-incentive level for the hybrid baselines: budget / total queries.
+double fixed_incentive_for_budget(const ExperimentSetup& setup, std::size_t queries_per_cycle,
+                                  double total_budget_cents);
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,49 @@
+#include "core/ipd.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::core {
+
+namespace {
+
+std::unique_ptr<bandit::IncentivePolicy> make_default_policy(const IpdConfig& cfg) {
+  bandit::UcbAlpConfig bc;
+  bc.action_costs = cfg.incentive_levels;
+  bc.num_contexts = dataset::kNumContexts;
+  bc.total_budget_cents = cfg.total_budget_cents;
+  bc.horizon = cfg.horizon_queries;
+  bc.delay_scale_seconds = cfg.delay_scale_seconds;
+  bc.exploration = cfg.exploration;
+  bc.seed = cfg.seed;
+  return std::make_unique<bandit::UcbAlpPolicy>(bc);
+}
+
+}  // namespace
+
+Ipd::Ipd(const IpdConfig& cfg) : cfg_(cfg), policy_(make_default_policy(cfg)) {}
+
+Ipd::Ipd(const IpdConfig& cfg, std::unique_ptr<bandit::IncentivePolicy> policy)
+    : cfg_(cfg), policy_(std::move(policy)) {
+  if (!policy_) throw std::invalid_argument("Ipd: null policy");
+}
+
+double Ipd::assign_incentive(dataset::TemporalContext context) {
+  return policy_->choose(static_cast<std::size_t>(context));
+}
+
+void Ipd::feedback(dataset::TemporalContext context, double incentive_cents,
+                   double delay_seconds) {
+  policy_->observe(static_cast<std::size_t>(context), incentive_cents, delay_seconds);
+}
+
+void Ipd::warm_start_from_pilot(const crowd::PilotResult& pilot) {
+  auto* ucb = dynamic_cast<bandit::UcbAlpPolicy*>(policy_.get());
+  if (ucb == nullptr) return;  // baselines have nothing to warm-start
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+    for (const crowd::PilotCell& cell : pilot.cells[c]) {
+      for (double delay : cell.query_delays) ucb->warm_start(c, cell.incentive_cents, delay);
+    }
+  }
+}
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,53 @@
+#include "core/qss.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace crowdlearn::core {
+
+QssSelection Qss::select(experts::ExpertCommittee& committee, const dataset::Dataset& data,
+                         const std::vector<std::size_t>& cycle_image_ids,
+                         std::size_t query_count) {
+  if (cycle_image_ids.empty()) throw std::invalid_argument("Qss::select: empty cycle");
+  if (query_count > cycle_image_ids.size())
+    throw std::invalid_argument("Qss::select: query_count exceeds cycle size");
+
+  QssSelection sel;
+  sel.entropies.reserve(cycle_image_ids.size());
+  sel.votes.reserve(cycle_image_ids.size());
+  for (std::size_t id : cycle_image_ids) {
+    std::vector<std::vector<double>> votes = committee.expert_votes(data.image(id));
+    sel.entropies.push_back(committee.committee_entropy(votes));
+    sel.votes.push_back(std::move(votes));
+  }
+
+  // s_list: positions sorted by entropy, most uncertain first.
+  std::vector<std::size_t> s_list(cycle_image_ids.size());
+  std::iota(s_list.begin(), s_list.end(), std::size_t{0});
+  std::sort(s_list.begin(), s_list.end(), [&](std::size_t a, std::size_t b) {
+    return sel.entropies[a] > sel.entropies[b];
+  });
+
+  // Epsilon-greedy draw without replacement (Algorithm 1 lines 11-14).
+  std::vector<std::size_t> chosen_positions;
+  for (std::size_t y = 0; y < query_count; ++y) {
+    std::size_t pick_at = 0;  // head of s_list = highest remaining entropy
+    if (cfg_.epsilon > 0.0 && rng_.bernoulli(cfg_.epsilon))
+      pick_at = rng_.index(s_list.size());
+    chosen_positions.push_back(s_list[pick_at]);
+    s_list.erase(s_list.begin() + static_cast<std::ptrdiff_t>(pick_at));
+  }
+
+  for (std::size_t pos : chosen_positions) {
+    sel.queried_ids.push_back(cycle_image_ids[pos]);
+    sel.queried_positions.push_back(pos);
+  }
+  for (std::size_t pos : s_list) {
+    sel.remaining_ids.push_back(cycle_image_ids[pos]);
+    sel.remaining_positions.push_back(pos);
+  }
+  return sel;
+}
+
+}  // namespace crowdlearn::core

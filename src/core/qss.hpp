@@ -1,0 +1,49 @@
+#pragma once
+// Query Set Selection (paper Algorithm 1): rank the cycle's images by
+// committee entropy and build the query set epsilon-greedily — with
+// probability 1-epsilon take the most uncertain remaining image, with
+// probability epsilon take a uniformly random remaining one. The random
+// branch is what lets the loop discover images on which the whole committee
+// is confidently wrong (fakes and close-ups).
+
+#include "experts/committee.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::core {
+
+struct QssConfig {
+  double epsilon = 0.2;
+  std::uint64_t seed = 17;
+};
+
+/// The outcome of one selection round.
+struct QssSelection {
+  std::vector<std::size_t> queried_ids;    ///< sent to the crowd
+  std::vector<std::size_t> remaining_ids;  ///< labeled by the committee alone
+  /// Positions (indices into the cycle's image list) of the above.
+  std::vector<std::size_t> queried_positions;
+  std::vector<std::size_t> remaining_positions;
+  /// Committee entropy per cycle image, aligned with the input order.
+  std::vector<double> entropies;
+  /// Expert votes cached during entropy computation:
+  /// votes[i][m] = expert m's distribution for cycle image i.
+  std::vector<std::vector<std::vector<double>>> votes;
+};
+
+class Qss {
+ public:
+  explicit Qss(const QssConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Select `query_count` of the cycle's images for crowd querying.
+  QssSelection select(experts::ExpertCommittee& committee, const dataset::Dataset& data,
+                      const std::vector<std::size_t>& cycle_image_ids,
+                      std::size_t query_count);
+
+  double epsilon() const { return cfg_.epsilon; }
+
+ private:
+  QssConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace crowdlearn::core

@@ -1,0 +1,87 @@
+#include "core/recorder.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace crowdlearn::core {
+
+void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
+                     std::ostream& os) {
+  std::size_t num_experts = 0;
+  for (const CycleOutcome& out : eval.outcomes)
+    num_experts = std::max(num_experts, out.expert_weights.size());
+
+  std::vector<std::string> header{"cycle",          "context",
+                                  "images",         "queried",
+                                  "accuracy",       "crowd_delay_s",
+                                  "algorithm_delay_s", "spent_cents",
+                                  "mean_incentive_cents"};
+  for (std::size_t m = 0; m < num_experts; ++m)
+    header.push_back("w_expert" + std::to_string(m));
+  TablePrinter table(header);
+
+  for (const CycleOutcome& out : eval.outcomes) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < out.image_ids.size(); ++i)
+      if (out.predictions[i] == dataset::label_index(data.image(out.image_ids[i]).true_label))
+        ++correct;
+    double mean_incentive = 0.0;
+    for (double c : out.incentives_cents) mean_incentive += c;
+    if (!out.incentives_cents.empty())
+      mean_incentive /= static_cast<double>(out.incentives_cents.size());
+
+    std::vector<std::string> row{
+        std::to_string(out.cycle_index),
+        dataset::context_name(out.context),
+        std::to_string(out.image_ids.size()),
+        std::to_string(out.queried_ids.size()),
+        TablePrinter::num(static_cast<double>(correct) /
+                              static_cast<double>(out.image_ids.size()),
+                          4),
+        TablePrinter::num(out.crowd_delay_seconds, 2),
+        TablePrinter::num(out.algorithm_delay_seconds, 6),
+        TablePrinter::num(out.spent_cents, 2),
+        TablePrinter::num(mean_incentive, 2)};
+    for (std::size_t m = 0; m < num_experts; ++m)
+      row.push_back(m < out.expert_weights.size()
+                        ? TablePrinter::num(out.expert_weights[m], 4)
+                        : std::string(""));
+    table.add_row(std::move(row));
+  }
+  table.print_csv(os);
+  if (!os) throw std::runtime_error("write_cycle_log: stream failure");
+}
+
+void write_summary(const std::vector<SchemeEvaluation>& evals, std::ostream& os) {
+  TablePrinter table({"scheme", "accuracy", "precision", "recall", "f1", "macro_auc",
+                      "mean_algorithm_delay_s", "mean_crowd_delay_s", "total_spent_cents"});
+  for (const SchemeEvaluation& e : evals)
+    table.add_row({e.name, TablePrinter::num(e.report.accuracy, 4),
+                   TablePrinter::num(e.report.precision, 4),
+                   TablePrinter::num(e.report.recall, 4),
+                   TablePrinter::num(e.report.f1, 4), TablePrinter::num(e.macro_auc, 4),
+                   TablePrinter::num(e.mean_algorithm_delay_seconds, 6),
+                   TablePrinter::num(e.mean_crowd_delay_seconds, 2),
+                   TablePrinter::num(e.total_spent_cents, 2)});
+  table.print_csv(os);
+  if (!os) throw std::runtime_error("write_summary: stream failure");
+}
+
+void write_cycle_log_file(const dataset::Dataset& data, const SchemeEvaluation& eval,
+                          const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_cycle_log_file: cannot open " + path);
+  write_cycle_log(data, eval, os);
+}
+
+void write_summary_file(const std::vector<SchemeEvaluation>& evals,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_summary_file: cannot open " + path);
+  write_summary(evals, os);
+}
+
+}  // namespace crowdlearn::core

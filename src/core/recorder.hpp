@@ -1,0 +1,31 @@
+#pragma once
+// Experiment recording: flatten scheme evaluations into CSV files so runs
+// can be archived and re-plotted without re-executing them. Two artifacts:
+//   - a per-cycle log (one row per sensing cycle: context, delays, spend,
+//     per-cycle accuracy, expert weights);
+//   - a summary table (one row per scheme: the Table II/III columns).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace crowdlearn::core {
+
+/// Write one scheme's per-cycle log as CSV. Columns:
+/// cycle,context,images,queried,accuracy,crowd_delay_s,algorithm_delay_s,
+/// spent_cents,mean_incentive_cents,w_expert0..w_expertN
+void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
+                     std::ostream& os);
+
+/// Write a summary CSV over several scheme evaluations (one row each).
+/// Columns: scheme,accuracy,precision,recall,f1,macro_auc,
+/// mean_algorithm_delay_s,mean_crowd_delay_s,total_spent_cents
+void write_summary(const std::vector<SchemeEvaluation>& evals, std::ostream& os);
+
+/// File conveniences; throw std::runtime_error on unwritable paths.
+void write_cycle_log_file(const dataset::Dataset& data, const SchemeEvaluation& eval,
+                          const std::string& path);
+void write_summary_file(const std::vector<SchemeEvaluation>& evals, const std::string& path);
+
+}  // namespace crowdlearn::core

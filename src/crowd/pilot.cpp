@@ -1,0 +1,69 @@
+#include "crowd/pilot.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::crowd {
+
+const PilotCell& PilotResult::cell(TemporalContext ctx, std::size_t level_index) const {
+  return cells[static_cast<std::size_t>(ctx)].at(level_index);
+}
+
+stats::WilcoxonResult PilotResult::quality_wilcoxon(std::size_t level_a,
+                                                    std::size_t level_b) const {
+  std::vector<double> a, b;
+  for (std::size_t c = 0; c < kNumContexts; ++c) {
+    const PilotCell& ca = cells[c].at(level_a);
+    const PilotCell& cb = cells[c].at(level_b);
+    if (ca.query_accuracies.size() != cb.query_accuracies.size())
+      throw std::logic_error("quality_wilcoxon: cell size mismatch");
+    a.insert(a.end(), ca.query_accuracies.begin(), ca.query_accuracies.end());
+    b.insert(b.end(), cb.query_accuracies.begin(), cb.query_accuracies.end());
+  }
+  return stats::wilcoxon_signed_rank(a, b);
+}
+
+PilotResult run_pilot_study(CrowdPlatform& platform, const dataset::Dataset& dataset,
+                            const PilotConfig& cfg, Rng& rng) {
+  if (cfg.queries_per_cell == 0) throw std::invalid_argument("run_pilot_study: empty cells");
+  if (cfg.incentive_levels.empty())
+    throw std::invalid_argument("run_pilot_study: no incentive levels");
+  if (dataset.train_indices.size() < cfg.queries_per_cell)
+    throw std::invalid_argument("run_pilot_study: training set too small");
+
+  PilotResult result;
+  result.queries_per_cell = cfg.queries_per_cell;
+
+  for (std::size_t c = 0; c < kNumContexts; ++c) {
+    const auto ctx = static_cast<TemporalContext>(c);
+    for (double incentive : cfg.incentive_levels) {
+      PilotCell cell;
+      cell.context = ctx;
+      cell.incentive_cents = incentive;
+
+      // Draw the cell's query images from the training set.
+      const std::vector<std::size_t> picks =
+          rng.sample_without_replacement(dataset.train_indices.size(), cfg.queries_per_cell);
+      for (std::size_t p : picks) {
+        const std::size_t image_id = dataset.train_indices[p];
+        const QueryResponse resp = platform.post_query(image_id, incentive, ctx);
+        cell.query_delays.push_back(resp.completion_delay_seconds);
+
+        const std::size_t truth = dataset::label_index(dataset.image(image_id).true_label);
+        std::size_t correct = 0;
+        for (const WorkerAnswer& ans : resp.answers)
+          if (ans.label == truth) ++correct;
+        cell.query_accuracies.push_back(static_cast<double>(correct) /
+                                        static_cast<double>(resp.answers.size()));
+        cell.responses.push_back(resp);
+      }
+      cell.mean_delay = stats::mean(cell.query_delays);
+      cell.mean_accuracy = stats::mean(cell.query_accuracies);
+      result.cells[c].push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdlearn::crowd

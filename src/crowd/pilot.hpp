@@ -1,0 +1,48 @@
+#pragma once
+// Pilot study (paper Section IV-B-1): characterize the black-box platform
+// by assigning 100 HITs (20 queries x 5 workers) at every (incentive level,
+// temporal context) combination, measuring response delay and label quality.
+// The results drive Figures 5 and 6 and warm-start the IPD bandit.
+
+#include <array>
+#include <vector>
+
+#include "crowd/platform.hpp"
+#include "stats/wilcoxon.hpp"
+
+namespace crowdlearn::crowd {
+
+struct PilotCell {
+  TemporalContext context = TemporalContext::kMorning;
+  double incentive_cents = 0.0;
+  std::vector<QueryResponse> responses;  ///< full response sets (gold-labeled images)
+  std::vector<double> query_delays;      ///< completion delay per query
+  std::vector<double> query_accuracies;  ///< per-query fraction of correct labels
+  double mean_delay = 0.0;
+  double mean_accuracy = 0.0;
+};
+
+struct PilotResult {
+  /// cells[context][level] in the order of kIncentiveLevels.
+  std::array<std::vector<PilotCell>, kNumContexts> cells;
+  std::size_t queries_per_cell = 0;
+
+  const PilotCell& cell(TemporalContext ctx, std::size_t level_index) const;
+
+  /// Wilcoxon signed-rank p-value comparing per-query label accuracy at two
+  /// adjacent incentive levels, pooled over contexts (paper Section IV-B-1).
+  stats::WilcoxonResult quality_wilcoxon(std::size_t level_a, std::size_t level_b) const;
+};
+
+struct PilotConfig {
+  std::size_t queries_per_cell = 20;  ///< x workers_per_query = 100 HITs
+  std::vector<double> incentive_levels{kIncentiveLevels.begin(), kIncentiveLevels.end()};
+};
+
+/// Run the pilot study on training-set images. The platform's ledger is not
+/// reset: pilot spending is considered part of the training budget, as in
+/// the paper.
+PilotResult run_pilot_study(CrowdPlatform& platform, const dataset::Dataset& dataset,
+                            const PilotConfig& cfg, Rng& rng);
+
+}  // namespace crowdlearn::crowd

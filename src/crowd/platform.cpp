@@ -1,0 +1,108 @@
+#include "crowd/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::crowd {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+CrowdPlatform::CrowdPlatform(const dataset::Dataset* dataset, const PlatformConfig& cfg)
+    : dataset_(dataset), cfg_(cfg), rng_(cfg.seed) {
+  if (dataset_ == nullptr) throw std::invalid_argument("CrowdPlatform: null dataset");
+  if (cfg.workers_per_query == 0 || cfg.pool_size < cfg.workers_per_query)
+    throw std::invalid_argument("CrowdPlatform: pool too small for workers_per_query");
+  Rng pool_rng(cfg.population_seed);
+  pool_ = make_worker_pool(cfg.pool_size, cfg.quality.mean_label_reliability,
+                           cfg.quality.label_reliability_sd,
+                           cfg.quality.mean_questionnaire_reliability,
+                           cfg.quality.spammer_fraction, pool_rng);
+}
+
+double CrowdPlatform::expected_answer_delay(TemporalContext context,
+                                            double incentive_cents) const {
+  const auto c = static_cast<std::size_t>(context);
+  const DelayModelConfig& d = cfg_.delay;
+  const double g = d.floor[c] + (1.0 - d.floor[c]) *
+                                    sigmoid((d.center_cents[c] - incentive_cents) /
+                                            d.width_cents[c]);
+  return d.base_seconds[c] * g;
+}
+
+double CrowdPlatform::effective_reliability(const WorkerProfile& w,
+                                            double incentive_cents) const {
+  double mult = 1.0;
+  if (incentive_cents < 1.5) mult = cfg_.quality.penalty_at_1_cent;
+  else if (incentive_cents < 3.0) mult = cfg_.quality.penalty_at_2_cents;
+  return std::clamp(w.label_reliability * mult, 0.0, 1.0);
+}
+
+std::vector<std::size_t> CrowdPlatform::sample_workers(TemporalContext context,
+                                                       double incentive_cents) {
+  const auto c = static_cast<std::size_t>(context);
+  std::vector<double> weights(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const WorkerProfile& w = pool_[i];
+    // Take-up grows with incentive for sensitive workers, saturating at 10c.
+    const double takeup =
+        1.0 - w.incentive_sensitivity +
+        w.incentive_sensitivity * std::min(incentive_cents, 10.0) / 10.0;
+    weights[i] = w.activity[c] * std::max(takeup, 0.05);
+  }
+
+  std::vector<std::size_t> chosen;
+  chosen.reserve(cfg_.workers_per_query);
+  // Weighted sampling without replacement.
+  for (std::size_t pick = 0; pick < cfg_.workers_per_query; ++pick) {
+    const std::size_t idx = rng_.categorical(weights);
+    chosen.push_back(idx);
+    weights[idx] = 0.0;
+  }
+  return chosen;
+}
+
+QueryResponse CrowdPlatform::post_query(std::size_t image_id, double incentive_cents,
+                                        TemporalContext context) {
+  if (incentive_cents <= 0.0)
+    throw std::invalid_argument("post_query: incentive must be positive");
+  const dataset::DisasterImage& image = dataset_->image(image_id);
+
+  QueryResponse resp;
+  resp.image_id = image_id;
+  resp.context = context;
+  resp.incentive_cents = incentive_cents;
+
+  const double expected = expected_answer_delay(context, incentive_cents);
+  const double mu = std::log(expected) - 0.5 * cfg_.delay.noise_sigma * cfg_.delay.noise_sigma;
+
+  double total_delay = 0.0, max_delay = 0.0;
+  for (std::size_t idx : sample_workers(context, incentive_cents)) {
+    const WorkerProfile& w = pool_[idx];
+    WorkerAnswer ans =
+        answer_query(w, image, effective_reliability(w, incentive_cents), rng_);
+    // Lognormal with mean == expected (mu shifted by -sigma^2/2).
+    ans.delay_seconds = rng_.lognormal(mu, cfg_.delay.noise_sigma);
+    total_delay += ans.delay_seconds;
+    max_delay = std::max(max_delay, ans.delay_seconds);
+    resp.answers.push_back(std::move(ans));
+  }
+  resp.mean_answer_delay_seconds = total_delay / static_cast<double>(resp.answers.size());
+  resp.completion_delay_seconds = max_delay;
+
+  spent_cents_ += incentive_cents;
+  return resp;
+}
+
+std::vector<QueryResponse> CrowdPlatform::post_queries(
+    const std::vector<std::size_t>& image_ids, double incentive_cents,
+    TemporalContext context) {
+  std::vector<QueryResponse> out;
+  out.reserve(image_ids.size());
+  for (std::size_t id : image_ids) out.push_back(post_query(id, incentive_cents, context));
+  return out;
+}
+
+}  // namespace crowdlearn::crowd

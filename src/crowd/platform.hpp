@@ -1,0 +1,114 @@
+#pragma once
+// Black-box crowdsourcing platform simulator (the MTurk substitute).
+//
+// The requester can only post queries with an incentive and observe the
+// answers and their delays — it cannot pick workers, matching the paper's
+// black-box observation. The delay model is calibrated to the paper's pilot
+// study (Figure 5): in the morning/afternoon workers are scarce and
+// selective, so delay falls steeply only once the incentive crosses a
+// context-dependent threshold; in the evening/midnight workers are abundant
+// and delay is nearly flat in the incentive except at the extremes.
+// Label quality (Figure 6) is ~80% per worker, depressed slightly at 1-2
+// cent incentives and flat above.
+
+#include <array>
+#include <vector>
+
+#include "crowd/worker.hpp"
+#include "dataset/generator.hpp"
+
+namespace crowdlearn::crowd {
+
+/// The seven incentive levels (in cents) the paper studies.
+inline constexpr std::array<double, 7> kIncentiveLevels{1, 2, 4, 6, 8, 10, 20};
+
+/// Context x incentive -> expected delay, as
+///   delay = base[ctx] * ( floor[ctx] + (1 - floor[ctx]) *
+///           sigmoid((center[ctx] - incentive) / width[ctx]) ) * noise
+/// Morning/afternoon have high centers (workers are selective: only large
+/// incentives attract fast answers); evening/midnight have low centers
+/// (nearly flat: any reasonable incentive finds an active worker quickly).
+struct DelayModelConfig {
+  std::array<double, kNumContexts> base_seconds{950.0, 760.0, 300.0, 360.0};
+  std::array<double, kNumContexts> floor{0.22, 0.26, 0.78, 0.78};
+  std::array<double, kNumContexts> center_cents{10.0, 8.0, 1.5, 1.5};
+  std::array<double, kNumContexts> width_cents{1.2, 1.2, 0.8, 0.8};
+  /// Lognormal multiplicative noise sigma on each worker's delay.
+  double noise_sigma = 0.22;
+};
+
+struct QualityModelConfig {
+  double mean_label_reliability = 0.85;
+  double label_reliability_sd = 0.06;
+  double mean_questionnaire_reliability = 0.92;
+  /// Fraction of low-effort workers (near-chance labels) in the pool.
+  double spammer_fraction = 0.15;
+  /// Multiplier on label reliability at very low incentives (Fig. 6 shows
+  /// quality dips at 1-2 cents and is flat above).
+  double penalty_at_1_cent = 0.86;
+  double penalty_at_2_cents = 0.95;
+};
+
+struct PlatformConfig {
+  std::size_t pool_size = 60;
+  std::size_t workers_per_query = 5;
+  DelayModelConfig delay;
+  QualityModelConfig quality;
+  /// Behavioral randomness (which workers take a HIT, delays, answer noise).
+  std::uint64_t seed = 7;
+  /// Identity of the worker population. Platform instances sharing this
+  /// seed see the same workers (same ids, same reliabilities) — the real
+  /// MTurk population does not change between a pilot study and deployment.
+  std::uint64_t population_seed = 0xC4A3D;
+};
+
+/// One posted query's full response set.
+struct QueryResponse {
+  std::size_t image_id = 0;
+  TemporalContext context = TemporalContext::kMorning;
+  double incentive_cents = 0.0;
+  std::vector<WorkerAnswer> answers;
+  /// Time until the last requested answer arrived (the query is complete).
+  double completion_delay_seconds = 0.0;
+  /// Mean of the individual answer delays.
+  double mean_answer_delay_seconds = 0.0;
+};
+
+class CrowdPlatform {
+ public:
+  CrowdPlatform(const dataset::Dataset* dataset, const PlatformConfig& cfg);
+
+  /// Post one query. Charges `incentive_cents` to the ledger.
+  QueryResponse post_query(std::size_t image_id, double incentive_cents,
+                           TemporalContext context);
+
+  /// Post a batch of queries at the same incentive and context.
+  std::vector<QueryResponse> post_queries(const std::vector<std::size_t>& image_ids,
+                                          double incentive_cents, TemporalContext context);
+
+  double total_spent_cents() const { return spent_cents_; }
+  void reset_ledger() { spent_cents_ = 0.0; }
+
+  const std::vector<WorkerProfile>& workers() const { return pool_; }
+  const PlatformConfig& config() const { return cfg_; }
+
+  /// Expected (noise-free) delay of one answer at (context, incentive) —
+  /// exposed for tests and for analytic calibration checks. Real responses
+  /// add lognormal noise on top.
+  double expected_answer_delay(TemporalContext context, double incentive_cents) const;
+
+ private:
+  const dataset::Dataset* dataset_;
+  PlatformConfig cfg_;
+  std::vector<WorkerProfile> pool_;
+  Rng rng_;
+  double spent_cents_ = 0.0;
+
+  /// Sample workers for a query, weighted by context activity and incentive
+  /// take-up, without replacement.
+  std::vector<std::size_t> sample_workers(TemporalContext context, double incentive_cents);
+
+  double effective_reliability(const WorkerProfile& w, double incentive_cents) const;
+};
+
+}  // namespace crowdlearn::crowd

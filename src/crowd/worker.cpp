@@ -1,0 +1,81 @@
+#include "crowd/worker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crowdlearn::crowd {
+
+std::vector<WorkerProfile> make_worker_pool(std::size_t count, double mean_label_reliability,
+                                            double label_reliability_sd,
+                                            double mean_questionnaire_reliability,
+                                            double spammer_fraction, Rng& rng) {
+  if (count == 0) throw std::invalid_argument("make_worker_pool: count must be > 0");
+  if (spammer_fraction < 0.0 || spammer_fraction > 1.0)
+    throw std::invalid_argument("make_worker_pool: spammer_fraction out of range");
+  std::vector<WorkerProfile> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerProfile w;
+    w.id = i;
+    if (rng.bernoulli(spammer_fraction)) {
+      w.label_reliability = std::clamp(rng.normal(0.52, 0.05), 0.36, 0.65);
+      w.questionnaire_reliability = std::clamp(rng.normal(0.68, 0.05), 0.55, 0.8);
+    } else {
+      w.label_reliability =
+          std::clamp(rng.normal(mean_label_reliability, label_reliability_sd), 0.6, 0.98);
+      w.questionnaire_reliability =
+          std::clamp(rng.normal(mean_questionnaire_reliability, 0.04), 0.7, 0.99);
+    }
+    // Evening/midnight-heavy availability with individual variation.
+    w.activity = {std::clamp(rng.normal(0.45, 0.15), 0.05, 1.0),
+                  std::clamp(rng.normal(0.55, 0.15), 0.05, 1.0),
+                  std::clamp(rng.normal(0.95, 0.10), 0.2, 1.0),
+                  std::clamp(rng.normal(0.85, 0.12), 0.2, 1.0)};
+    w.incentive_sensitivity = std::clamp(rng.normal(0.5, 0.2), 0.0, 1.0);
+    pool.push_back(w);
+  }
+  return pool;
+}
+
+WorkerAnswer answer_query(const WorkerProfile& worker, const dataset::DisasterImage& image,
+                          double effective_reliability, Rng& rng) {
+  WorkerAnswer ans;
+  ans.worker_id = worker.id;
+
+  const std::size_t truth = dataset::label_index(image.true_label);
+  const std::size_t k = dataset::kNumSeverityClasses;
+
+  // Confusing images depress everyone's accuracy together, and the wrong
+  // votes pile onto the image's confusable label — this correlation is what
+  // keeps majority voting well below per-worker accuracy (Table I vs Fig 6).
+  const double difficulty_factor = image.crowd_confusing ? 0.38 : 1.07;
+  const double p_correct =
+      std::clamp(effective_reliability * difficulty_factor, 0.02, 0.97);
+
+  if (rng.bernoulli(p_correct)) {
+    ans.label = truth;
+  } else if (image.confusable_label != truth && rng.bernoulli(0.8)) {
+    ans.label = image.confusable_label;
+  } else {
+    std::size_t wrong = rng.index(k - 1);
+    if (wrong >= truth) ++wrong;  // uniform over the other classes
+    ans.label = wrong;
+  }
+
+  // Questionnaire: each item answered correctly with the worker's
+  // questionnaire reliability (itself dented by confusing images),
+  // flipped otherwise. Individual items are more objective than the 3-way
+  // severity rating, so they degrade far less.
+  const double q_reliability = image.crowd_confusing
+                                   ? worker.questionnaire_reliability * 0.86
+                                   : worker.questionnaire_reliability;
+  const std::vector<double> truth_q = image.truth_questionnaire.to_vector();
+  ans.questionnaire.resize(truth_q.size());
+  for (std::size_t i = 0; i < truth_q.size(); ++i) {
+    const bool correct = rng.bernoulli(q_reliability);
+    ans.questionnaire[i] = correct ? truth_q[i] : 1.0 - truth_q[i];
+  }
+  return ans;
+}
+
+}  // namespace crowdlearn::crowd

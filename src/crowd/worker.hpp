@@ -1,0 +1,60 @@
+#pragma once
+// Simulated MTurk worker. Workers are imperfect annotators (the paper's
+// pilot study measures ~80% individual label accuracy) whose label and
+// questionnaire answers are drawn from their reliability, and whose
+// availability varies with temporal context.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dataset/disaster_image.hpp"
+#include "dataset/stream.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::crowd {
+
+using dataset::kNumContexts;
+using dataset::TemporalContext;
+
+/// Static traits of one freelance worker.
+struct WorkerProfile {
+  std::size_t id = 0;
+  /// Probability of answering the severity label correctly (before the
+  /// low-incentive penalty).
+  double label_reliability = 0.8;
+  /// Probability of answering each questionnaire item correctly.
+  double questionnaire_reliability = 0.9;
+  /// Relative availability per temporal context; workers are more active in
+  /// the evening/midnight, matching the pilot study's observations.
+  std::array<double, kNumContexts> activity{0.5, 0.6, 1.0, 0.9};
+  /// How strongly this worker's take-up responds to incentives in [0, 1].
+  double incentive_sensitivity = 0.5;
+};
+
+/// One worker's answer to one crowd query.
+struct WorkerAnswer {
+  std::size_t worker_id = 0;
+  std::size_t label = 0;  ///< claimed severity class index
+  std::vector<double> questionnaire;  ///< 0/1 answers, Questionnaire::kDims wide
+  double delay_seconds = 0.0;
+};
+
+/// Draw a worker pool with profiles sampled around the configured means.
+/// `spammer_fraction` of workers are low-effort annotators (label accuracy
+/// near chance-plus, sloppy questionnaires) — the population that worker
+/// filtering and confusion-matrix truth discovery exist to defeat.
+std::vector<WorkerProfile> make_worker_pool(std::size_t count, double mean_label_reliability,
+                                            double label_reliability_sd,
+                                            double mean_questionnaire_reliability,
+                                            double spammer_fraction, Rng& rng);
+
+/// Generate one worker's (label, questionnaire) answer for an image.
+/// `effective_reliability` is the worker's label reliability after any
+/// incentive adjustment; wrong answers pick uniformly among other labels,
+/// except that workers confused by a failure-mode image skew toward the
+/// *apparent* label (a careless worker sees what the pixels show).
+WorkerAnswer answer_query(const WorkerProfile& worker, const dataset::DisasterImage& image,
+                          double effective_reliability, Rng& rng);
+
+}  // namespace crowdlearn::crowd

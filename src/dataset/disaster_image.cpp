@@ -1,0 +1,18 @@
+#include "dataset/disaster_image.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::dataset {
+
+const char* failure_mode_name(FailureMode m) {
+  switch (m) {
+    case FailureMode::kNone: return "none";
+    case FailureMode::kFake: return "fake";
+    case FailureMode::kCloseUp: return "close_up";
+    case FailureMode::kLowRes: return "low_resolution";
+    case FailureMode::kImplicit: return "implicit";
+  }
+  throw std::invalid_argument("failure_mode_name: bad enum value");
+}
+
+}  // namespace crowdlearn::dataset

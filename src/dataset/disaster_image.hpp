@@ -1,0 +1,75 @@
+#pragma once
+// Core data record of the DDA application: one social-media image with its
+// golden label, its failure-mode metadata (paper Figure 1), and the ground
+// truth of the fixed-form crowd questionnaire (paper Figure 3).
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "imaging/features.hpp"
+#include "imaging/renderer.hpp"
+
+namespace crowdlearn::dataset {
+
+using imaging::Severity;
+using imaging::kNumSeverityClasses;
+
+/// The paper's Figure 1 failure classes, plus kNone for ordinary images.
+enum class FailureMode : std::size_t {
+  kNone = 0,
+  kFake,      ///< photoshopped: looks severe, no real damage
+  kCloseUp,   ///< close-up of a harmless crack: looks severe
+  kLowRes,    ///< real damage washed out by low resolution: looks benign
+  kImplicit,  ///< damage evident only from context (injured people): looks benign
+};
+
+const char* failure_mode_name(FailureMode m);
+
+/// Ground-truth answers to the fixed-form questionnaire CQC asks workers.
+/// Stored as 0/1 doubles so they drop straight into feature vectors.
+struct Questionnaire {
+  double is_fake = 0.0;
+  double is_closeup = 0.0;
+  double shows_structural_damage = 0.0;
+  double shows_collapsed_structures = 0.0;  ///< severe-damage cue
+  double shows_affected_people = 0.0;
+  double is_low_quality = 0.0;
+
+  std::vector<double> to_vector() const {
+    return {is_fake,   is_closeup, shows_structural_damage, shows_collapsed_structures,
+            shows_affected_people, is_low_quality};
+  }
+  static constexpr std::size_t kDims = 6;
+};
+
+struct DisasterImage {
+  std::size_t id = 0;
+  Severity true_label = Severity::kNone;      ///< golden ground truth
+  Severity apparent_label = Severity::kNone;  ///< what low-level features suggest
+  FailureMode failure = FailureMode::kNone;
+  nn::Tensor3 pixels;
+  std::vector<double> handcrafted;  ///< cached imaging::handcrafted_features
+  Questionnaire truth_questionnaire;
+  /// Crowd-side ambiguity: confusing images draw correlated wrong votes
+  /// toward `confusable_label` (the pilot study's ~80% worker accuracy and
+  /// the paper's 0.84 majority-vote ceiling both stem from such images).
+  bool crowd_confusing = false;
+  std::size_t confusable_label = 0;
+
+  /// True iff the image belongs to one of the Figure-1 failure classes,
+  /// i.e. its apparent label disagrees with the golden label.
+  bool is_failure_case() const { return failure != FailureMode::kNone; }
+};
+
+/// Index of a severity as a class label.
+inline std::size_t label_index(Severity s) { return static_cast<std::size_t>(s); }
+inline Severity severity_from_index(std::size_t i);
+
+inline Severity severity_from_index(std::size_t i) {
+  if (i >= kNumSeverityClasses) throw std::out_of_range("severity_from_index");
+  return static_cast<Severity>(i);
+}
+
+}  // namespace crowdlearn::dataset

@@ -1,0 +1,55 @@
+#include "dataset/stream.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::dataset {
+
+const char* context_name(TemporalContext ctx) {
+  switch (ctx) {
+    case TemporalContext::kMorning: return "morning";
+    case TemporalContext::kAfternoon: return "afternoon";
+    case TemporalContext::kEvening: return "evening";
+    case TemporalContext::kMidnight: return "midnight";
+  }
+  throw std::invalid_argument("context_name: bad enum value");
+}
+
+SensingCycleStream::SensingCycleStream(const Dataset& dataset, const StreamConfig& cfg) {
+  if (cfg.num_cycles == 0 || cfg.images_per_cycle == 0)
+    throw std::invalid_argument("SensingCycleStream: zero-sized stream");
+  const std::size_t needed = cfg.num_cycles * cfg.images_per_cycle;
+  if (needed > dataset.test_indices.size())
+    throw std::invalid_argument(
+        "SensingCycleStream: test set too small for the requested stream (" +
+        std::to_string(needed) + " needed, " +
+        std::to_string(dataset.test_indices.size()) + " available)");
+
+  // Deterministic shuffle of the test set so cycles are an unbiased draw.
+  Rng rng(cfg.seed);
+  std::vector<std::size_t> pool = dataset.test_indices;
+  rng.shuffle(pool);
+
+  cycles_.reserve(cfg.num_cycles);
+  const std::size_t per_context =
+      (cfg.num_cycles + kNumContexts - 1) / kNumContexts;  // ceil
+  for (std::size_t t = 0; t < cfg.num_cycles; ++t) {
+    SensingCycle c;
+    c.index = t;
+    c.context = cfg.grouped_contexts
+                    ? static_cast<TemporalContext>((t / per_context) % kNumContexts)
+                    : static_cast<TemporalContext>(t % kNumContexts);
+    c.image_ids.assign(pool.begin() + static_cast<std::ptrdiff_t>(t * cfg.images_per_cycle),
+                       pool.begin() +
+                           static_cast<std::ptrdiff_t>((t + 1) * cfg.images_per_cycle));
+    cycles_.push_back(std::move(c));
+  }
+}
+
+std::vector<std::size_t> SensingCycleStream::all_image_ids() const {
+  std::vector<std::size_t> out;
+  for (const SensingCycle& c : cycles_)
+    out.insert(out.end(), c.image_ids.begin(), c.image_ids.end());
+  return out;
+}
+
+}  // namespace crowdlearn::dataset

@@ -1,0 +1,57 @@
+#pragma once
+// Sensing-cycle stream (paper Definition 1). The DDA application runs over
+// T = 40 sensing cycles of 10 unseen test images each, 10 cycles per
+// temporal context {morning, afternoon, evening, midnight}.
+
+#include <vector>
+
+#include "dataset/generator.hpp"
+
+namespace crowdlearn::dataset {
+
+/// Temporal context of the crowdsourcing platform (paper Definition 10).
+enum class TemporalContext : std::size_t {
+  kMorning = 0,
+  kAfternoon = 1,
+  kEvening = 2,
+  kMidnight = 3,
+};
+
+inline constexpr std::size_t kNumContexts = 4;
+
+const char* context_name(TemporalContext ctx);
+
+/// One sensing cycle: the context it runs in and the image ids that arrive.
+struct SensingCycle {
+  std::size_t index = 0;
+  TemporalContext context = TemporalContext::kMorning;
+  std::vector<std::size_t> image_ids;
+};
+
+struct StreamConfig {
+  std::size_t num_cycles = 40;
+  std::size_t images_per_cycle = 10;
+  /// Cycles are grouped by context: the first quarter runs in the morning,
+  /// then afternoon, evening, midnight — matching the paper's 10 cycles per
+  /// context. If false, contexts rotate cycle by cycle.
+  bool grouped_contexts = true;
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic partition of the test set into sensing cycles.
+class SensingCycleStream {
+ public:
+  SensingCycleStream(const Dataset& dataset, const StreamConfig& cfg);
+
+  std::size_t num_cycles() const { return cycles_.size(); }
+  const SensingCycle& cycle(std::size_t t) const { return cycles_.at(t); }
+  const std::vector<SensingCycle>& cycles() const { return cycles_; }
+
+  /// All image ids across every cycle, in stream order.
+  std::vector<std::size_t> all_image_ids() const;
+
+ private:
+  std::vector<SensingCycle> cycles_;
+};
+
+}  // namespace crowdlearn::dataset

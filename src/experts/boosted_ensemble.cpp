@@ -1,0 +1,89 @@
+#include "experts/boosted_ensemble.hpp"
+
+#include <stdexcept>
+
+#include "experts/bovw.hpp"
+#include "experts/ddm.hpp"
+#include "experts/vgg16_like.hpp"
+
+namespace crowdlearn::experts {
+
+BoostedEnsemble::BoostedEnsemble(std::vector<std::unique_ptr<DdaAlgorithm>> members,
+                                 gbdt::AdaBoostConfig boost_cfg)
+    : members_(std::move(members)), boost_cfg_(boost_cfg) {
+  if (members_.empty()) throw std::invalid_argument("BoostedEnsemble: no members");
+  for (const auto& m : members_)
+    if (!m) throw std::invalid_argument("BoostedEnsemble: null member");
+}
+
+BoostedEnsemble BoostedEnsemble::make_default() {
+  std::vector<std::unique_ptr<DdaAlgorithm>> members;
+  members.push_back(std::make_unique<Vgg16Like>());
+  members.push_back(std::make_unique<BovwClassifier>());
+  members.push_back(std::make_unique<DdmClassifier>());
+  return BoostedEnsemble(std::move(members));
+}
+
+std::unique_ptr<DdaAlgorithm> BoostedEnsemble::clone() const {
+  std::vector<std::unique_ptr<DdaAlgorithm>> members;
+  members.reserve(members_.size());
+  for (const auto& m : members_) members.push_back(m->clone());
+  auto copy = std::make_unique<BoostedEnsemble>(std::move(members), boost_cfg_);
+  copy->meta_ = meta_;
+  copy->trained_ = trained_;
+  copy->meta_training_ids_ = meta_training_ids_;
+  return copy;
+}
+
+std::vector<double> BoostedEnsemble::stacked_features(const dataset::DisasterImage& image) {
+  std::vector<double> feats;
+  feats.reserve(members_.size() * dataset::kNumSeverityClasses);
+  for (auto& m : members_) {
+    const std::vector<double> p = m->predict_proba(image);
+    feats.insert(feats.end(), p.begin(), p.end());
+  }
+  return feats;
+}
+
+void BoostedEnsemble::fit_meta(const dataset::Dataset& data,
+                               const std::vector<std::size_t>& image_ids) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(image_ids.size());
+  for (std::size_t id : image_ids) rows.push_back(stacked_features(data.image(id)));
+  meta_.fit(gbdt::FeatureMatrix::from_rows(rows), data.labels(image_ids),
+            dataset::kNumSeverityClasses, boost_cfg_);
+}
+
+void BoostedEnsemble::train(const dataset::Dataset& data,
+                            const std::vector<std::size_t>& image_ids, Rng& rng) {
+  // Members that arrive pre-trained (cloned from another run) are reused;
+  // only the boosted aggregation is refit in that case.
+  for (auto& m : members_) {
+    if (m->is_trained()) continue;
+    Rng child = rng.fork();
+    m->train(data, image_ids, child);
+  }
+  meta_training_ids_ = image_ids;
+  fit_meta(data, image_ids);
+  trained_ = true;
+}
+
+void BoostedEnsemble::retrain(const dataset::Dataset& data,
+                              const std::vector<std::size_t>& image_ids,
+                              const std::vector<std::size_t>& crowd_labels, Rng& rng) {
+  if (!trained_) throw std::logic_error("BoostedEnsemble::retrain before train");
+  for (auto& m : members_) {
+    Rng child = rng.fork();
+    m->retrain(data, image_ids, crowd_labels, child);
+  }
+  // The members have shifted, so the boosted aggregation — fit on their old
+  // probability outputs — must be recalibrated on the golden training set.
+  if (!meta_training_ids_.empty()) fit_meta(data, meta_training_ids_);
+}
+
+std::vector<double> BoostedEnsemble::predict_proba(const dataset::DisasterImage& image) {
+  if (!trained_) throw std::logic_error("BoostedEnsemble::predict before train");
+  return meta_.predict_proba(stacked_features(image));
+}
+
+}  // namespace crowdlearn::experts

@@ -1,0 +1,56 @@
+#pragma once
+// Ensemble baseline (paper Section V-A): an aggregation of VGG16, BoVW and
+// DDM using confidence-rated boosting [52]. Implemented as a stacked model:
+// the experts' probability vectors on the training set form the feature
+// space, and AdaBoost-SAMME over shallow trees learns the aggregation rule.
+
+#include "experts/committee.hpp"
+#include "gbdt/adaboost.hpp"
+
+namespace crowdlearn::experts {
+
+class BoostedEnsemble : public DdaAlgorithm {
+ public:
+  /// The ensemble owns its member experts.
+  explicit BoostedEnsemble(std::vector<std::unique_ptr<DdaAlgorithm>> members,
+                           gbdt::AdaBoostConfig boost_cfg = default_boost_config());
+
+  /// Decision stumps over the members' probability outputs: shallow learners
+  /// generalize better than deep trees on overconfident training-set votes.
+  static gbdt::AdaBoostConfig default_boost_config() {
+    gbdt::AdaBoostConfig cfg;
+    cfg.num_rounds = 15;
+    cfg.tree.max_depth = 1;
+    cfg.tree.min_samples_leaf = 8;
+    return cfg;
+  }
+
+  /// Convenience: builds the default {VGG16, BoVW, DDM} member set.
+  static BoostedEnsemble make_default();
+
+  void train(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+             Rng& rng) override;
+  void retrain(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+               const std::vector<std::size_t>& crowd_labels, Rng& rng) override;
+  std::vector<double> predict_proba(const dataset::DisasterImage& image) override;
+  std::string name() const override { return "Ensemble"; }
+  std::unique_ptr<DdaAlgorithm> clone() const override;
+  bool is_trained() const override { return trained_; }
+
+  std::size_t num_members() const { return members_.size(); }
+  DdaAlgorithm& member(std::size_t m) { return *members_.at(m); }
+
+ private:
+  std::vector<std::unique_ptr<DdaAlgorithm>> members_;
+  gbdt::AdaBoostConfig boost_cfg_;
+  gbdt::AdaBoostSamme meta_;
+  bool trained_ = false;
+  /// Golden ids the aggregation was fit on; reused to recalibrate the meta
+  /// model after retrain() shifts the members.
+  std::vector<std::size_t> meta_training_ids_;
+
+  std::vector<double> stacked_features(const dataset::DisasterImage& image);
+  void fit_meta(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids);
+};
+
+}  // namespace crowdlearn::experts

@@ -1,0 +1,26 @@
+#include "experts/bovw.hpp"
+
+#include "imaging/features.hpp"
+
+namespace crowdlearn::experts {
+
+nn::Sequential BovwClassifier::build_model(Rng& rng) {
+  using namespace nn;
+  Sequential m;
+  m.add(std::make_unique<Dense>(imaging::kHandcraftedDims, cfg_.hidden, rng));
+  m.add(std::make_unique<ReLU>(cfg_.hidden));
+  m.add(std::make_unique<Dense>(cfg_.hidden, dataset::kNumSeverityClasses, rng));
+  return m;
+}
+
+std::unique_ptr<DdaAlgorithm> BovwClassifier::clone() const {
+  auto copy = std::make_unique<BovwClassifier>(cfg_);
+  copy->copy_neural_state(*this);
+  return copy;
+}
+
+std::vector<double> BovwClassifier::encode(const dataset::DisasterImage& image) const {
+  return image.handcrafted;
+}
+
+}  // namespace crowdlearn::experts

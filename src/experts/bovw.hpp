@@ -1,0 +1,34 @@
+#pragma once
+// Bag-of-Visual-Words-style expert (paper baseline [51], Bosch et al.):
+// a neural classifier over handcrafted features (intensity histograms,
+// HOG-lite orientation histograms, texture statistics). The weakest expert
+// in Table II — handcrafted summaries discard the spatial structure the
+// CNNs exploit.
+
+#include "experts/dda_algorithm.hpp"
+
+namespace crowdlearn::experts {
+
+struct BovwConfig {
+  std::size_t hidden = 10;
+  nn::TrainConfig train{.epochs = 10, .batch_size = 32, .learning_rate = 0.03,
+                        .momentum = 0.9, .weight_decay = 1e-4, .shuffle = true};
+};
+
+class BovwClassifier : public NeuralDdaAlgorithm {
+ public:
+  explicit BovwClassifier(BovwConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "BoVW"; }
+  std::unique_ptr<DdaAlgorithm> clone() const override;
+
+ protected:
+  nn::Sequential build_model(Rng& rng) override;
+  std::vector<double> encode(const dataset::DisasterImage& image) const override;
+  nn::TrainConfig train_config() const override { return cfg_.train; }
+
+ private:
+  BovwConfig cfg_;
+};
+
+}  // namespace crowdlearn::experts

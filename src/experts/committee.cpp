@@ -1,0 +1,114 @@
+#include "experts/committee.hpp"
+
+#include <stdexcept>
+
+#include "experts/bovw.hpp"
+#include "experts/ddm.hpp"
+#include "experts/vgg16_like.hpp"
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::experts {
+
+ExpertCommittee::ExpertCommittee(std::vector<std::unique_ptr<DdaAlgorithm>> experts)
+    : experts_(std::move(experts)) {
+  if (experts_.empty()) throw std::invalid_argument("ExpertCommittee: no experts");
+  for (const auto& e : experts_)
+    if (!e) throw std::invalid_argument("ExpertCommittee: null expert");
+  weights_.assign(experts_.size(), 1.0 / static_cast<double>(experts_.size()));
+}
+
+void ExpertCommittee::set_weights(std::vector<double> w) {
+  if (w.size() != experts_.size())
+    throw std::invalid_argument("ExpertCommittee::set_weights: size mismatch");
+  stats::normalize(w);
+  weights_ = std::move(w);
+}
+
+ExpertCommittee ExpertCommittee::clone() const {
+  std::vector<std::unique_ptr<DdaAlgorithm>> experts;
+  experts.reserve(experts_.size());
+  for (const auto& e : experts_) experts.push_back(e->clone());
+  ExpertCommittee copy(std::move(experts));
+  copy.weights_ = weights_;
+  return copy;
+}
+
+bool ExpertCommittee::all_trained() const {
+  for (const auto& e : experts_)
+    if (!e->is_trained()) return false;
+  return true;
+}
+
+void ExpertCommittee::train_all(const dataset::Dataset& data,
+                                const std::vector<std::size_t>& image_ids, Rng& rng) {
+  for (auto& e : experts_) {
+    Rng child = rng.fork();
+    e->train(data, image_ids, child);
+  }
+}
+
+void ExpertCommittee::retrain_all(const dataset::Dataset& data,
+                                  const std::vector<std::size_t>& image_ids,
+                                  const std::vector<std::size_t>& crowd_labels, Rng& rng) {
+  for (auto& e : experts_) {
+    Rng child = rng.fork();
+    e->retrain(data, image_ids, crowd_labels, child);
+  }
+}
+
+std::vector<std::vector<double>> ExpertCommittee::expert_votes(
+    const dataset::DisasterImage& image) {
+  std::vector<std::vector<double>> votes;
+  votes.reserve(experts_.size());
+  for (auto& e : experts_) votes.push_back(e->predict_proba(image));
+  return votes;
+}
+
+std::vector<double> ExpertCommittee::committee_vote(
+    const std::vector<std::vector<double>>& votes) const {
+  if (votes.size() != experts_.size())
+    throw std::invalid_argument("committee_vote: vote count mismatch");
+  std::vector<double> rho(dataset::kNumSeverityClasses, 0.0);
+  for (std::size_t m = 0; m < votes.size(); ++m) {
+    if (votes[m].size() != rho.size())
+      throw std::invalid_argument("committee_vote: vote width mismatch");
+    for (std::size_t c = 0; c < rho.size(); ++c) rho[c] += weights_[m] * votes[m][c];
+  }
+  stats::normalize(rho);  // Eq. 2's normalization step
+  return rho;
+}
+
+std::vector<double> ExpertCommittee::committee_vote(const dataset::DisasterImage& image) {
+  return committee_vote(expert_votes(image));
+}
+
+double ExpertCommittee::committee_entropy(
+    const std::vector<std::vector<double>>& votes) const {
+  return stats::entropy(committee_vote(votes));
+}
+
+double ExpertCommittee::committee_entropy(const dataset::DisasterImage& image) {
+  return stats::entropy(committee_vote(image));
+}
+
+std::size_t ExpertCommittee::predict(const dataset::DisasterImage& image) {
+  return stats::argmax(committee_vote(image));
+}
+
+std::vector<std::size_t> ExpertCommittee::predict_batch(const dataset::Dataset& data,
+                                                        const std::vector<std::size_t>& ids) {
+  std::vector<std::size_t> out;
+  out.reserve(ids.size());
+  for (std::size_t id : ids) out.push_back(predict(data.image(id)));
+  return out;
+}
+
+ExpertCommittee make_default_committee() {
+  std::vector<std::unique_ptr<DdaAlgorithm>> experts;
+  experts.push_back(std::make_unique<Vgg16Like>());
+  experts.push_back(std::make_unique<BovwClassifier>());
+  experts.push_back(std::make_unique<DdmClassifier>());
+  return ExpertCommittee(std::move(experts));
+}
+
+}  // namespace crowdlearn::experts

@@ -1,0 +1,64 @@
+#pragma once
+// Expert committee (paper Section IV-A, Definitions 4-8 and Eq. 2-3):
+// a weighted set of DDA experts whose normalized weighted vote gives the
+// system's label distribution, and whose entropy measures the committee's
+// uncertainty for query-by-committee active learning.
+
+#include <memory>
+
+#include "experts/dda_algorithm.hpp"
+
+namespace crowdlearn::experts {
+
+class ExpertCommittee {
+ public:
+  explicit ExpertCommittee(std::vector<std::unique_ptr<DdaAlgorithm>> experts);
+
+  std::size_t size() const { return experts_.size(); }
+  DdaAlgorithm& expert(std::size_t m) { return *experts_.at(m); }
+  const DdaAlgorithm& expert(std::size_t m) const { return *experts_.at(m); }
+
+  const std::vector<double>& weights() const { return weights_; }
+  /// Replace the expert weights (normalized internally; must be >= 0).
+  void set_weights(std::vector<double> w);
+
+  /// Deep copy: cloned experts, same weights.
+  ExpertCommittee clone() const;
+
+  /// Whether every expert has been trained.
+  bool all_trained() const;
+
+  /// Train every expert on the same golden-labeled image set.
+  void train_all(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                 Rng& rng);
+
+  /// Retrain every expert on crowd labels (MIC model-retraining strategy).
+  void retrain_all(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                   const std::vector<std::size_t>& crowd_labels, Rng& rng);
+
+  /// Individual expert votes for one image (one distribution per expert).
+  std::vector<std::vector<double>> expert_votes(const dataset::DisasterImage& image);
+
+  /// Committee vote rho (Eq. 2), normalized to a distribution.
+  std::vector<double> committee_vote(const dataset::DisasterImage& image);
+  /// Committee vote computed from precomputed expert votes.
+  std::vector<double> committee_vote(const std::vector<std::vector<double>>& votes) const;
+
+  /// Committee entropy H (Eq. 3) of the normalized committee vote.
+  double committee_entropy(const dataset::DisasterImage& image);
+  double committee_entropy(const std::vector<std::vector<double>>& votes) const;
+
+  /// Hard label: argmax of the committee vote.
+  std::size_t predict(const dataset::DisasterImage& image);
+  std::vector<std::size_t> predict_batch(const dataset::Dataset& data,
+                                         const std::vector<std::size_t>& ids);
+
+ private:
+  std::vector<std::unique_ptr<DdaAlgorithm>> experts_;
+  std::vector<double> weights_;
+};
+
+/// The paper's default committee: {VGG16, BoVW, DDM}.
+ExpertCommittee make_default_committee();
+
+}  // namespace crowdlearn::experts

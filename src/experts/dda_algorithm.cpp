@@ -1,0 +1,129 @@
+#include "experts/dda_algorithm.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::experts {
+
+std::size_t DdaAlgorithm::predict(const dataset::DisasterImage& image) {
+  return stats::argmax(predict_proba(image));
+}
+
+std::vector<std::vector<double>> DdaAlgorithm::predict_proba_batch(
+    const dataset::Dataset& data, const std::vector<std::size_t>& ids) {
+  std::vector<std::vector<double>> out;
+  out.reserve(ids.size());
+  for (std::size_t id : ids) out.push_back(predict_proba(data.image(id)));
+  return out;
+}
+
+std::vector<std::size_t> DdaAlgorithm::predict_batch(const dataset::Dataset& data,
+                                                     const std::vector<std::size_t>& ids) {
+  std::vector<std::size_t> out;
+  out.reserve(ids.size());
+  for (std::size_t id : ids) out.push_back(predict(data.image(id)));
+  return out;
+}
+
+double DdaAlgorithm::accuracy(const dataset::Dataset& data,
+                              const std::vector<std::size_t>& ids) {
+  if (ids.empty()) throw std::invalid_argument("DdaAlgorithm::accuracy: empty id list");
+  const std::vector<std::size_t> pred = predict_batch(data, ids);
+  const std::vector<std::size_t> truth = data.labels(ids);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (pred[i] == truth[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(ids.size());
+}
+
+void NeuralDdaAlgorithm::save_model(std::ostream& os) const {
+  if (!trained_) throw std::logic_error("NeuralDdaAlgorithm::save_model before train");
+  nn::save_model(model_, os);
+}
+
+void NeuralDdaAlgorithm::load_model(std::istream& is) {
+  model_ = nn::load_model(is);
+  trained_ = true;
+  base_training_ids_.clear();
+  on_model_loaded();
+}
+
+void NeuralDdaAlgorithm::copy_neural_state(const NeuralDdaAlgorithm& src) {
+  model_ = src.model_.clone();
+  trained_ = src.trained_;
+  base_training_ids_ = src.base_training_ids_;
+  replay_per_new_label_ = src.replay_per_new_label_;
+}
+
+nn::Matrix NeuralDdaAlgorithm::encode_batch(const dataset::Dataset& data,
+                                            const std::vector<std::size_t>& ids) const {
+  if (ids.empty()) throw std::invalid_argument("NeuralDdaAlgorithm: empty id list");
+  const std::vector<double> first = encode(data.image(ids[0]));
+  nn::Matrix m(ids.size(), first.size());
+  m.set_row(0, first);
+  for (std::size_t i = 1; i < ids.size(); ++i) m.set_row(i, encode(data.image(ids[i])));
+  return m;
+}
+
+void NeuralDdaAlgorithm::train(const dataset::Dataset& data,
+                               const std::vector<std::size_t>& image_ids, Rng& rng) {
+  if (image_ids.empty()) throw std::invalid_argument("NeuralDdaAlgorithm::train: empty set");
+  model_ = build_model(rng);
+
+  // Expand each image into its augmented variants.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  for (std::size_t id : image_ids) {
+    const std::size_t label = dataset::label_index(data.image(id).true_label);
+    for (std::vector<double>& variant : encode_augmented(data.image(id))) {
+      rows.push_back(std::move(variant));
+      y.push_back(label);
+    }
+  }
+  model_.fit(nn::Matrix::from_rows(rows), y, train_config(), rng);
+  base_training_ids_ = image_ids;
+  trained_ = true;
+}
+
+nn::TrainConfig NeuralDdaAlgorithm::retrain_config() const {
+  nn::TrainConfig cfg = train_config();
+  cfg.epochs = 4;
+  cfg.learning_rate *= 0.3;
+  return cfg;
+}
+
+void NeuralDdaAlgorithm::retrain(const dataset::Dataset& data,
+                                 const std::vector<std::size_t>& image_ids,
+                                 const std::vector<std::size_t>& crowd_labels, Rng& rng) {
+  if (!trained_) throw std::logic_error("NeuralDdaAlgorithm::retrain before train");
+  if (image_ids.size() != crowd_labels.size())
+    throw std::invalid_argument("NeuralDdaAlgorithm::retrain: size mismatch");
+  if (image_ids.empty()) return;
+
+  // New crowd-labeled samples plus a replay draw of golden samples.
+  std::vector<std::size_t> ids = image_ids;
+  std::vector<std::size_t> labels = crowd_labels;
+  if (!base_training_ids_.empty() && replay_per_new_label_ > 0) {
+    const std::size_t replay = std::min(base_training_ids_.size(),
+                                        replay_per_new_label_ * image_ids.size());
+    for (std::size_t p : rng.sample_without_replacement(base_training_ids_.size(), replay)) {
+      const std::size_t id = base_training_ids_[p];
+      ids.push_back(id);
+      labels.push_back(dataset::label_index(data.image(id).true_label));
+    }
+  }
+  const nn::Matrix x = encode_batch(data, ids);
+  model_.fit(x, labels, retrain_config(), rng);
+}
+
+std::vector<double> NeuralDdaAlgorithm::predict_proba(const dataset::DisasterImage& image) {
+  if (!trained_) throw std::logic_error("NeuralDdaAlgorithm::predict before train");
+  nn::Matrix x(1, model_.input_size());
+  x.set_row(0, encode(image));
+  return model_.predict_proba(x).row(0);
+}
+
+}  // namespace crowdlearn::experts

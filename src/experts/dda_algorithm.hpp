@@ -1,0 +1,113 @@
+#pragma once
+// The black-box DDA expert interface (paper Definitions 5-6). Every expert
+// consumes a DisasterImage and emits a probability distribution over the
+// three severity classes — its "expert vote". The system interacts with
+// experts only through this interface, mirroring the black-box assumption.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/generator.hpp"
+#include "nn/sequential.hpp"
+
+namespace crowdlearn::experts {
+
+class DdaAlgorithm {
+ public:
+  virtual ~DdaAlgorithm() = default;
+
+  /// Train from scratch on the golden labels of the given images.
+  virtual void train(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                     Rng& rng) = 0;
+
+  /// Incremental fine-tuning on crowd-provided labels (which may disagree
+  /// with the golden labels) — MIC's model-retraining strategy.
+  virtual void retrain(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                       const std::vector<std::size_t>& crowd_labels, Rng& rng) = 0;
+
+  /// Expert vote: probability distribution over severity classes.
+  virtual std::vector<double> predict_proba(const dataset::DisasterImage& image) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Deep copy, including trained parameters. Cloning a trained expert lets
+  /// callers reuse one expensive training run across schemes/sweep points
+  /// while keeping each copy independently retrainable.
+  virtual std::unique_ptr<DdaAlgorithm> clone() const = 0;
+
+  /// Whether train() has completed on this instance.
+  virtual bool is_trained() const = 0;
+
+  /// Argmax of predict_proba.
+  std::size_t predict(const dataset::DisasterImage& image);
+
+  /// Batch helpers.
+  std::vector<std::vector<double>> predict_proba_batch(const dataset::Dataset& data,
+                                                       const std::vector<std::size_t>& ids);
+  std::vector<std::size_t> predict_batch(const dataset::Dataset& data,
+                                         const std::vector<std::size_t>& ids);
+  double accuracy(const dataset::Dataset& data, const std::vector<std::size_t>& ids);
+};
+
+/// Shared implementation for neural-network experts: owns a Sequential
+/// model, an input-encoding hook, and the train/retrain plumbing.
+class NeuralDdaAlgorithm : public DdaAlgorithm {
+ public:
+  void train(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+             Rng& rng) override;
+  void retrain(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+               const std::vector<std::size_t>& crowd_labels, Rng& rng) override;
+  std::vector<double> predict_proba(const dataset::DisasterImage& image) override;
+
+  bool trained() const { return trained_; }
+  bool is_trained() const override { return trained_; }
+  nn::Sequential& model() { return model_; }
+
+  /// Persist / restore the trained network (see nn/serialize.hpp). Loading
+  /// marks the expert trained; the golden replay set is not persisted, so a
+  /// loaded expert retrains on crowd labels alone unless train() ran first.
+  void save_model(std::ostream& os) const;
+  void load_model(std::istream& is);
+
+ protected:
+  /// Build the (untrained) network. Called once at the start of train().
+  virtual nn::Sequential build_model(Rng& rng) = 0;
+  /// Encode one image into the model's input row.
+  virtual std::vector<double> encode(const dataset::DisasterImage& image) const = 0;
+  /// Training-time augmentation: all encoded variants of one image (the
+  /// default is just the identity encoding). Pixel experts override this
+  /// with flips — with only 560 golden images, augmentation is what keeps
+  /// the CNNs from memorizing background texture.
+  virtual std::vector<std::vector<double>> encode_augmented(
+      const dataset::DisasterImage& image) const {
+    return {encode(image)};
+  }
+  /// Training hyperparameters for the initial fit.
+  virtual nn::TrainConfig train_config() const = 0;
+  /// Hyperparameters for incremental retraining (defaults to a few epochs
+  /// at a reduced learning rate).
+  virtual nn::TrainConfig retrain_config() const;
+
+  nn::Matrix encode_batch(const dataset::Dataset& data,
+                          const std::vector<std::size_t>& ids) const;
+
+  /// Copy the trained model and bookkeeping from another instance (used by
+  /// the concrete experts' clone() implementations).
+  void copy_neural_state(const NeuralDdaAlgorithm& src);
+
+  /// Hook invoked after load_model() replaces the network (e.g. DDM relocates
+  /// its Grad-CAM layer index).
+  virtual void on_model_loaded() {}
+
+  nn::Sequential model_;
+  bool trained_ = false;
+  /// Golden training set remembered for replay during retrain(): fine-tuning
+  /// on a handful of (possibly noisy) crowd labels alone would catastrophically
+  /// forget the base task, so each retrain mixes in replayed golden samples.
+  std::vector<std::size_t> base_training_ids_;
+  std::size_t replay_per_new_label_ = 8;
+};
+
+}  // namespace crowdlearn::experts

@@ -1,0 +1,53 @@
+#include "experts/vgg16_like.hpp"
+
+namespace crowdlearn::experts {
+
+nn::Sequential Vgg16Like::build_model(Rng& rng) {
+  using namespace nn;
+  const Shape3 in{1, imaging::kImageSide, imaging::kImageSide};
+
+  Sequential m;
+  auto conv1 = std::make_unique<Conv2D>(in, cfg_.conv1_channels, 3, rng);
+  const Shape3 s1 = conv1->out_shape();
+  m.add(std::move(conv1));
+  m.add(std::make_unique<ReLU>(s1.size()));
+  auto pool1 = std::make_unique<MaxPool2D>(s1);
+  const Shape3 s2 = pool1->out_shape();
+  m.add(std::move(pool1));
+
+  auto conv2 = std::make_unique<Conv2D>(s2, cfg_.conv2_channels, 3, rng);
+  const Shape3 s3 = conv2->out_shape();
+  m.add(std::move(conv2));
+  m.add(std::make_unique<ReLU>(s3.size()));
+  auto pool2 = std::make_unique<MaxPool2D>(s3);
+  const Shape3 s4 = pool2->out_shape();
+  m.add(std::move(pool2));
+
+  m.add(std::make_unique<Dense>(s4.size(), cfg_.hidden, rng));
+  m.add(std::make_unique<ReLU>(cfg_.hidden));
+  m.add(std::make_unique<Dense>(cfg_.hidden, dataset::kNumSeverityClasses, rng));
+  return m;
+}
+
+std::unique_ptr<DdaAlgorithm> Vgg16Like::clone() const {
+  auto copy = std::make_unique<Vgg16Like>(cfg_);
+  copy->copy_neural_state(*this);
+  return copy;
+}
+
+std::vector<double> Vgg16Like::encode(const dataset::DisasterImage& image) const {
+  return image.pixels.data();
+}
+
+std::vector<std::vector<double>> flip_augmented_pixels(const dataset::DisasterImage& image) {
+  const nn::Tensor3 h = imaging::flip_horizontal(image.pixels);
+  return {image.pixels.data(), h.data(), imaging::flip_vertical(image.pixels).data(),
+          imaging::flip_vertical(h).data()};
+}
+
+std::vector<std::vector<double>> Vgg16Like::encode_augmented(
+    const dataset::DisasterImage& image) const {
+  return flip_augmented_pixels(image);
+}
+
+}  // namespace crowdlearn::experts

@@ -1,0 +1,42 @@
+#pragma once
+// VGG16-style expert (paper baseline [6], Nguyen et al. 2017): a deep CNN
+// with small 3x3 kernels, pooling, and fully connected head, scaled down to
+// the 16x16 synthetic inputs. Classifies from raw pixels, so it inherits
+// the Figure-1 failure modes by construction.
+
+#include "experts/dda_algorithm.hpp"
+#include "nn/conv.hpp"
+
+namespace crowdlearn::experts {
+
+struct Vgg16Config {
+  std::size_t conv1_channels = 8;
+  std::size_t conv2_channels = 16;
+  std::size_t hidden = 48;
+  nn::TrainConfig train{.epochs = 12, .batch_size = 32, .learning_rate = 0.02,
+                        .momentum = 0.9, .weight_decay = 1e-4, .shuffle = true};
+};
+
+class Vgg16Like : public NeuralDdaAlgorithm {
+ public:
+  explicit Vgg16Like(Vgg16Config cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "VGG16"; }
+  std::unique_ptr<DdaAlgorithm> clone() const override;
+
+ protected:
+  nn::Sequential build_model(Rng& rng) override;
+  std::vector<double> encode(const dataset::DisasterImage& image) const override;
+  std::vector<std::vector<double>> encode_augmented(
+      const dataset::DisasterImage& image) const override;
+  nn::TrainConfig train_config() const override { return cfg_.train; }
+
+ private:
+  Vgg16Config cfg_;
+};
+
+/// Flip-augmented pixel variants shared by the CNN experts: identity,
+/// horizontal, vertical, and both flips.
+std::vector<std::vector<double>> flip_augmented_pixels(const dataset::DisasterImage& image);
+
+}  // namespace crowdlearn::experts

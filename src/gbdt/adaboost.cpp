@@ -1,0 +1,103 @@
+#include "gbdt/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::gbdt {
+
+void AdaBoostSamme::fit(const FeatureMatrix& x, const std::vector<std::size_t>& y,
+                        std::size_t num_classes, const AdaBoostConfig& cfg) {
+  if (x.rows == 0) throw std::invalid_argument("AdaBoostSamme::fit: empty data");
+  if (y.size() != x.rows) throw std::invalid_argument("AdaBoostSamme::fit: size mismatch");
+  if (num_classes < 2) throw std::invalid_argument("AdaBoostSamme::fit: need >= 2 classes");
+
+  k_ = num_classes;
+  learners_.clear();
+  alphas_.clear();
+
+  Rng rng(cfg.seed);
+  const std::size_t n = x.rows;
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+
+  for (std::size_t round = 0; round < cfg.num_rounds; ++round) {
+    DecisionTreeClassifier tree;
+    tree.fit(x, y, w, k_, cfg.tree, rng);
+
+    // Weighted error of this learner.
+    double err = 0.0;
+    std::vector<std::size_t> pred(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] = tree.predict_row(x, i);
+      if (pred[i] != y[i]) err += w[i];
+    }
+    err = std::clamp(err, 1e-12, 1.0 - 1e-12);
+
+    // SAMME requires the learner to beat random guessing (1 - 1/K).
+    const double random_err = 1.0 - 1.0 / static_cast<double>(k_);
+    if (err >= random_err) {
+      if (learners_.empty()) {
+        // Keep at least one learner so predict() works; give it zero weight
+        // boost-wise but positive voting mass.
+        learners_.push_back(std::move(tree));
+        alphas_.push_back(1.0);
+      }
+      break;  // boosting has converged / degenerated
+    }
+
+    const double alpha = std::log((1.0 - err) / err) +
+                         std::log(static_cast<double>(k_) - 1.0);
+
+    // Reweight: misclassified samples gain weight exp(alpha).
+    double w_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred[i] != y[i]) w[i] *= std::exp(alpha);
+      w_sum += w[i];
+    }
+    for (double& wi : w) wi /= w_sum;
+
+    learners_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+
+    if (err < 1e-10) break;  // perfect fit; additional rounds are no-ops
+  }
+}
+
+std::vector<double> AdaBoostSamme::predict_proba(const std::vector<double>& features) const {
+  if (learners_.empty()) throw std::logic_error("AdaBoostSamme: predict before fit");
+  std::vector<double> votes(k_, 0.0);
+  for (std::size_t m = 0; m < learners_.size(); ++m)
+    votes[learners_[m].predict(features)] += alphas_[m];
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total <= 0.0) return std::vector<double>(k_, 1.0 / static_cast<double>(k_));
+  for (double& v : votes) v /= total;
+  return votes;
+}
+
+std::size_t AdaBoostSamme::predict(const std::vector<double>& features) const {
+  const std::vector<double> votes = predict_proba(features);
+  return static_cast<std::size_t>(
+      std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+std::vector<std::size_t> AdaBoostSamme::predict_batch(const FeatureMatrix& x) const {
+  std::vector<std::size_t> out(x.rows);
+  std::vector<double> feats(x.cols);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < x.cols; ++c) feats[c] = x.at(r, c);
+    out[r] = predict(feats);
+  }
+  return out;
+}
+
+double AdaBoostSamme::accuracy(const FeatureMatrix& x, const std::vector<std::size_t>& y) const {
+  if (y.size() != x.rows) throw std::invalid_argument("AdaBoostSamme::accuracy: size mismatch");
+  const std::vector<std::size_t> pred = predict_batch(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (pred[i] == y[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+}  // namespace crowdlearn::gbdt

@@ -1,0 +1,45 @@
+#pragma once
+// AdaBoost-SAMME (multiclass AdaBoost; Zhu et al. 2009, generalizing the
+// confidence-rated boosting of Schapire & Singer 1999). Used by the
+// Ensemble baseline to boost shallow trees over the experts' probability
+// outputs, and available as a general tabular classifier.
+
+#include <cstddef>
+#include <vector>
+
+#include "gbdt/tree.hpp"
+
+namespace crowdlearn::gbdt {
+
+struct AdaBoostConfig {
+  std::size_t num_rounds = 30;
+  TreeConfig tree{.max_depth = 2, .min_samples_leaf = 4, .lambda = 1.0,
+                  .min_gain = 1e-6, .colsample = 1.0};
+  std::uint64_t seed = 7;
+};
+
+class AdaBoostSamme {
+ public:
+  AdaBoostSamme() = default;
+
+  void fit(const FeatureMatrix& x, const std::vector<std::size_t>& y, std::size_t num_classes,
+           const AdaBoostConfig& cfg);
+
+  std::size_t predict(const std::vector<double>& features) const;
+  /// Normalized weighted vote across boosted learners.
+  std::vector<double> predict_proba(const std::vector<double>& features) const;
+
+  std::vector<std::size_t> predict_batch(const FeatureMatrix& x) const;
+  double accuracy(const FeatureMatrix& x, const std::vector<std::size_t>& y) const;
+
+  std::size_t num_learners() const { return learners_.size(); }
+  const std::vector<double>& learner_weights() const { return alphas_; }
+  bool trained() const { return !learners_.empty(); }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<DecisionTreeClassifier> learners_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace crowdlearn::gbdt

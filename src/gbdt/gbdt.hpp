@@ -1,0 +1,50 @@
+#pragma once
+// Multiclass gradient-boosted decision trees with the softmax objective —
+// the same model family as XGBoost, which the paper's CQC module uses to
+// fuse worker labels with questionnaire evidence.
+
+#include <cstddef>
+#include <vector>
+
+#include "gbdt/tree.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::gbdt {
+
+struct GbdtConfig {
+  std::size_t num_rounds = 60;     ///< boosting rounds (trees per class)
+  double learning_rate = 0.15;     ///< shrinkage
+  double subsample = 0.8;          ///< row subsampling per round
+  TreeConfig tree;                 ///< per-tree configuration
+  std::uint64_t seed = 1;
+};
+
+/// Multiclass GBDT. One regression tree per class per round, fit to the
+/// softmax cross-entropy gradient g = p - y and hessian h = p (1 - p).
+class Gbdt {
+ public:
+  Gbdt() = default;
+
+  void fit(const FeatureMatrix& x, const std::vector<std::size_t>& y, std::size_t num_classes,
+           const GbdtConfig& cfg);
+
+  std::vector<double> predict_proba(const std::vector<double>& features) const;
+  std::size_t predict(const std::vector<double>& features) const;
+
+  std::vector<std::size_t> predict_batch(const FeatureMatrix& x) const;
+  double accuracy(const FeatureMatrix& x, const std::vector<std::size_t>& y) const;
+
+  std::size_t num_classes() const { return k_; }
+  std::size_t num_rounds() const { return k_ == 0 ? 0 : trees_.size() / k_; }
+  bool trained() const { return !trees_.empty(); }
+
+ private:
+  std::size_t k_ = 0;
+  double base_score_ = 0.0;
+  double lr_ = 0.1;  ///< shrinkage captured from the fit config
+  std::vector<RegressionTree> trees_;  // round-major: trees_[round * k_ + class]
+
+  std::vector<double> raw_scores(const std::vector<double>& features) const;
+};
+
+}  // namespace crowdlearn::gbdt

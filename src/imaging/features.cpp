@@ -1,0 +1,118 @@
+#include "imaging/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::imaging {
+
+GradientField sobel(const nn::Tensor3& img) {
+  const auto& sh = img.shape();
+  if (sh.channels != 1) throw std::invalid_argument("sobel: expected single-channel image");
+  GradientField gf;
+  gf.height = sh.height;
+  gf.width = sh.width;
+  gf.magnitude.assign(sh.height * sh.width, 0.0);
+  gf.orientation.assign(sh.height * sh.width, 0.0);
+
+  auto px = [&](long y, long x) {
+    y = std::clamp<long>(y, 0, static_cast<long>(sh.height) - 1);
+    x = std::clamp<long>(x, 0, static_cast<long>(sh.width) - 1);
+    return img.at(0, static_cast<std::size_t>(y), static_cast<std::size_t>(x));
+  };
+
+  for (long y = 0; y < static_cast<long>(sh.height); ++y) {
+    for (long x = 0; x < static_cast<long>(sh.width); ++x) {
+      const double gx = -px(y - 1, x - 1) - 2 * px(y, x - 1) - px(y + 1, x - 1) +
+                        px(y - 1, x + 1) + 2 * px(y, x + 1) + px(y + 1, x + 1);
+      const double gy = -px(y - 1, x - 1) - 2 * px(y - 1, x) - px(y - 1, x + 1) +
+                        px(y + 1, x - 1) + 2 * px(y + 1, x) + px(y + 1, x + 1);
+      const std::size_t i = static_cast<std::size_t>(y) * sh.width + static_cast<std::size_t>(x);
+      gf.magnitude[i] = std::hypot(gx, gy);
+      double theta = std::atan2(gy, gx);
+      if (theta < 0.0) theta += M_PI;          // fold to [0, pi)
+      if (theta >= M_PI) theta -= M_PI;
+      gf.orientation[i] = theta;
+    }
+  }
+  return gf;
+}
+
+std::vector<double> intensity_histogram(const nn::Tensor3& img, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("intensity_histogram: bins must be > 0");
+  std::vector<double> hist(bins, 0.0);
+  for (double v : img.data()) {
+    auto b = static_cast<std::size_t>(std::clamp(v, 0.0, 1.0 - 1e-12) *
+                                      static_cast<double>(bins));
+    hist[std::min(b, bins - 1)] += 1.0;
+  }
+  stats::normalize(hist);
+  return hist;
+}
+
+std::vector<double> orientation_histogram(const nn::Tensor3& img, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("orientation_histogram: bins must be > 0");
+  const GradientField gf = sobel(img);
+  std::vector<double> hist(bins, 0.0);
+  for (std::size_t i = 0; i < gf.magnitude.size(); ++i) {
+    auto b = static_cast<std::size_t>(gf.orientation[i] / M_PI * static_cast<double>(bins));
+    hist[std::min(b, bins - 1)] += gf.magnitude[i];
+  }
+  stats::normalize(hist);
+  return hist;
+}
+
+std::vector<double> texture_stats(const nn::Tensor3& img) {
+  const auto& data = img.data();
+  const auto n = static_cast<double>(data.size());
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= n;
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  const double sd = std::sqrt(var / n);
+
+  const GradientField gf = sobel(img);
+  double edge_density = 0.0, grad_mean = 0.0, grad_max = 0.0;
+  for (double m : gf.magnitude) {
+    if (m > 0.5) edge_density += 1.0;
+    grad_mean += m;
+    grad_max = std::max(grad_max, m);
+  }
+  edge_density /= static_cast<double>(gf.magnitude.size());
+  grad_mean /= static_cast<double>(gf.magnitude.size());
+
+  // 4x4-block local contrast: per-block (max - min), then mean/stddev.
+  const auto& sh = img.shape();
+  std::vector<double> contrasts;
+  for (std::size_t by = 0; by + 4 <= sh.height; by += 4) {
+    for (std::size_t bx = 0; bx + 4 <= sh.width; bx += 4) {
+      double lo = 1.0, hi = 0.0;
+      for (std::size_t y = 0; y < 4; ++y) {
+        for (std::size_t x = 0; x < 4; ++x) {
+          const double v = img.at(0, by + y, bx + x);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      contrasts.push_back(hi - lo);
+    }
+  }
+  const double c_mean = contrasts.empty() ? 0.0 : stats::mean(contrasts);
+  const double c_sd = contrasts.size() < 2 ? 0.0 : stats::stddev(contrasts);
+
+  return {mean, sd, edge_density, grad_mean, grad_max, c_mean, c_sd};
+}
+
+std::vector<double> handcrafted_features(const nn::Tensor3& img) {
+  std::vector<double> out = intensity_histogram(img, 8);
+  const std::vector<double> oh = orientation_histogram(img, 8);
+  out.insert(out.end(), oh.begin(), oh.end());
+  const std::vector<double> ts = texture_stats(img);
+  out.insert(out.end(), ts.begin(), ts.end());
+  return out;
+}
+
+}  // namespace crowdlearn::imaging

@@ -1,0 +1,39 @@
+#pragma once
+// Handcrafted feature extraction for the BoVW-style expert: intensity
+// histograms, Sobel edge statistics and an orientation histogram (a
+// HOG-lite), plus patch contrast stats. These are the "scale invariant
+// feature transform / histogram of oriented gradients"-class features the
+// paper's BoVW baseline trains its neural classifier on.
+
+#include <vector>
+
+#include "nn/tensor3.hpp"
+
+namespace crowdlearn::imaging {
+
+/// Per-pixel gradient magnitudes and orientations from 3x3 Sobel filters.
+struct GradientField {
+  std::vector<double> magnitude;   // H*W
+  std::vector<double> orientation; // H*W, radians in [0, pi)
+  std::size_t height = 0, width = 0;
+};
+
+GradientField sobel(const nn::Tensor3& img);
+
+/// Intensity histogram with `bins` equal-width bins over [0, 1].
+std::vector<double> intensity_histogram(const nn::Tensor3& img, std::size_t bins = 8);
+
+/// Gradient-magnitude-weighted orientation histogram (HOG-lite).
+std::vector<double> orientation_histogram(const nn::Tensor3& img, std::size_t bins = 8);
+
+/// Scalar texture statistics: {mean, stddev, edge density, mean |grad|,
+/// max |grad|, 4x4-block contrast mean, 4x4-block contrast stddev}.
+std::vector<double> texture_stats(const nn::Tensor3& img);
+
+/// Full handcrafted descriptor: intensity hist (8) ++ orientation hist (8)
+/// ++ texture stats (7) = 23 dims.
+std::vector<double> handcrafted_features(const nn::Tensor3& img);
+
+inline constexpr std::size_t kHandcraftedDims = 23;
+
+}  // namespace crowdlearn::imaging

@@ -1,0 +1,46 @@
+#include "imaging/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace crowdlearn::imaging {
+
+void write_pgm(const nn::Tensor3& img, std::ostream& os, double lo, double hi,
+               std::size_t scale) {
+  const auto& sh = img.shape();
+  if (sh.channels != 1) throw std::invalid_argument("write_pgm: expected 1 channel");
+  if (scale == 0) throw std::invalid_argument("write_pgm: scale must be > 0");
+  if (hi <= lo) throw std::invalid_argument("write_pgm: hi must exceed lo");
+
+  os << "P2\n" << sh.width * scale << " " << sh.height * scale << "\n255\n";
+  for (std::size_t y = 0; y < sh.height * scale; ++y) {
+    for (std::size_t x = 0; x < sh.width * scale; ++x) {
+      const double v = img.at(0, y / scale, x / scale);
+      const int gray = static_cast<int>(
+          std::lround(std::clamp((v - lo) / (hi - lo), 0.0, 1.0) * 255.0));
+      os << gray << (x + 1 == sh.width * scale ? "\n" : " ");
+    }
+  }
+  if (!os) throw std::runtime_error("write_pgm: stream failure");
+}
+
+void write_pgm_autoscale(const nn::Tensor3& img, std::ostream& os, std::size_t scale) {
+  const auto& data = img.data();
+  if (data.empty()) throw std::invalid_argument("write_pgm_autoscale: empty image");
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  const double lo = *mn;
+  const double hi = (*mx > *mn) ? *mx : *mn + 1.0;
+  write_pgm(img, os, lo, hi, scale);
+}
+
+void write_pgm_file(const nn::Tensor3& img, const std::string& path, double lo, double hi,
+                    std::size_t scale) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_pgm_file: cannot open " + path);
+  write_pgm(img, os, lo, hi, scale);
+}
+
+}  // namespace crowdlearn::imaging

@@ -1,0 +1,27 @@
+#pragma once
+// PGM (portable graymap) export for synthetic scenes and Grad-CAM heatmaps —
+// the debugging window into the imaging substrate. PGM is plain-text,
+// viewable everywhere, and needs no image library.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/tensor3.hpp"
+
+namespace crowdlearn::imaging {
+
+/// Write a single-channel image as plain PGM (P2). Values are scaled from
+/// [lo, hi] to 0..255; by default [0, 1]. `scale` up-samples with nearest
+/// neighbor so 16x16 scenes are visible at a glance.
+void write_pgm(const nn::Tensor3& img, std::ostream& os, double lo = 0.0, double hi = 1.0,
+               std::size_t scale = 1);
+
+/// Normalize an arbitrary non-negative map (e.g. a Grad-CAM heatmap) to its
+/// own [min, max] and write it as PGM.
+void write_pgm_autoscale(const nn::Tensor3& img, std::ostream& os, std::size_t scale = 1);
+
+/// File convenience wrapper; throws std::runtime_error if unwritable.
+void write_pgm_file(const nn::Tensor3& img, const std::string& path, double lo = 0.0,
+                    double hi = 1.0, std::size_t scale = 1);
+
+}  // namespace crowdlearn::imaging

@@ -1,0 +1,180 @@
+#include "imaging/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::imaging {
+
+namespace {
+
+using nn::Shape3;
+using nn::Tensor3;
+
+constexpr Shape3 kShape{1, kImageSide, kImageSide};
+
+void clamp_pixels(Tensor3& img) {
+  for (double& v : img.data()) v = std::clamp(v, 0.0, 1.0);
+}
+
+Tensor3 blank_background(double lo, double hi, double texture, Rng& rng) {
+  Tensor3 img(kShape);
+  const double base = rng.uniform(lo, hi);
+  for (std::size_t y = 0; y < kImageSide; ++y)
+    for (std::size_t x = 0; x < kImageSide; ++x)
+      img.at(0, y, x) = base + rng.normal(0.0, texture);
+  return img;
+}
+
+/// Draw a dark line segment (a crack) with slight jitter.
+void draw_crack(Tensor3& img, Rng& rng, double darkness, double length_scale) {
+  const double x0 = rng.uniform(0.0, static_cast<double>(kImageSide));
+  const double y0 = rng.uniform(0.0, static_cast<double>(kImageSide));
+  const double angle = rng.uniform(0.0, 2.0 * M_PI);
+  const double length = rng.uniform(4.0, 10.0) * length_scale;
+  const double dx = std::cos(angle), dy = std::sin(angle);
+  for (double t = 0.0; t < length; t += 0.5) {
+    const double jitter = rng.normal(0.0, 0.35);
+    const long x = std::lround(x0 + t * dx + jitter * dy);
+    const long y = std::lround(y0 + t * dy - jitter * dx);
+    if (x < 0 || y < 0 || x >= static_cast<long>(kImageSide) ||
+        y >= static_cast<long>(kImageSide))
+      continue;
+    img.at(0, static_cast<std::size_t>(y), static_cast<std::size_t>(x)) -= darkness;
+  }
+}
+
+/// Draw a dark circular blob (debris / rubble pile).
+void draw_blob(Tensor3& img, Rng& rng, double darkness) {
+  const double cx = rng.uniform(1.0, static_cast<double>(kImageSide) - 1.0);
+  const double cy = rng.uniform(1.0, static_cast<double>(kImageSide) - 1.0);
+  const double radius = rng.uniform(1.0, 2.5);
+  for (std::size_t y = 0; y < kImageSide; ++y) {
+    for (std::size_t x = 0; x < kImageSide; ++x) {
+      const double d2 = (static_cast<double>(x) - cx) * (static_cast<double>(x) - cx) +
+                        (static_cast<double>(y) - cy) * (static_cast<double>(y) - cy);
+      if (d2 <= radius * radius)
+        img.at(0, y, x) -= darkness * (1.0 - std::sqrt(d2) / (radius + 1e-9));
+    }
+  }
+}
+
+/// Poisson-ish count: floor(rate) plus a Bernoulli for the fraction.
+std::size_t stochastic_count(double rate, Rng& rng) {
+  const double fl = std::floor(rate);
+  auto n = static_cast<std::size_t>(fl);
+  if (rng.bernoulli(rate - fl)) ++n;
+  return n;
+}
+
+void add_noise(Tensor3& img, double sigma, Rng& rng) {
+  for (double& v : img.data()) v += rng.normal(0.0, sigma);
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNone: return "no_damage";
+    case Severity::kModerate: return "moderate_damage";
+    case Severity::kSevere: return "severe_damage";
+  }
+  throw std::invalid_argument("severity_name: bad enum value");
+}
+
+nn::Tensor3 render_scene(Severity apparent, const RenderOptions& opts, Rng& rng) {
+  Tensor3 img = blank_background(opts.bg_low, opts.bg_high, 0.03, rng);
+
+  double crack_rate = 0.0, blob_rate = 0.0;
+  switch (apparent) {
+    case Severity::kNone:
+      // Benign street scene: maybe a shadow blob, no cracks.
+      if (rng.bernoulli(0.25)) draw_blob(img, rng, 0.08);
+      break;
+    case Severity::kModerate:
+      crack_rate = opts.crack_rate_moderate;
+      blob_rate = opts.blob_rate_moderate;
+      break;
+    case Severity::kSevere:
+      crack_rate = opts.crack_rate_severe;
+      blob_rate = opts.blob_rate_severe;
+      break;
+  }
+  const std::size_t n_cracks = stochastic_count(crack_rate, rng);
+  const std::size_t n_blobs = stochastic_count(blob_rate, rng);
+  for (std::size_t i = 0; i < n_cracks; ++i) draw_crack(img, rng, rng.uniform(0.25, 0.5), 1.0);
+  for (std::size_t i = 0; i < n_blobs; ++i) draw_blob(img, rng, rng.uniform(0.2, 0.45));
+
+  add_noise(img, opts.pixel_noise, rng);
+  clamp_pixels(img);
+  return img;
+}
+
+nn::Tensor3 degrade_low_resolution(const nn::Tensor3& img, Rng& rng) {
+  if (img.shape() != kShape)
+    throw std::invalid_argument("degrade_low_resolution: unexpected shape");
+  // 4x4 block averaging emulates a heavily compressed / tiny upload that was
+  // upscaled back: damage cues smear into the background.
+  Tensor3 out(kShape);
+  for (std::size_t by = 0; by < kImageSide; by += 4) {
+    for (std::size_t bx = 0; bx < kImageSide; bx += 4) {
+      double acc = 0.0;
+      for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x) acc += img.at(0, by + y, bx + x);
+      const double avg = acc / 16.0;
+      for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x)
+          out.at(0, by + y, bx + x) = avg + rng.normal(0.0, 0.02);
+    }
+  }
+  clamp_pixels(out);
+  return out;
+}
+
+nn::Tensor3 render_closeup(const RenderOptions& opts, Rng& rng) {
+  // A single pavement crack filling the frame: reads as "severe" to
+  // low-level features although the true damage is negligible.
+  Tensor3 img = blank_background(opts.bg_low, opts.bg_high, 0.03, rng);
+  for (int i = 0; i < 3; ++i) draw_crack(img, rng, rng.uniform(0.45, 0.6), 2.5);
+  draw_blob(img, rng, 0.3);
+  add_noise(img, opts.pixel_noise, rng);
+  clamp_pixels(img);
+  return img;
+}
+
+nn::Tensor3 render_fake(const RenderOptions& opts, Rng& rng) {
+  // Severe-looking composited damage on an unnaturally clean background.
+  // The background texture is ~3x smoother than a real photo — a cue a
+  // human notices ("this looks photoshopped") but far weaker than the
+  // damage cues that dominate every low-level feature.
+  Tensor3 img = blank_background(opts.bg_low, opts.bg_high, 0.01, rng);
+  const std::size_t n_cracks = stochastic_count(opts.crack_rate_severe, rng);
+  const std::size_t n_blobs = stochastic_count(opts.blob_rate_severe, rng);
+  for (std::size_t i = 0; i < n_cracks; ++i) draw_crack(img, rng, rng.uniform(0.3, 0.55), 1.0);
+  for (std::size_t i = 0; i < n_blobs; ++i) draw_blob(img, rng, rng.uniform(0.25, 0.5));
+  add_noise(img, opts.pixel_noise * 0.5, rng);
+  clamp_pixels(img);
+  return img;
+}
+
+nn::Tensor3 flip_horizontal(const nn::Tensor3& img) {
+  const auto& sh = img.shape();
+  Tensor3 out(sh);
+  for (std::size_t c = 0; c < sh.channels; ++c)
+    for (std::size_t y = 0; y < sh.height; ++y)
+      for (std::size_t x = 0; x < sh.width; ++x)
+        out.at(c, y, x) = img.at(c, y, sh.width - 1 - x);
+  return out;
+}
+
+nn::Tensor3 flip_vertical(const nn::Tensor3& img) {
+  const auto& sh = img.shape();
+  Tensor3 out(sh);
+  for (std::size_t c = 0; c < sh.channels; ++c)
+    for (std::size_t y = 0; y < sh.height; ++y)
+      for (std::size_t x = 0; x < sh.width; ++x)
+        out.at(c, y, x) = img.at(c, sh.height - 1 - y, x);
+  return out;
+}
+
+}  // namespace crowdlearn::imaging

@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic disaster-scene renderer.
+//
+// Stands in for the paper's 960 Ecuador-earthquake social-media images.
+// Each scene is a 16x16 grayscale image whose low-level content (cracks,
+// debris blobs, rubble texture) is driven by an *apparent* severity. The
+// dataset generator chooses the apparent severity from the true label and
+// the failure mode, reproducing the paper's Figure 1 failure classes:
+// fake and close-up images look severe but are not; low-resolution and
+// implicit images hide real damage from low-level features.
+
+#include "nn/tensor3.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::imaging {
+
+/// Damage severity — the DDA label space (paper Figure 2).
+enum class Severity : std::size_t { kNone = 0, kModerate = 1, kSevere = 2 };
+
+inline constexpr std::size_t kNumSeverityClasses = 3;
+
+const char* severity_name(Severity s);
+
+/// Image side length used throughout the reproduction.
+inline constexpr std::size_t kImageSide = 16;
+
+struct RenderOptions {
+  /// Number of crack segments / debris blobs drawn per severity step.
+  /// Defaults yield visually separable classes with overlap.
+  double crack_rate_moderate = 2.0;
+  double crack_rate_severe = 5.0;
+  double blob_rate_moderate = 1.0;
+  double blob_rate_severe = 3.0;
+  /// Additive pixel noise; raising it makes all classifiers worse.
+  double pixel_noise = 0.09;
+  /// Background intensity range.
+  double bg_low = 0.55, bg_high = 0.85;
+};
+
+/// Render a scene with the given apparent severity. Deterministic given rng.
+nn::Tensor3 render_scene(Severity apparent, const RenderOptions& opts, Rng& rng);
+
+/// Degrade an image the way a low-resolution upload would: box-blur and
+/// re-quantize, washing out small damage cues.
+nn::Tensor3 degrade_low_resolution(const nn::Tensor3& img, Rng& rng);
+
+/// Render a close-up: one exaggerated crack filling the frame (a harmless
+/// pavement crack photographed from inches away).
+nn::Tensor3 render_closeup(const RenderOptions& opts, Rng& rng);
+
+/// Render a "photoshopped" fake: severe-looking damage cues composited onto
+/// an unnaturally clean background (the compositing leaves a slight global
+/// smoothness, far below the class-separating signal).
+nn::Tensor3 render_fake(const RenderOptions& opts, Rng& rng);
+
+/// Mirror an image left-right / top-bottom (training-time augmentation).
+nn::Tensor3 flip_horizontal(const nn::Tensor3& img);
+nn::Tensor3 flip_vertical(const nn::Tensor3& img);
+
+}  // namespace crowdlearn::imaging

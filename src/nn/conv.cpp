@@ -1,0 +1,195 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+Conv2D::Conv2D(Shape3 input_shape, std::size_t out_channels, std::size_t kernel, Rng& rng)
+    : in_shape_(input_shape),
+      out_shape_{out_channels, input_shape.height, input_shape.width},
+      k_(kernel),
+      pad_((kernel - 1) / 2),
+      w_(out_channels, input_shape.channels * kernel * kernel),
+      b_(1, out_channels),
+      dw_(out_channels, input_shape.channels * kernel * kernel),
+      db_(1, out_channels) {
+  if (kernel % 2 == 0 || kernel == 0)
+    throw std::invalid_argument("Conv2D: kernel must be odd and > 0");
+  if (input_shape.size() == 0 || out_channels == 0)
+    throw std::invalid_argument("Conv2D: zero-sized shape");
+  const double fan_in = static_cast<double>(input_shape.channels * kernel * kernel);
+  const double limit = std::sqrt(6.0 / fan_in);
+  for (std::size_t r = 0; r < w_.rows(); ++r)
+    for (std::size_t c = 0; c < w_.cols(); ++c) w_(r, c) = rng.uniform(-limit, limit);
+}
+
+double Conv2D::input_at(const Matrix& batch, std::size_t sample, std::size_t c, long y,
+                        long x) const {
+  if (y < 0 || x < 0 || y >= static_cast<long>(in_shape_.height) ||
+      x >= static_cast<long>(in_shape_.width))
+    return 0.0;  // zero padding
+  const std::size_t flat = in_shape_.flat(c, static_cast<std::size_t>(y),
+                                          static_cast<std::size_t>(x));
+  return batch(sample, flat);
+}
+
+Matrix Conv2D::forward(const Matrix& input, bool /*training*/) {
+  if (input.cols() != in_shape_.size())
+    throw std::invalid_argument("Conv2D::forward: input width mismatch");
+  cached_input_ = input;
+  const std::size_t batch = input.rows();
+  Matrix out(batch, out_shape_.size());
+
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t oc = 0; oc < out_shape_.channels; ++oc) {
+      for (std::size_t y = 0; y < out_shape_.height; ++y) {
+        for (std::size_t x = 0; x < out_shape_.width; ++x) {
+          double acc = b_(0, oc);
+          for (std::size_t ic = 0; ic < in_shape_.channels; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const long iy = static_cast<long>(y + ky) - static_cast<long>(pad_);
+                const long ix = static_cast<long>(x + kx) - static_cast<long>(pad_);
+                const double v = input_at(input, s, ic, iy, ix);
+                if (v != 0.0) acc += v * w_(oc, (ic * k_ + ky) * k_ + kx);
+              }
+            }
+          }
+          out(s, out_shape_.flat(oc, y, x)) = acc;
+        }
+      }
+    }
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Conv2D::backward(const Matrix& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Conv2D::backward before forward");
+  const std::size_t batch = cached_input_.rows();
+  Matrix grad_input(batch, in_shape_.size());
+
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t oc = 0; oc < out_shape_.channels; ++oc) {
+      for (std::size_t y = 0; y < out_shape_.height; ++y) {
+        for (std::size_t x = 0; x < out_shape_.width; ++x) {
+          const double g = grad_output(s, out_shape_.flat(oc, y, x));
+          if (g == 0.0) continue;
+          db_(0, oc) += g;
+          for (std::size_t ic = 0; ic < in_shape_.channels; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const long iy = static_cast<long>(y + ky) - static_cast<long>(pad_);
+                const long ix = static_cast<long>(x + kx) - static_cast<long>(pad_);
+                if (iy < 0 || ix < 0 || iy >= static_cast<long>(in_shape_.height) ||
+                    ix >= static_cast<long>(in_shape_.width))
+                  continue;
+                const std::size_t in_flat = in_shape_.flat(
+                    ic, static_cast<std::size_t>(iy), static_cast<std::size_t>(ix));
+                const std::size_t w_col = (ic * k_ + ky) * k_ + kx;
+                dw_(oc, w_col) += g * cached_input_(s, in_flat);
+                grad_input(s, in_flat) += g * w_(oc, w_col);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv2D::params() {
+  return {{&w_, &dw_, "Conv2D.W"}, {&b_, &db_, "Conv2D.b"}};
+}
+
+Tensor3 Conv2D::last_activation(std::size_t sample) const {
+  if (cached_output_.empty() || sample >= cached_output_.rows())
+    throw std::logic_error("Conv2D::last_activation: no cached forward pass for sample");
+  return Tensor3(out_shape_, cached_output_.row(sample));
+}
+
+MaxPool2D::MaxPool2D(Shape3 input_shape)
+    : in_shape_(input_shape),
+      out_shape_{input_shape.channels, input_shape.height / 2, input_shape.width / 2} {
+  if (input_shape.height % 2 != 0 || input_shape.width % 2 != 0)
+    throw std::invalid_argument("MaxPool2D: spatial dimensions must be even");
+  if (out_shape_.size() == 0) throw std::invalid_argument("MaxPool2D: degenerate shape");
+}
+
+Matrix MaxPool2D::forward(const Matrix& input, bool /*training*/) {
+  if (input.cols() != in_shape_.size())
+    throw std::invalid_argument("MaxPool2D::forward: input width mismatch");
+  const std::size_t batch = input.rows();
+  Matrix out(batch, out_shape_.size());
+  argmax_.assign(batch, std::vector<std::size_t>(out_shape_.size(), 0));
+
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t c = 0; c < out_shape_.channels; ++c) {
+      for (std::size_t y = 0; y < out_shape_.height; ++y) {
+        for (std::size_t x = 0; x < out_shape_.width; ++x) {
+          double best = -std::numeric_limits<double>::infinity();
+          std::size_t best_flat = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t flat = in_shape_.flat(c, 2 * y + dy, 2 * x + dx);
+              const double v = input(s, flat);
+              if (v > best) {
+                best = v;
+                best_flat = flat;
+              }
+            }
+          }
+          const std::size_t out_flat = out_shape_.flat(c, y, x);
+          out(s, out_flat) = best;
+          argmax_[s][out_flat] = best_flat;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool2D::backward(const Matrix& grad_output) {
+  if (argmax_.empty()) throw std::logic_error("MaxPool2D::backward before forward");
+  const std::size_t batch = grad_output.rows();
+  Matrix grad_input(batch, in_shape_.size());
+  for (std::size_t s = 0; s < batch; ++s)
+    for (std::size_t o = 0; o < out_shape_.size(); ++o)
+      grad_input(s, argmax_[s][o]) += grad_output(s, o);
+  return grad_input;
+}
+
+GlobalAvgPool::GlobalAvgPool(Shape3 input_shape) : in_shape_(input_shape) {
+  if (input_shape.size() == 0) throw std::invalid_argument("GlobalAvgPool: degenerate shape");
+}
+
+Matrix GlobalAvgPool::forward(const Matrix& input, bool /*training*/) {
+  if (input.cols() != in_shape_.size())
+    throw std::invalid_argument("GlobalAvgPool::forward: input width mismatch");
+  const std::size_t hw = in_shape_.height * in_shape_.width;
+  Matrix out(input.rows(), in_shape_.channels);
+  for (std::size_t s = 0; s < input.rows(); ++s) {
+    for (std::size_t c = 0; c < in_shape_.channels; ++c) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < hw; ++i) acc += input(s, c * hw + i);
+      out(s, c) = acc / static_cast<double>(hw);
+    }
+  }
+  return out;
+}
+
+Matrix GlobalAvgPool::backward(const Matrix& grad_output) {
+  const std::size_t hw = in_shape_.height * in_shape_.width;
+  Matrix grad_input(grad_output.rows(), in_shape_.size());
+  const double scale = 1.0 / static_cast<double>(hw);
+  for (std::size_t s = 0; s < grad_output.rows(); ++s)
+    for (std::size_t c = 0; c < in_shape_.channels; ++c)
+      for (std::size_t i = 0; i < hw; ++i)
+        grad_input(s, c * hw + i) = grad_output(s, c) * scale;
+  return grad_input;
+}
+
+}  // namespace crowdlearn::nn

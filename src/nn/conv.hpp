@@ -1,0 +1,94 @@
+#pragma once
+// Spatial layers: 2-D convolution ("same" padding, stride 1) and 2x2 max
+// pooling. Samples are flattened channel-major (C, H, W) rows of a batch
+// Matrix; each layer carries its input geometry in a Shape3.
+
+#include "nn/layers.hpp"
+#include "nn/tensor3.hpp"
+
+namespace crowdlearn::nn {
+
+/// 2-D convolution with square kernels, stride 1 and zero "same" padding so
+/// the spatial dimensions are preserved. Direct (non-im2col) implementation;
+/// fine for the 16x16 inputs used in this reproduction.
+class Conv2D : public Layer {
+ public:
+  Conv2D(Shape3 input_shape, std::size_t out_channels, std::size_t kernel, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Param> params() override;
+
+  std::size_t input_size() const override { return in_shape_.size(); }
+  std::size_t output_size() const override { return out_shape_.size(); }
+  std::string name() const override { return "Conv2D"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Conv2D>(*this); }
+
+  const Shape3& in_shape() const { return in_shape_; }
+  const Shape3& out_shape() const { return out_shape_; }
+  std::size_t kernel_size() const { return k_; }
+  /// Kernel weights, shape (out_channels, in_channels * k * k) row-major.
+  const Matrix& kernels() const { return w_; }
+  Matrix& kernels() { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& bias() { return b_; }
+
+  /// Activation map of one sample from the most recent forward pass, as a
+  /// Tensor3 — used by the DDM expert's CAM-style heatmap.
+  Tensor3 last_activation(std::size_t sample) const;
+
+ private:
+  Shape3 in_shape_, out_shape_;
+  std::size_t k_;    // kernel side
+  std::size_t pad_;  // (k - 1) / 2
+  Matrix w_;         // (out_c, in_c * k * k)
+  Matrix b_;         // (1, out_c)
+  Matrix dw_, db_;
+  Matrix cached_input_;
+  Matrix cached_output_;
+
+  double input_at(const Matrix& batch, std::size_t sample, std::size_t c, long y, long x) const;
+};
+
+/// 2x2 max pooling with stride 2. Requires even spatial dimensions.
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(Shape3 input_shape);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  std::size_t input_size() const override { return in_shape_.size(); }
+  std::size_t output_size() const override { return out_shape_.size(); }
+  std::string name() const override { return "MaxPool2D"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<MaxPool2D>(*this); }
+
+  const Shape3& in_shape() const { return in_shape_; }
+  const Shape3& out_shape() const { return out_shape_; }
+
+ private:
+  Shape3 in_shape_, out_shape_;
+  // Flat input index chosen as the max for each output element, per sample.
+  std::vector<std::vector<std::size_t>> argmax_;
+};
+
+/// Global average pooling: each channel collapses to its spatial mean.
+/// Used by the DDM expert (the CAM construction requires GAP + Dense).
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(Shape3 input_shape);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  const Shape3& in_shape() const { return in_shape_; }
+  std::size_t input_size() const override { return in_shape_.size(); }
+  std::size_t output_size() const override { return in_shape_.channels; }
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<GlobalAvgPool>(*this); }
+
+ private:
+  Shape3 in_shape_;
+};
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,88 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in), out_(out), w_(in, out), b_(1, out), dw_(in, out), db_(1, out) {
+  if (in == 0 || out == 0) throw std::invalid_argument("Dense: zero dimension");
+  // He-uniform initialization: U(-limit, limit), limit = sqrt(6 / fan_in).
+  const double limit = std::sqrt(6.0 / static_cast<double>(in));
+  for (std::size_t r = 0; r < in; ++r)
+    for (std::size_t c = 0; c < out; ++c) w_(r, c) = rng.uniform(-limit, limit);
+}
+
+Matrix Dense::forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  Matrix out = input.matmul(w_);
+  out.add_row_broadcast(b_);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Dense::backward before forward");
+  dw_ += cached_input_.transpose().matmul(grad_output);
+  db_ += grad_output.column_sums();
+  return grad_output.matmul(w_.transpose());
+}
+
+std::vector<Param> Dense::params() {
+  return {{&w_, &dw_, "Dense.W"}, {&b_, &db_, "Dense.b"}};
+}
+
+Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  return input.map([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("ReLU::backward before forward");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i)
+    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  return grad;
+}
+
+Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
+  cached_output_ = input.map([](double v) { return std::tanh(v); });
+  return cached_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  if (cached_output_.empty()) throw std::logic_error("Tanh::backward before forward");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    const double y = cached_output_.data()[i];
+    grad.data()[i] *= (1.0 - y * y);
+  }
+  return grad;
+}
+
+Dropout::Dropout(std::size_t size, double rate, Rng& rng)
+    : size_(size), rate_(rate), rng_(rng.fork()) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate must be in [0,1)");
+}
+
+Matrix Dropout::forward(const Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) return input;
+  mask_ = Matrix(input.rows(), input.cols());
+  const double keep = 1.0 - rate_;
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    const bool kept = rng_.bernoulli(keep);
+    mask_.data()[i] = kept ? 1.0 / keep : 0.0;
+    out.data()[i] *= mask_.data()[i];
+  }
+  return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_output) {
+  if (!last_training_ || rate_ == 0.0) return grad_output;
+  if (mask_.empty()) throw std::logic_error("Dropout::backward before forward");
+  return grad_output.hadamard(mask_);
+}
+
+}  // namespace crowdlearn::nn

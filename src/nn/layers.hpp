@@ -1,0 +1,131 @@
+#pragma once
+// Layer abstraction for the from-scratch neural-network library.
+//
+// Batches are Matrix objects with one sample per row. Layers that care about
+// spatial structure (Conv2D, MaxPool2D in conv.hpp) interpret each row as a
+// flattened channel-major (C, H, W) block via Shape3.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::nn {
+
+/// A learnable parameter: value and accumulated gradient, exposed to the
+/// optimizer by non-owning pointer (the layer owns the storage).
+struct Param {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+  std::string name;
+};
+
+/// Base class for all layers. forward() must be called before backward();
+/// layers may cache activations from the most recent forward pass.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute outputs for a batch. `training` toggles dropout-style behavior.
+  virtual Matrix forward(const Matrix& input, bool training) = 0;
+
+  /// Backpropagate: given dL/d(output), accumulate parameter gradients and
+  /// return dL/d(input).
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  virtual std::size_t input_size() const = 0;
+  virtual std::size_t output_size() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Deep copy, including learned parameters (gradients and activation
+  /// caches copy along but are irrelevant to the clone's future use).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+/// Fully connected layer: y = x W + b, with He-uniform initialization.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Param> params() override;
+  std::size_t input_size() const override { return in_; }
+  std::size_t output_size() const override { return out_; }
+  std::string name() const override { return "Dense"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Dense>(*this); }
+
+  const Matrix& weights() const { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& weights() { return w_; }
+  Matrix& bias() { return b_; }
+
+ private:
+  std::size_t in_, out_;
+  Matrix w_, b_;
+  Matrix dw_, db_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear unit.
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::size_t size) : size_(size) {}
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::size_t input_size() const override { return size_; }
+  std::size_t output_size() const override { return size_; }
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(*this); }
+
+ private:
+  std::size_t size_;
+  Matrix cached_input_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  explicit Tanh(std::size_t size) : size_(size) {}
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::size_t input_size() const override { return size_; }
+  std::size_t output_size() const override { return size_; }
+  std::string name() const override { return "Tanh"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(*this); }
+
+ private:
+  std::size_t size_;
+  Matrix cached_output_;
+};
+
+/// Inverted dropout: active only when training; scales kept activations by
+/// 1/(1-p) so inference needs no correction.
+class Dropout : public Layer {
+ public:
+  Dropout(std::size_t size, double rate, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::size_t input_size() const override { return size_; }
+  std::size_t output_size() const override { return size_; }
+  std::string name() const override { return "Dropout"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Dropout>(*this); }
+  double rate() const { return rate_; }
+
+ private:
+  std::size_t size_;
+  double rate_;
+  Rng rng_;
+  Matrix mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,61 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    double mx = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, logits(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - mx);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= denom;
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::size_t>& labels) {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  LossResult res;
+  res.probabilities = softmax(logits);
+  res.grad_logits = res.probabilities;
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double total = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] >= logits.cols())
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    total -= std::log(std::max(res.probabilities(r, labels[r]), 1e-12));
+    res.grad_logits(r, labels[r]) -= 1.0;
+  }
+  res.grad_logits *= inv_batch;
+  res.loss = total * inv_batch;
+  return res;
+}
+
+LossResult softmax_cross_entropy_soft(const Matrix& logits, const Matrix& targets) {
+  if (targets.rows() != logits.rows() || targets.cols() != logits.cols())
+    throw std::invalid_argument("softmax_cross_entropy_soft: shape mismatch");
+  LossResult res;
+  res.probabilities = softmax(logits);
+  res.grad_logits = res.probabilities;
+  res.grad_logits -= targets;
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double total = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r)
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      if (targets(r, c) > 0.0)
+        total -= targets(r, c) * std::log(std::max(res.probabilities(r, c), 1e-12));
+  res.grad_logits *= inv_batch;
+  res.loss = total * inv_batch;
+  return res;
+}
+
+}  // namespace crowdlearn::nn

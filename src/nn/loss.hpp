@@ -1,0 +1,29 @@
+#pragma once
+// Softmax + cross-entropy, fused for numerical stability. Supports both
+// hard integer targets and soft target distributions (the latter is used
+// when retraining experts on CQC's probabilistic truth labels in MIC).
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace crowdlearn::nn {
+
+/// Row-wise numerically-stable softmax.
+Matrix softmax(const Matrix& logits);
+
+struct LossResult {
+  double loss = 0.0;       ///< mean cross-entropy over the batch
+  Matrix grad_logits;      ///< dL/dlogits, already divided by batch size
+  Matrix probabilities;    ///< softmax(logits)
+};
+
+/// Cross-entropy against hard labels.
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::size_t>& labels);
+
+/// Cross-entropy against soft target distributions (one row per sample,
+/// rows must be valid distributions).
+LossResult softmax_cross_entropy_soft(const Matrix& logits, const Matrix& targets);
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,135 @@
+#include "nn/matrix.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace crowdlearn::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols)
+    throw std::invalid_argument("Matrix: data size does not match dimensions");
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Matrix::from_rows: empty input");
+  const std::size_t cols = rows[0].size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols)
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
+  if (r >= rows_) throw std::out_of_range("Matrix::set_row: index out of range");
+  if (values.size() != cols_) throw std::invalid_argument("Matrix::set_row: width mismatch");
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("Matrix::matmul: inner dimension mismatch (" +
+                                std::to_string(cols_) + " vs " + std::to_string(other.rows_) +
+                                ")");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop stride-1 over both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::check_same_shape(const Matrix& other, const char* op) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument(std::string("Matrix::") + op + ": shape mismatch");
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  check_same_shape(other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  check_same_shape(other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  check_same_shape(other, "hadamard");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * other.data_[i];
+  return out;
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  return out;
+}
+
+void Matrix::add_row_broadcast(const Matrix& row_vec) {
+  if (row_vec.rows_ != 1 || row_vec.cols_ != cols_)
+    throw std::invalid_argument("Matrix::add_row_broadcast: expected 1 x cols vector");
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += row_vec.data_[c];
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+double Matrix::squared_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+}  // namespace crowdlearn::nn

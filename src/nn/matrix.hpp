@@ -1,0 +1,74 @@
+#pragma once
+// Dense row-major matrix of doubles — the numeric workhorse for the
+// from-scratch neural-network library. Sized for the small models this
+// reproduction trains (16x16 inputs, tiny CNN/MLPs), so clarity is favored
+// over blocking/vectorization tricks.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace crowdlearn::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copy of row r as a vector.
+  std::vector<double> row(std::size_t r) const;
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  Matrix transpose() const;
+
+  /// Matrix product: (m x n) * (n x p) -> (m x p).
+  Matrix matmul(const Matrix& other) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Element-wise product (Hadamard).
+  Matrix hadamard(const Matrix& other) const;
+
+  /// Apply f to every element, returning a new matrix.
+  Matrix map(const std::function<double(double)>& f) const;
+
+  /// Add a row vector (1 x cols) to every row; used for biases.
+  void add_row_broadcast(const Matrix& row_vec);
+
+  /// Column-wise sum, returning a (1 x cols) matrix; used for bias grads.
+  Matrix column_sums() const;
+
+  void fill(double value);
+
+  /// Sum of squares of all entries (for regularization / grad-norm checks).
+  double squared_norm() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+
+  void check_same_shape(const Matrix& other, const char* op) const;
+};
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr must be > 0");
+  if (momentum < 0.0 || momentum >= 1.0) throw std::invalid_argument("Sgd: bad momentum");
+}
+
+void Sgd::attach(const std::vector<Param>& params) {
+  params_ = params;
+  velocity_.clear();
+  velocity_.reserve(params.size());
+  for (const Param& p : params_) velocity_.emplace_back(p.value->rows(), p.value->cols());
+}
+
+void Sgd::step() {
+  if (params_.empty()) throw std::logic_error("Sgd::step: no parameters attached");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = *params_[i].value;
+    Matrix& g = *params_[i].grad;
+    Matrix& v = velocity_[i];
+    for (std::size_t j = 0; j < w.data().size(); ++j) {
+      double grad = g.data()[j] + weight_decay_ * w.data()[j];
+      v.data()[j] = momentum_ * v.data()[j] - lr_ * grad;
+      w.data()[j] += v.data()[j];
+    }
+    g.fill(0.0);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
+}
+
+void Adam::attach(const std::vector<Param>& params) {
+  params_ = params;
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const Param& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::step() {
+  if (params_.empty()) throw std::logic_error("Adam::step: no parameters attached");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = *params_[i].value;
+    Matrix& g = *params_[i].grad;
+    for (std::size_t j = 0; j < w.data().size(); ++j) {
+      const double grad = g.data()[j];
+      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1.0 - beta1_) * grad;
+      v_[i].data()[j] = beta2_ * v_[i].data()[j] + (1.0 - beta2_) * grad * grad;
+      const double mhat = m_[i].data()[j] / bc1;
+      const double vhat = v_[i].data()[j] / bc2;
+      w.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    g.fill(0.0);
+  }
+}
+
+}  // namespace crowdlearn::nn

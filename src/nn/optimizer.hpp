@@ -1,0 +1,54 @@
+#pragma once
+// First-order optimizers operating on the parameter lists exposed by layers.
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace crowdlearn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Register the parameters to optimize; must be called once before step().
+  virtual void attach(const std::vector<Param>& params) = 0;
+
+  /// Apply one update using the gradients currently accumulated in the
+  /// params, then zero the gradients.
+  virtual void step() = 0;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0);
+
+  void attach(const std::vector<Param>& params) override;
+  void step() override;
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ private:
+  double lr_, momentum_, weight_decay_;
+  std::vector<Param> params_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  void attach(const std::vector<Param>& params) override;
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Param> params_;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,81 @@
+#pragma once
+// Sequential container + minibatch training loop. This is the complete
+// model abstraction the DDA experts are built on.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::nn {
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.01;
+  double momentum = 0.9;       ///< SGD only
+  double weight_decay = 1e-4;  ///< SGD only (L2)
+  bool shuffle = true;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Feed-forward stack of layers. Owns the layers; exposes forward inference,
+/// and hard-label / soft-label training.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer. Adjacent layer sizes must be compatible.
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+
+  /// Forward pass producing raw logits (one row per sample).
+  Matrix forward(const Matrix& input, bool training = false);
+
+  /// Softmax class probabilities.
+  Matrix predict_proba(const Matrix& input);
+
+  /// Argmax class predictions.
+  std::vector<std::size_t> predict(const Matrix& input);
+
+  /// Train with hard labels. Returns per-epoch stats (training loss/accuracy).
+  std::vector<EpochStats> fit(const Matrix& x, const std::vector<std::size_t>& y,
+                              const TrainConfig& cfg, Rng& rng);
+
+  /// Train with soft target distributions (one row per sample).
+  std::vector<EpochStats> fit_soft(const Matrix& x, const Matrix& targets,
+                                   const TrainConfig& cfg, Rng& rng);
+
+  std::vector<Param> params();
+
+  /// Deep copy of the whole model (layers and learned parameters).
+  Sequential clone() const;
+
+  /// Total number of scalar learnable parameters.
+  std::size_t num_parameters();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+
+  template <typename MakeLoss>
+  std::vector<EpochStats> fit_impl(const Matrix& x, std::size_t n, const TrainConfig& cfg,
+                                   Rng& rng, MakeLoss&& make_loss);
+};
+
+}  // namespace crowdlearn::nn

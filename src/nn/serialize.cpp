@@ -1,0 +1,163 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/conv.hpp"
+
+namespace crowdlearn::nn {
+
+namespace {
+
+constexpr const char* kMagic = "crowdlearn-model";
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os << m.rows() << " " << m.cols() << "\n";
+  for (std::size_t i = 0; i < m.data().size(); ++i) {
+    os << m.data()[i];
+    os << ((i + 1) % 8 == 0 ? "\n" : " ");
+  }
+  os << "\n";
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> rows >> cols)) throw std::runtime_error("model load: bad matrix header");
+  if (rows == 0 || cols == 0 || rows * cols > (1u << 26))
+    throw std::runtime_error("model load: implausible matrix dimensions");
+  Matrix m(rows, cols);
+  for (double& v : m.data())
+    if (!(is >> v)) throw std::runtime_error("model load: truncated matrix data");
+  return m;
+}
+
+void write_shape(std::ostream& os, const Shape3& s) {
+  os << s.channels << " " << s.height << " " << s.width << "\n";
+}
+
+Shape3 read_shape(std::istream& is) {
+  Shape3 s;
+  if (!(is >> s.channels >> s.height >> s.width))
+    throw std::runtime_error("model load: bad shape");
+  if (s.size() == 0) throw std::runtime_error("model load: degenerate shape");
+  return s;
+}
+
+void save_layer(std::ostream& os, const Layer& layer) {
+  const std::string tag = layer.name();
+  os << tag << "\n";
+  if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+    os << dense->input_size() << " " << dense->output_size() << "\n";
+    write_matrix(os, dense->weights());
+    write_matrix(os, dense->bias());
+  } else if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+    write_shape(os, conv->in_shape());
+    os << conv->out_shape().channels << " " << conv->kernel_size() << "\n";
+    write_matrix(os, conv->kernels());
+    write_matrix(os, conv->bias());
+  } else if (const auto* pool = dynamic_cast<const MaxPool2D*>(&layer)) {
+    write_shape(os, pool->in_shape());
+  } else if (const auto* gap = dynamic_cast<const GlobalAvgPool*>(&layer)) {
+    write_shape(os, gap->in_shape());
+  } else if (dynamic_cast<const ReLU*>(&layer) != nullptr ||
+             dynamic_cast<const Tanh*>(&layer) != nullptr) {
+    os << layer.input_size() << "\n";
+  } else if (const auto* dropout = dynamic_cast<const Dropout*>(&layer)) {
+    os << dropout->input_size() << " " << dropout->rate() << "\n";
+  } else {
+    throw std::runtime_error("model save: unknown layer type " + tag);
+  }
+}
+
+std::unique_ptr<Layer> load_layer(std::istream& is) {
+  std::string tag;
+  if (!(is >> tag)) throw std::runtime_error("model load: missing layer tag");
+  // Weight-carrying layers are constructed with a throwaway RNG and then
+  // overwritten with the stored parameters.
+  Rng dummy(0);
+  if (tag == "Dense") {
+    std::size_t in = 0, out = 0;
+    if (!(is >> in >> out)) throw std::runtime_error("model load: bad Dense header");
+    auto dense = std::make_unique<Dense>(in, out, dummy);
+    Matrix w = read_matrix(is);
+    Matrix b = read_matrix(is);
+    if (w.rows() != in || w.cols() != out || b.rows() != 1 || b.cols() != out)
+      throw std::runtime_error("model load: Dense parameter shape mismatch");
+    dense->weights() = std::move(w);
+    dense->bias() = std::move(b);
+    return dense;
+  }
+  if (tag == "Conv2D") {
+    const Shape3 in = read_shape(is);
+    std::size_t out_c = 0, kernel = 0;
+    if (!(is >> out_c >> kernel)) throw std::runtime_error("model load: bad Conv2D header");
+    auto conv = std::make_unique<Conv2D>(in, out_c, kernel, dummy);
+    Matrix w = read_matrix(is);
+    Matrix b = read_matrix(is);
+    if (w.rows() != out_c || w.cols() != in.channels * kernel * kernel || b.cols() != out_c)
+      throw std::runtime_error("model load: Conv2D parameter shape mismatch");
+    conv->kernels() = std::move(w);
+    conv->bias() = std::move(b);
+    return conv;
+  }
+  if (tag == "MaxPool2D") return std::make_unique<MaxPool2D>(read_shape(is));
+  if (tag == "GlobalAvgPool") return std::make_unique<GlobalAvgPool>(read_shape(is));
+  if (tag == "ReLU" || tag == "Tanh") {
+    std::size_t size = 0;
+    if (!(is >> size) || size == 0)
+      throw std::runtime_error("model load: bad activation size");
+    if (tag == "ReLU") return std::make_unique<ReLU>(size);
+    return std::make_unique<Tanh>(size);
+  }
+  if (tag == "Dropout") {
+    std::size_t size = 0;
+    double rate = 0.0;
+    if (!(is >> size >> rate)) throw std::runtime_error("model load: bad Dropout header");
+    return std::make_unique<Dropout>(size, rate, dummy);
+  }
+  throw std::runtime_error("model load: unknown layer tag '" + tag + "'");
+}
+
+}  // namespace
+
+void save_model(const Sequential& model, std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << " " << kModelFormatVersion << "\n";
+  os << model.num_layers() << "\n";
+  for (std::size_t i = 0; i < model.num_layers(); ++i) save_layer(os, model.layer(i));
+  if (!os) throw std::runtime_error("model save: stream failure");
+}
+
+Sequential load_model(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic)
+    throw std::runtime_error("model load: not a crowdlearn model stream");
+  if (version != kModelFormatVersion)
+    throw std::runtime_error("model load: unsupported format version " +
+                             std::to_string(version));
+  std::size_t layers = 0;
+  if (!(is >> layers) || layers == 0 || layers > 1024)
+    throw std::runtime_error("model load: implausible layer count");
+  Sequential model;
+  for (std::size_t i = 0; i < layers; ++i) model.add(load_layer(is));
+  return model;
+}
+
+void save_model_file(const Sequential& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("model save: cannot open " + path);
+  save_model(model, os);
+}
+
+Sequential load_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("model load: cannot open " + path);
+  return load_model(is);
+}
+
+}  // namespace crowdlearn::nn

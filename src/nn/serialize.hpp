@@ -1,0 +1,32 @@
+#pragma once
+// Model persistence for Sequential networks.
+//
+// Text format, one token stream: a header, the layer count, then per layer
+// its type tag, structural configuration and (for trainable layers) the
+// learned parameters. Doubles are written with max_digits10 precision so a
+// save/load round trip reproduces predictions bit-for-bit. The format is
+// versioned; loading rejects unknown versions and malformed streams with
+// std::runtime_error.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace crowdlearn::nn {
+
+inline constexpr int kModelFormatVersion = 1;
+
+/// Serialize a model (architecture + learned parameters).
+void save_model(const Sequential& model, std::ostream& os);
+
+/// Reconstruct a model saved with save_model. Throws std::runtime_error on
+/// malformed input, unknown layer tags, or version mismatch.
+Sequential load_model(std::istream& is);
+
+/// File-based convenience wrappers. Throw std::runtime_error if the file
+/// cannot be opened.
+void save_model_file(const Sequential& model, const std::string& path);
+Sequential load_model_file(const std::string& path);
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,37 @@
+#include "nn/tensor3.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+std::size_t Shape3::flat(std::size_t c, std::size_t y, std::size_t x) const {
+  if (c >= channels || y >= height || x >= width)
+    throw std::out_of_range("Shape3::flat: index out of range");
+  return (c * height + y) * width + x;
+}
+
+Tensor3::Tensor3(Shape3 shape, double fill) : shape_(shape), data_(shape.size(), fill) {}
+
+Tensor3::Tensor3(Shape3 shape, std::vector<double> data)
+    : shape_(shape), data_(std::move(data)) {
+  if (data_.size() != shape_.size())
+    throw std::invalid_argument("Tensor3: data size does not match shape");
+}
+
+double& Tensor3::at(std::size_t c, std::size_t y, std::size_t x) {
+  return data_[shape_.flat(c, y, x)];
+}
+
+double Tensor3::at(std::size_t c, std::size_t y, std::size_t x) const {
+  return data_[shape_.flat(c, y, x)];
+}
+
+double Tensor3::channel_mean(std::size_t c) const {
+  if (c >= shape_.channels) throw std::out_of_range("Tensor3::channel_mean: bad channel");
+  const std::size_t hw = shape_.height * shape_.width;
+  double s = 0.0;
+  for (std::size_t i = 0; i < hw; ++i) s += data_[c * hw + i];
+  return hw == 0 ? 0.0 : s / static_cast<double>(hw);
+}
+
+}  // namespace crowdlearn::nn

@@ -1,0 +1,51 @@
+#pragma once
+// Lightweight (channels, height, width) view helpers. Convolutional layers
+// in this library operate on batches stored as flat rows (Matrix with one
+// row per sample); Tensor3 describes the geometry of such a row and offers
+// indexing into it.
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdlearn::nn {
+
+/// Geometry descriptor for a flattened (C, H, W) sample.
+struct Shape3 {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+
+  std::size_t size() const { return channels * height * width; }
+
+  /// Flat index of (c, y, x) in channel-major layout.
+  std::size_t flat(std::size_t c, std::size_t y, std::size_t x) const;
+
+  bool operator==(const Shape3&) const = default;
+};
+
+/// Owning 3-D tensor, channel-major. Used by the synthetic image renderer
+/// and by Grad-CAM-style heatmap computation in the DDM expert.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  explicit Tensor3(Shape3 shape, double fill = 0.0);
+  Tensor3(Shape3 shape, std::vector<double> data);
+
+  const Shape3& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t c, std::size_t y, std::size_t x);
+  double at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Mean over the spatial dimensions of one channel (global average pool).
+  double channel_mean(std::size_t c) const;
+
+ private:
+  Shape3 shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace crowdlearn::nn

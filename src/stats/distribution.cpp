@@ -1,0 +1,103 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace crowdlearn::stats {
+
+void normalize(std::vector<double>& p) {
+  if (p.empty()) throw std::invalid_argument("normalize: empty vector");
+  double sum = 0.0;
+  for (double v : p) {
+    if (v < 0.0 || !std::isfinite(v))
+      throw std::invalid_argument("normalize: entries must be finite and >= 0");
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    const double u = 1.0 / static_cast<double>(p.size());
+    std::fill(p.begin(), p.end(), u);
+    return;
+  }
+  for (double& v : p) v /= sum;
+}
+
+std::vector<double> normalized(std::vector<double> p) {
+  normalize(p);
+  return p;
+}
+
+double entropy(const std::vector<double>& p) {
+  double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  if (std::abs(sum - 1.0) > 1e-6)
+    throw std::invalid_argument("entropy: input must be normalized");
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+double max_entropy(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("max_entropy: k must be > 0");
+  return std::log(static_cast<double>(k));
+}
+
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q, double eps) {
+  if (p.size() != q.size() || p.empty())
+    throw std::invalid_argument("kl_divergence: size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0) d += p[i] * std::log(p[i] / std::max(q[i], eps));
+  }
+  return std::max(d, 0.0);
+}
+
+double symmetric_kl(const std::vector<double>& p, const std::vector<double>& q, double eps) {
+  return kl_divergence(p, q, eps) + kl_divergence(q, p, eps);
+}
+
+double squash_divergence(double d) {
+  if (d < 0.0) throw std::invalid_argument("squash_divergence: d must be >= 0");
+  return d / (1.0 + d);
+}
+
+std::size_t argmax(const std::vector<double>& p) {
+  if (p.empty()) throw std::invalid_argument("argmax: empty vector");
+  return static_cast<std::size_t>(std::distance(p.begin(), std::max_element(p.begin(), p.end())));
+}
+
+std::vector<double> one_hot(std::size_t k, std::size_t i) {
+  if (i >= k) throw std::invalid_argument("one_hot: index out of range");
+  std::vector<double> p(k, 0.0);
+  p[i] = 1.0;
+  return p;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace crowdlearn::stats

@@ -1,0 +1,52 @@
+#pragma once
+// Discrete probability-distribution helpers used throughout CrowdLearn:
+// committee-vote normalization (Eq. 2), committee entropy (Eq. 3), and the
+// symmetric KL divergence driving the MIC expert-weight loss (Eq. 5).
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdlearn::stats {
+
+/// Normalize a non-negative vector in place to sum to 1. If the sum is zero
+/// the result is uniform. Throws on negative or non-finite entries.
+void normalize(std::vector<double>& p);
+
+/// Return a normalized copy.
+std::vector<double> normalized(std::vector<double> p);
+
+/// Shannon entropy (natural log) of a distribution. Zero entries contribute
+/// zero. The input must already be normalized (checked within tolerance).
+double entropy(const std::vector<double>& p);
+
+/// Maximum possible entropy for k outcomes, log(k). Useful for scaling.
+double max_entropy(std::size_t k);
+
+/// KL(p || q) with epsilon-smoothing of q to keep the value finite.
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q,
+                     double eps = 1e-9);
+
+/// Symmetric KL: KL(p||q) + KL(q||p), as used in the paper's Eq. (5).
+double symmetric_kl(const std::vector<double>& p, const std::vector<double>& q,
+                    double eps = 1e-9);
+
+/// The paper's delta normalization: squash a non-negative divergence onto
+/// [0, 1) via d / (1 + d). Monotone, 0 at d = 0.
+double squash_divergence(double d);
+
+/// Index of the largest element (ties broken toward the lower index).
+std::size_t argmax(const std::vector<double>& p);
+
+/// One-hot distribution of dimension k with mass at index i.
+std::vector<double> one_hot(std::size_t k, std::size_t i);
+
+/// Mean of a sample. Throws on empty input.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(const std::vector<double>& xs);
+
+/// p-th percentile (linear interpolation), p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace crowdlearn::stats

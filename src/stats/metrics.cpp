@@ -1,0 +1,86 @@
+#include "stats/metrics.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::stats {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0) throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  if (truth >= k_ || predicted >= k_)
+    throw std::out_of_range("ConfusionMatrix::add: class index out of range");
+  ++cells_[truth * k_ + predicted];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<std::size_t>& truth,
+                              const std::vector<std::size_t>& predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("ConfusionMatrix::add_all: size mismatch");
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  if (truth >= k_ || predicted >= k_)
+    throw std::out_of_range("ConfusionMatrix::count: class index out of range");
+  return cells_[truth * k_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < k_; ++c) correct += cells_[c * k_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t tp = count(cls, cls);
+  std::size_t col = 0;
+  for (std::size_t r = 0; r < k_; ++r) col += cells_[r * k_ + cls];
+  return col == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t tp = count(cls, cls);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < k_; ++c) row += cells_[cls * k_ + c];
+  return row == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) s += precision(c);
+  return s / static_cast<double>(k_);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) s += recall(c);
+  return s / static_cast<double>(k_);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  const double p = macro_precision();
+  const double r = macro_recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ClassificationReport evaluate_classification(const std::vector<std::size_t>& truth,
+                                             const std::vector<std::size_t>& predicted,
+                                             std::size_t num_classes) {
+  ConfusionMatrix cm(num_classes);
+  cm.add_all(truth, predicted);
+  return ClassificationReport{cm.accuracy(), cm.macro_precision(), cm.macro_recall(),
+                              cm.macro_f1()};
+}
+
+}  // namespace crowdlearn::stats

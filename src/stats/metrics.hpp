@@ -1,0 +1,59 @@
+#pragma once
+// Multi-class classification metrics. The paper reports Accuracy and
+// macro-averaged Precision / Recall / F1 (Table II); those conventions are
+// implemented here.
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdlearn::stats {
+
+/// k x k confusion matrix; rows = true class, columns = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Tally one observation.
+  void add(std::size_t truth, std::size_t predicted);
+
+  /// Tally a full set of predictions. Sizes must match.
+  void add_all(const std::vector<std::size_t>& truth, const std::vector<std::size_t>& predicted);
+
+  std::size_t num_classes() const { return k_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+  double accuracy() const;
+
+  /// Per-class precision/recall/F1. Classes with no predicted (resp. true)
+  /// instances contribute 0, matching scikit-learn's zero_division=0.
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+
+  double macro_precision() const;
+  double macro_recall() const;
+  /// Macro F1 as the harmonic mean of macro precision and macro recall,
+  /// which is the convention the paper's Table II follows (its F1 column
+  /// equals hmean(P, R) for every row).
+  double macro_f1() const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major k x k
+};
+
+/// Summary bundle corresponding to one Table II row.
+struct ClassificationReport {
+  double accuracy = 0.0;
+  double precision = 0.0;  // macro
+  double recall = 0.0;     // macro
+  double f1 = 0.0;         // macro
+};
+
+ClassificationReport evaluate_classification(const std::vector<std::size_t>& truth,
+                                             const std::vector<std::size_t>& predicted,
+                                             std::size_t num_classes);
+
+}  // namespace crowdlearn::stats

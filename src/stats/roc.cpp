@@ -1,0 +1,121 @@
+#include "stats/roc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace crowdlearn::stats {
+
+std::vector<RocPoint> binary_roc(const std::vector<double>& scores,
+                                 const std::vector<bool>& positives) {
+  if (scores.size() != positives.size() || scores.empty())
+    throw std::invalid_argument("binary_roc: size mismatch or empty input");
+
+  const auto n_pos =
+      static_cast<std::size_t>(std::count(positives.begin(), positives.end(), true));
+  const std::size_t n_neg = positives.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0)
+    throw std::invalid_argument("binary_roc: need at least one positive and one negative");
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Process ties in score as a single threshold step.
+    const double s = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == s) {
+      if (positives[order[i]]) ++tp;
+      else ++fp;
+      ++i;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(n_neg),
+                     static_cast<double>(tp) / static_cast<double>(n_pos)});
+  }
+  if (curve.back().fpr != 1.0 || curve.back().tpr != 1.0) curve.push_back({1.0, 1.0});
+  return curve;
+}
+
+double auc(const std::vector<RocPoint>& curve) {
+  if (curve.size() < 2) throw std::invalid_argument("auc: need at least two points");
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+double interpolate_tpr(const std::vector<RocPoint>& curve, double fpr) {
+  if (curve.empty()) throw std::invalid_argument("interpolate_tpr: empty curve");
+  if (fpr <= curve.front().fpr) return curve.front().tpr;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].fpr >= fpr) {
+      const double x0 = curve[i - 1].fpr, x1 = curve[i].fpr;
+      const double y0 = curve[i - 1].tpr, y1 = curve[i].tpr;
+      if (x1 == x0) return std::max(y0, y1);
+      const double t = (fpr - x0) / (x1 - x0);
+      return y0 + t * (y1 - y0);
+    }
+  }
+  return curve.back().tpr;
+}
+
+namespace {
+
+std::vector<RocPoint> class_roc(const std::vector<std::vector<double>>& probs,
+                                const std::vector<std::size_t>& truth, std::size_t cls) {
+  std::vector<double> scores(probs.size());
+  std::vector<bool> positives(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    scores[i] = probs[i][cls];
+    positives[i] = (truth[i] == cls);
+  }
+  return binary_roc(scores, positives);
+}
+
+void validate(const std::vector<std::vector<double>>& probs,
+              const std::vector<std::size_t>& truth, std::size_t num_classes) {
+  if (probs.size() != truth.size() || probs.empty())
+    throw std::invalid_argument("macro ROC: size mismatch or empty input");
+  for (const auto& p : probs)
+    if (p.size() != num_classes)
+      throw std::invalid_argument("macro ROC: probability vector width mismatch");
+}
+
+}  // namespace
+
+std::vector<RocPoint> macro_average_roc(const std::vector<std::vector<double>>& probs,
+                                        const std::vector<std::size_t>& truth,
+                                        std::size_t num_classes, std::size_t grid_points) {
+  validate(probs, truth, num_classes);
+  if (grid_points < 2) throw std::invalid_argument("macro ROC: need >= 2 grid points");
+
+  std::vector<std::vector<RocPoint>> curves;
+  curves.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) curves.push_back(class_roc(probs, truth, c));
+
+  std::vector<RocPoint> avg(grid_points);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double fpr = static_cast<double>(g) / static_cast<double>(grid_points - 1);
+    double tpr_sum = 0.0;
+    for (const auto& curve : curves) tpr_sum += interpolate_tpr(curve, fpr);
+    avg[g] = {fpr, tpr_sum / static_cast<double>(num_classes)};
+  }
+  return avg;
+}
+
+double macro_auc(const std::vector<std::vector<double>>& probs,
+                 const std::vector<std::size_t>& truth, std::size_t num_classes) {
+  validate(probs, truth, num_classes);
+  double total = 0.0;
+  for (std::size_t c = 0; c < num_classes; ++c) total += auc(class_roc(probs, truth, c));
+  return total / static_cast<double>(num_classes);
+}
+
+}  // namespace crowdlearn::stats

@@ -1,0 +1,39 @@
+#pragma once
+// One-vs-rest macro-averaged ROC curves and AUC, matching the paper's
+// Figure 7 ("Macro-average ROC Curves for All Schemes").
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdlearn::stats {
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+/// Binary ROC from (score, is_positive) pairs, sorted by descending score.
+/// Returns the full staircase including the (0,0) and (1,1) endpoints.
+std::vector<RocPoint> binary_roc(const std::vector<double>& scores,
+                                 const std::vector<bool>& positives);
+
+/// Trapezoidal area under a (fpr-sorted) ROC curve.
+double auc(const std::vector<RocPoint>& curve);
+
+/// Macro-average ROC: compute the one-vs-rest curve for each class from the
+/// per-sample probability vectors, then average TPR over a common FPR grid.
+/// `probs[i]` is the predicted distribution for sample i; `truth[i]` the true
+/// class. `grid_points` controls the FPR resolution of the averaged curve.
+std::vector<RocPoint> macro_average_roc(const std::vector<std::vector<double>>& probs,
+                                        const std::vector<std::size_t>& truth,
+                                        std::size_t num_classes,
+                                        std::size_t grid_points = 101);
+
+/// Macro-average one-vs-rest AUC (average of per-class binary AUCs).
+double macro_auc(const std::vector<std::vector<double>>& probs,
+                 const std::vector<std::size_t>& truth, std::size_t num_classes);
+
+/// Interpolate a TPR value at the given FPR on a staircase curve.
+double interpolate_tpr(const std::vector<RocPoint>& curve, double fpr);
+
+}  // namespace crowdlearn::stats

@@ -1,0 +1,77 @@
+#include "stats/wilcoxon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace crowdlearn::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("wilcoxon_signed_rank: size mismatch or empty input");
+
+  // Differences, dropping exact zeros.
+  std::vector<double> diffs;
+  diffs.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+
+  WilcoxonResult res;
+  res.n_effective = diffs.size();
+  if (diffs.empty()) return res;  // identical samples: p = 1
+
+  // Rank |d| with average ranks for ties.
+  std::vector<std::size_t> order(diffs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(diffs[a]) < std::abs(diffs[b]);
+  });
+
+  std::vector<double> ranks(diffs.size(), 0.0);
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           std::abs(diffs[order[j + 1]]) == std::abs(diffs[order[i]]))
+      ++j;
+    // Average rank over the tie group [i, j] (1-based ranks).
+    const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_correction += t * t * t - t;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0, w_minus = 0.0;
+  for (std::size_t k = 0; k < diffs.size(); ++k) {
+    if (diffs[k] > 0.0) w_plus += ranks[k];
+    else w_minus += ranks[k];
+  }
+  res.w_statistic = std::min(w_plus, w_minus);
+
+  const double n = static_cast<double>(diffs.size());
+  const double mu = n * (n + 1.0) / 4.0;
+  double sigma2 = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+  if (sigma2 <= 0.0) {
+    res.p_value = 1.0;
+    return res;
+  }
+  const double sigma = std::sqrt(sigma2);
+
+  // Continuity-corrected normal approximation.
+  double z = (res.w_statistic - mu);
+  if (z < 0.0) z += 0.5;
+  else if (z > 0.0) z -= 0.5;
+  z /= sigma;
+  res.z_score = z;
+  res.p_value = std::clamp(2.0 * normal_cdf(-std::abs(z)), 0.0, 1.0);
+  return res;
+}
+
+}  // namespace crowdlearn::stats

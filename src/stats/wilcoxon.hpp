@@ -1,0 +1,28 @@
+#pragma once
+// Wilcoxon signed-rank test for paired samples, used by the pilot study
+// (Section IV-B / Figure 6) to decide whether raising the incentive level
+// significantly changes label quality.
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdlearn::stats {
+
+struct WilcoxonResult {
+  double w_statistic = 0.0;   ///< min(W+, W-)
+  double z_score = 0.0;       ///< normal approximation (tie-corrected)
+  double p_value = 1.0;       ///< two-sided
+  std::size_t n_effective = 0;  ///< pairs with non-zero difference
+};
+
+/// Two-sided Wilcoxon signed-rank test on paired samples x, y.
+/// Zero differences are dropped (Wilcoxon's original treatment); average
+/// ranks are assigned to tied |differences| with the standard tie correction
+/// to the variance. Uses the normal approximation, which is adequate for the
+/// pilot-study sample sizes (n = 20 queries per level).
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+}  // namespace crowdlearn::stats

@@ -1,0 +1,43 @@
+#pragma once
+// Common interface for crowd-answer aggregation (the CQC module and the
+// Table I baselines). An aggregator turns a batch of query responses into a
+// per-query distribution over severity labels. Stateful aggregators (CQC's
+// gradient-boosted model, the worker-filtering baseline) are fit on
+// gold-labeled training queries first.
+
+#include <vector>
+
+#include "crowd/platform.hpp"
+
+namespace crowdlearn::truth {
+
+using crowd::QueryResponse;
+
+/// A labeled query used to fit stateful aggregators: the full response set
+/// plus the golden label of the queried image.
+struct LabeledQuery {
+  QueryResponse response;
+  std::size_t true_label = 0;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Fit on gold-labeled training queries. Stateless aggregators ignore it.
+  virtual void fit(const std::vector<LabeledQuery>& training) { (void)training; }
+
+  /// Per-query aggregated label distributions (rows sum to 1).
+  virtual std::vector<std::vector<double>> aggregate(
+      const std::vector<QueryResponse>& batch) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Convenience: hard labels via argmax of aggregate().
+  std::vector<std::size_t> aggregate_labels(const std::vector<QueryResponse>& batch);
+
+  /// Fraction of queries whose aggregated label matches the gold label.
+  double accuracy(const std::vector<LabeledQuery>& labeled);
+};
+
+}  // namespace crowdlearn::truth

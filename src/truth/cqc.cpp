@@ -1,0 +1,85 @@
+#include "truth/cqc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::truth {
+
+std::vector<double> cqc_features(const QueryResponse& response, double delay_scale) {
+  if (response.answers.empty())
+    throw std::invalid_argument("cqc_features: response has no answers");
+  const std::size_t k = dataset::kNumSeverityClasses;
+  const auto n = static_cast<double>(response.answers.size());
+
+  std::vector<double> votes(k, 0.0);
+  std::vector<double> q_mean(dataset::Questionnaire::kDims, 0.0);
+  double delay_mean = 0.0;
+  for (const crowd::WorkerAnswer& a : response.answers) {
+    votes.at(a.label) += 1.0;
+    if (a.questionnaire.size() != q_mean.size())
+      throw std::invalid_argument("cqc_features: questionnaire width mismatch");
+    for (std::size_t i = 0; i < q_mean.size(); ++i) q_mean[i] += a.questionnaire[i];
+    delay_mean += a.delay_seconds;
+  }
+  for (double& v : votes) v /= n;
+  for (double& v : q_mean) v /= n;
+  delay_mean /= n;
+
+  const double h = stats::entropy(votes) / stats::max_entropy(k);
+  // Top-vote margin.
+  double first = 0.0, second = 0.0;
+  for (double v : votes) {
+    if (v > first) {
+      second = first;
+      first = v;
+    } else if (v > second) {
+      second = v;
+    }
+  }
+
+  std::vector<double> feats;
+  feats.reserve(kCqcFeatureDims);
+  feats.insert(feats.end(), votes.begin(), votes.end());
+  feats.push_back(h);
+  feats.push_back(first - second);
+  feats.insert(feats.end(), q_mean.begin(), q_mean.end());
+  feats.push_back(std::min(delay_mean / delay_scale, 1.0));
+  return feats;
+}
+
+std::vector<double> CqcAggregator::features_for(const QueryResponse& response) const {
+  std::vector<double> feats = cqc_features(response, cfg_.delay_scale);
+  if (!cfg_.use_questionnaire) {
+    // Zero out the questionnaire block so the model cannot use it (keeps the
+    // feature layout identical between the ablation and the full model).
+    for (std::size_t i = 5; i < 5 + dataset::Questionnaire::kDims; ++i) feats[i] = 0.0;
+  }
+  return feats;
+}
+
+void CqcAggregator::fit(const std::vector<LabeledQuery>& training) {
+  if (training.empty()) throw std::invalid_argument("CqcAggregator::fit: empty training set");
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> labels;
+  rows.reserve(training.size());
+  labels.reserve(training.size());
+  for (const LabeledQuery& q : training) {
+    rows.push_back(features_for(q.response));
+    labels.push_back(q.true_label);
+  }
+  model_.fit(gbdt::FeatureMatrix::from_rows(rows), labels, dataset::kNumSeverityClasses,
+             cfg_.gbdt);
+}
+
+std::vector<std::vector<double>> CqcAggregator::aggregate(
+    const std::vector<QueryResponse>& batch) {
+  if (!model_.trained()) throw std::logic_error("CqcAggregator: aggregate before fit");
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const QueryResponse& q : batch) out.push_back(model_.predict_proba(features_for(q)));
+  return out;
+}
+
+}  // namespace crowdlearn::truth

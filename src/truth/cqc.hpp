@@ -1,0 +1,57 @@
+#pragma once
+// Crowd Quality Control (paper Section IV-C): a gradient-boosted-tree
+// classifier over both the workers' labels AND their fixed-form
+// questionnaire answers. The questionnaire is what lets CQC beat voting /
+// TD-EM / filtering: "is this photoshopped?" overrides a unanimous-but-
+// fooled severity vote on a fake image.
+
+#include "gbdt/gbdt.hpp"
+#include "truth/aggregator.hpp"
+
+namespace crowdlearn::truth {
+
+/// Feature vector describing one query's response set:
+///   [0..2]  vote fraction per severity class
+///   [3]     normalized vote entropy (disagreement)
+///   [4]     top-vote margin (1st minus 2nd vote fraction)
+///   [5..10] mean questionnaire answer per item
+///   [11]    mean worker delay (normalized by `delay_scale`) — cheap proxy
+///           for answer care, available to the requester
+std::vector<double> cqc_features(const QueryResponse& response, double delay_scale = 1500.0);
+
+inline constexpr std::size_t kCqcFeatureDims = 6 + dataset::Questionnaire::kDims;
+
+struct CqcConfig {
+  gbdt::GbdtConfig gbdt{
+      .num_rounds = 40,
+      .learning_rate = 0.15,
+      .subsample = 0.9,
+      .tree = {.max_depth = 4, .min_samples_leaf = 4, .lambda = 1.0,
+               .min_gain = 1e-6, .colsample = 1.0},
+      .seed = 5,
+  };
+  /// Ablation switch: drop the questionnaire features and learn from vote
+  /// statistics alone (reduces CQC to a learned voting rule).
+  bool use_questionnaire = true;
+  double delay_scale = 1500.0;
+};
+
+class CqcAggregator : public Aggregator {
+ public:
+  explicit CqcAggregator(CqcConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const std::vector<LabeledQuery>& training) override;
+  std::vector<std::vector<double>> aggregate(const std::vector<QueryResponse>& batch) override;
+  const char* name() const override { return "CQC"; }
+
+  bool trained() const { return model_.trained(); }
+  const gbdt::Gbdt& model() const { return model_; }
+
+ private:
+  CqcConfig cfg_;
+  gbdt::Gbdt model_;
+
+  std::vector<double> features_for(const QueryResponse& response) const;
+};
+
+}  // namespace crowdlearn::truth

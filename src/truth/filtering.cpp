@@ -1,0 +1,62 @@
+#include "truth/filtering.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::truth {
+
+void FilteringAggregator::fit(const std::vector<LabeledQuery>& training) {
+  history_.clear();
+  for (const LabeledQuery& q : training) {
+    for (const crowd::WorkerAnswer& a : q.response.answers) {
+      History& h = history_[a.worker_id];
+      ++h.answered;
+      if (a.label == q.true_label) ++h.correct;
+    }
+  }
+}
+
+bool FilteringAggregator::is_blacklisted(std::size_t worker_id) const {
+  const auto it = history_.find(worker_id);
+  if (it == history_.end() || it->second.answered < cfg_.min_history)
+    return false;  // not enough history to judge: admit by default
+  const double acc = static_cast<double>(it->second.correct) /
+                     static_cast<double>(it->second.answered);
+  return acc < cfg_.accuracy_threshold;
+}
+
+std::size_t FilteringAggregator::blacklist_size() const {
+  std::size_t n = 0;
+  for (const auto& [id, h] : history_) {
+    (void)h;
+    if (is_blacklisted(id)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::vector<double>> FilteringAggregator::aggregate(
+    const std::vector<QueryResponse>& batch) {
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const QueryResponse& q : batch) {
+    if (q.answers.empty())
+      throw std::invalid_argument("FilteringAggregator: response has no answers");
+    std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
+    std::size_t used = 0;
+    for (const crowd::WorkerAnswer& a : q.answers) {
+      if (is_blacklisted(a.worker_id)) continue;
+      dist.at(a.label) += 1.0;
+      ++used;
+    }
+    if (used == 0) {
+      // Every respondent blacklisted: fall back to the unfiltered vote.
+      for (const crowd::WorkerAnswer& a : q.answers) dist.at(a.label) += 1.0;
+    }
+    stats::normalize(dist);
+    out.push_back(std::move(dist));
+  }
+  return out;
+}
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,39 @@
+#pragma once
+// Worker quality filtering: learn each worker's labeling accuracy from
+// gold-labeled training queries, blacklist workers whose accuracy falls
+// below a threshold, then majority-vote among the rest. As the paper notes,
+// the scheme cannot judge workers with little history — those are admitted
+// by default, which caps its Table I accuracy.
+
+#include <map>
+
+#include "truth/aggregator.hpp"
+
+namespace crowdlearn::truth {
+
+struct FilteringConfig {
+  double accuracy_threshold = 0.7;  ///< blacklist below this
+  std::size_t min_history = 3;      ///< answers needed before judging a worker
+};
+
+class FilteringAggregator : public Aggregator {
+ public:
+  explicit FilteringAggregator(FilteringConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const std::vector<LabeledQuery>& training) override;
+  std::vector<std::vector<double>> aggregate(const std::vector<QueryResponse>& batch) override;
+  const char* name() const override { return "Filtering"; }
+
+  bool is_blacklisted(std::size_t worker_id) const;
+  std::size_t blacklist_size() const;
+
+ private:
+  FilteringConfig cfg_;
+  struct History {
+    std::size_t answered = 0;
+    std::size_t correct = 0;
+  };
+  std::map<std::size_t, History> history_;
+};
+
+}  // namespace crowdlearn::truth

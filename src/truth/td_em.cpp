@@ -1,0 +1,91 @@
+#include "truth/td_em.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::truth {
+
+std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse>& batch) {
+  if (batch.empty()) throw std::invalid_argument("TdEm::aggregate: empty batch");
+  const std::size_t k = dataset::kNumSeverityClasses;
+
+  // Dense worker index over the ids appearing in this batch.
+  std::map<std::size_t, std::size_t> worker_index;
+  for (const QueryResponse& q : batch)
+    for (const crowd::WorkerAnswer& a : q.answers)
+      worker_index.emplace(a.worker_id, worker_index.size());
+  const std::size_t w = worker_index.size();
+
+  // Initialize posteriors from majority voting.
+  std::vector<std::vector<double>> posterior(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::vector<double> dist(k, 0.0);
+    for (const crowd::WorkerAnswer& a : batch[i].answers) dist.at(a.label) += 1.0;
+    stats::normalize(dist);
+    posterior[i] = std::move(dist);
+  }
+
+  // confusion[worker][true][claimed]
+  std::vector<std::vector<std::vector<double>>> confusion(
+      w, std::vector<std::vector<double>>(k, std::vector<double>(k, 0.0)));
+  std::vector<double> prior(k, 1.0 / static_cast<double>(k));
+
+  iterations_used_ = 0;
+  for (std::size_t iter = 0; iter < cfg_.max_iterations; ++iter) {
+    ++iterations_used_;
+
+    // M-step: confusion matrices and class priors from soft assignments.
+    for (auto& cm : confusion)
+      for (auto& row : cm) std::fill(row.begin(), row.end(), cfg_.smoothing);
+    std::vector<double> prior_counts(k, cfg_.smoothing);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (std::size_t t = 0; t < k; ++t) prior_counts[t] += posterior[i][t];
+      for (const crowd::WorkerAnswer& a : batch[i].answers) {
+        const std::size_t wi = worker_index.at(a.worker_id);
+        for (std::size_t t = 0; t < k; ++t) confusion[wi][t][a.label] += posterior[i][t];
+      }
+    }
+    for (auto& cm : confusion)
+      for (auto& row : cm) stats::normalize(row);
+    prior = stats::normalized(prior_counts);
+
+    // E-step: recompute posteriors in log space.
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::vector<double> logp(k);
+      for (std::size_t t = 0; t < k; ++t) {
+        double lp = std::log(std::max(prior[t], 1e-12));
+        for (const crowd::WorkerAnswer& a : batch[i].answers) {
+          const std::size_t wi = worker_index.at(a.worker_id);
+          lp += std::log(std::max(confusion[wi][t][a.label], 1e-12));
+        }
+        logp[t] = lp;
+      }
+      const double mx = *std::max_element(logp.begin(), logp.end());
+      std::vector<double> newpost(k);
+      for (std::size_t t = 0; t < k; ++t) newpost[t] = std::exp(logp[t] - mx);
+      stats::normalize(newpost);
+      for (std::size_t t = 0; t < k; ++t)
+        max_change = std::max(max_change, std::abs(newpost[t] - posterior[i][t]));
+      posterior[i] = std::move(newpost);
+    }
+    if (max_change < cfg_.tolerance) break;
+  }
+
+  // Export per-worker reliability (mean diagonal mass).
+  reliability_.assign(w, 0.0);
+  for (const auto& [id, wi] : worker_index) {
+    (void)id;
+    double diag = 0.0;
+    for (std::size_t t = 0; t < k; ++t) diag += confusion[wi][t][t];
+    reliability_[wi] = diag / static_cast<double>(k);
+  }
+  return posterior;
+}
+
+}  // namespace crowdlearn::truth

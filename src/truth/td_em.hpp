@@ -1,0 +1,36 @@
+#pragma once
+// Truth discovery via expectation-maximization (TD-EM): jointly estimates
+// the true label of each query and a per-worker confusion matrix, in the
+// style of Dawid & Skene (1979) / the maximum-likelihood social-sensing
+// truth discovery the paper cites [29]. As the paper notes, it degrades
+// when each worker contributes few responses — which Table I reflects.
+
+#include "truth/aggregator.hpp"
+
+namespace crowdlearn::truth {
+
+struct TdEmConfig {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-6;       ///< stop when posteriors move less than this
+  double smoothing = 0.1;        ///< Laplace smoothing for confusion counts
+};
+
+class TdEm : public Aggregator {
+ public:
+  explicit TdEm(TdEmConfig cfg = {}) : cfg_(cfg) {}
+
+  std::vector<std::vector<double>> aggregate(const std::vector<QueryResponse>& batch) override;
+  const char* name() const override { return "TD-EM"; }
+
+  /// Estimated P(correct) per worker id from the last aggregate() call
+  /// (diagonal mass of the confusion matrix, averaged over true classes).
+  const std::vector<double>& worker_reliability() const { return reliability_; }
+  std::size_t iterations_used() const { return iterations_used_; }
+
+ private:
+  TdEmConfig cfg_;
+  std::vector<double> reliability_;
+  std::size_t iterations_used_ = 0;
+};
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,45 @@
+#include "truth/voting.hpp"
+
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::truth {
+
+std::vector<std::size_t> Aggregator::aggregate_labels(const std::vector<QueryResponse>& batch) {
+  const auto dists = aggregate(batch);
+  std::vector<std::size_t> labels(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i) labels[i] = stats::argmax(dists[i]);
+  return labels;
+}
+
+double Aggregator::accuracy(const std::vector<LabeledQuery>& labeled) {
+  if (labeled.empty()) throw std::invalid_argument("Aggregator::accuracy: empty batch");
+  std::vector<QueryResponse> batch;
+  batch.reserve(labeled.size());
+  for (const LabeledQuery& q : labeled) batch.push_back(q.response);
+  const std::vector<std::size_t> pred = aggregate_labels(batch);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labeled.size(); ++i)
+    if (pred[i] == labeled[i].true_label) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labeled.size());
+}
+
+std::vector<double> MajorityVoting::vote_distribution(const QueryResponse& response) {
+  if (response.answers.empty())
+    throw std::invalid_argument("MajorityVoting: response has no answers");
+  std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
+  for (const crowd::WorkerAnswer& ans : response.answers) dist.at(ans.label) += 1.0;
+  stats::normalize(dist);
+  return dist;
+}
+
+std::vector<std::vector<double>> MajorityVoting::aggregate(
+    const std::vector<QueryResponse>& batch) {
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const QueryResponse& r : batch) out.push_back(vote_distribution(r));
+  return out;
+}
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,19 @@
+#pragma once
+// Majority voting: the aggregated label distribution is simply the empirical
+// distribution of worker votes. The quality-control scheme the paper's
+// Hybrid-Para and Hybrid-AL baselines use.
+
+#include "truth/aggregator.hpp"
+
+namespace crowdlearn::truth {
+
+class MajorityVoting : public Aggregator {
+ public:
+  std::vector<std::vector<double>> aggregate(const std::vector<QueryResponse>& batch) override;
+  const char* name() const override { return "Voting"; }
+
+  /// Vote distribution of a single response set.
+  static std::vector<double> vote_distribution(const QueryResponse& response);
+};
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,74 @@
+#include "truth/weighted_voting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::truth {
+
+void WeightedVoting::fit(const std::vector<LabeledQuery>& training) {
+  history_.clear();
+  std::size_t total_answered = 0, total_correct = 0;
+  for (const LabeledQuery& q : training) {
+    for (const crowd::WorkerAnswer& a : q.response.answers) {
+      History& h = history_[a.worker_id];
+      ++h.answered;
+      ++total_answered;
+      if (a.label == q.true_label) {
+        ++h.correct;
+        ++total_correct;
+      }
+    }
+  }
+  if (total_answered > 0)
+    pool_mean_accuracy_ =
+        static_cast<double>(total_correct) / static_cast<double>(total_answered);
+}
+
+double WeightedVoting::worker_accuracy(std::size_t worker_id) const {
+  const auto it = history_.find(worker_id);
+  if (it == history_.end() || it->second.answered < cfg_.min_history)
+    return pool_mean_accuracy_;
+  return static_cast<double>(it->second.correct) /
+         static_cast<double>(it->second.answered);
+}
+
+double WeightedVoting::log_odds_weight(double accuracy) const {
+  const double a = std::clamp(accuracy, cfg_.accuracy_floor, cfg_.accuracy_ceil);
+  // SAMME weight; non-negative so an adversarial worker is ignored, not
+  // trusted in reverse (flipping votes would reward coordinated spam).
+  const double k = static_cast<double>(dataset::kNumSeverityClasses);
+  return std::max(std::log(a / (1.0 - a)) + std::log(k - 1.0), 0.0);
+}
+
+double WeightedVoting::worker_weight(std::size_t worker_id) const {
+  return log_odds_weight(worker_accuracy(worker_id));
+}
+
+std::vector<std::vector<double>> WeightedVoting::aggregate(
+    const std::vector<QueryResponse>& batch) {
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const QueryResponse& q : batch) {
+    if (q.answers.empty())
+      throw std::invalid_argument("WeightedVoting: response has no answers");
+    std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
+    double total = 0.0;
+    for (const crowd::WorkerAnswer& a : q.answers) {
+      const double w = worker_weight(a.worker_id);
+      dist.at(a.label) += w;
+      total += w;
+    }
+    if (total <= 0.0) {
+      // Every respondent weightless (all near-chance): plain vote fallback.
+      for (const crowd::WorkerAnswer& a : q.answers) dist.at(a.label) += 1.0;
+    }
+    stats::normalize(dist);
+    out.push_back(std::move(dist));
+  }
+  return out;
+}
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,48 @@
+#pragma once
+// Expertise-weighted voting: the class of quality-control schemes the paper
+// cites as [38]/[45] (expertise-aware truth analysis). Each worker's vote is
+// weighted by the log-odds of their historical accuracy (the SAMME weight
+// log(acc (K-1) / (1 - acc))), learned from gold-labeled training queries.
+// Unlike Filtering it degrades gracefully — a mediocre worker is downweighted
+// rather than excluded — but like Filtering it needs per-worker history, so
+// it cannot react to brand-new workers (they receive the pool-average
+// weight). Provided as a fifth aggregator for comparisons and ablations.
+
+#include <map>
+
+#include "truth/aggregator.hpp"
+
+namespace crowdlearn::truth {
+
+struct WeightedVotingConfig {
+  std::size_t min_history = 3;  ///< answers needed before a personal weight
+  double accuracy_floor = 0.05; ///< clamp to keep log-odds finite
+  double accuracy_ceil = 0.95;
+};
+
+class WeightedVoting : public Aggregator {
+ public:
+  explicit WeightedVoting(WeightedVotingConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const std::vector<LabeledQuery>& training) override;
+  std::vector<std::vector<double>> aggregate(const std::vector<QueryResponse>& batch) override;
+  const char* name() const override { return "WeightedVoting"; }
+
+  /// Voting weight assigned to a worker (pool-average for unknown workers).
+  double worker_weight(std::size_t worker_id) const;
+  /// Historical accuracy estimate, or the pool mean when history is thin.
+  double worker_accuracy(std::size_t worker_id) const;
+
+ private:
+  WeightedVotingConfig cfg_;
+  struct History {
+    std::size_t answered = 0;
+    std::size_t correct = 0;
+  };
+  std::map<std::size_t, History> history_;
+  double pool_mean_accuracy_ = 0.75;
+
+  double log_odds_weight(double accuracy) const;
+};
+
+}  // namespace crowdlearn::truth

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal CSV / fixed-width table emitters used by the benchmark harness to
+// print paper-style tables and figure series.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdlearn {
+
+/// Accumulates rows and prints either an aligned ASCII table (for terminal
+/// inspection, mirroring the paper's tables) or CSV (for plotting).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  void print_ascii(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escape a CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace crowdlearn

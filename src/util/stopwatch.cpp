@@ -1,0 +1,9 @@
+#include "util/stopwatch.hpp"
+
+namespace crowdlearn {
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+}  // namespace crowdlearn

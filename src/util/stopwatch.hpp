@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock stopwatch used to measure "algorithm delay" (Table III).
+
+#include <chrono>
+
+namespace crowdlearn {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double elapsed_seconds() const;
+
+  /// Elapsed milliseconds since construction or last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace crowdlearn

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gbdt/adaboost.hpp"
+
+namespace crowdlearn::gbdt {
+namespace {
+
+void make_data(std::vector<std::vector<double>>& rows, std::vector<std::size_t>& y,
+               std::size_t per_class, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {2.5, 0.0}, {0.0, 2.5}};
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_class; ++i) {
+      rows.push_back({centers[c][0] + rng.normal(0.0, 0.5),
+                      centers[c][1] + rng.normal(0.0, 0.5)});
+      y.push_back(c);
+    }
+}
+
+TEST(AdaBoost, StumpsBoostToHighAccuracy) {
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 50, rng);
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+
+  AdaBoostSamme model;
+  AdaBoostConfig cfg;
+  cfg.num_rounds = 25;
+  cfg.tree.max_depth = 1;  // stumps: each alone is weak on 3 classes
+  model.fit(x, y, 3, cfg);
+  EXPECT_TRUE(model.trained());
+  EXPECT_GE(model.accuracy(x, y), 0.9);
+  EXPECT_GT(model.num_learners(), 1u);
+}
+
+TEST(AdaBoost, LearnerWeightsArePositive) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 40, rng);
+  AdaBoostSamme model;
+  model.fit(FeatureMatrix::from_rows(rows), y, 3, {});
+  for (double alpha : model.learner_weights()) EXPECT_GT(alpha, 0.0);
+}
+
+TEST(AdaBoost, PredictProbaIsDistribution) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 30, rng);
+  AdaBoostSamme model;
+  model.fit(FeatureMatrix::from_rows(rows), y, 3, {});
+  const auto p = model.predict_proba({1.0, 1.0});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(AdaBoost, EarlyStopsOnPerfectFit) {
+  // Trivially separable single-feature data: the first learner is perfect,
+  // so boosting stops early rather than looping all rounds.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0u : 1u);
+  }
+  AdaBoostSamme model;
+  AdaBoostConfig cfg;
+  cfg.num_rounds = 50;
+  model.fit(FeatureMatrix::from_rows(rows), y, 2, cfg);
+  EXPECT_LT(model.num_learners(), 5u);
+  EXPECT_DOUBLE_EQ(model.accuracy(FeatureMatrix::from_rows(rows), y), 1.0);
+}
+
+TEST(AdaBoost, SurvivesUnlearnableData) {
+  // Pure-noise labels: no learner beats random guessing; the model must
+  // still keep at least one learner so predict() works.
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 60; ++i) {
+    rows.push_back({rng.uniform()});
+    y.push_back(rng.index(3));
+  }
+  AdaBoostSamme model;
+  AdaBoostConfig cfg;
+  cfg.num_rounds = 10;
+  cfg.tree.max_depth = 1;
+  cfg.tree.min_samples_leaf = 25;  // force genuinely weak stumps
+  model.fit(FeatureMatrix::from_rows(rows), y, 3, cfg);
+  EXPECT_GE(model.num_learners(), 1u);
+  const std::size_t pred = model.predict({0.5});
+  EXPECT_LT(pred, 3u);
+}
+
+TEST(AdaBoost, Validation) {
+  AdaBoostSamme model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+  const FeatureMatrix x = FeatureMatrix::from_rows({{1.0}});
+  EXPECT_THROW(model.fit(x, {0, 1}, 2, {}), std::invalid_argument);
+  EXPECT_THROW(model.fit(x, {0}, 1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::gbdt

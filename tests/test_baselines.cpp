@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.hpp"
+#include "experts/bovw.hpp"
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::core {
+namespace {
+
+experts::BovwConfig fast_bovw() {
+  experts::BovwConfig cfg;
+  cfg.train.epochs = 4;
+  return cfg;
+}
+
+experts::BoostedEnsemble fast_ensemble() {
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> members;
+  members.push_back(std::make_unique<experts::BovwClassifier>(fast_bovw()));
+  members.push_back(std::make_unique<experts::BovwClassifier>(fast_bovw()));
+  return experts::BoostedEnsemble(std::move(members));
+}
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    ExperimentConfig cfg;
+    cfg.dataset.total_images = 180;
+    cfg.dataset.train_images = 120;
+    cfg.stream.num_cycles = 6;
+    cfg.stream.images_per_cycle = 10;
+    cfg.stream.grouped_contexts = false;
+    cfg.pilot.queries_per_cell = 3;
+    cfg.seed = 91;
+    setup_ = std::make_unique<ExperimentSetup>(make_setup(cfg));
+  }
+
+  void check_outcomes(const std::vector<CycleOutcome>& outcomes, bool uses_crowd) {
+    EXPECT_EQ(outcomes.size(), 6u);
+    for (const CycleOutcome& out : outcomes) {
+      EXPECT_EQ(out.predictions.size(), out.image_ids.size());
+      EXPECT_EQ(out.probabilities.size(), out.image_ids.size());
+      for (const auto& p : out.probabilities)
+        EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+      if (uses_crowd) {
+        EXPECT_FALSE(out.queried_ids.empty());
+        EXPECT_GT(out.crowd_delay_seconds, 0.0);
+      } else {
+        EXPECT_TRUE(out.queried_ids.empty());
+        EXPECT_DOUBLE_EQ(out.crowd_delay_seconds, 0.0);
+        EXPECT_DOUBLE_EQ(out.spent_cents, 0.0);
+      }
+    }
+  }
+
+  std::unique_ptr<ExperimentSetup> setup_;
+};
+
+TEST_F(BaselinesTest, AiOnlyRunnerNeverTouchesTheCrowd) {
+  AiOnlyRunner runner(std::make_unique<experts::BovwClassifier>(fast_bovw()));
+  runner.initialize(setup_->data, nullptr);
+  crowd::CrowdPlatform platform = make_platform(*setup_, 1);
+  dataset::SensingCycleStream stream(setup_->data, setup_->stream_cfg);
+  const auto outcomes = runner.run_stream(setup_->data, platform, stream);
+  check_outcomes(outcomes, /*uses_crowd=*/false);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 0.0);
+  EXPECT_EQ(runner.name(), "BoVW");
+}
+
+TEST_F(BaselinesTest, AiOnlySkipsTrainingForPretrainedAlgorithm) {
+  auto expert = std::make_unique<experts::BovwClassifier>(fast_bovw());
+  Rng rng(7);
+  expert->train(setup_->data, setup_->data.train_indices, rng);
+  const auto probe = expert->predict_proba(setup_->data.image(setup_->data.test_indices[0]));
+  AiOnlyRunner runner(std::move(expert));
+  runner.initialize(setup_->data, nullptr);  // must not retrain
+  const auto after =
+      runner.algorithm().predict_proba(setup_->data.image(setup_->data.test_indices[0]));
+  for (std::size_t c = 0; c < probe.size(); ++c) EXPECT_DOUBLE_EQ(probe[c], after[c]);
+}
+
+TEST_F(BaselinesTest, HybridParaQueriesRandomSubsetAtFixedIncentive) {
+  HybridConfig cfg;
+  cfg.queries_per_cycle = 4;
+  cfg.fixed_incentive_cents = 8.0;
+  HybridParaRunner runner(cfg, fast_ensemble());
+  runner.initialize(setup_->data, nullptr);
+  crowd::CrowdPlatform platform = make_platform(*setup_, 2);
+  dataset::SensingCycleStream stream(setup_->data, setup_->stream_cfg);
+  const auto outcomes = runner.run_stream(setup_->data, platform, stream);
+  check_outcomes(outcomes, /*uses_crowd=*/true);
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.queried_ids.size(), 4u);
+    for (double c : out.incentives_cents) EXPECT_DOUBLE_EQ(c, 8.0);
+  }
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 6.0 * 4.0 * 8.0);
+}
+
+TEST_F(BaselinesTest, HybridAlQueriesMostUncertainImages) {
+  HybridConfig cfg;
+  cfg.queries_per_cycle = 3;
+  cfg.fixed_incentive_cents = 8.0;
+  HybridAlRunner runner(cfg, fast_ensemble());
+  runner.initialize(setup_->data, nullptr);
+  crowd::CrowdPlatform platform = make_platform(*setup_, 3);
+  dataset::SensingCycleStream stream(setup_->data, setup_->stream_cfg);
+  const auto outcomes = runner.run_stream(setup_->data, platform, stream);
+  check_outcomes(outcomes, /*uses_crowd=*/true);
+  // Hybrid-AL never offloads: predictions for queried images come from the
+  // AI's probability vectors, not the crowd's vote distribution (which would
+  // typically be 0/0.2/0.4-grained for 5 workers).
+  for (const auto& out : outcomes)
+    for (std::size_t i = 0; i < out.image_ids.size(); ++i)
+      EXPECT_EQ(stats::argmax(out.probabilities[i]), out.predictions[i]);
+  EXPECT_EQ(runner.name(), "Hybrid-AL");
+}
+
+TEST_F(BaselinesTest, CrowdLearnRunnerRequiresPilot) {
+  CrowdLearnRunner runner(default_crowdlearn_config(*setup_, 3, 200.0));
+  EXPECT_THROW(runner.initialize(setup_->data, nullptr), std::invalid_argument);
+}
+
+TEST_F(BaselinesTest, CrowdLearnRunnerWithInjectedCommittee) {
+  experts::BovwConfig fast = fast_bovw();
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> experts_vec;
+  experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  CrowdLearnRunner runner(default_crowdlearn_config(*setup_, 3, 200.0),
+                          experts::ExpertCommittee(std::move(experts_vec)));
+  runner.initialize(setup_->data, &setup_->pilot);
+  crowd::CrowdPlatform platform = make_platform(*setup_, 4);
+  dataset::SensingCycleStream stream(setup_->data, setup_->stream_cfg);
+  const auto outcomes = runner.run_stream(setup_->data, platform, stream);
+  check_outcomes(outcomes, /*uses_crowd=*/true);
+  EXPECT_EQ(runner.name(), "CrowdLearn");
+}
+
+TEST_F(BaselinesTest, Validation) {
+  EXPECT_THROW(AiOnlyRunner(nullptr), std::invalid_argument);
+  HybridConfig bad;
+  bad.fixed_incentive_cents = 0.0;
+  EXPECT_THROW(HybridParaRunner{bad}, std::invalid_argument);
+  EXPECT_THROW(HybridAlRunner{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "experts/bovw.hpp"
+#include "experts/committee.hpp"
+
+namespace crowdlearn::experts {
+namespace {
+
+BovwConfig fast_bovw() {
+  BovwConfig cfg;
+  cfg.train.epochs = 5;
+  return cfg;
+}
+
+ExpertCommittee make_small_committee(std::size_t n = 3) {
+  std::vector<std::unique_ptr<DdaAlgorithm>> experts;
+  for (std::size_t i = 0; i < n; ++i)
+    experts.push_back(std::make_unique<BovwClassifier>(fast_bovw()));
+  return ExpertCommittee(std::move(experts));
+}
+
+class CommitteeTest : public ::testing::Test {
+ protected:
+  CommitteeTest() {
+    dataset::DatasetConfig cfg;
+    cfg.total_images = 100;
+    cfg.train_images = 70;
+    cfg.seed = 41;
+    data_ = dataset::generate_dataset(cfg);
+  }
+  dataset::Dataset data_;
+  Rng rng_{5};
+};
+
+TEST_F(CommitteeTest, InitialWeightsAreUniform) {
+  const ExpertCommittee committee = make_small_committee(3);
+  for (double w : committee.weights()) EXPECT_NEAR(w, 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(CommitteeTest, SetWeightsNormalizes) {
+  ExpertCommittee committee = make_small_committee(3);
+  committee.set_weights({2.0, 1.0, 1.0});
+  EXPECT_NEAR(committee.weights()[0], 0.5, 1e-12);
+  EXPECT_THROW(committee.set_weights({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(committee.set_weights({1.0, -1.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(CommitteeTest, CommitteeVoteIsWeightedMeanOfExpertVotes) {
+  ExpertCommittee committee = make_small_committee(2);
+  committee.train_all(data_, data_.train_indices, rng_);
+  const auto& img = data_.image(data_.test_indices[0]);
+  const auto votes = committee.expert_votes(img);
+  committee.set_weights({0.75, 0.25});
+  const auto rho = committee.committee_vote(votes);
+  for (std::size_t c = 0; c < rho.size(); ++c)
+    EXPECT_NEAR(rho[c], 0.75 * votes[0][c] + 0.25 * votes[1][c], 1e-9);
+  EXPECT_NEAR(std::accumulate(rho.begin(), rho.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST_F(CommitteeTest, EntropyBounds) {
+  ExpertCommittee committee = make_small_committee(2);
+  committee.train_all(data_, data_.train_indices, rng_);
+  for (int i = 0; i < 10; ++i) {
+    const double h =
+        committee.committee_entropy(data_.image(data_.test_indices[static_cast<std::size_t>(i)]));
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log(3.0) + 1e-9);
+  }
+}
+
+TEST_F(CommitteeTest, ZeroWeightExpertIsIgnored) {
+  ExpertCommittee committee = make_small_committee(2);
+  committee.train_all(data_, data_.train_indices, rng_);
+  const auto& img = data_.image(data_.test_indices[1]);
+  const auto votes = committee.expert_votes(img);
+  committee.set_weights({1.0, 0.0});
+  const auto rho = committee.committee_vote(votes);
+  for (std::size_t c = 0; c < rho.size(); ++c) EXPECT_NEAR(rho[c], votes[0][c], 1e-9);
+}
+
+TEST_F(CommitteeTest, TrainAllThenPredictBatch) {
+  ExpertCommittee committee = make_small_committee(2);
+  EXPECT_FALSE(committee.all_trained());
+  committee.train_all(data_, data_.train_indices, rng_);
+  EXPECT_TRUE(committee.all_trained());
+  const auto preds = committee.predict_batch(data_, data_.test_indices);
+  EXPECT_EQ(preds.size(), data_.test_indices.size());
+  std::size_t correct = 0;
+  const auto truth = data_.labels(data_.test_indices);
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == truth[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()), 0.45);
+}
+
+TEST_F(CommitteeTest, CloneIsIndependent) {
+  ExpertCommittee committee = make_small_committee(2);
+  committee.train_all(data_, data_.train_indices, rng_);
+  committee.set_weights({0.9, 0.1});
+  ExpertCommittee copy = committee.clone();
+  EXPECT_EQ(copy.weights(), committee.weights());
+  EXPECT_TRUE(copy.all_trained());
+  const auto& probe = data_.image(data_.test_indices[0]);
+  const auto before = copy.committee_vote(probe);
+  committee.retrain_all(data_, {data_.train_indices[0]}, {1}, rng_);
+  const auto after = copy.committee_vote(probe);
+  for (std::size_t c = 0; c < before.size(); ++c) EXPECT_DOUBLE_EQ(before[c], after[c]);
+}
+
+TEST_F(CommitteeTest, DefaultCommitteeHasThePaperRoster) {
+  ExpertCommittee committee = make_default_committee();
+  ASSERT_EQ(committee.size(), 3u);
+  EXPECT_EQ(committee.expert(0).name(), "VGG16");
+  EXPECT_EQ(committee.expert(1).name(), "BoVW");
+  EXPECT_EQ(committee.expert(2).name(), "DDM");
+}
+
+TEST_F(CommitteeTest, Validation) {
+  EXPECT_THROW(ExpertCommittee({}), std::invalid_argument);
+  std::vector<std::unique_ptr<DdaAlgorithm>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ExpertCommittee(std::move(with_null)), std::invalid_argument);
+  ExpertCommittee committee = make_small_committee(2);
+  EXPECT_THROW(committee.committee_vote(std::vector<std::vector<double>>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::experts

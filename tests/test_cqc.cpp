@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "crowd/platform.hpp"
+#include "truth/cqc.hpp"
+#include "truth/voting.hpp"
+
+namespace crowdlearn::truth {
+namespace {
+
+class CqcTest : public ::testing::Test {
+ protected:
+  CqcTest() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 300;
+    dcfg.train_images = 200;
+    dcfg.failure_fraction = 0.25;  // plenty of failure cases to learn from
+    dcfg.confusing_fraction = 0.3;
+    dcfg.seed = 21;
+    data_ = dataset::generate_dataset(dcfg);
+    platform_ = std::make_unique<crowd::CrowdPlatform>(&data_, crowd::PlatformConfig{});
+  }
+
+  std::vector<LabeledQuery> query_images(const std::vector<std::size_t>& ids) {
+    std::vector<LabeledQuery> out;
+    Rng ctx_rng(5);
+    for (std::size_t id : ids) {
+      LabeledQuery lq;
+      lq.response = platform_->post_query(
+          id, 8.0, static_cast<dataset::TemporalContext>(ctx_rng.index(4)));
+      lq.true_label = dataset::label_index(data_.image(id).true_label);
+      out.push_back(std::move(lq));
+    }
+    return out;
+  }
+
+  dataset::Dataset data_;
+  std::unique_ptr<crowd::CrowdPlatform> platform_;
+};
+
+TEST_F(CqcTest, FeatureVectorContract) {
+  const auto training = query_images({data_.train_indices[0]});
+  const auto feats = cqc_features(training[0].response);
+  EXPECT_EQ(feats.size(), kCqcFeatureDims);
+  // Vote fractions (first 3) sum to 1.
+  EXPECT_NEAR(feats[0] + feats[1] + feats[2], 1.0, 1e-9);
+  // Entropy and margin in [0, 1].
+  EXPECT_GE(feats[3], 0.0);
+  EXPECT_LE(feats[3], 1.0);
+  EXPECT_GE(feats[4], 0.0);
+  EXPECT_LE(feats[4], 1.0);
+  for (double f : feats) EXPECT_TRUE(std::isfinite(f));
+
+  QueryResponse empty;
+  EXPECT_THROW(cqc_features(empty), std::invalid_argument);
+}
+
+TEST_F(CqcTest, FitAndAggregateProducesDistributions) {
+  CqcAggregator cqc;
+  cqc.fit(query_images(data_.train_indices));
+  EXPECT_TRUE(cqc.trained());
+
+  std::vector<std::size_t> eval_ids(data_.test_indices.begin(),
+                                    data_.test_indices.begin() + 20);
+  const auto eval = query_images(eval_ids);
+  std::vector<QueryResponse> batch;
+  for (const auto& lq : eval) batch.push_back(lq.response);
+  const auto dists = cqc.aggregate(batch);
+  EXPECT_EQ(dists.size(), 20u);
+  for (const auto& d : dists)
+    EXPECT_NEAR(std::accumulate(d.begin(), d.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST_F(CqcTest, BeatsMajorityVoting) {
+  CqcAggregator cqc;
+  MajorityVoting voting;
+  cqc.fit(query_images(data_.train_indices));
+  const auto eval = query_images(data_.test_indices);
+  EXPECT_GT(cqc.accuracy(eval), voting.accuracy(eval) + 0.03);
+}
+
+TEST_F(CqcTest, QuestionnaireAblationDropsTowardVoting) {
+  const auto training = query_images(data_.train_indices);
+  const auto eval = query_images(data_.test_indices);
+
+  CqcConfig full_cfg;
+  CqcConfig ablated_cfg;
+  ablated_cfg.use_questionnaire = false;
+  CqcAggregator full(full_cfg), ablated(ablated_cfg);
+  full.fit(training);
+  ablated.fit(training);
+
+  EXPECT_GT(full.accuracy(eval), ablated.accuracy(eval));
+}
+
+TEST_F(CqcTest, FixesFakeImagesThatFoolTheVote) {
+  // On fake images whose careless votes skew severe, CQC's questionnaire
+  // (is_fake) should recover "no damage" more often than voting does.
+  CqcAggregator cqc;
+  MajorityVoting voting;
+  cqc.fit(query_images(data_.train_indices));
+
+  std::vector<std::size_t> fake_ids;
+  for (std::size_t id : data_.test_indices)
+    if (data_.image(id).failure == dataset::FailureMode::kFake) fake_ids.push_back(id);
+  ASSERT_GE(fake_ids.size(), 3u);
+  // Repeat queries to build a decent sample.
+  std::vector<LabeledQuery> eval;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto batch = query_images(fake_ids);
+    eval.insert(eval.end(), batch.begin(), batch.end());
+  }
+  EXPECT_GE(cqc.accuracy(eval), voting.accuracy(eval));
+}
+
+TEST_F(CqcTest, Validation) {
+  CqcAggregator cqc;
+  EXPECT_THROW(cqc.aggregate({}), std::logic_error);  // not fitted
+  EXPECT_THROW(cqc.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::truth

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace crowdlearn {
+namespace {
+
+TEST(TablePrinter, AsciiContainsHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print_ascii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 3), "1.235");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(CsvEscape, PassesPlainFields) { EXPECT_EQ(csv_escape("plain"), "plain"); }
+
+TEST(CsvEscape, QuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace crowdlearn

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "dataset/generator.hpp"
+
+namespace crowdlearn::dataset {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.total_images = 120;
+  cfg.train_images = 90;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Generator, SplitSizesAndDisjointness) {
+  const Dataset ds = generate_dataset(small_config());
+  EXPECT_EQ(ds.images.size(), 120u);
+  EXPECT_EQ(ds.train_indices.size(), 90u);
+  EXPECT_EQ(ds.test_indices.size(), 30u);
+  std::set<std::size_t> all(ds.train_indices.begin(), ds.train_indices.end());
+  all.insert(ds.test_indices.begin(), ds.test_indices.end());
+  EXPECT_EQ(all.size(), 120u);
+}
+
+TEST(Generator, BalancedClasses) {
+  const Dataset ds = generate_dataset(small_config());
+  std::array<std::size_t, 3> counts{};
+  for (const DisasterImage& img : ds.images) ++counts[label_index(img.true_label)];
+  EXPECT_EQ(counts[0], 40u);
+  EXPECT_EQ(counts[1], 40u);
+  EXPECT_EQ(counts[2], 40u);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  const Dataset a = generate_dataset(small_config());
+  const Dataset b = generate_dataset(small_config());
+  EXPECT_EQ(a.train_indices, b.train_indices);
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    EXPECT_EQ(a.images[i].true_label, b.images[i].true_label);
+    EXPECT_EQ(a.images[i].pixels.data(), b.images[i].pixels.data());
+  }
+}
+
+TEST(Generator, FailureFractionApproximatelyRespected) {
+  DatasetConfig cfg = small_config();
+  cfg.total_images = 600;
+  cfg.train_images = 400;
+  cfg.failure_fraction = 0.2;
+  const Dataset ds = generate_dataset(cfg);
+  std::size_t failures = 0;
+  for (const auto& img : ds.images)
+    if (img.is_failure_case()) ++failures;
+  EXPECT_NEAR(static_cast<double>(failures) / 600.0, 0.2, 0.05);
+}
+
+TEST(Generator, FailureModesConsistentWithTrueLabels) {
+  DatasetConfig cfg = small_config();
+  cfg.total_images = 600;
+  cfg.train_images = 400;
+  cfg.failure_fraction = 0.3;
+  const Dataset ds = generate_dataset(cfg);
+  for (const auto& img : ds.images) {
+    switch (img.failure) {
+      case FailureMode::kFake:
+      case FailureMode::kCloseUp:
+        // Fake/close-up images depict no real damage but look severe.
+        EXPECT_EQ(img.true_label, Severity::kNone);
+        EXPECT_EQ(img.apparent_label, Severity::kSevere);
+        break;
+      case FailureMode::kLowRes:
+        EXPECT_NE(img.true_label, Severity::kNone);
+        EXPECT_EQ(img.apparent_label, Severity::kNone);
+        break;
+      case FailureMode::kImplicit:
+        EXPECT_EQ(img.true_label, Severity::kSevere);
+        EXPECT_EQ(img.apparent_label, Severity::kNone);
+        break;
+      case FailureMode::kNone:
+        EXPECT_EQ(img.apparent_label, img.true_label);
+        break;
+    }
+  }
+}
+
+TEST(Generator, QuestionnaireTruthConsistent) {
+  DatasetConfig cfg = small_config();
+  cfg.failure_fraction = 0.5;
+  const Dataset ds = generate_dataset(cfg);
+  for (const auto& img : ds.images) {
+    const Questionnaire& q = img.truth_questionnaire;
+    EXPECT_EQ(q.is_fake == 1.0, img.failure == FailureMode::kFake);
+    EXPECT_EQ(q.is_closeup == 1.0, img.failure == FailureMode::kCloseUp);
+    EXPECT_EQ(q.is_low_quality == 1.0, img.failure == FailureMode::kLowRes);
+    if (img.failure == FailureMode::kImplicit) {
+      EXPECT_EQ(q.shows_affected_people, 1.0);
+      EXPECT_EQ(q.shows_structural_damage, 0.0);
+    }
+    EXPECT_EQ(q.to_vector().size(), Questionnaire::kDims);
+  }
+}
+
+TEST(Generator, ConfusableLabelDiffersFromTruthOrMatchesApparent) {
+  const Dataset ds = generate_dataset(small_config());
+  for (const auto& img : ds.images) {
+    EXPECT_LT(img.confusable_label, kNumSeverityClasses);
+    if (img.is_failure_case())
+      EXPECT_EQ(img.confusable_label, label_index(img.apparent_label));
+    else
+      EXPECT_NE(img.confusable_label, label_index(img.true_label));
+  }
+}
+
+TEST(Dataset, MatrixAccessors) {
+  const Dataset ds = generate_dataset(small_config());
+  const std::vector<std::size_t> ids{ds.test_indices.begin(), ds.test_indices.begin() + 5};
+  const nn::Matrix px = ds.pixel_matrix(ids);
+  EXPECT_EQ(px.rows(), 5u);
+  EXPECT_EQ(px.cols(), imaging::kImageSide * imaging::kImageSide);
+  const nn::Matrix hf = ds.handcrafted_matrix(ids);
+  EXPECT_EQ(hf.cols(), imaging::kHandcraftedDims);
+  const auto labels = ds.labels(ids);
+  EXPECT_EQ(labels.size(), 5u);
+  EXPECT_THROW(ds.pixel_matrix({}), std::invalid_argument);
+}
+
+TEST(Generator, Validation) {
+  DatasetConfig cfg;
+  cfg.total_images = 10;
+  cfg.train_images = 10;  // no test images left
+  EXPECT_THROW(generate_dataset(cfg), std::invalid_argument);
+  cfg.train_images = 5;
+  cfg.failure_fraction = 1.5;
+  EXPECT_THROW(generate_dataset(cfg), std::invalid_argument);
+}
+
+TEST(MakeImage, DirectConstruction) {
+  Rng rng(3);
+  const DisasterImage img =
+      make_image(7, Severity::kSevere, FailureMode::kImplicit, {}, rng, true);
+  EXPECT_EQ(img.id, 7u);
+  EXPECT_TRUE(img.crowd_confusing);
+  EXPECT_EQ(img.handcrafted.size(), imaging::kHandcraftedDims);
+  EXPECT_TRUE(img.is_failure_case());
+}
+
+TEST(FailureModeName, AllNamed) {
+  EXPECT_STREQ(failure_mode_name(FailureMode::kNone), "none");
+  EXPECT_STREQ(failure_mode_name(FailureMode::kFake), "fake");
+  EXPECT_STREQ(failure_mode_name(FailureMode::kCloseUp), "close_up");
+  EXPECT_STREQ(failure_mode_name(FailureMode::kLowRes), "low_resolution");
+  EXPECT_STREQ(failure_mode_name(FailureMode::kImplicit), "implicit");
+}
+
+}  // namespace
+}  // namespace crowdlearn::dataset

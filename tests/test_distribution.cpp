@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::stats {
+namespace {
+
+TEST(Normalize, SumsToOne) {
+  std::vector<double> p{2.0, 3.0, 5.0};
+  normalize(p);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(Normalize, ZeroVectorBecomesUniform) {
+  std::vector<double> p{0.0, 0.0, 0.0, 0.0};
+  normalize(p);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(Normalize, RejectsNegativeAndEmpty) {
+  std::vector<double> neg{1.0, -0.1};
+  EXPECT_THROW(normalize(neg), std::invalid_argument);
+  std::vector<double> empty;
+  EXPECT_THROW(normalize(empty), std::invalid_argument);
+}
+
+TEST(Entropy, UniformIsMaximal) {
+  EXPECT_NEAR(entropy({0.25, 0.25, 0.25, 0.25}), max_entropy(4), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) { EXPECT_DOUBLE_EQ(entropy({1.0, 0.0, 0.0}), 0.0); }
+
+TEST(Entropy, RequiresNormalizedInput) {
+  EXPECT_THROW(entropy({0.5, 0.2}), std::invalid_argument);
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+  EXPECT_NEAR(symmetric_kl(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, PositiveAndAsymmetric) {
+  const std::vector<double> p{0.9, 0.05, 0.05};
+  const std::vector<double> q{0.1, 0.45, 0.45};
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+  // Symmetric KL is, in fact, symmetric.
+  EXPECT_NEAR(symmetric_kl(p, q), symmetric_kl(q, p), 1e-12);
+}
+
+TEST(KlDivergence, HandlesZerosInTargetViaEpsilon) {
+  const std::vector<double> p{0.5, 0.5, 0.0};
+  const std::vector<double> q{1.0, 0.0, 0.0};
+  const double d = kl_divergence(p, q);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(SquashDivergence, MapsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(squash_divergence(0.0), 0.0);
+  EXPECT_NEAR(squash_divergence(1.0), 0.5, 1e-12);
+  EXPECT_LT(squash_divergence(1000.0), 1.0);
+  EXPECT_THROW(squash_divergence(-0.1), std::invalid_argument);
+}
+
+TEST(SquashDivergence, Monotone) {
+  double prev = -1.0;
+  for (double d : {0.0, 0.1, 0.5, 1.0, 5.0, 50.0}) {
+    const double s = squash_divergence(d);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Argmax, TiesGoToLowerIndex) {
+  EXPECT_EQ(argmax({0.4, 0.4, 0.2}), 0u);
+  EXPECT_EQ(argmax({0.1, 0.2, 0.7}), 2u);
+  EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+TEST(OneHot, Basics) {
+  const auto p = one_hot(3, 1);
+  EXPECT_EQ(p, (std::vector<double>{0.0, 1.0, 0.0}));
+  EXPECT_THROW(one_hot(3, 3), std::invalid_argument);
+}
+
+TEST(MeanStddev, KnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+// Property sweep: normalizing a random non-negative vector yields a valid
+// distribution whose entropy is within [0, log k].
+class DistributionPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributionPropertyTest, NormalizedEntropyBounds) {
+  const std::size_t k = GetParam();
+  Rng rng(k * 31 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(k);
+    for (double& v : p) v = rng.uniform(0.0, 10.0);
+    normalize(p);
+    const double h = entropy(p);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, max_entropy(k) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistributionPropertyTest, ::testing::Values(2u, 3u, 5u, 10u));
+
+}  // namespace
+}  // namespace crowdlearn::stats

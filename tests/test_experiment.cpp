@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "experts/bovw.hpp"
+
+namespace crowdlearn::core {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed = 101) {
+  ExperimentConfig cfg;
+  cfg.dataset.total_images = 160;
+  cfg.dataset.train_images = 100;
+  cfg.stream.num_cycles = 6;
+  cfg.stream.images_per_cycle = 10;
+  cfg.stream.grouped_contexts = false;
+  cfg.pilot.queries_per_cell = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Experiment, SetupIsDeterministicGivenSeed) {
+  const ExperimentSetup a = make_setup(small_config());
+  const ExperimentSetup b = make_setup(small_config());
+  EXPECT_EQ(a.data.train_indices, b.data.train_indices);
+  EXPECT_DOUBLE_EQ(a.pilot.cell(dataset::TemporalContext::kMorning, 0).mean_delay,
+                   b.pilot.cell(dataset::TemporalContext::kMorning, 0).mean_delay);
+
+  const ExperimentSetup c = make_setup(small_config(999));
+  EXPECT_NE(a.data.train_indices, c.data.train_indices);
+}
+
+TEST(Experiment, PlatformsSharePopulationAcrossRunIndices) {
+  const ExperimentSetup setup = make_setup(small_config());
+  crowd::CrowdPlatform p0 = make_platform(setup, 0);
+  crowd::CrowdPlatform p1 = make_platform(setup, 1);
+  ASSERT_EQ(p0.workers().size(), p1.workers().size());
+  for (std::size_t i = 0; i < p0.workers().size(); ++i)
+    EXPECT_DOUBLE_EQ(p0.workers()[i].label_reliability,
+                     p1.workers()[i].label_reliability);
+}
+
+TEST(Experiment, FixedIncentiveForBudget) {
+  const ExperimentSetup setup = make_setup(small_config());
+  // 6 cycles x 5 queries = 30 queries; 240 cents -> 8 cents per task.
+  EXPECT_DOUBLE_EQ(fixed_incentive_for_budget(setup, 5, 240.0), 8.0);
+  EXPECT_THROW(fixed_incentive_for_budget(setup, 0, 240.0), std::invalid_argument);
+}
+
+TEST(Experiment, DefaultCrowdLearnConfigScalesHorizon) {
+  const ExperimentSetup setup = make_setup(small_config());
+  const CrowdLearnConfig cfg = default_crowdlearn_config(setup, 4, 500.0);
+  EXPECT_EQ(cfg.queries_per_cycle, 4u);
+  EXPECT_EQ(cfg.ipd.horizon_queries, 24u);
+  EXPECT_DOUBLE_EQ(cfg.ipd.total_budget_cents, 500.0);
+}
+
+TEST(Experiment, FlattenOutcomesAlignsWithCycles) {
+  CycleOutcome out;
+  out.image_ids = {3, 1};
+  out.predictions = {0, 2};
+  out.probabilities = {{1.0, 0.0, 0.0}, {0.0, 0.0, 1.0}};
+
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 30;
+  dcfg.train_images = 20;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+
+  const FlattenedRun flat = flatten_outcomes(data, {out});
+  EXPECT_EQ(flat.truth.size(), 2u);
+  EXPECT_EQ(flat.truth[0], dataset::label_index(data.image(3).true_label));
+  EXPECT_EQ(flat.predictions[1], 2u);
+
+  CycleOutcome broken = out;
+  broken.predictions.pop_back();
+  EXPECT_THROW(flatten_outcomes(data, {broken}), std::invalid_argument);
+}
+
+TEST(Experiment, EvaluateSchemeProducesCoherentMetrics) {
+  const ExperimentSetup setup = make_setup(small_config());
+  experts::BovwConfig fast;
+  fast.train.epochs = 16;
+  fast.train.learning_rate = 0.05;
+  AiOnlyRunner runner(std::make_unique<experts::BovwClassifier>(fast));
+  const SchemeEvaluation eval = evaluate_scheme(runner, setup, 0);
+
+  EXPECT_EQ(eval.name, "BoVW");
+  EXPECT_GT(eval.report.accuracy, 1.0 / 3.0);  // above chance
+  EXPECT_LE(eval.report.accuracy, 1.0);
+  EXPECT_GT(eval.macro_auc, 0.5);
+  EXPECT_FALSE(eval.roc.empty());
+  EXPECT_GT(eval.mean_algorithm_delay_seconds, 0.0);
+  EXPECT_FALSE(eval.uses_crowd());
+  EXPECT_DOUBLE_EQ(eval.total_spent_cents, 0.0);
+  EXPECT_EQ(eval.outcomes.size(), setup.stream_cfg.num_cycles);
+}
+
+TEST(Experiment, HybridEvaluationTracksContextDelays) {
+  const ExperimentSetup setup = make_setup(small_config());
+  HybridConfig cfg;
+  cfg.queries_per_cycle = 3;
+  cfg.fixed_incentive_cents = 8.0;
+  experts::BovwConfig fast;
+  fast.train.epochs = 4;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> members;
+  members.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  HybridParaRunner runner(cfg, experts::BoostedEnsemble(std::move(members)));
+  const SchemeEvaluation eval = evaluate_scheme(runner, setup, 1);
+
+  EXPECT_TRUE(eval.uses_crowd());
+  EXPECT_GT(eval.total_spent_cents, 0.0);
+  // With rotating contexts over 6 cycles, at least two contexts saw queries.
+  std::size_t contexts_hit = 0;
+  for (double d : eval.crowd_delay_by_context)
+    if (d > 0.0) ++contexts_hit;
+  EXPECT_GE(contexts_hit, 2u);
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "experts/boosted_ensemble.hpp"
+#include "experts/bovw.hpp"
+#include "experts/ddm.hpp"
+#include "experts/vgg16_like.hpp"
+
+namespace crowdlearn::experts {
+namespace {
+
+/// Small dataset + fast training configs so the whole file runs in seconds.
+class ExpertsTest : public ::testing::Test {
+ protected:
+  ExpertsTest() {
+    dataset::DatasetConfig cfg;
+    cfg.total_images = 120;
+    cfg.train_images = 90;
+    cfg.failure_fraction = 0.1;
+    cfg.seed = 31;
+    data_ = dataset::generate_dataset(cfg);
+  }
+
+  static Vgg16Config fast_vgg() {
+    Vgg16Config cfg;
+    cfg.train.epochs = 4;
+    return cfg;
+  }
+  static BovwConfig fast_bovw() {
+    BovwConfig cfg;
+    cfg.train.epochs = 16;  // the 90-image training split needs more passes
+    cfg.train.learning_rate = 0.05;
+    return cfg;
+  }
+  static DdmConfig fast_ddm() {
+    DdmConfig cfg;
+    cfg.train.epochs = 8;
+    return cfg;
+  }
+
+  dataset::Dataset data_;
+  Rng rng_{77};
+};
+
+TEST_F(ExpertsTest, BovwLearnsAboveChance) {
+  BovwClassifier bovw(fast_bovw());
+  EXPECT_FALSE(bovw.is_trained());
+  bovw.train(data_, data_.train_indices, rng_);
+  EXPECT_TRUE(bovw.is_trained());
+  EXPECT_GT(bovw.accuracy(data_, data_.test_indices), 0.45);  // chance = 1/3
+}
+
+TEST_F(ExpertsTest, PredictProbaIsDistribution) {
+  BovwClassifier bovw(fast_bovw());
+  bovw.train(data_, data_.train_indices, rng_);
+  const auto p = bovw.predict_proba(data_.image(data_.test_indices[0]));
+  EXPECT_EQ(p.size(), dataset::kNumSeverityClasses);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST_F(ExpertsTest, PredictBeforeTrainThrows) {
+  Vgg16Like vgg(fast_vgg());
+  EXPECT_THROW(vgg.predict_proba(data_.image(0)), std::logic_error);
+  EXPECT_THROW(vgg.retrain(data_, {0}, {0}, rng_), std::logic_error);
+}
+
+TEST_F(ExpertsTest, CloneMatchesOriginalAndStaysIndependent) {
+  BovwClassifier bovw(fast_bovw());
+  bovw.train(data_, data_.train_indices, rng_);
+  auto copy = bovw.clone();
+  EXPECT_TRUE(copy->is_trained());
+  // Identical predictions right after cloning.
+  for (int i = 0; i < 5; ++i) {
+    const auto& img = data_.image(data_.test_indices[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(bovw.predict(img), copy->predict(img));
+  }
+  // Retraining the original must not change the clone.
+  const auto& probe = data_.image(data_.test_indices[0]);
+  const auto before = copy->predict_proba(probe);
+  bovw.retrain(data_, {data_.train_indices[0]}, {2}, rng_);
+  const auto after = copy->predict_proba(probe);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_DOUBLE_EQ(before[c], after[c]);
+}
+
+TEST_F(ExpertsTest, RetrainWithReplayKeepsAccuracy) {
+  BovwClassifier bovw(fast_bovw());
+  bovw.train(data_, data_.train_indices, rng_);
+  const double before = bovw.accuracy(data_, data_.test_indices);
+  // Retrain on a handful of deliberately WRONG crowd labels; replay of the
+  // golden set must prevent collapse.
+  std::vector<std::size_t> ids(data_.train_indices.begin(), data_.train_indices.begin() + 5);
+  std::vector<std::size_t> wrong_labels(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    wrong_labels[i] = (dataset::label_index(data_.image(ids[i]).true_label) + 1) % 3;
+  for (int round = 0; round < 3; ++round) bovw.retrain(data_, ids, wrong_labels, rng_);
+  const double after = bovw.accuracy(data_, data_.test_indices);
+  EXPECT_GT(after, before - 0.15);
+}
+
+TEST_F(ExpertsTest, RetrainValidation) {
+  BovwClassifier bovw(fast_bovw());
+  bovw.train(data_, data_.train_indices, rng_);
+  EXPECT_THROW(bovw.retrain(data_, {0, 1}, {0}, rng_), std::invalid_argument);
+  bovw.retrain(data_, {}, {}, rng_);  // empty retrain is a no-op
+}
+
+TEST_F(ExpertsTest, DdmHeatmapContract) {
+  DdmClassifier ddm(fast_ddm());
+  ddm.train(data_, data_.train_indices, rng_);
+  const auto& img = data_.image(data_.test_indices[0]);
+  const nn::Tensor3 cam = ddm.damage_heatmap(img, 2);
+  // Grad-CAM over the second conv layer's 8x8 grid, rectified at zero.
+  EXPECT_EQ(cam.shape(), (nn::Shape3{1, 8, 8}));
+  for (double v : cam.data()) EXPECT_GE(v, 0.0);
+  const double frac = ddm.activated_fraction(cam);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+  EXPECT_THROW(ddm.damage_heatmap(img, 3), std::out_of_range);
+}
+
+TEST_F(ExpertsTest, DdmHeatmapDoesNotCorruptTraining) {
+  // The Grad-CAM backward pass must not leave stale gradients that poison a
+  // later retrain step.
+  DdmClassifier ddm(fast_ddm());
+  ddm.train(data_, data_.train_indices, rng_);
+  const double before = ddm.accuracy(data_, data_.test_indices);
+  for (int i = 0; i < 10; ++i)
+    ddm.damage_heatmap(data_.image(data_.test_indices[static_cast<std::size_t>(i)]), 2);
+  std::vector<std::size_t> ids(data_.train_indices.begin(), data_.train_indices.begin() + 3);
+  ddm.retrain(data_, ids, data_.labels(ids), rng_);
+  EXPECT_GT(ddm.accuracy(data_, data_.test_indices), before - 0.2);
+}
+
+TEST_F(ExpertsTest, EnsembleUsesPretrainedMembers) {
+  // Member experts trained once, handed to the ensemble: train() should only
+  // fit the meta model (observable through unchanged member predictions).
+  auto vgg = std::make_unique<BovwClassifier>(fast_bovw());
+  vgg->train(data_, data_.train_indices, rng_);
+  const auto probe_before = vgg->predict_proba(data_.image(data_.test_indices[0]));
+
+  std::vector<std::unique_ptr<DdaAlgorithm>> members;
+  members.push_back(std::move(vgg));
+  members.push_back(std::make_unique<BovwClassifier>(fast_bovw()));
+  BoostedEnsemble ens(std::move(members));
+  ens.train(data_, data_.train_indices, rng_);
+  EXPECT_TRUE(ens.is_trained());
+
+  const auto probe_after = ens.member(0).predict_proba(data_.image(data_.test_indices[0]));
+  for (std::size_t c = 0; c < probe_before.size(); ++c)
+    EXPECT_DOUBLE_EQ(probe_before[c], probe_after[c]);
+}
+
+TEST_F(ExpertsTest, EnsembleAtLeastCompetitiveWithWorstMember) {
+  std::vector<std::unique_ptr<DdaAlgorithm>> members;
+  members.push_back(std::make_unique<BovwClassifier>(fast_bovw()));
+  members.push_back(std::make_unique<BovwClassifier>(fast_bovw()));
+  BoostedEnsemble ens(std::move(members));
+  ens.train(data_, data_.train_indices, rng_);
+  double worst = 1.0;
+  for (std::size_t m = 0; m < ens.num_members(); ++m)
+    worst = std::min(worst, ens.member(m).accuracy(data_, data_.test_indices));
+  EXPECT_GE(ens.accuracy(data_, data_.test_indices), worst - 0.1);
+}
+
+TEST_F(ExpertsTest, EnsembleCloneIsDeep) {
+  std::vector<std::unique_ptr<DdaAlgorithm>> members;
+  members.push_back(std::make_unique<BovwClassifier>(fast_bovw()));
+  BoostedEnsemble ens(std::move(members));
+  ens.train(data_, data_.train_indices, rng_);
+  auto copy = ens.clone();
+  EXPECT_TRUE(copy->is_trained());
+  const auto& probe = data_.image(data_.test_indices[1]);
+  EXPECT_EQ(ens.predict(probe), copy->predict(probe));
+}
+
+TEST_F(ExpertsTest, NamesAreStable) {
+  EXPECT_EQ(Vgg16Like().name(), "VGG16");
+  EXPECT_EQ(BovwClassifier().name(), "BoVW");
+  EXPECT_EQ(DdmClassifier().name(), "DDM");
+  EXPECT_EQ(BoostedEnsemble::make_default().name(), "Ensemble");
+}
+
+}  // namespace
+}  // namespace crowdlearn::experts

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "imaging/features.hpp"
+#include "imaging/renderer.hpp"
+
+namespace crowdlearn::imaging {
+namespace {
+
+nn::Tensor3 flat_image(double value) {
+  return nn::Tensor3(nn::Shape3{1, kImageSide, kImageSide}, value);
+}
+
+TEST(IntensityHistogram, SumsToOne) {
+  Rng rng(1);
+  const nn::Tensor3 img = render_scene(Severity::kModerate, {}, rng);
+  const auto hist = intensity_histogram(img, 8);
+  EXPECT_EQ(hist.size(), 8u);
+  EXPECT_NEAR(std::accumulate(hist.begin(), hist.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(IntensityHistogram, ConstantImageHitsOneBin) {
+  const auto hist = intensity_histogram(flat_image(0.55), 10);
+  // 0.55 falls in bin 5 of 10.
+  EXPECT_NEAR(hist[5], 1.0, 1e-12);
+  EXPECT_THROW(intensity_histogram(flat_image(0.5), 0), std::invalid_argument);
+}
+
+TEST(Sobel, FlatImageHasNoGradient) {
+  const GradientField gf = sobel(flat_image(0.7));
+  for (double m : gf.magnitude) EXPECT_NEAR(m, 0.0, 1e-12);
+}
+
+TEST(Sobel, VerticalEdgeHasHorizontalGradient) {
+  nn::Tensor3 img(nn::Shape3{1, kImageSide, kImageSide});
+  for (std::size_t y = 0; y < kImageSide; ++y)
+    for (std::size_t x = 0; x < kImageSide; ++x)
+      img.at(0, y, x) = x < kImageSide / 2 ? 0.0 : 1.0;
+  const GradientField gf = sobel(img);
+  // The edge column should carry strong magnitude, orientation ~0 (gx-dominant
+  // edges fold to theta ~ 0 or ~ pi on the [0, pi) circle).
+  const std::size_t edge_idx = 5 * kImageSide + kImageSide / 2;
+  EXPECT_GT(gf.magnitude[edge_idx], 1.0);
+  const double theta = gf.orientation[edge_idx];
+  EXPECT_TRUE(theta < 0.2 || theta > M_PI - 0.2);
+}
+
+TEST(OrientationHistogram, ConcentratesOnEdgeDirection) {
+  nn::Tensor3 img(nn::Shape3{1, kImageSide, kImageSide});
+  for (std::size_t y = 0; y < kImageSide; ++y)
+    for (std::size_t x = 0; x < kImageSide; ++x)
+      img.at(0, y, x) = y < kImageSide / 2 ? 0.0 : 1.0;  // horizontal edge
+  const auto hist = orientation_histogram(img, 8);
+  EXPECT_NEAR(std::accumulate(hist.begin(), hist.end(), 0.0), 1.0, 1e-9);
+  // Horizontal edge -> vertical gradient -> theta ~ pi/2 -> middle bins.
+  EXPECT_GT(hist[4] + hist[3], 0.9);
+}
+
+TEST(TextureStats, DimsAndFlatImageBaseline) {
+  const auto stats = texture_stats(flat_image(0.3));
+  ASSERT_EQ(stats.size(), 7u);
+  EXPECT_NEAR(stats[0], 0.3, 1e-12);  // mean
+  EXPECT_NEAR(stats[1], 0.0, 1e-12);  // stddev
+  EXPECT_NEAR(stats[2], 0.0, 1e-12);  // edge density
+  EXPECT_NEAR(stats[5], 0.0, 1e-12);  // block contrast
+}
+
+TEST(HandcraftedFeatures, DimensionContract) {
+  Rng rng(2);
+  const nn::Tensor3 img = render_scene(Severity::kSevere, {}, rng);
+  const auto feats = handcrafted_features(img);
+  EXPECT_EQ(feats.size(), kHandcraftedDims);
+  for (double f : feats) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(HandcraftedFeatures, SeparateSeverities) {
+  // The BoVW expert's entire premise: handcrafted features differ by class.
+  Rng rng(3);
+  std::vector<double> none_mean(kHandcraftedDims, 0.0), severe_mean(kHandcraftedDims, 0.0);
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    const auto fn = handcrafted_features(render_scene(Severity::kNone, {}, rng));
+    const auto fs = handcrafted_features(render_scene(Severity::kSevere, {}, rng));
+    for (std::size_t d = 0; d < kHandcraftedDims; ++d) {
+      none_mean[d] += fn[d] / n;
+      severe_mean[d] += fs[d] / n;
+    }
+  }
+  double total_gap = 0.0;
+  for (std::size_t d = 0; d < kHandcraftedDims; ++d)
+    total_gap += std::abs(none_mean[d] - severe_mean[d]);
+  EXPECT_GT(total_gap, 0.3);
+}
+
+TEST(Sobel, RejectsMultiChannel) {
+  nn::Tensor3 img(nn::Shape3{2, 4, 4});
+  EXPECT_THROW(sobel(img), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::imaging

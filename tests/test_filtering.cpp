@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "truth/filtering.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::truth {
+namespace {
+
+QueryResponse make_response(const std::vector<std::pair<std::size_t, std::size_t>>& answers) {
+  QueryResponse resp;
+  for (const auto& [worker, label] : answers) {
+    crowd::WorkerAnswer a;
+    a.worker_id = worker;
+    a.label = label;
+    a.questionnaire.assign(dataset::Questionnaire::kDims, 0.0);
+    resp.answers.push_back(std::move(a));
+  }
+  return resp;
+}
+
+/// Training history: worker 0 always right, worker 1 always wrong, each
+/// observed `n` times on queries whose truth is class 0.
+std::vector<LabeledQuery> history(std::size_t n) {
+  std::vector<LabeledQuery> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledQuery lq;
+    lq.true_label = 0;
+    lq.response = make_response({{0, 0}, {1, 1}});
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+TEST(Filtering, BlacklistsConsistentlyWrongWorkers) {
+  FilteringAggregator f;
+  f.fit(history(10));
+  EXPECT_FALSE(f.is_blacklisted(0));
+  EXPECT_TRUE(f.is_blacklisted(1));
+  EXPECT_EQ(f.blacklist_size(), 1u);
+}
+
+TEST(Filtering, AdmitsWorkersWithoutHistory) {
+  FilteringAggregator f;
+  f.fit(history(10));
+  EXPECT_FALSE(f.is_blacklisted(999));  // never seen -> admitted by default
+}
+
+TEST(Filtering, MinHistoryProtectsNewWorkers) {
+  FilteringConfig cfg;
+  cfg.min_history = 5;
+  FilteringAggregator f(cfg);
+  f.fit(history(3));  // worker 1 wrong 3 times, below min_history
+  EXPECT_FALSE(f.is_blacklisted(1));
+}
+
+TEST(Filtering, FilteredVoteExcludesBlacklisted) {
+  FilteringAggregator f;
+  f.fit(history(10));
+  // Worker 1 (blacklisted) votes 1 twice via clones 1; workers 0 and 2 vote 0/2.
+  const QueryResponse q = make_response({{0, 0}, {1, 1}, {2, 2}});
+  const auto dists = f.aggregate({q});
+  // Only workers 0 and 2 count: a 50/50 split between classes 0 and 2.
+  EXPECT_NEAR(dists[0][0], 0.5, 1e-12);
+  EXPECT_NEAR(dists[0][1], 0.0, 1e-12);
+  EXPECT_NEAR(dists[0][2], 0.5, 1e-12);
+}
+
+TEST(Filtering, FallsBackWhenAllRespondentsBlacklisted) {
+  FilteringAggregator f;
+  f.fit(history(10));
+  const QueryResponse q = make_response({{1, 2}, {1, 2}});
+  const auto dists = f.aggregate({q});
+  EXPECT_NEAR(dists[0][2], 1.0, 1e-12);  // unfiltered fallback vote
+}
+
+TEST(Filtering, ThresholdBoundaryBehaviour) {
+  // Worker with accuracy exactly at the threshold must NOT be blacklisted.
+  FilteringConfig cfg;
+  cfg.accuracy_threshold = 0.5;
+  cfg.min_history = 2;
+  FilteringAggregator f(cfg);
+  std::vector<LabeledQuery> mixed;
+  for (int i = 0; i < 4; ++i) {
+    LabeledQuery lq;
+    lq.true_label = 0;
+    lq.response = make_response({{7, (i % 2 == 0) ? 0u : 1u}});  // 50% accuracy
+    mixed.push_back(std::move(lq));
+  }
+  f.fit(mixed);
+  EXPECT_FALSE(f.is_blacklisted(7));
+}
+
+TEST(Filtering, RefitReplacesHistory) {
+  FilteringAggregator f;
+  f.fit(history(10));
+  EXPECT_TRUE(f.is_blacklisted(1));
+  // Refit with worker 1 now answering correctly.
+  std::vector<LabeledQuery> good;
+  for (int i = 0; i < 10; ++i) {
+    LabeledQuery lq;
+    lq.true_label = 0;
+    lq.response = make_response({{1, 0}});
+    good.push_back(std::move(lq));
+  }
+  f.fit(good);
+  EXPECT_FALSE(f.is_blacklisted(1));
+}
+
+TEST(Filtering, RejectsEmptyResponse) {
+  FilteringAggregator f;
+  QueryResponse empty;
+  EXPECT_THROW(f.aggregate({empty}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::truth

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gbdt/gbdt.hpp"
+
+namespace crowdlearn::gbdt {
+namespace {
+
+/// Three linearly separable clusters in 2-D.
+void make_data(std::vector<std::vector<double>>& rows, std::vector<std::size_t>& y,
+               std::size_t per_class, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {3.0, 0.0}, {0.0, 3.0}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      rows.push_back({centers[c][0] + rng.normal(0.0, 0.5),
+                      centers[c][1] + rng.normal(0.0, 0.5)});
+      y.push_back(c);
+    }
+  }
+}
+
+TEST(Gbdt, LearnsSeparableClusters) {
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 60, rng);
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_rounds = 30;
+  model.fit(x, y, 3, cfg);
+  EXPECT_TRUE(model.trained());
+  EXPECT_EQ(model.num_classes(), 3u);
+  EXPECT_EQ(model.num_rounds(), 30u);
+  EXPECT_GE(model.accuracy(x, y), 0.97);
+}
+
+TEST(Gbdt, PredictProbaIsDistribution) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 30, rng);
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_rounds = 10;
+  model.fit(FeatureMatrix::from_rows(rows), y, 3, cfg);
+
+  const auto p = model.predict_proba({1.0, 1.0});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
+  for (double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(Gbdt, ConfidentNearClusterCenters) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 60, rng);
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.num_rounds = 40;
+  model.fit(FeatureMatrix::from_rows(rows), y, 3, cfg);
+  EXPECT_GT(model.predict_proba({0.0, 0.0})[0], 0.8);
+  EXPECT_GT(model.predict_proba({3.0, 0.0})[1], 0.8);
+  EXPECT_GT(model.predict_proba({0.0, 3.0})[2], 0.8);
+}
+
+TEST(Gbdt, MoreRoundsReduceTrainingError) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  // Noisier data so a few rounds underfit.
+  const double centers[3][2] = {{0.0, 0.0}, {1.5, 0.0}, {0.0, 1.5}};
+  for (std::size_t c = 0; c < 3; ++c)
+    for (int i = 0; i < 50; ++i) {
+      rows.push_back({centers[c][0] + rng.normal(0.0, 0.6),
+                      centers[c][1] + rng.normal(0.0, 0.6)});
+      y.push_back(c);
+    }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+
+  GbdtConfig small, big;
+  small.num_rounds = 2;
+  big.num_rounds = 40;
+  Gbdt m_small, m_big;
+  m_small.fit(x, y, 3, small);
+  m_big.fit(x, y, 3, big);
+  EXPECT_GT(m_big.accuracy(x, y), m_small.accuracy(x, y));
+}
+
+TEST(Gbdt, DeterministicGivenSeed) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 30, rng);
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+  GbdtConfig cfg;
+  cfg.num_rounds = 8;
+  Gbdt a, b;
+  a.fit(x, y, 3, cfg);
+  b.fit(x, y, 3, cfg);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> q{rng.uniform(-1, 4), rng.uniform(-1, 4)};
+    EXPECT_EQ(a.predict(q), b.predict(q));
+  }
+}
+
+TEST(Gbdt, Validation) {
+  Gbdt model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+  const FeatureMatrix x = FeatureMatrix::from_rows({{1.0}, {2.0}});
+  GbdtConfig cfg;
+  EXPECT_THROW(model.fit(x, {0}, 2, cfg), std::invalid_argument);       // size mismatch
+  EXPECT_THROW(model.fit(x, {0, 5}, 3, cfg), std::invalid_argument);    // label range
+  EXPECT_THROW(model.fit(x, {0, 1}, 1, cfg), std::invalid_argument);    // k < 2
+  cfg.subsample = 0.0;
+  EXPECT_THROW(model.fit(x, {0, 1}, 2, cfg), std::invalid_argument);
+}
+
+class GbdtSubsampleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbdtSubsampleTest, StillLearnsWithRowSubsampling) {
+  Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 60, rng);
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+  GbdtConfig cfg;
+  cfg.num_rounds = 30;
+  cfg.subsample = GetParam();
+  Gbdt model;
+  model.fit(x, y, 3, cfg);
+  EXPECT_GE(model.accuracy(x, y), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, GbdtSubsampleTest, ::testing::Values(0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace crowdlearn::gbdt

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/ipd.hpp"
+
+namespace crowdlearn::core {
+namespace {
+
+IpdConfig small_config() {
+  IpdConfig cfg;
+  cfg.total_budget_cents = 400.0;
+  cfg.horizon_queries = 50;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Ipd, DefaultPolicyIsUcbAlp) {
+  Ipd ipd(small_config());
+  EXPECT_STREQ(ipd.policy().name(), "ucb_alp");
+}
+
+TEST(Ipd, AssignedIncentivesComeFromTheLevelSet) {
+  Ipd ipd(small_config());
+  const auto& levels = ipd.config().incentive_levels;
+  for (int i = 0; i < 30; ++i) {
+    const double c = ipd.assign_incentive(dataset::TemporalContext::kEvening);
+    EXPECT_TRUE(std::find(levels.begin(), levels.end(), c) != levels.end());
+    ipd.feedback(dataset::TemporalContext::kEvening, c, 300.0);
+  }
+}
+
+TEST(Ipd, CustomPolicyPassthrough) {
+  Ipd ipd(small_config(), std::make_unique<bandit::FixedIncentivePolicy>(6.0));
+  EXPECT_STREQ(ipd.policy().name(), "fixed");
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c)
+    EXPECT_DOUBLE_EQ(ipd.assign_incentive(static_cast<dataset::TemporalContext>(c)), 6.0);
+  EXPECT_THROW(Ipd(small_config(), nullptr), std::invalid_argument);
+}
+
+TEST(Ipd, WarmStartFromPilotSeedsEveryCell) {
+  // Build a tiny real pilot, warm-start, and verify pull counts.
+  ExperimentConfig cfg;
+  cfg.dataset.total_images = 100;
+  cfg.dataset.train_images = 60;
+  cfg.pilot.queries_per_cell = 3;
+  cfg.seed = 13;
+  const ExperimentSetup setup = make_setup(cfg);
+
+  Ipd ipd(small_config());
+  ipd.warm_start_from_pilot(setup.pilot);
+  auto& ucb = dynamic_cast<bandit::UcbAlpPolicy&>(ipd.policy());
+  for (std::size_t ctx = 0; ctx < dataset::kNumContexts; ++ctx)
+    for (std::size_t a = 0; a < crowd::kIncentiveLevels.size(); ++a)
+      EXPECT_EQ(ucb.pull_count(ctx, a), 3u);
+}
+
+TEST(Ipd, WarmStartIsNoOpForBaselinePolicies) {
+  ExperimentConfig cfg;
+  cfg.dataset.total_images = 100;
+  cfg.dataset.train_images = 60;
+  cfg.pilot.queries_per_cell = 2;
+  cfg.seed = 14;
+  const ExperimentSetup setup = make_setup(cfg);
+  Ipd ipd(small_config(), std::make_unique<bandit::RandomIncentivePolicy>(
+                              small_config().incentive_levels, 3));
+  ipd.warm_start_from_pilot(setup.pilot);  // must not throw
+  SUCCEED();
+}
+
+TEST(Ipd, WarmStartedPolicyPrefersFastArms) {
+  // The pilot's morning cells show only the 20c arm is fast; after warm
+  // start, morning choices should skew expensive immediately.
+  Ipd ipd(small_config());
+  auto& ucb = dynamic_cast<bandit::UcbAlpPolicy&>(ipd.policy());
+  for (int rep = 0; rep < 30; ++rep) {
+    for (double cents : crowd::kIncentiveLevels) {
+      ucb.warm_start(0, cents, cents >= 20.0 ? 100.0 : 1200.0);
+      ucb.warm_start(2, cents, 250.0);  // evening flat
+    }
+  }
+  double morning_sum = 0.0, evening_sum = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    morning_sum += ipd.assign_incentive(dataset::TemporalContext::kMorning);
+    evening_sum += ipd.assign_incentive(dataset::TemporalContext::kEvening);
+  }
+  EXPECT_GT(morning_sum / 20.0, evening_sum / 20.0);
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

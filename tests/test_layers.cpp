@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace crowdlearn::nn {
+namespace {
+
+/// Central-difference numerical gradient check for a layer's input gradient
+/// and parameter gradients, against the scalar loss L = sum(output^2)/2
+/// whose dL/d(output) = output.
+void check_gradients(Layer& layer, Matrix input, double tol = 1e-5) {
+  const double eps = 1e-6;
+
+  auto loss_of = [&](const Matrix& x) {
+    Matrix out = layer.forward(x, /*training=*/false);
+    return 0.5 * out.squared_norm();
+  };
+
+  // Analytic gradients.
+  Matrix out = layer.forward(input, false);
+  for (Param p : layer.params()) p.grad->fill(0.0);
+  const Matrix grad_in = layer.backward(out);  // dL/doutput == output
+
+  // Input gradient.
+  for (std::size_t i = 0; i < input.data().size(); ++i) {
+    const double orig = input.data()[i];
+    input.data()[i] = orig + eps;
+    const double up = loss_of(input);
+    input.data()[i] = orig - eps;
+    const double down = loss_of(input);
+    input.data()[i] = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, tol) << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients (recompute analytic after restoring input).
+  layer.forward(input, false);
+  for (Param p : layer.params()) p.grad->fill(0.0);
+  layer.backward(layer.forward(input, false));
+  for (Param p : layer.params()) {
+    for (std::size_t i = 0; i < p.value->data().size(); ++i) {
+      const double orig = p.value->data()[i];
+      p.value->data()[i] = orig + eps;
+      const double up = loss_of(input);
+      p.value->data()[i] = orig - eps;
+      const double down = loss_of(input);
+      p.value->data()[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(p.grad->data()[i], numeric, tol)
+          << p.name << " grad mismatch at " << i;
+    }
+  }
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Dense, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  // Overwrite weights with known values.
+  d.weights() = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix x = Matrix::from_rows({{1, 1}});
+  const Matrix y = d.forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.0);  // 1*1 + 1*3 + bias 0
+  EXPECT_DOUBLE_EQ(y(0, 1), 6.0);
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(2);
+  Dense d(4, 3, rng);
+  check_gradients(d, random_matrix(5, 4, rng));
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  Dense d(2, 2, rng);
+  Matrix g(1, 2);
+  EXPECT_THROW(d.backward(g), std::logic_error);
+  EXPECT_THROW(Dense(0, 2, rng), std::invalid_argument);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r(3);
+  const Matrix y = r.forward(Matrix::from_rows({{-1.0, 0.0, 2.0}}), false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+}
+
+TEST(ReLU, GradientCheck) {
+  Rng rng(4);
+  ReLU r(6);
+  // Shift inputs away from the kink at 0 where the numeric check is invalid.
+  Matrix x = random_matrix(3, 6, rng);
+  for (double& v : x.data())
+    if (std::abs(v) < 0.05) v = 0.1;
+  check_gradients(r, x);
+}
+
+TEST(Tanh, GradientCheck) {
+  Rng rng(5);
+  Tanh t(5);
+  check_gradients(t, random_matrix(4, 5, rng));
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(6);
+  Dropout d(4, 0.5, rng);
+  const Matrix x = random_matrix(2, 4, rng);
+  const Matrix y = d.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(Dropout, TrainingZerosAndRescales) {
+  Rng rng(7);
+  Dropout d(1000, 0.5, rng);
+  Matrix x(1, 1000, 1.0);
+  const Matrix y = d.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (double v : y.data()) {
+    if (v == 0.0) ++zeros;
+    else EXPECT_DOUBLE_EQ(v, 2.0);  // inverted dropout rescales by 1/(1-p)
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.07);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // expectation preserved
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(8);
+  Dropout d(50, 0.4, rng);
+  Matrix x(1, 50, 1.0);
+  const Matrix y = d.forward(x, true);
+  Matrix g(1, 50, 1.0);
+  const Matrix gx = d.backward(g);
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (y(0, i) == 0.0) EXPECT_DOUBLE_EQ(gx(0, i), 0.0);
+    else EXPECT_DOUBLE_EQ(gx(0, i), y(0, i));  // both equal 1/(1-p)
+  }
+  EXPECT_THROW(Dropout(4, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Layers, CloneIsDeepCopy) {
+  Rng rng(9);
+  Dense d(3, 2, rng);
+  auto copy = d.clone();
+  // Mutating the original must not affect the clone.
+  const Matrix x = random_matrix(1, 3, rng);
+  const Matrix before = copy->forward(x, false);
+  d.weights().fill(0.0);
+  const Matrix after = copy->forward(x, false);
+  for (std::size_t i = 0; i < before.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(before.data()[i], after.data()[i]);
+}
+
+}  // namespace
+}  // namespace crowdlearn::nn

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  const Matrix logits = Matrix::from_rows({{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}});
+  const Matrix p = softmax(logits);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GT(p(r, c), 0.0);
+      s += p(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Softmax, InvariantToConstantShift) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0, 3.0}});
+  const Matrix b = Matrix::from_rows({{101.0, 102.0, 103.0}});
+  const Matrix pa = softmax(a), pb = softmax(b);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(pa(0, c), pb(0, c), 1e-12);
+}
+
+TEST(Softmax, NumericallyStableOnHugeLogits) {
+  const Matrix logits = Matrix::from_rows({{1000.0, 999.0, -1000.0}});
+  const Matrix p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_NEAR(p(0, 0) + p(0, 1) + p(0, 2), 1.0, 1e-12);
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  const Matrix logits = Matrix::from_rows({{20.0, 0.0, 0.0}});
+  const LossResult res = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  const Matrix logits(4, 3, 0.0);
+  const LossResult res = softmax_cross_entropy(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(res.loss, std::log(3.0), 1e-9);
+}
+
+TEST(CrossEntropy, GradientIsProbMinusOneHotOverBatch) {
+  const Matrix logits = Matrix::from_rows({{0.5, -0.2, 0.1}, {1.0, 1.0, 1.0}});
+  const LossResult res = softmax_cross_entropy(logits, {2, 0});
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      double expected = res.probabilities(r, c);
+      if ((r == 0 && c == 2) || (r == 1 && c == 0)) expected -= 1.0;
+      EXPECT_NEAR(res.grad_logits(r, c), expected / 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(CrossEntropy, NumericalGradientCheck) {
+  Rng rng(3);
+  Matrix logits(3, 4);
+  for (double& v : logits.data()) v = rng.uniform(-2.0, 2.0);
+  const std::vector<std::size_t> labels{1, 3, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.data().size(); ++i) {
+    const double orig = logits.data()[i];
+    logits.data()[i] = orig + eps;
+    const double up = softmax_cross_entropy(logits, labels).loss;
+    logits.data()[i] = orig - eps;
+    const double down = softmax_cross_entropy(logits, labels).loss;
+    logits.data()[i] = orig;
+    EXPECT_NEAR(res.grad_logits.data()[i], (up - down) / (2 * eps), 1e-6);
+  }
+}
+
+TEST(CrossEntropy, Validation) {
+  const Matrix logits(2, 3, 0.0);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::out_of_range);
+}
+
+TEST(SoftCrossEntropy, MatchesHardWhenTargetsOneHot) {
+  const Matrix logits = Matrix::from_rows({{0.3, -0.7, 1.2}});
+  const LossResult hard = softmax_cross_entropy(logits, {2});
+  const Matrix targets = Matrix::from_rows({{0.0, 0.0, 1.0}});
+  const LossResult soft = softmax_cross_entropy_soft(logits, targets);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-12);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(hard.grad_logits.data()[i], soft.grad_logits.data()[i], 1e-12);
+}
+
+TEST(SoftCrossEntropy, SoftTargetGradientPointsTowardTarget) {
+  const Matrix logits(1, 3, 0.0);  // uniform prediction
+  const Matrix targets = Matrix::from_rows({{0.7, 0.2, 0.1}});
+  const LossResult res = softmax_cross_entropy_soft(logits, targets);
+  // grad = p - t: negative where target exceeds prediction.
+  EXPECT_LT(res.grad_logits(0, 0), 0.0);
+  EXPECT_GT(res.grad_logits(0, 2), 0.0);
+  Matrix bad(2, 3, 0.0);
+  EXPECT_THROW(softmax_cross_entropy_soft(logits, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::nn

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "nn/matrix.hpp"
+
+namespace crowdlearn::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, FromRowsValidation) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(Matrix::from_rows({}), std::invalid_argument);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulHandChecked) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeValidation) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  const Matrix c = a.matmul(eye);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t col = 0; col < 3; ++col) EXPECT_DOUBLE_EQ(c(r, col), a(r, col));
+}
+
+TEST(Matrix, TransposeIsInvolution) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix tt = t.transpose();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{10, 20}, {30, 40}});
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.hadamard(b)(0, 1), 40.0);
+  Matrix c(1, 2);
+  EXPECT_THROW(c += a, std::invalid_argument);
+}
+
+TEST(Matrix, RowAccessors) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.row(1), (std::vector<double>{3, 4}));
+  m.set_row(0, {9, 8});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.set_row(0, {1}), std::invalid_argument);
+}
+
+TEST(Matrix, BroadcastAndColumnSums) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix bias = Matrix::from_rows({{10, 20}});
+  m.add_row_broadcast(bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24.0);
+  const Matrix sums = m.column_sums();
+  EXPECT_DOUBLE_EQ(sums(0, 0), 24.0);  // 11 + 13
+  EXPECT_DOUBLE_EQ(sums(0, 1), 46.0);  // 22 + 24
+  Matrix bad(2, 2);
+  EXPECT_THROW(m.add_row_broadcast(bad), std::invalid_argument);
+}
+
+TEST(Matrix, MapAndNorm) {
+  const Matrix a = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+  const Matrix doubled = a.map([](double v) { return 2 * v; });
+  EXPECT_DOUBLE_EQ(doubled(0, 1), 8.0);
+}
+
+}  // namespace
+}  // namespace crowdlearn::nn

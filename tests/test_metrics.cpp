@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "stats/metrics.hpp"
+
+namespace crowdlearn::stats {
+namespace {
+
+TEST(ConfusionMatrix, PerfectPredictions) {
+  ConfusionMatrix cm(3);
+  cm.add_all({0, 1, 2, 0, 1, 2}, {0, 1, 2, 0, 1, 2});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownHandComputedValues) {
+  // truth:     0 0 0 1 1 2
+  // predicted: 0 1 0 1 1 0
+  ConfusionMatrix cm(3);
+  cm.add_all({0, 0, 0, 1, 1, 2}, {0, 1, 0, 1, 1, 0});
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  // Class 0: predicted column = {2 correct, 1 from class 2} -> P = 2/3.
+  EXPECT_NEAR(cm.precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  // Class 1: column = 1 wrong + 2 right -> P = 2/3; recall = 2/2.
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  // Class 2 never predicted: precision convention 0, recall 0.
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroF1IsHarmonicMeanOfMacroPR) {
+  ConfusionMatrix cm(3);
+  cm.add_all({0, 0, 1, 1, 2, 2, 0, 1}, {0, 1, 1, 1, 2, 0, 0, 2});
+  const double p = cm.macro_precision();
+  const double r = cm.macro_recall();
+  EXPECT_NEAR(cm.macro_f1(), 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, 2), std::out_of_range);
+  EXPECT_THROW(cm.add_all({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);  // empty matrix
+}
+
+TEST(EvaluateClassification, MatchesManualMatrix) {
+  const std::vector<std::size_t> truth{0, 1, 2, 2, 1, 0};
+  const std::vector<std::size_t> pred{0, 1, 2, 1, 1, 2};
+  const ClassificationReport rep = evaluate_classification(truth, pred, 3);
+  ConfusionMatrix cm(3);
+  cm.add_all(truth, pred);
+  EXPECT_DOUBLE_EQ(rep.accuracy, cm.accuracy());
+  EXPECT_DOUBLE_EQ(rep.precision, cm.macro_precision());
+  EXPECT_DOUBLE_EQ(rep.recall, cm.macro_recall());
+  EXPECT_DOUBLE_EQ(rep.f1, cm.macro_f1());
+}
+
+// Parameterized invariant: accuracy is bounded by max per-class recall and
+// at least min per-class recall when classes are balanced.
+class MetricsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsPropertyTest, AccuracyIsConvexCombinationOfRecalls) {
+  const int seed = GetParam();
+  std::mt19937_64 gen(static_cast<std::uint64_t>(seed));
+  std::uniform_int_distribution<std::size_t> cls(0, 2);
+  std::vector<std::size_t> truth, pred;
+  // Balanced truth: 30 of each class.
+  for (std::size_t c = 0; c < 3; ++c)
+    for (int i = 0; i < 30; ++i) {
+      truth.push_back(c);
+      pred.push_back(cls(gen));
+    }
+  ConfusionMatrix cm(3);
+  cm.add_all(truth, pred);
+  const double min_rec = std::min({cm.recall(0), cm.recall(1), cm.recall(2)});
+  const double max_rec = std::max({cm.recall(0), cm.recall(1), cm.recall(2)});
+  EXPECT_GE(cm.accuracy(), min_rec - 1e-12);
+  EXPECT_LE(cm.accuracy(), max_rec + 1e-12);
+  // With balanced classes, accuracy == macro recall exactly.
+  EXPECT_NEAR(cm.accuracy(), cm.macro_recall(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace crowdlearn::stats

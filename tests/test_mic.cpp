@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mic.hpp"
+#include "experts/bovw.hpp"
+
+namespace crowdlearn::core {
+namespace {
+
+using Votes = std::vector<std::vector<std::vector<double>>>;
+
+TEST(Mic, ZeroLossWhenVotesMatchTruth) {
+  Mic mic(MicConfig{});
+  const std::vector<double> dist{0.2, 0.3, 0.5};
+  const Votes votes{{dist, dist}};
+  const auto losses = mic.expert_losses(votes, {dist}, 2);
+  EXPECT_NEAR(losses[0], 0.0, 1e-9);
+  EXPECT_NEAR(losses[1], 0.0, 1e-9);
+}
+
+TEST(Mic, DivergentExpertGetsHigherLoss) {
+  Mic mic(MicConfig{});
+  const std::vector<double> truth{0.9, 0.05, 0.05};
+  const std::vector<double> close{0.8, 0.1, 0.1};
+  const std::vector<double> far{0.05, 0.05, 0.9};
+  const auto losses = mic.expert_losses({{close, far}}, {truth}, 2);
+  EXPECT_LT(losses[0], losses[1]);
+  EXPECT_GT(losses[1], 0.5);  // squashed divergence approaches 1 for far-off votes
+  EXPECT_LE(losses[1], 1.0);
+}
+
+TEST(Mic, LossesAveragedOverImages) {
+  Mic mic(MicConfig{});
+  const std::vector<double> truth{1.0, 0.0, 0.0};
+  const std::vector<double> right{1.0, 0.0, 0.0};
+  const std::vector<double> wrong{0.0, 0.0, 1.0};
+  // Expert agrees on one image, diverges on the other.
+  const auto losses = mic.expert_losses({{right}, {wrong}}, {truth, truth}, 1);
+  const auto full = mic.expert_losses({{wrong}}, {truth}, 1);
+  EXPECT_NEAR(losses[0], full[0] / 2.0, 1e-9);
+}
+
+TEST(Mic, ExponentialWeightUpdatePenalizesLoss) {
+  MicConfig cfg;
+  cfg.eta = 2.0;
+  Mic mic(cfg);
+  const auto updated = mic.updated_weights({0.5, 0.5}, {0.0, 1.0});
+  EXPECT_GT(updated[0], updated[1]);
+  EXPECT_NEAR(updated[0] + updated[1], 1.0, 1e-12);
+  // Hedge ratio: w1/w0 = exp(-eta * (l1 - l0)) = exp(-2).
+  EXPECT_NEAR(updated[1] / updated[0], std::exp(-2.0), 1e-9);
+}
+
+TEST(Mic, EqualLossesLeaveWeightsUnchanged) {
+  Mic mic(MicConfig{});
+  const auto updated = mic.updated_weights({0.7, 0.3}, {0.4, 0.4});
+  EXPECT_NEAR(updated[0], 0.7, 1e-12);
+  EXPECT_NEAR(updated[1], 0.3, 1e-12);
+}
+
+TEST(Mic, WeightUpdateCanBeDisabled) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 60;
+  dcfg.train_images = 40;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  experts::BovwConfig fast;
+  fast.train.epochs = 3;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> experts_vec;
+  experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  experts::ExpertCommittee committee(std::move(experts_vec));
+  Rng rng(1);
+  committee.train_all(data, data.train_indices, rng);
+
+  const std::vector<double> truth{1.0, 0.0, 0.0};
+  const Votes votes{{{0.9, 0.05, 0.05}, {0.1, 0.1, 0.8}}};
+
+  MicConfig off;
+  off.enable_weight_update = false;
+  Mic mic_off(off);
+  mic_off.update_committee_weights(committee, votes, {truth});
+  EXPECT_NEAR(committee.weights()[0], 0.5, 1e-12);
+
+  Mic mic_on(MicConfig{});
+  const auto losses = mic_on.update_committee_weights(committee, votes, {truth});
+  EXPECT_GT(committee.weights()[0], 0.5);
+  EXPECT_LT(losses[0], losses[1]);
+}
+
+TEST(Mic, RetrainRespectsToggle) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 60;
+  dcfg.train_images = 40;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  experts::BovwConfig fast;
+  fast.train.epochs = 3;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> experts_vec;
+  experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  experts::ExpertCommittee committee(std::move(experts_vec));
+  Rng rng(2);
+  committee.train_all(data, data.train_indices, rng);
+
+  const auto& probe = data.image(data.test_indices[0]);
+  const auto before = committee.committee_vote(probe);
+
+  MicConfig off;
+  off.enable_retraining = false;
+  Mic mic_off(off);
+  mic_off.retrain(committee, data, {data.train_indices[0]}, {2}, rng);
+  const auto unchanged = committee.committee_vote(probe);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_DOUBLE_EQ(before[c], unchanged[c]);
+
+  Mic mic_on(MicConfig{});
+  mic_on.retrain(committee, data, {data.train_indices[0]}, {2}, rng);
+  bool changed = false;
+  const auto after = committee.committee_vote(probe);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    if (std::abs(after[c] - before[c]) > 1e-12) changed = true;
+  EXPECT_TRUE(changed);
+}
+
+TEST(Mic, Validation) {
+  Mic mic(MicConfig{});
+  const std::vector<double> d{1.0, 0.0, 0.0};
+  EXPECT_THROW(mic.expert_losses({{d}}, {}, 1), std::invalid_argument);
+  EXPECT_THROW(mic.expert_losses({{d}}, {d}, 2), std::invalid_argument);
+  EXPECT_THROW(mic.updated_weights({0.5}, {0.1, 0.2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

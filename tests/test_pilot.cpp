@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crowd/pilot.hpp"
+
+namespace crowdlearn::crowd {
+namespace {
+
+class PilotTest : public ::testing::Test {
+ protected:
+  PilotTest() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 120;
+    dcfg.train_images = 80;
+    dcfg.seed = 9;
+    data_ = dataset::generate_dataset(dcfg);
+  }
+
+  PilotResult run(std::size_t queries_per_cell = 8) {
+    CrowdPlatform platform(&data_, PlatformConfig{});
+    PilotConfig cfg;
+    cfg.queries_per_cell = queries_per_cell;
+    Rng rng(17);
+    return run_pilot_study(platform, data_, cfg, rng);
+  }
+
+  dataset::Dataset data_;
+};
+
+TEST_F(PilotTest, CellGridIsComplete) {
+  const PilotResult pilot = run();
+  EXPECT_EQ(pilot.queries_per_cell, 8u);
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+    ASSERT_EQ(pilot.cells[c].size(), kIncentiveLevels.size());
+    for (std::size_t l = 0; l < kIncentiveLevels.size(); ++l) {
+      const PilotCell& cell = pilot.cell(static_cast<dataset::TemporalContext>(c), l);
+      EXPECT_EQ(cell.context, static_cast<dataset::TemporalContext>(c));
+      EXPECT_DOUBLE_EQ(cell.incentive_cents, kIncentiveLevels[l]);
+      EXPECT_EQ(cell.query_delays.size(), 8u);
+      EXPECT_EQ(cell.query_accuracies.size(), 8u);
+      EXPECT_EQ(cell.responses.size(), 8u);
+      EXPECT_GT(cell.mean_delay, 0.0);
+      EXPECT_GE(cell.mean_accuracy, 0.0);
+      EXPECT_LE(cell.mean_accuracy, 1.0);
+    }
+  }
+}
+
+TEST_F(PilotTest, ResponsesQueryTrainingImages) {
+  const PilotResult pilot = run();
+  const std::set<std::size_t> train(data_.train_indices.begin(), data_.train_indices.end());
+  for (const auto& context_cells : pilot.cells)
+    for (const PilotCell& cell : context_cells)
+      for (const QueryResponse& resp : cell.responses)
+        EXPECT_TRUE(train.count(resp.image_id));
+}
+
+TEST_F(PilotTest, MorningExpensiveVsCheapDelayGap) {
+  const PilotResult pilot = run(16);
+  const double cheap = pilot.cell(dataset::TemporalContext::kMorning, 0).mean_delay;
+  const double pricey =
+      pilot.cell(dataset::TemporalContext::kMorning, kIncentiveLevels.size() - 1).mean_delay;
+  EXPECT_GT(cheap, 1.5 * pricey);
+}
+
+TEST_F(PilotTest, WilcoxonComparableAcrossLevels) {
+  const PilotResult pilot = run(16);
+  const stats::WilcoxonResult w = pilot.quality_wilcoxon(2, 3);  // 4c vs 6c
+  EXPECT_GE(w.p_value, 0.0);
+  EXPECT_LE(w.p_value, 1.0);
+  // Comparing a level to itself is never significant.
+  EXPECT_DOUBLE_EQ(pilot.quality_wilcoxon(2, 2).p_value, 1.0);
+}
+
+TEST_F(PilotTest, Validation) {
+  CrowdPlatform platform(&data_, PlatformConfig{});
+  Rng rng(1);
+  PilotConfig cfg;
+  cfg.queries_per_cell = 0;
+  EXPECT_THROW(run_pilot_study(platform, data_, cfg, rng), std::invalid_argument);
+  cfg.queries_per_cell = 10;
+  cfg.incentive_levels.clear();
+  EXPECT_THROW(run_pilot_study(platform, data_, cfg, rng), std::invalid_argument);
+  cfg = PilotConfig{};
+  cfg.queries_per_cell = 1000;  // more than the training set holds
+  EXPECT_THROW(run_pilot_study(platform, data_, cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::crowd

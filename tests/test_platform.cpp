@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crowd/platform.hpp"
+
+namespace crowdlearn::crowd {
+namespace {
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 60;
+    dcfg.train_images = 30;
+    dcfg.seed = 3;
+    data_ = dataset::generate_dataset(dcfg);
+  }
+
+  dataset::Dataset data_;
+  PlatformConfig cfg_;
+};
+
+TEST_F(PlatformTest, QueryReturnsRequestedAnswerCount) {
+  CrowdPlatform platform(&data_, cfg_);
+  const QueryResponse resp =
+      platform.post_query(data_.test_indices[0], 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(resp.answers.size(), cfg_.workers_per_query);
+  EXPECT_EQ(resp.image_id, data_.test_indices[0]);
+  for (const WorkerAnswer& a : resp.answers) {
+    EXPECT_GT(a.delay_seconds, 0.0);
+    EXPECT_LT(a.label, dataset::kNumSeverityClasses);
+    EXPECT_EQ(a.questionnaire.size(), dataset::Questionnaire::kDims);
+  }
+  EXPECT_GE(resp.completion_delay_seconds, resp.mean_answer_delay_seconds);
+}
+
+TEST_F(PlatformTest, LedgerChargesPerQuery) {
+  CrowdPlatform platform(&data_, cfg_);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 0.0);
+  platform.post_query(data_.test_indices[0], 8.0, TemporalContext::kMorning);
+  platform.post_query(data_.test_indices[1], 2.0, TemporalContext::kEvening);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 10.0);
+  platform.reset_ledger();
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 0.0);
+}
+
+TEST_F(PlatformTest, DistinctWorkersPerQuery) {
+  CrowdPlatform platform(&data_, cfg_);
+  const QueryResponse resp =
+      platform.post_query(data_.test_indices[0], 8.0, TemporalContext::kMidnight);
+  std::set<std::size_t> ids;
+  for (const WorkerAnswer& a : resp.answers) EXPECT_TRUE(ids.insert(a.worker_id).second);
+}
+
+TEST_F(PlatformTest, ExpectedDelayShapeMatchesPilotStudy) {
+  CrowdPlatform platform(&data_, cfg_);
+  // Morning: incentives buy speed (Figure 5 left panels).
+  const double m1 = platform.expected_answer_delay(TemporalContext::kMorning, 1.0);
+  const double m20 = platform.expected_answer_delay(TemporalContext::kMorning, 20.0);
+  EXPECT_GT(m1, 2.5 * m20);
+  // Evening: mid-range levels indistinguishable (Figure 5 right panels).
+  const double e2 = platform.expected_answer_delay(TemporalContext::kEvening, 2.0);
+  const double e10 = platform.expected_answer_delay(TemporalContext::kEvening, 10.0);
+  EXPECT_LT(e2 / e10, 1.25);
+  // Evening base delay well below morning at equal incentive.
+  EXPECT_LT(platform.expected_answer_delay(TemporalContext::kEvening, 8.0),
+            0.5 * platform.expected_answer_delay(TemporalContext::kMorning, 8.0));
+}
+
+TEST_F(PlatformTest, ExpectedDelayMonotoneInIncentive) {
+  CrowdPlatform platform(&data_, cfg_);
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+    double prev = 1e18;
+    for (double inc : kIncentiveLevels) {
+      const double d =
+          platform.expected_answer_delay(static_cast<TemporalContext>(c), inc);
+      EXPECT_LE(d, prev + 1e-9);
+      prev = d;
+    }
+  }
+}
+
+TEST_F(PlatformTest, ObservedDelayTracksExpectedDelay) {
+  CrowdPlatform platform(&data_, cfg_);
+  double sum = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const auto resp = platform.post_query(data_.test_indices[i % data_.test_indices.size()],
+                                          8.0, TemporalContext::kEvening);
+    sum += resp.mean_answer_delay_seconds;
+  }
+  const double expected = platform.expected_answer_delay(TemporalContext::kEvening, 8.0);
+  EXPECT_NEAR(sum / n, expected, expected * 0.1);
+}
+
+TEST_F(PlatformTest, SamePopulationSeedSameWorkers) {
+  PlatformConfig a = cfg_, b = cfg_;
+  a.seed = 1;
+  b.seed = 999;  // different behavior, same population
+  CrowdPlatform pa(&data_, a), pb(&data_, b);
+  ASSERT_EQ(pa.workers().size(), pb.workers().size());
+  for (std::size_t i = 0; i < pa.workers().size(); ++i)
+    EXPECT_DOUBLE_EQ(pa.workers()[i].label_reliability, pb.workers()[i].label_reliability);
+
+  PlatformConfig c = cfg_;
+  c.population_seed = 777;
+  CrowdPlatform pc(&data_, c);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < pa.workers().size(); ++i)
+    if (pa.workers()[i].label_reliability != pc.workers()[i].label_reliability)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(PlatformTest, LowIncentivePenaltyDepressesQuality) {
+  CrowdPlatform cheap(&data_, cfg_), fair(&data_, cfg_);
+  auto accuracy_at = [&](CrowdPlatform& p, double incentive) {
+    std::size_t correct = 0, total = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+      for (std::size_t id : data_.test_indices) {
+        const auto resp = p.post_query(id, incentive, TemporalContext::kEvening);
+        const std::size_t truth = dataset::label_index(data_.image(id).true_label);
+        for (const auto& a : resp.answers) {
+          if (a.label == truth) ++correct;
+          ++total;
+        }
+      }
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  };
+  EXPECT_LT(accuracy_at(cheap, 1.0) + 0.02, accuracy_at(fair, 8.0));
+}
+
+TEST_F(PlatformTest, Validation) {
+  EXPECT_THROW(CrowdPlatform(nullptr, cfg_), std::invalid_argument);
+  PlatformConfig bad = cfg_;
+  bad.pool_size = 2;  // < workers_per_query
+  EXPECT_THROW(CrowdPlatform(&data_, bad), std::invalid_argument);
+  CrowdPlatform platform(&data_, cfg_);
+  EXPECT_THROW(platform.post_query(data_.test_indices[0], 0.0, TemporalContext::kMorning),
+               std::invalid_argument);
+}
+
+TEST_F(PlatformTest, BatchHelperPostsAll) {
+  CrowdPlatform platform(&data_, cfg_);
+  const std::vector<std::size_t> ids{data_.test_indices[0], data_.test_indices[1],
+                                     data_.test_indices[2]};
+  const auto responses = platform.post_queries(ids, 4.0, TemporalContext::kAfternoon);
+  EXPECT_EQ(responses.size(), 3u);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 12.0);
+}
+
+}  // namespace
+}  // namespace crowdlearn::crowd

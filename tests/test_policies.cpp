@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bandit/policies.hpp"
+
+namespace crowdlearn::bandit {
+namespace {
+
+const std::vector<double> kLevels{1, 2, 4, 6, 8, 10, 20};
+
+TEST(DelayToReward, ClampsAndScales) {
+  EXPECT_DOUBLE_EQ(delay_to_reward(0.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(delay_to_reward(500.0, 1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(delay_to_reward(2000.0, 1000.0), 0.0);
+  EXPECT_THROW(delay_to_reward(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(delay_to_reward(-1.0, 10.0), std::invalid_argument);
+}
+
+TEST(FixedPolicy, AlwaysReturnsConfiguredIncentive) {
+  FixedIncentivePolicy p(8.0);
+  for (std::size_t ctx = 0; ctx < 4; ++ctx) EXPECT_DOUBLE_EQ(p.choose(ctx), 8.0);
+  EXPECT_THROW(FixedIncentivePolicy(0.0), std::invalid_argument);
+  EXPECT_STREQ(p.name(), "fixed");
+}
+
+TEST(RandomPolicy, DrawsFromTheLevelSet) {
+  RandomIncentivePolicy p(kLevels, 3);
+  std::set<double> seen;
+  for (int i = 0; i < 500; ++i) {
+    const double c = p.choose(0);
+    EXPECT_TRUE(std::find(kLevels.begin(), kLevels.end(), c) != kLevels.end());
+    seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), kLevels.size());  // all levels eventually drawn
+  EXPECT_THROW(RandomIncentivePolicy({}, 1), std::invalid_argument);
+}
+
+TEST(EpsilonGreedy, ExploresEveryArmFirst) {
+  EpsilonGreedyIncentivePolicy p(kLevels, 1, 0.0, 1000.0, 5);
+  std::set<double> first_choices;
+  for (std::size_t i = 0; i < kLevels.size(); ++i) {
+    const double c = p.choose(0);
+    first_choices.insert(c);
+    p.observe(0, c, 500.0);
+  }
+  EXPECT_EQ(first_choices.size(), kLevels.size());
+}
+
+TEST(EpsilonGreedy, ConvergesToBestArmPerContext) {
+  // Context 0: level 20 is fastest; context 1: level 1 is fastest.
+  EpsilonGreedyIncentivePolicy p(kLevels, 2, 0.05, 1000.0, 7);
+  Rng rng(3);
+  auto delay_for = [&](std::size_t ctx, double cents) {
+    const double base = (ctx == 0) ? 900.0 - 40.0 * cents : 100.0 + 30.0 * cents;
+    return std::max(base + rng.normal(0.0, 20.0), 1.0);
+  };
+  for (int round = 0; round < 600; ++round) {
+    for (std::size_t ctx = 0; ctx < 2; ++ctx) {
+      const double c = p.choose(ctx);
+      p.observe(ctx, c, delay_for(ctx, c));
+    }
+  }
+  // Exploitation choice should now be the context-specific optimum.
+  int best0 = 0, best1 = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (p.choose(0) == 20.0) ++best0;
+    if (p.choose(1) == 1.0) ++best1;
+  }
+  EXPECT_GT(best0, 170);
+  EXPECT_GT(best1, 170);
+  EXPECT_GT(p.mean_reward(0, 6), p.mean_reward(0, 0));
+}
+
+TEST(EpsilonGreedy, Validation) {
+  EXPECT_THROW(EpsilonGreedyIncentivePolicy({}, 2, 0.1, 1000.0, 1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedyIncentivePolicy(kLevels, 0, 0.1, 1000.0, 1),
+               std::invalid_argument);
+  EpsilonGreedyIncentivePolicy p(kLevels, 2, 0.1, 1000.0, 1);
+  EXPECT_THROW(p.choose(5), std::out_of_range);
+  EXPECT_THROW(p.observe(0, 3.0, 100.0), std::invalid_argument);  // unknown level
+}
+
+}  // namespace
+}  // namespace crowdlearn::bandit

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/recorder.hpp"
+
+namespace crowdlearn::core {
+namespace {
+
+dataset::Dataset small_data() {
+  dataset::DatasetConfig cfg;
+  cfg.total_images = 30;
+  cfg.train_images = 20;
+  cfg.seed = 3;
+  return dataset::generate_dataset(cfg);
+}
+
+SchemeEvaluation fake_evaluation(const dataset::Dataset& data) {
+  SchemeEvaluation eval;
+  eval.name = "TestScheme";
+  eval.report = {0.9, 0.91, 0.89, 0.9};
+  eval.macro_auc = 0.95;
+  eval.mean_algorithm_delay_seconds = 0.01;
+  eval.mean_crowd_delay_seconds = 321.0;
+  eval.total_spent_cents = 40.0;
+
+  CycleOutcome out;
+  out.cycle_index = 0;
+  out.context = dataset::TemporalContext::kEvening;
+  out.image_ids = {data.test_indices[0], data.test_indices[1]};
+  out.predictions = {dataset::label_index(data.image(out.image_ids[0]).true_label),
+                     (dataset::label_index(data.image(out.image_ids[1]).true_label) + 1) % 3};
+  out.probabilities = {{1, 0, 0}, {0, 1, 0}};
+  out.queried_ids = {out.image_ids[0]};
+  out.incentives_cents = {8.0};
+  out.crowd_delay_seconds = 300.0;
+  out.algorithm_delay_seconds = 0.02;
+  out.spent_cents = 8.0;
+  out.expert_weights = {0.5, 0.3, 0.2};
+  eval.outcomes.push_back(std::move(out));
+  return eval;
+}
+
+TEST(Recorder, CycleLogHasHeaderAndOneRowPerCycle) {
+  const dataset::Dataset data = small_data();
+  const SchemeEvaluation eval = fake_evaluation(data);
+  std::ostringstream os;
+  write_cycle_log(data, eval, os);
+  const std::string csv = os.str();
+
+  // Header + one cycle row.
+  EXPECT_NE(csv.find("cycle,context,images,queried,accuracy"), std::string::npos);
+  EXPECT_NE(csv.find("w_expert2"), std::string::npos);
+  EXPECT_NE(csv.find("evening"), std::string::npos);
+  // Per-cycle accuracy: 1 of 2 correct.
+  EXPECT_NE(csv.find("0.5000"), std::string::npos);
+  // Expert weights present.
+  EXPECT_NE(csv.find("0.3000"), std::string::npos);
+  // Exactly two lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Recorder, SummaryListsEveryScheme) {
+  const dataset::Dataset data = small_data();
+  std::vector<SchemeEvaluation> evals{fake_evaluation(data), fake_evaluation(data)};
+  evals[1].name = "OtherScheme";
+  std::ostringstream os;
+  write_summary(evals, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("TestScheme"), std::string::npos);
+  EXPECT_NE(csv.find("OtherScheme"), std::string::npos);
+  EXPECT_NE(csv.find("0.9000"), std::string::npos);
+  EXPECT_NE(csv.find("321.00"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(Recorder, FileWrappersRoundTrip) {
+  const dataset::Dataset data = small_data();
+  const SchemeEvaluation eval = fake_evaluation(data);
+  const std::string path = ::testing::TempDir() + "/crowdlearn_cycles.csv";
+  write_cycle_log_file(data, eval, path);
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+  EXPECT_THROW(write_summary_file({eval}, "/nonexistent/dir/summary.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

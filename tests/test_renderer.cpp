@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "imaging/features.hpp"
+#include "imaging/renderer.hpp"
+
+namespace crowdlearn::imaging {
+namespace {
+
+TEST(Renderer, PixelsStayInUnitRange) {
+  Rng rng(1);
+  const RenderOptions opts;
+  for (Severity s : {Severity::kNone, Severity::kModerate, Severity::kSevere}) {
+    const nn::Tensor3 img = render_scene(s, opts, rng);
+    EXPECT_EQ(img.shape(), (nn::Shape3{1, kImageSide, kImageSide}));
+    for (double v : img.data()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Renderer, DeterministicGivenSeed) {
+  const RenderOptions opts;
+  Rng a(7), b(7);
+  const nn::Tensor3 ia = render_scene(Severity::kSevere, opts, a);
+  const nn::Tensor3 ib = render_scene(Severity::kSevere, opts, b);
+  EXPECT_EQ(ia.data(), ib.data());
+}
+
+TEST(Renderer, SeverityIncreasesEdgeContent) {
+  // Averaged over many renders, severe scenes have more gradient energy
+  // than no-damage scenes — the signal the AI experts learn from.
+  const RenderOptions opts;
+  Rng rng(3);
+  double none_grad = 0.0, severe_grad = 0.0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    none_grad += texture_stats(render_scene(Severity::kNone, opts, rng))[3];
+    severe_grad += texture_stats(render_scene(Severity::kSevere, opts, rng))[3];
+  }
+  EXPECT_GT(severe_grad / n, 1.5 * none_grad / n);
+}
+
+TEST(Renderer, ModerateSitsBetweenNoneAndSevere) {
+  const RenderOptions opts;
+  Rng rng(4);
+  double none = 0.0, moderate = 0.0, severe = 0.0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    none += texture_stats(render_scene(Severity::kNone, opts, rng))[3];
+    moderate += texture_stats(render_scene(Severity::kModerate, opts, rng))[3];
+    severe += texture_stats(render_scene(Severity::kSevere, opts, rng))[3];
+  }
+  EXPECT_GT(moderate, none);
+  EXPECT_GT(severe, moderate);
+}
+
+TEST(Renderer, LowResolutionWashesOutDetail) {
+  const RenderOptions opts;
+  Rng rng(5);
+  double sharp = 0.0, blurred = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const nn::Tensor3 img = render_scene(Severity::kSevere, opts, rng);
+    sharp += texture_stats(img)[3];
+    blurred += texture_stats(degrade_low_resolution(img, rng))[3];
+  }
+  EXPECT_LT(blurred, 0.6 * sharp);
+}
+
+TEST(Renderer, CloseupLooksSevere) {
+  // The close-up of a harmless crack must carry severe-scale edge content,
+  // otherwise the AI would not be fooled (the premise of Figure 1b).
+  const RenderOptions opts;
+  Rng rng(6);
+  double closeup = 0.0, none = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    closeup += texture_stats(render_closeup(opts, rng))[3];
+    none += texture_stats(render_scene(Severity::kNone, opts, rng))[3];
+  }
+  EXPECT_GT(closeup, 2.0 * none);
+}
+
+TEST(Renderer, FakeHasSevereCuesOnCleanBackground) {
+  const RenderOptions opts;
+  Rng rng(7);
+  double fake_grad = 0.0, none_grad = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    fake_grad += texture_stats(render_fake(opts, rng))[3];
+    none_grad += texture_stats(render_scene(Severity::kNone, opts, rng))[3];
+  }
+  EXPECT_GT(fake_grad, 1.5 * none_grad);
+}
+
+TEST(Renderer, FlipsAreInvolutions) {
+  const RenderOptions opts;
+  Rng rng(8);
+  const nn::Tensor3 img = render_scene(Severity::kModerate, opts, rng);
+  EXPECT_EQ(flip_horizontal(flip_horizontal(img)).data(), img.data());
+  EXPECT_EQ(flip_vertical(flip_vertical(img)).data(), img.data());
+}
+
+TEST(Renderer, FlipActuallyMirrors) {
+  nn::Tensor3 img(nn::Shape3{1, kImageSide, kImageSide});
+  img.at(0, 2, 0) = 1.0;
+  const nn::Tensor3 h = flip_horizontal(img);
+  EXPECT_DOUBLE_EQ(h.at(0, 2, kImageSide - 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.at(0, 2, 0), 0.0);
+  const nn::Tensor3 v = flip_vertical(img);
+  EXPECT_DOUBLE_EQ(v.at(0, kImageSide - 3, 0), 1.0);
+}
+
+TEST(SeverityName, AllValuesNamed) {
+  EXPECT_STREQ(severity_name(Severity::kNone), "no_damage");
+  EXPECT_STREQ(severity_name(Severity::kModerate), "moderate_damage");
+  EXPECT_STREQ(severity_name(Severity::kSevere), "severe_damage");
+}
+
+}  // namespace
+}  // namespace crowdlearn::imaging

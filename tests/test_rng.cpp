@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace crowdlearn {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  // Same parent state -> same child stream.
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+  // Child stream differs from the parent's continued stream.
+  Rng parent3(7);
+  Rng child3 = parent3.fork();
+  EXPECT_NE(child3.uniform(), parent3.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(1, 4));
+  EXPECT_EQ(seen, (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  // Out-of-range probabilities are clamped, not UB.
+  EXPECT_TRUE(rng.bernoulli(2.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+  EXPECT_THROW(rng.exponential_mean(0.0), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w{0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 8000.0, 0.75, 0.05);
+}
+
+TEST(Rng, CategoricalValidation) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -0.5}), std::invalid_argument);
+  // All-zero weights fall back to uniform rather than throwing.
+  const std::size_t idx = rng.categorical({0.0, 0.0, 0.0});
+  EXPECT_LT(idx, 3u);
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(19);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t v : sample) EXPECT_LT(v, 50u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(30);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(Rng, MixSeedAvoidsTrivialCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix_seed(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+class RngLognormalTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngLognormalTest, MeanMatchesCorrectedMu) {
+  // lognormal(mu, sigma) has mean exp(mu + sigma^2/2); the platform relies
+  // on the mu-shift trick to hit a target expected delay.
+  const double target = GetParam();
+  const double sigma = 0.25;
+  const double mu = std::log(target) - 0.5 * sigma * sigma;
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, target, target * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RngLognormalTest, ::testing::Values(10.0, 300.0, 950.0));
+
+}  // namespace
+}  // namespace crowdlearn

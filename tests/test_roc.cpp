@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "stats/roc.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::stats {
+namespace {
+
+TEST(BinaryRoc, PerfectSeparationHasAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> pos{true, true, false, false};
+  const auto curve = binary_roc(scores, pos);
+  EXPECT_DOUBLE_EQ(auc(curve), 1.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(BinaryRoc, InvertedScoresHaveAucZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> pos{true, true, false, false};
+  EXPECT_DOUBLE_EQ(auc(binary_roc(scores, pos)), 0.0);
+}
+
+TEST(BinaryRoc, ConstantScoresGiveDiagonal) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> pos{true, false, true, false};
+  EXPECT_NEAR(auc(binary_roc(scores, pos)), 0.5, 1e-12);
+}
+
+TEST(BinaryRoc, RandomScoresNearHalf) {
+  Rng rng(42);
+  std::vector<double> scores(2000);
+  std::vector<bool> pos(2000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    pos[i] = rng.bernoulli(0.5);
+  }
+  EXPECT_NEAR(auc(binary_roc(scores, pos)), 0.5, 0.05);
+}
+
+TEST(BinaryRoc, Validation) {
+  EXPECT_THROW(binary_roc({}, {}), std::invalid_argument);
+  EXPECT_THROW(binary_roc({0.5}, {true}), std::invalid_argument);  // no negatives
+  EXPECT_THROW(binary_roc({0.1, 0.2}, {false, false}), std::invalid_argument);
+}
+
+TEST(InterpolateTpr, OnAStaircase) {
+  const std::vector<RocPoint> curve{{0.0, 0.0}, {0.5, 0.8}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(interpolate_tpr(curve, 0.0), 0.0);
+  EXPECT_NEAR(interpolate_tpr(curve, 0.25), 0.4, 1e-12);
+  EXPECT_NEAR(interpolate_tpr(curve, 0.75), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(interpolate_tpr(curve, 1.0), 1.0);
+}
+
+TEST(MacroRoc, PerfectClassifier) {
+  std::vector<std::vector<double>> probs;
+  std::vector<std::size_t> truth;
+  for (std::size_t c = 0; c < 3; ++c)
+    for (int i = 0; i < 5; ++i) {
+      std::vector<double> p(3, 0.05);
+      p[c] = 0.9;
+      probs.push_back(p);
+      truth.push_back(c);
+    }
+  EXPECT_NEAR(macro_auc(probs, truth, 3), 1.0, 1e-12);
+  const auto curve = macro_average_roc(probs, truth, 3, 11);
+  EXPECT_EQ(curve.size(), 11u);
+  // A perfect macro curve jumps to TPR 1 immediately.
+  EXPECT_NEAR(curve[1].tpr, 1.0, 1e-9);
+}
+
+TEST(MacroRoc, CurveIsMonotone) {
+  Rng rng(7);
+  std::vector<std::vector<double>> probs;
+  std::vector<std::size_t> truth;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<double> p{rng.uniform(), rng.uniform(), rng.uniform()};
+    const double s = p[0] + p[1] + p[2];
+    for (double& v : p) v /= s;
+    probs.push_back(p);
+    truth.push_back(rng.index(3));
+  }
+  const auto curve = macro_average_roc(probs, truth, 3);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr - 1e-9);
+  }
+}
+
+TEST(MacroRoc, Validation) {
+  std::vector<std::vector<double>> probs{{0.5, 0.5}};
+  std::vector<std::size_t> truth{0, 1};
+  EXPECT_THROW(macro_auc(probs, truth, 2), std::invalid_argument);  // size mismatch
+  probs.push_back({0.3, 0.3, 0.4});                                // ragged width
+  truth = {0, 1};
+  EXPECT_THROW(macro_auc(probs, truth, 2), std::invalid_argument);
+}
+
+TEST(Auc, RequiresTwoPoints) {
+  EXPECT_THROW(auc({{0.0, 0.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::stats

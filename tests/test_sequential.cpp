@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+#include "nn/sequential.hpp"
+
+namespace crowdlearn::nn {
+namespace {
+
+/// Two-moons-ish separable 2-D dataset with 3 radial classes.
+void make_blobs(Matrix& x, std::vector<std::size_t>& y, std::size_t per_class, Rng& rng) {
+  const double centers[3][2] = {{0.0, 2.0}, {-2.0, -1.5}, {2.0, -1.5}};
+  x = Matrix(3 * per_class, 2);
+  y.resize(3 * per_class);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      x(row, 0) = centers[c][0] + rng.normal(0.0, 0.4);
+      x(row, 1) = centers[c][1] + rng.normal(0.0, 0.4);
+      y[row] = c;
+    }
+  }
+}
+
+Sequential make_mlp(Rng& rng) {
+  Sequential m;
+  m.add(std::make_unique<Dense>(2, 16, rng));
+  m.add(std::make_unique<ReLU>(16));
+  m.add(std::make_unique<Dense>(16, 3, rng));
+  return m;
+}
+
+TEST(Sequential, RejectsIncompatibleLayers) {
+  Rng rng(1);
+  Sequential m;
+  m.add(std::make_unique<Dense>(2, 8, rng));
+  EXPECT_THROW(m.add(std::make_unique<Dense>(4, 3, rng)), std::invalid_argument);
+  EXPECT_THROW(m.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, EmptyModelThrows) {
+  Sequential m;
+  EXPECT_THROW(m.input_size(), std::logic_error);
+  EXPECT_THROW(m.forward(Matrix(1, 1), false), std::logic_error);
+}
+
+TEST(Sequential, LearnsSeparableBlobs) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<std::size_t> y;
+  make_blobs(x, y, 40, rng);
+
+  Sequential m = make_mlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.learning_rate = 0.05;
+  const auto history = m.fit(x, y, cfg, rng);
+
+  EXPECT_EQ(history.size(), 40u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GE(history.back().accuracy, 0.95);
+
+  const std::vector<std::size_t> pred = m.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (pred[i] == y[i]) ++correct;
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(y.size()), 0.95);
+}
+
+TEST(Sequential, AdamAlsoLearns) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<std::size_t> y;
+  make_blobs(x, y, 40, rng);
+  Sequential m = make_mlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.learning_rate = 0.01;
+  cfg.optimizer = OptimizerKind::kAdam;
+  const auto history = m.fit(x, y, cfg, rng);
+  EXPECT_GE(history.back().accuracy, 0.95);
+}
+
+TEST(Sequential, PredictProbaRowsAreDistributions) {
+  Rng rng(4);
+  Sequential m = make_mlp(rng);
+  Matrix x(5, 2);
+  for (double& v : x.data()) v = rng.uniform(-1, 1);
+  const Matrix p = m.predict_proba(x);
+  EXPECT_EQ(p.rows(), 5u);
+  EXPECT_EQ(p.cols(), 3u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) s += p(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Sequential, FitSoftMovesTowardTargets) {
+  Rng rng(5);
+  Sequential m = make_mlp(rng);
+  Matrix x(20, 2);
+  for (double& v : x.data()) v = rng.uniform(-1, 1);
+  Matrix targets(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) targets(r, r % 3) = 1.0;
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.05;
+  const auto history = m.fit_soft(x, targets, cfg, rng);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+}
+
+TEST(Sequential, NumParametersCountsAllLearnables) {
+  Rng rng(6);
+  Sequential m = make_mlp(rng);
+  // Dense(2->16): 2*16 + 16; Dense(16->3): 16*3 + 3.
+  EXPECT_EQ(m.num_parameters(), 2u * 16 + 16 + 16 * 3 + 3);
+}
+
+TEST(Sequential, CloneIsIndependentDeepCopy) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<std::size_t> y;
+  make_blobs(x, y, 20, rng);
+  Sequential m = make_mlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  m.fit(x, y, cfg, rng);
+
+  Sequential copy = m.clone();
+  const Matrix p_before = copy.predict_proba(x);
+  // Continue training the original; the clone must stay frozen.
+  cfg.epochs = 10;
+  m.fit(x, y, cfg, rng);
+  const Matrix p_after = copy.predict_proba(x);
+  for (std::size_t i = 0; i < p_before.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(p_before.data()[i], p_after.data()[i]);
+}
+
+TEST(Sequential, FitValidation) {
+  Rng rng(8);
+  Sequential m = make_mlp(rng);
+  Matrix x(4, 2);
+  TrainConfig cfg;
+  EXPECT_THROW(m.fit(x, {0, 1}, cfg, rng), std::invalid_argument);  // label count
+  cfg.batch_size = 0;
+  EXPECT_THROW(m.fit(x, {0, 1, 2, 0}, cfg, rng), std::invalid_argument);
+}
+
+TEST(Sequential, ConvStackTrainsOnSpatialPattern) {
+  // Class 0: bright left half; class 1: bright right half. A conv net should
+  // learn this quickly; this is the end-to-end CNN smoke test.
+  Rng rng(9);
+  const Shape3 in{1, 4, 4};
+  Matrix x(40, 16);
+  std::vector<std::size_t> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y[i] = i % 2;
+    for (std::size_t yy = 0; yy < 4; ++yy)
+      for (std::size_t xx = 0; xx < 4; ++xx) {
+        const bool bright = (y[i] == 0) ? xx < 2 : xx >= 2;
+        x(i, yy * 4 + xx) = (bright ? 0.9 : 0.1) + rng.normal(0.0, 0.05);
+      }
+  }
+  Sequential m;
+  auto conv = std::make_unique<Conv2D>(in, 4, 3, rng);
+  const Shape3 s1 = conv->out_shape();
+  m.add(std::move(conv));
+  m.add(std::make_unique<ReLU>(s1.size()));
+  m.add(std::make_unique<Dense>(s1.size(), 2, rng));
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.learning_rate = 0.05;
+  const auto history = m.fit(x, y, cfg, rng);
+  EXPECT_GE(history.back().accuracy, 0.95);
+}
+
+}  // namespace
+}  // namespace crowdlearn::nn

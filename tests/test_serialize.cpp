@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experts/ddm.hpp"
+#include "nn/conv.hpp"
+#include "nn/serialize.hpp"
+
+namespace crowdlearn::nn {
+namespace {
+
+Sequential make_cnn(Rng& rng) {
+  const Shape3 in{1, 8, 8};
+  Sequential m;
+  auto conv = std::make_unique<Conv2D>(in, 4, 3, rng);
+  const Shape3 s1 = conv->out_shape();
+  m.add(std::move(conv));
+  m.add(std::make_unique<ReLU>(s1.size()));
+  auto pool = std::make_unique<MaxPool2D>(s1);
+  const Shape3 s2 = pool->out_shape();
+  m.add(std::move(pool));
+  m.add(std::make_unique<Dense>(s2.size(), 10, rng));
+  m.add(std::make_unique<Tanh>(10));
+  m.add(std::make_unique<Dense>(10, 3, rng));
+  return m;
+}
+
+TEST(Serialize, RoundTripReproducesPredictionsExactly) {
+  Rng rng(1);
+  Sequential m = make_cnn(rng);
+  Matrix x(3, 64);
+  for (double& v : x.data()) v = rng.uniform(0.0, 1.0);
+  const Matrix before = m.predict_proba(x);
+
+  std::stringstream ss;
+  save_model(m, ss);
+  Sequential loaded = load_model(ss);
+
+  ASSERT_EQ(loaded.num_layers(), m.num_layers());
+  ASSERT_EQ(loaded.input_size(), m.input_size());
+  const Matrix after = loaded.predict_proba(x);
+  for (std::size_t i = 0; i < before.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(before.data()[i], after.data()[i]);
+}
+
+TEST(Serialize, RoundTripPreservesTrainedWeights) {
+  Rng rng(2);
+  Sequential m;
+  m.add(std::make_unique<Dense>(2, 8, rng));
+  m.add(std::make_unique<ReLU>(8));
+  m.add(std::make_unique<Dense>(8, 2, rng));
+  Matrix x(20, 2);
+  std::vector<std::size_t> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = x(i, 0) > 0.0 ? 1u : 0u;
+  }
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  m.fit(x, y, cfg, rng);
+
+  std::stringstream ss;
+  save_model(m, ss);
+  Sequential loaded = load_model(ss);
+  EXPECT_EQ(loaded.predict(x), m.predict(x));
+}
+
+TEST(Serialize, DropoutRoundTrip) {
+  Rng rng(3);
+  Sequential m;
+  m.add(std::make_unique<Dense>(4, 6, rng));
+  m.add(std::make_unique<Dropout>(6, 0.3, rng));
+  m.add(std::make_unique<Dense>(6, 2, rng));
+  std::stringstream ss;
+  save_model(m, ss);
+  Sequential loaded = load_model(ss);
+  EXPECT_EQ(loaded.layer(1).name(), "Dropout");
+  // Inference is unaffected by dropout, so predictions match.
+  Matrix x(1, 4, 0.5);
+  const Matrix a = m.predict_proba(x);
+  const Matrix b = loaded.predict_proba(x);
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Serialize, RejectsGarbageAndWrongVersions) {
+  {
+    std::stringstream ss("not-a-model 1\n");
+    EXPECT_THROW(load_model(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("crowdlearn-model 999\n");
+    EXPECT_THROW(load_model(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("crowdlearn-model 1\n2\nDense\n");  // truncated
+    EXPECT_THROW(load_model(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("crowdlearn-model 1\n1\nFluxCapacitor\n1 1\n");
+    EXPECT_THROW(load_model(ss), std::runtime_error);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(4);
+  Sequential m = make_cnn(rng);
+  const std::string path = ::testing::TempDir() + "/crowdlearn_model.txt";
+  save_model_file(m, path);
+  Sequential loaded = load_model_file(path);
+  EXPECT_EQ(loaded.num_layers(), m.num_layers());
+  EXPECT_THROW(load_model_file("/nonexistent/dir/model.txt"), std::runtime_error);
+}
+
+TEST(Serialize, ExpertSaveLoadKeepsGradCamWorking) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 60;
+  dcfg.train_images = 45;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+
+  experts::DdmConfig fast;
+  fast.train.epochs = 3;
+  experts::DdmClassifier ddm(fast);
+  Rng rng(5);
+  ddm.train(data, data.train_indices, rng);
+
+  std::stringstream ss;
+  ddm.save_model(ss);
+
+  experts::DdmClassifier restored(fast);
+  restored.load_model(ss);
+  EXPECT_TRUE(restored.is_trained());
+
+  const auto& probe = data.image(data.test_indices[0]);
+  const auto a = ddm.predict_proba(probe);
+  const auto b = restored.predict_proba(probe);
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_DOUBLE_EQ(a[c], b[c]);
+  // Grad-CAM still functions on the restored model (layer index relocated).
+  const nn::Tensor3 cam = restored.damage_heatmap(probe, 2);
+  EXPECT_EQ(cam.shape().height, 8u);
+}
+
+TEST(Serialize, SaveBeforeTrainThrows) {
+  experts::DdmClassifier ddm;
+  std::stringstream ss;
+  EXPECT_THROW(ddm.save_model(ss), std::logic_error);
+}
+
+}  // namespace
+}  // namespace crowdlearn::nn

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/stream.hpp"
+
+namespace crowdlearn::dataset {
+namespace {
+
+Dataset make_data() {
+  DatasetConfig cfg;
+  cfg.total_images = 200;
+  cfg.train_images = 80;  // 120 test images
+  cfg.seed = 5;
+  return generate_dataset(cfg);
+}
+
+TEST(Stream, CycleCountAndSizes) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 12;
+  cfg.images_per_cycle = 10;
+  const SensingCycleStream stream(ds, cfg);
+  EXPECT_EQ(stream.num_cycles(), 12u);
+  for (std::size_t t = 0; t < 12; ++t) {
+    EXPECT_EQ(stream.cycle(t).index, t);
+    EXPECT_EQ(stream.cycle(t).image_ids.size(), 10u);
+  }
+}
+
+TEST(Stream, GroupedContextsQuarterTheStream) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 12;
+  cfg.images_per_cycle = 10;
+  cfg.grouped_contexts = true;
+  const SensingCycleStream stream(ds, cfg);
+  EXPECT_EQ(stream.cycle(0).context, TemporalContext::kMorning);
+  EXPECT_EQ(stream.cycle(2).context, TemporalContext::kMorning);
+  EXPECT_EQ(stream.cycle(3).context, TemporalContext::kAfternoon);
+  EXPECT_EQ(stream.cycle(6).context, TemporalContext::kEvening);
+  EXPECT_EQ(stream.cycle(11).context, TemporalContext::kMidnight);
+}
+
+TEST(Stream, RotatingContexts) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 8;
+  cfg.images_per_cycle = 5;
+  cfg.grouped_contexts = false;
+  const SensingCycleStream stream(ds, cfg);
+  for (std::size_t t = 0; t < 8; ++t)
+    EXPECT_EQ(static_cast<std::size_t>(stream.cycle(t).context), t % 4);
+}
+
+TEST(Stream, ImagesComeFromTestSetWithoutRepetition) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 12;
+  cfg.images_per_cycle = 10;
+  const SensingCycleStream stream(ds, cfg);
+  const std::set<std::size_t> test_set(ds.test_indices.begin(), ds.test_indices.end());
+  std::set<std::size_t> seen;
+  for (std::size_t id : stream.all_image_ids()) {
+    EXPECT_TRUE(test_set.count(id)) << "id " << id << " not in the test split";
+    EXPECT_TRUE(seen.insert(id).second) << "id " << id << " repeated";
+  }
+  EXPECT_EQ(seen.size(), 120u);
+}
+
+TEST(Stream, DeterministicGivenSeed) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 6;
+  cfg.images_per_cycle = 10;
+  const SensingCycleStream a(ds, cfg), b(ds, cfg);
+  EXPECT_EQ(a.all_image_ids(), b.all_image_ids());
+  cfg.seed = 1234;
+  const SensingCycleStream c(ds, cfg);
+  EXPECT_NE(a.all_image_ids(), c.all_image_ids());
+}
+
+TEST(Stream, RejectsOversizedRequests) {
+  const Dataset ds = make_data();
+  StreamConfig cfg;
+  cfg.num_cycles = 13;  // 130 > 120 test images
+  cfg.images_per_cycle = 10;
+  EXPECT_THROW(SensingCycleStream(ds, cfg), std::invalid_argument);
+  cfg.num_cycles = 0;
+  EXPECT_THROW(SensingCycleStream(ds, cfg), std::invalid_argument);
+}
+
+TEST(ContextName, AllNamed) {
+  EXPECT_STREQ(context_name(TemporalContext::kMorning), "morning");
+  EXPECT_STREQ(context_name(TemporalContext::kAfternoon), "afternoon");
+  EXPECT_STREQ(context_name(TemporalContext::kEvening), "evening");
+  EXPECT_STREQ(context_name(TemporalContext::kMidnight), "midnight");
+}
+
+}  // namespace
+}  // namespace crowdlearn::dataset

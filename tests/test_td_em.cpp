@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "truth/td_em.hpp"
+#include "truth/voting.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::truth {
+namespace {
+
+/// Synthetic crowd: `good` reliable workers and `bad` near-adversarial ones
+/// answer `n_queries` with known truth. Returns the labeled batch.
+std::vector<LabeledQuery> synthetic_batch(std::size_t n_queries, std::size_t good,
+                                          std::size_t bad, double good_acc, double bad_acc,
+                                          Rng& rng) {
+  std::vector<LabeledQuery> out;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    LabeledQuery lq;
+    lq.true_label = rng.index(3);
+    lq.response.image_id = q;
+    for (std::size_t w = 0; w < good + bad; ++w) {
+      crowd::WorkerAnswer a;
+      a.worker_id = w;
+      const double acc = w < good ? good_acc : bad_acc;
+      if (rng.bernoulli(acc)) {
+        a.label = lq.true_label;
+      } else {
+        std::size_t wrong = rng.index(2);
+        if (wrong >= lq.true_label) ++wrong;
+        a.label = wrong;
+      }
+      a.questionnaire.assign(dataset::Questionnaire::kDims, 0.0);
+      lq.response.answers.push_back(std::move(a));
+    }
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+TEST(TdEm, RecoversTruthWithReliableWorkers) {
+  Rng rng(1);
+  const auto batch = synthetic_batch(80, 5, 0, 0.85, 0.0, rng);
+  TdEm tdem;
+  EXPECT_GE(tdem.accuracy(batch), 0.9);
+}
+
+TEST(TdEm, BeatsVotingWhenWorkersAreHeterogeneous) {
+  // 2 good workers vs 3 near-random spammers: the majority is polluted, but
+  // EM learns per-worker confusion matrices and downweights the spam.
+  Rng rng(2);
+  const auto batch = synthetic_batch(150, 2, 3, 0.95, 0.34, rng);
+  TdEm tdem;
+  MajorityVoting voting;
+  const double em_acc = tdem.accuracy(batch);
+  const double vote_acc = voting.accuracy(batch);
+  EXPECT_GT(em_acc, vote_acc + 0.05);
+}
+
+TEST(TdEm, EstimatesWorkerReliabilityOrdering) {
+  Rng rng(3);
+  const auto batch = synthetic_batch(150, 2, 2, 0.95, 0.3, rng);
+  std::vector<QueryResponse> responses;
+  for (const auto& lq : batch) responses.push_back(lq.response);
+  TdEm tdem;
+  tdem.aggregate(responses);
+  const auto& rel = tdem.worker_reliability();
+  ASSERT_EQ(rel.size(), 4u);
+  // Workers 0-1 are good, workers 2-3 are bad.
+  EXPECT_GT(std::min(rel[0], rel[1]), std::max(rel[2], rel[3]));
+  EXPECT_GE(tdem.iterations_used(), 1u);
+}
+
+TEST(TdEm, PosteriorsAreDistributions) {
+  Rng rng(4);
+  const auto batch = synthetic_batch(30, 4, 1, 0.8, 0.3, rng);
+  std::vector<QueryResponse> responses;
+  for (const auto& lq : batch) responses.push_back(lq.response);
+  TdEm tdem;
+  const auto posts = tdem.aggregate(responses);
+  EXPECT_EQ(posts.size(), 30u);
+  for (const auto& p : posts) {
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TdEm, ConvergesWithinIterationCap) {
+  Rng rng(5);
+  const auto batch = synthetic_batch(60, 5, 0, 0.9, 0.0, rng);
+  std::vector<QueryResponse> responses;
+  for (const auto& lq : batch) responses.push_back(lq.response);
+  TdEmConfig cfg;
+  cfg.max_iterations = 100;
+  cfg.tolerance = 1e-8;
+  TdEm tdem(cfg);
+  tdem.aggregate(responses);
+  EXPECT_LT(tdem.iterations_used(), 100u);  // early convergence, not cap-bound
+}
+
+TEST(TdEm, RejectsEmptyBatch) {
+  TdEm tdem;
+  EXPECT_THROW(tdem.aggregate({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::truth

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "truth/voting.hpp"
+
+namespace crowdlearn::truth {
+namespace {
+
+QueryResponse make_response(std::vector<std::size_t> labels, std::size_t image_id = 0) {
+  QueryResponse resp;
+  resp.image_id = image_id;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    crowd::WorkerAnswer a;
+    a.worker_id = i;
+    a.label = labels[i];
+    a.questionnaire.assign(dataset::Questionnaire::kDims, 0.0);
+    resp.answers.push_back(std::move(a));
+  }
+  return resp;
+}
+
+TEST(MajorityVoting, DistributionReflectsVoteCounts) {
+  const auto dist = MajorityVoting::vote_distribution(make_response({0, 0, 0, 1, 2}));
+  EXPECT_NEAR(dist[0], 0.6, 1e-12);
+  EXPECT_NEAR(dist[1], 0.2, 1e-12);
+  EXPECT_NEAR(dist[2], 0.2, 1e-12);
+}
+
+TEST(MajorityVoting, UnanimousVoteIsDegenerate) {
+  const auto dist = MajorityVoting::vote_distribution(make_response({2, 2, 2, 2, 2}));
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+}
+
+TEST(MajorityVoting, AggregateBatch) {
+  MajorityVoting voting;
+  const auto dists =
+      voting.aggregate({make_response({0, 0, 1}), make_response({2, 2, 2})});
+  EXPECT_EQ(dists.size(), 2u);
+  EXPECT_NEAR(dists[0][0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dists[1][2], 1.0);
+
+  const auto labels =
+      voting.aggregate_labels({make_response({0, 0, 1}), make_response({2, 2, 2})});
+  EXPECT_EQ(labels, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(MajorityVoting, AccuracyHelper) {
+  MajorityVoting voting;
+  std::vector<LabeledQuery> labeled;
+  labeled.push_back({make_response({0, 0, 1}), 0});  // correct
+  labeled.push_back({make_response({1, 1, 1}), 2});  // wrong
+  EXPECT_NEAR(voting.accuracy(labeled), 0.5, 1e-12);
+  EXPECT_THROW(voting.accuracy({}), std::invalid_argument);
+}
+
+TEST(MajorityVoting, RejectsEmptyResponse) {
+  MajorityVoting voting;
+  QueryResponse empty;
+  EXPECT_THROW(voting.aggregate({empty}), std::invalid_argument);
+}
+
+TEST(MajorityVoting, NameIsStable) {
+  MajorityVoting voting;
+  EXPECT_STREQ(voting.name(), "Voting");
+}
+
+}  // namespace
+}  // namespace crowdlearn::truth

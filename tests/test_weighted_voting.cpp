@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "truth/voting.hpp"
+#include "truth/weighted_voting.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::truth {
+namespace {
+
+QueryResponse make_response(const std::vector<std::pair<std::size_t, std::size_t>>& answers) {
+  QueryResponse resp;
+  for (const auto& [worker, label] : answers) {
+    crowd::WorkerAnswer a;
+    a.worker_id = worker;
+    a.label = label;
+    a.questionnaire.assign(dataset::Questionnaire::kDims, 0.0);
+    resp.answers.push_back(std::move(a));
+  }
+  return resp;
+}
+
+/// History: worker 0 answers correctly with accuracy `acc0`, worker 1 with
+/// `acc1`, over `n` gold queries of class 0.
+std::vector<LabeledQuery> history(double acc0, double acc1, std::size_t n, Rng& rng) {
+  std::vector<LabeledQuery> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledQuery lq;
+    lq.true_label = 0;
+    lq.response = make_response({{0, rng.bernoulli(acc0) ? 0u : 1u},
+                                 {1, rng.bernoulli(acc1) ? 0u : 1u}});
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+TEST(WeightedVoting, ReliableWorkersGetHigherWeights) {
+  Rng rng(1);
+  WeightedVoting wv;
+  wv.fit(history(0.95, 0.45, 60, rng));
+  EXPECT_GT(wv.worker_accuracy(0), wv.worker_accuracy(1));
+  EXPECT_GT(wv.worker_weight(0), wv.worker_weight(1));
+}
+
+TEST(WeightedVoting, ReliableMinorityCanOutvoteUnreliableMajority) {
+  Rng rng(2);
+  WeightedVoting wv;
+  // Worker 0 excellent; workers 1 and 2 near chance.
+  std::vector<LabeledQuery> training;
+  for (int i = 0; i < 60; ++i) {
+    LabeledQuery lq;
+    lq.true_label = 0;
+    lq.response = make_response({{0, rng.bernoulli(0.95) ? 0u : 2u},
+                                 {1, rng.bernoulli(0.34) ? 0u : 2u},
+                                 {2, rng.bernoulli(0.34) ? 0u : 2u}});
+    training.push_back(std::move(lq));
+  }
+  wv.fit(training);
+  // Query: the expert says 1; the two spammers say 2.
+  const auto dists = wv.aggregate({make_response({{0, 1}, {1, 2}, {2, 2}})});
+  EXPECT_GT(dists[0][1], dists[0][2]);
+
+  // Plain majority voting would pick 2.
+  MajorityVoting mv;
+  const auto plain = mv.aggregate({make_response({{0, 1}, {1, 2}, {2, 2}})});
+  EXPECT_GT(plain[0][2], plain[0][1]);
+}
+
+TEST(WeightedVoting, UnknownWorkersGetPoolAverageWeight) {
+  Rng rng(3);
+  WeightedVoting wv;
+  wv.fit(history(0.9, 0.9, 40, rng));
+  const double pool_w = wv.worker_weight(12345);
+  EXPECT_GT(pool_w, 0.0);
+  // Matches a known worker with pool-mean accuracy more than a spammer's 0.
+  EXPECT_NEAR(pool_w, wv.worker_weight(0), 1.5);
+}
+
+TEST(WeightedVoting, MinHistoryFallsBackToPoolMean) {
+  WeightedVotingConfig cfg;
+  cfg.min_history = 10;
+  WeightedVoting wv(cfg);
+  Rng rng(4);
+  wv.fit(history(1.0, 0.0, 5, rng));  // only 5 observations each
+  EXPECT_DOUBLE_EQ(wv.worker_accuracy(0), wv.worker_accuracy(1));
+}
+
+TEST(WeightedVoting, AdversarialWorkerIsIgnoredNotInverted) {
+  Rng rng(5);
+  WeightedVoting wv;
+  wv.fit(history(0.9, 0.0, 50, rng));  // worker 1 always wrong
+  EXPECT_DOUBLE_EQ(wv.worker_weight(1), 0.0);
+  // A batch answered only by the adversary falls back to the plain vote.
+  const auto dists = wv.aggregate({make_response({{1, 2}})});
+  EXPECT_DOUBLE_EQ(dists[0][2], 1.0);
+}
+
+TEST(WeightedVoting, BeatsPlainVotingOnSpammyPool) {
+  // End-to-end statistical check against a 2-good/3-spammer pool.
+  Rng rng(6);
+  WeightedVoting wv;
+  MajorityVoting mv;
+  auto make_batch = [&](std::size_t n) {
+    std::vector<LabeledQuery> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      LabeledQuery lq;
+      lq.true_label = rng.index(3);
+      std::vector<std::pair<std::size_t, std::size_t>> answers;
+      for (std::size_t w = 0; w < 5; ++w) {
+        const double acc = w < 2 ? 0.92 : 0.36;
+        std::size_t label = lq.true_label;
+        if (!rng.bernoulli(acc)) {
+          label = rng.index(2);
+          if (label >= lq.true_label) ++label;
+        }
+        answers.push_back({w, label});
+      }
+      lq.response = make_response(answers);
+      out.push_back(std::move(lq));
+    }
+    return out;
+  };
+  wv.fit(make_batch(150));
+  const auto eval = make_batch(200);
+  EXPECT_GT(wv.accuracy(eval), mv.accuracy(eval) + 0.05);
+}
+
+TEST(WeightedVoting, DistributionsAreNormalized) {
+  Rng rng(7);
+  WeightedVoting wv;
+  wv.fit(history(0.8, 0.7, 30, rng));
+  const auto dists = wv.aggregate({make_response({{0, 0}, {1, 1}})});
+  double sum = 0.0;
+  for (double v : dists[0]) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  QueryResponse empty;
+  EXPECT_THROW(wv.aggregate({empty}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::truth

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "stats/wilcoxon.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::stats {
+namespace {
+
+TEST(Wilcoxon, IdenticalSamplesNotSignificant) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const WilcoxonResult r = wilcoxon_signed_rank(x, x);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_EQ(r.n_effective, 0u);
+}
+
+TEST(Wilcoxon, LargeShiftIsSignificant) {
+  std::vector<double> x, y;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.uniform(0.0, 1.0);
+    x.push_back(base);
+    y.push_back(base + 1.0 + rng.uniform(0.0, 0.2));  // consistent large shift
+  }
+  const WilcoxonResult r = wilcoxon_signed_rank(x, y);
+  EXPECT_LE(r.p_value, 0.001);
+  EXPECT_EQ(r.n_effective, 30u);
+}
+
+TEST(Wilcoxon, SymmetricInArguments) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 25; ++i) {
+    x.push_back(rng.normal(0.0, 1.0));
+    y.push_back(rng.normal(0.3, 1.0));
+  }
+  const WilcoxonResult a = wilcoxon_signed_rank(x, y);
+  const WilcoxonResult b = wilcoxon_signed_rank(y, x);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-12);
+  EXPECT_NEAR(a.w_statistic, b.w_statistic, 1e-12);
+}
+
+TEST(Wilcoxon, NoiseOnlyUsuallyNotSignificant) {
+  // With identically distributed pairs, p should exceed 0.05 for most seeds.
+  int significant = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+      x.push_back(rng.normal(0.0, 1.0));
+      y.push_back(rng.normal(0.0, 1.0));
+    }
+    if (wilcoxon_signed_rank(x, y).p_value <= 0.05) ++significant;
+  }
+  EXPECT_LE(significant, 3);  // ~5% false positive rate expected
+}
+
+TEST(Wilcoxon, HandlesTiedMagnitudes) {
+  // Many tied |differences| must not crash or produce NaN.
+  const std::vector<double> x{1, 1, 1, 1, 2, 2, 2, 2};
+  const std::vector<double> y{2, 2, 2, 2, 1, 1, 1, 1};
+  const WilcoxonResult r = wilcoxon_signed_rank(x, y);
+  EXPECT_TRUE(std::isfinite(r.p_value));
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+  // Perfectly balanced signs: W+ == W-, i.e. no evidence of shift.
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(Wilcoxon, Validation) {
+  EXPECT_THROW(wilcoxon_signed_rank({}, {}), std::invalid_argument);
+  EXPECT_THROW(wilcoxon_signed_rank({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(normal_cdf(-1.959964), 0.025, 1e-5);
+}
+
+// Power sweep: detection probability should grow with the shift size.
+class WilcoxonPowerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WilcoxonPowerTest, DetectsShiftsAboveNoiseFloor) {
+  const double shift = GetParam();
+  int detected = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 101);
+    std::vector<double> x, y;
+    for (int i = 0; i < 40; ++i) {
+      x.push_back(rng.normal(0.0, 1.0));
+      y.push_back(rng.normal(shift, 1.0));
+    }
+    if (wilcoxon_signed_rank(x, y).p_value <= 0.05) ++detected;
+  }
+  if (shift >= 1.0) EXPECT_GE(detected, 9);
+  if (shift <= 0.05) EXPECT_LE(detected, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, WilcoxonPowerTest, ::testing::Values(0.0, 0.05, 1.0, 2.0));
+
+}  // namespace
+}  // namespace crowdlearn::stats

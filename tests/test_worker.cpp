@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "crowd/worker.hpp"
+#include "dataset/generator.hpp"
+
+namespace crowdlearn::crowd {
+namespace {
+
+TEST(WorkerPool, SizeAndRanges) {
+  Rng rng(1);
+  const auto pool = make_worker_pool(50, 0.85, 0.06, 0.92, 0.15, rng);
+  EXPECT_EQ(pool.size(), 50u);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool[i].id, i);
+    EXPECT_GE(pool[i].label_reliability, 0.3);
+    EXPECT_LE(pool[i].label_reliability, 0.99);
+    EXPECT_GE(pool[i].questionnaire_reliability, 0.5);
+    for (double a : pool[i].activity) {
+      EXPECT_GT(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+  EXPECT_THROW(make_worker_pool(0, 0.8, 0.05, 0.9, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_worker_pool(5, 0.8, 0.05, 0.9, 1.5, rng), std::invalid_argument);
+}
+
+TEST(WorkerPool, SpammerFractionCreatesLowReliabilityTail) {
+  Rng rng(2);
+  const auto pool = make_worker_pool(200, 0.85, 0.05, 0.92, 0.25, rng);
+  std::size_t spammers = 0;
+  for (const auto& w : pool)
+    if (w.label_reliability < 0.66) ++spammers;
+  EXPECT_NEAR(static_cast<double>(spammers) / 200.0, 0.25, 0.08);
+
+  Rng rng2(3);
+  const auto clean = make_worker_pool(200, 0.85, 0.05, 0.92, 0.0, rng2);
+  for (const auto& w : clean) EXPECT_GE(w.label_reliability, 0.6);
+}
+
+TEST(WorkerPool, EveningActivityExceedsMorning) {
+  Rng rng(4);
+  const auto pool = make_worker_pool(200, 0.85, 0.05, 0.92, 0.1, rng);
+  double morning = 0.0, evening = 0.0;
+  for (const auto& w : pool) {
+    morning += w.activity[static_cast<std::size_t>(TemporalContext::kMorning)];
+    evening += w.activity[static_cast<std::size_t>(TemporalContext::kEvening)];
+  }
+  EXPECT_GT(evening, 1.5 * morning);
+}
+
+class AnswerQueryTest : public ::testing::Test {
+ protected:
+  AnswerQueryTest() : rng_(7) {
+    worker_.id = 3;
+    worker_.label_reliability = 0.9;
+    worker_.questionnaire_reliability = 0.95;
+  }
+
+  dataset::DisasterImage make(dataset::Severity truth, dataset::FailureMode mode,
+                              bool confusing) {
+    Rng img_rng(42);
+    return dataset::make_image(0, truth, mode, {}, img_rng, confusing);
+  }
+
+  double empirical_accuracy(const dataset::DisasterImage& img, double reliability,
+                            int n = 2000) {
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+      const WorkerAnswer ans = answer_query(worker_, img, reliability, rng_);
+      if (ans.label == dataset::label_index(img.true_label)) ++correct;
+    }
+    return static_cast<double>(correct) / n;
+  }
+
+  WorkerProfile worker_;
+  Rng rng_;
+};
+
+TEST_F(AnswerQueryTest, EasyImagesAnsweredNearReliability) {
+  const auto img = make(dataset::Severity::kModerate, dataset::FailureMode::kNone, false);
+  // difficulty factor 1.07 on easy images, clamped at 0.97.
+  EXPECT_NEAR(empirical_accuracy(img, 0.9), std::min(0.9 * 1.07, 0.97), 0.03);
+}
+
+TEST_F(AnswerQueryTest, ConfusingImagesDepressAccuracy) {
+  const auto img = make(dataset::Severity::kModerate, dataset::FailureMode::kNone, true);
+  const double acc = empirical_accuracy(img, 0.9);
+  EXPECT_LT(acc, 0.45);
+  EXPECT_GT(acc, 0.2);
+}
+
+TEST_F(AnswerQueryTest, WrongAnswersConcentrateOnConfusableLabel) {
+  const auto img = make(dataset::Severity::kNone, dataset::FailureMode::kFake, true);
+  // Fake image: truth none, confusable severe.
+  std::array<int, 3> votes{};
+  for (int i = 0; i < 2000; ++i)
+    ++votes[answer_query(worker_, img, 0.3, rng_).label];
+  EXPECT_GT(votes[2], votes[1] * 3);  // severe dominates among wrong answers
+}
+
+TEST_F(AnswerQueryTest, QuestionnaireTracksTruth) {
+  const auto img = make(dataset::Severity::kNone, dataset::FailureMode::kFake, false);
+  const auto truth_q = img.truth_questionnaire.to_vector();
+  std::vector<double> mean(truth_q.size(), 0.0);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const WorkerAnswer ans = answer_query(worker_, img, 0.9, rng_);
+    ASSERT_EQ(ans.questionnaire.size(), truth_q.size());
+    for (std::size_t d = 0; d < truth_q.size(); ++d) mean[d] += ans.questionnaire[d] / n;
+  }
+  for (std::size_t d = 0; d < truth_q.size(); ++d) {
+    // Each item should match truth with ~worker questionnaire reliability.
+    const double expected = truth_q[d] * 0.95 + (1 - truth_q[d]) * 0.05;
+    EXPECT_NEAR(mean[d], expected, 0.03) << "questionnaire item " << d;
+  }
+}
+
+TEST_F(AnswerQueryTest, ZeroReliabilityFloorsAtTwoPercent) {
+  const auto img = make(dataset::Severity::kSevere, dataset::FailureMode::kNone, false);
+  // Effective correctness is clamped at the 0.02 floor; wrong answers go 80%
+  // to the confusable label and 20% uniformly to the other labels.
+  EXPECT_LT(empirical_accuracy(img, 0.0), 0.05);
+}
+
+}  // namespace
+}  // namespace crowdlearn::crowd
