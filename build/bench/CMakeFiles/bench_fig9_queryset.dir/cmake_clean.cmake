@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_queryset.dir/bench_fig9_queryset.cpp.o"
+  "CMakeFiles/bench_fig9_queryset.dir/bench_fig9_queryset.cpp.o.d"
+  "bench_fig9_queryset"
+  "bench_fig9_queryset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_queryset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cqc.dir/bench_table1_cqc.cpp.o"
+  "CMakeFiles/bench_table1_cqc.dir/bench_table1_cqc.cpp.o.d"
+  "bench_table1_cqc"
+  "bench_table1_cqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_quality.dir/crowd_quality.cpp.o"
+  "CMakeFiles/crowd_quality.dir/crowd_quality.cpp.o.d"
+  "crowd_quality"
+  "crowd_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incentive_tuning.dir/incentive_tuning.cpp.o"
+  "CMakeFiles/incentive_tuning.dir/incentive_tuning.cpp.o.d"
+  "incentive_tuning"
+  "incentive_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incentive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

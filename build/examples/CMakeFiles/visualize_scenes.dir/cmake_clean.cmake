@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_scenes.dir/visualize_scenes.cpp.o"
+  "CMakeFiles/visualize_scenes.dir/visualize_scenes.cpp.o.d"
+  "visualize_scenes"
+  "visualize_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

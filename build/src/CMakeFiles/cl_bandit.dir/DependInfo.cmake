@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/policies.cpp" "src/CMakeFiles/cl_bandit.dir/bandit/policies.cpp.o" "gcc" "src/CMakeFiles/cl_bandit.dir/bandit/policies.cpp.o.d"
+  "/root/repo/src/bandit/ucb_alp.cpp" "src/CMakeFiles/cl_bandit.dir/bandit/ucb_alp.cpp.o" "gcc" "src/CMakeFiles/cl_bandit.dir/bandit/ucb_alp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

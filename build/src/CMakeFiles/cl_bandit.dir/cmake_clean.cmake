@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_bandit.dir/bandit/policies.cpp.o"
+  "CMakeFiles/cl_bandit.dir/bandit/policies.cpp.o.d"
+  "CMakeFiles/cl_bandit.dir/bandit/ucb_alp.cpp.o"
+  "CMakeFiles/cl_bandit.dir/bandit/ucb_alp.cpp.o.d"
+  "libcl_bandit.a"
+  "libcl_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/cl_core.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/cqc_module.cpp" "src/CMakeFiles/cl_core.dir/core/cqc_module.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/cqc_module.cpp.o.d"
+  "/root/repo/src/core/crowdlearn_system.cpp" "src/CMakeFiles/cl_core.dir/core/crowdlearn_system.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/crowdlearn_system.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/cl_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/ipd.cpp" "src/CMakeFiles/cl_core.dir/core/ipd.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/ipd.cpp.o.d"
+  "/root/repo/src/core/mic.cpp" "src/CMakeFiles/cl_core.dir/core/mic.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/mic.cpp.o.d"
+  "/root/repo/src/core/qss.cpp" "src/CMakeFiles/cl_core.dir/core/qss.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/qss.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/CMakeFiles/cl_core.dir/core/recorder.cpp.o" "gcc" "src/CMakeFiles/cl_core.dir/core/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_experts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

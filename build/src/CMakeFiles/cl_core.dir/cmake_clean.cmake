@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_core.dir/core/baselines.cpp.o"
+  "CMakeFiles/cl_core.dir/core/baselines.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/cqc_module.cpp.o"
+  "CMakeFiles/cl_core.dir/core/cqc_module.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/crowdlearn_system.cpp.o"
+  "CMakeFiles/cl_core.dir/core/crowdlearn_system.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/cl_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/ipd.cpp.o"
+  "CMakeFiles/cl_core.dir/core/ipd.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/mic.cpp.o"
+  "CMakeFiles/cl_core.dir/core/mic.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/qss.cpp.o"
+  "CMakeFiles/cl_core.dir/core/qss.cpp.o.d"
+  "CMakeFiles/cl_core.dir/core/recorder.cpp.o"
+  "CMakeFiles/cl_core.dir/core/recorder.cpp.o.d"
+  "libcl_core.a"
+  "libcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

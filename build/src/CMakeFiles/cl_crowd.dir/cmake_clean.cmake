@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_crowd.dir/crowd/pilot.cpp.o"
+  "CMakeFiles/cl_crowd.dir/crowd/pilot.cpp.o.d"
+  "CMakeFiles/cl_crowd.dir/crowd/platform.cpp.o"
+  "CMakeFiles/cl_crowd.dir/crowd/platform.cpp.o.d"
+  "CMakeFiles/cl_crowd.dir/crowd/worker.cpp.o"
+  "CMakeFiles/cl_crowd.dir/crowd/worker.cpp.o.d"
+  "libcl_crowd.a"
+  "libcl_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/disaster_image.cpp" "src/CMakeFiles/cl_dataset.dir/dataset/disaster_image.cpp.o" "gcc" "src/CMakeFiles/cl_dataset.dir/dataset/disaster_image.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/CMakeFiles/cl_dataset.dir/dataset/generator.cpp.o" "gcc" "src/CMakeFiles/cl_dataset.dir/dataset/generator.cpp.o.d"
+  "/root/repo/src/dataset/stream.cpp" "src/CMakeFiles/cl_dataset.dir/dataset/stream.cpp.o" "gcc" "src/CMakeFiles/cl_dataset.dir/dataset/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_dataset.dir/dataset/disaster_image.cpp.o"
+  "CMakeFiles/cl_dataset.dir/dataset/disaster_image.cpp.o.d"
+  "CMakeFiles/cl_dataset.dir/dataset/generator.cpp.o"
+  "CMakeFiles/cl_dataset.dir/dataset/generator.cpp.o.d"
+  "CMakeFiles/cl_dataset.dir/dataset/stream.cpp.o"
+  "CMakeFiles/cl_dataset.dir/dataset/stream.cpp.o.d"
+  "libcl_dataset.a"
+  "libcl_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

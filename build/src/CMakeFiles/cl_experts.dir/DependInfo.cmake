@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experts/boosted_ensemble.cpp" "src/CMakeFiles/cl_experts.dir/experts/boosted_ensemble.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/boosted_ensemble.cpp.o.d"
+  "/root/repo/src/experts/bovw.cpp" "src/CMakeFiles/cl_experts.dir/experts/bovw.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/bovw.cpp.o.d"
+  "/root/repo/src/experts/committee.cpp" "src/CMakeFiles/cl_experts.dir/experts/committee.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/committee.cpp.o.d"
+  "/root/repo/src/experts/dda_algorithm.cpp" "src/CMakeFiles/cl_experts.dir/experts/dda_algorithm.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/dda_algorithm.cpp.o.d"
+  "/root/repo/src/experts/ddm.cpp" "src/CMakeFiles/cl_experts.dir/experts/ddm.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/ddm.cpp.o.d"
+  "/root/repo/src/experts/vgg16_like.cpp" "src/CMakeFiles/cl_experts.dir/experts/vgg16_like.cpp.o" "gcc" "src/CMakeFiles/cl_experts.dir/experts/vgg16_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_experts.dir/experts/boosted_ensemble.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/boosted_ensemble.cpp.o.d"
+  "CMakeFiles/cl_experts.dir/experts/bovw.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/bovw.cpp.o.d"
+  "CMakeFiles/cl_experts.dir/experts/committee.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/committee.cpp.o.d"
+  "CMakeFiles/cl_experts.dir/experts/dda_algorithm.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/dda_algorithm.cpp.o.d"
+  "CMakeFiles/cl_experts.dir/experts/ddm.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/ddm.cpp.o.d"
+  "CMakeFiles/cl_experts.dir/experts/vgg16_like.cpp.o"
+  "CMakeFiles/cl_experts.dir/experts/vgg16_like.cpp.o.d"
+  "libcl_experts.a"
+  "libcl_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

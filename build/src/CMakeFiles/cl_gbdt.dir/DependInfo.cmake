@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/adaboost.cpp" "src/CMakeFiles/cl_gbdt.dir/gbdt/adaboost.cpp.o" "gcc" "src/CMakeFiles/cl_gbdt.dir/gbdt/adaboost.cpp.o.d"
+  "/root/repo/src/gbdt/gbdt.cpp" "src/CMakeFiles/cl_gbdt.dir/gbdt/gbdt.cpp.o" "gcc" "src/CMakeFiles/cl_gbdt.dir/gbdt/gbdt.cpp.o.d"
+  "/root/repo/src/gbdt/tree.cpp" "src/CMakeFiles/cl_gbdt.dir/gbdt/tree.cpp.o" "gcc" "src/CMakeFiles/cl_gbdt.dir/gbdt/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_gbdt.dir/gbdt/adaboost.cpp.o"
+  "CMakeFiles/cl_gbdt.dir/gbdt/adaboost.cpp.o.d"
+  "CMakeFiles/cl_gbdt.dir/gbdt/gbdt.cpp.o"
+  "CMakeFiles/cl_gbdt.dir/gbdt/gbdt.cpp.o.d"
+  "CMakeFiles/cl_gbdt.dir/gbdt/tree.cpp.o"
+  "CMakeFiles/cl_gbdt.dir/gbdt/tree.cpp.o.d"
+  "libcl_gbdt.a"
+  "libcl_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

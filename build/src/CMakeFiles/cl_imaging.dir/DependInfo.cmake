@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/features.cpp" "src/CMakeFiles/cl_imaging.dir/imaging/features.cpp.o" "gcc" "src/CMakeFiles/cl_imaging.dir/imaging/features.cpp.o.d"
+  "/root/repo/src/imaging/pgm.cpp" "src/CMakeFiles/cl_imaging.dir/imaging/pgm.cpp.o" "gcc" "src/CMakeFiles/cl_imaging.dir/imaging/pgm.cpp.o.d"
+  "/root/repo/src/imaging/renderer.cpp" "src/CMakeFiles/cl_imaging.dir/imaging/renderer.cpp.o" "gcc" "src/CMakeFiles/cl_imaging.dir/imaging/renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

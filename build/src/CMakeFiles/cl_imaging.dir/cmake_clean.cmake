@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_imaging.dir/imaging/features.cpp.o"
+  "CMakeFiles/cl_imaging.dir/imaging/features.cpp.o.d"
+  "CMakeFiles/cl_imaging.dir/imaging/pgm.cpp.o"
+  "CMakeFiles/cl_imaging.dir/imaging/pgm.cpp.o.d"
+  "CMakeFiles/cl_imaging.dir/imaging/renderer.cpp.o"
+  "CMakeFiles/cl_imaging.dir/imaging/renderer.cpp.o.d"
+  "libcl_imaging.a"
+  "libcl_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

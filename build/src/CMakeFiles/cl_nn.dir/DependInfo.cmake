@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/cl_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/cl_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/cl_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/cl_nn.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/cl_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/cl_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/cl_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor3.cpp" "src/CMakeFiles/cl_nn.dir/nn/tensor3.cpp.o" "gcc" "src/CMakeFiles/cl_nn.dir/nn/tensor3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

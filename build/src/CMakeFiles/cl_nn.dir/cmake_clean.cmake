@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/matrix.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/sequential.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/cl_nn.dir/nn/tensor3.cpp.o"
+  "CMakeFiles/cl_nn.dir/nn/tensor3.cpp.o.d"
+  "libcl_nn.a"
+  "libcl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distribution.cpp" "src/CMakeFiles/cl_stats.dir/stats/distribution.cpp.o" "gcc" "src/CMakeFiles/cl_stats.dir/stats/distribution.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/cl_stats.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/cl_stats.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/roc.cpp" "src/CMakeFiles/cl_stats.dir/stats/roc.cpp.o" "gcc" "src/CMakeFiles/cl_stats.dir/stats/roc.cpp.o.d"
+  "/root/repo/src/stats/wilcoxon.cpp" "src/CMakeFiles/cl_stats.dir/stats/wilcoxon.cpp.o" "gcc" "src/CMakeFiles/cl_stats.dir/stats/wilcoxon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

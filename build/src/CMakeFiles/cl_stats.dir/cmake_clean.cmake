@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_stats.dir/stats/distribution.cpp.o"
+  "CMakeFiles/cl_stats.dir/stats/distribution.cpp.o.d"
+  "CMakeFiles/cl_stats.dir/stats/metrics.cpp.o"
+  "CMakeFiles/cl_stats.dir/stats/metrics.cpp.o.d"
+  "CMakeFiles/cl_stats.dir/stats/roc.cpp.o"
+  "CMakeFiles/cl_stats.dir/stats/roc.cpp.o.d"
+  "CMakeFiles/cl_stats.dir/stats/wilcoxon.cpp.o"
+  "CMakeFiles/cl_stats.dir/stats/wilcoxon.cpp.o.d"
+  "libcl_stats.a"
+  "libcl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_truth.dir/truth/cqc.cpp.o"
+  "CMakeFiles/cl_truth.dir/truth/cqc.cpp.o.d"
+  "CMakeFiles/cl_truth.dir/truth/filtering.cpp.o"
+  "CMakeFiles/cl_truth.dir/truth/filtering.cpp.o.d"
+  "CMakeFiles/cl_truth.dir/truth/td_em.cpp.o"
+  "CMakeFiles/cl_truth.dir/truth/td_em.cpp.o.d"
+  "CMakeFiles/cl_truth.dir/truth/voting.cpp.o"
+  "CMakeFiles/cl_truth.dir/truth/voting.cpp.o.d"
+  "CMakeFiles/cl_truth.dir/truth/weighted_voting.cpp.o"
+  "CMakeFiles/cl_truth.dir/truth/weighted_voting.cpp.o.d"
+  "libcl_truth.a"
+  "libcl_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_util.dir/util/csv.cpp.o"
+  "CMakeFiles/cl_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/cl_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cl_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cl_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/cl_util.dir/util/stopwatch.cpp.o.d"
+  "libcl_util.a"
+  "libcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaboost.dir/test_adaboost.cpp.o"
+  "CMakeFiles/test_adaboost.dir/test_adaboost.cpp.o.d"
+  "test_adaboost"
+  "test_adaboost.pdb"
+  "test_adaboost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

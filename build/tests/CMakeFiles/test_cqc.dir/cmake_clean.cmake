@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cqc.dir/test_cqc.cpp.o"
+  "CMakeFiles/test_cqc.dir/test_cqc.cpp.o.d"
+  "test_cqc"
+  "test_cqc.pdb"
+  "test_cqc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

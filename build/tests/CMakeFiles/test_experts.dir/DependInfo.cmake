@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_experts.cpp" "tests/CMakeFiles/test_experts.dir/test_experts.cpp.o" "gcc" "tests/CMakeFiles/test_experts.dir/test_experts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_experts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

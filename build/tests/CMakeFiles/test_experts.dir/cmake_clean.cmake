@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experts.dir/test_experts.cpp.o"
+  "CMakeFiles/test_experts.dir/test_experts.cpp.o.d"
+  "test_experts"
+  "test_experts.pdb"
+  "test_experts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

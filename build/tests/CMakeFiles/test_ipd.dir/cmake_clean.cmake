@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipd.dir/test_ipd.cpp.o"
+  "CMakeFiles/test_ipd.dir/test_ipd.cpp.o.d"
+  "test_ipd"
+  "test_ipd.pdb"
+  "test_ipd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

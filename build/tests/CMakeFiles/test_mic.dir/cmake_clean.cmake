@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mic.dir/test_mic.cpp.o"
+  "CMakeFiles/test_mic.dir/test_mic.cpp.o.d"
+  "test_mic"
+  "test_mic.pdb"
+  "test_mic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

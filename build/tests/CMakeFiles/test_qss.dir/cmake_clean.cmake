@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qss.dir/test_qss.cpp.o"
+  "CMakeFiles/test_qss.dir/test_qss.cpp.o.d"
+  "test_qss"
+  "test_qss.pdb"
+  "test_qss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_td_em.dir/test_td_em.cpp.o"
+  "CMakeFiles/test_td_em.dir/test_td_em.cpp.o.d"
+  "test_td_em"
+  "test_td_em.pdb"
+  "test_td_em[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_td_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

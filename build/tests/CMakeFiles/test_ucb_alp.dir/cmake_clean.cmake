@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucb_alp.dir/test_ucb_alp.cpp.o"
+  "CMakeFiles/test_ucb_alp.dir/test_ucb_alp.cpp.o.d"
+  "test_ucb_alp"
+  "test_ucb_alp.pdb"
+  "test_ucb_alp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucb_alp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

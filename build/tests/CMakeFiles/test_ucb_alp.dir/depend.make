@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ucb_alp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voting.dir/test_voting.cpp.o"
+  "CMakeFiles/test_voting.dir/test_voting.cpp.o.d"
+  "test_voting"
+  "test_voting.pdb"
+  "test_voting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

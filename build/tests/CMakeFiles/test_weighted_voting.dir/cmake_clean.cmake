@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_voting.dir/test_weighted_voting.cpp.o"
+  "CMakeFiles/test_weighted_voting.dir/test_weighted_voting.cpp.o.d"
+  "test_weighted_voting"
+  "test_weighted_voting.pdb"
+  "test_weighted_voting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

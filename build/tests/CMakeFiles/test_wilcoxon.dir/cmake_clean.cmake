@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wilcoxon.dir/test_wilcoxon.cpp.o"
+  "CMakeFiles/test_wilcoxon.dir/test_wilcoxon.cpp.o.d"
+  "test_wilcoxon"
+  "test_wilcoxon.pdb"
+  "test_wilcoxon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wilcoxon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
