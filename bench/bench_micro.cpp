@@ -10,6 +10,7 @@
 #include "gbdt/gbdt.hpp"
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -114,6 +115,64 @@ void BM_CommitteeVote(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommitteeVote);
+
+// Parallel-vs-serial committee inference: the per-cycle hot path (expert
+// votes for every sensing-cycle image). Arg = thread count; Arg(1) is the
+// serial baseline, so the speedup at T threads is time(1) / time(T).
+// Outputs are byte-identical across thread counts (see test_determinism).
+void BM_CommitteeBatchInference(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  struct Fixture {
+    dataset::Dataset data;
+    experts::ExpertCommittee committee = experts::make_default_committee();
+    Fixture() {
+      dataset::DatasetConfig dcfg;
+      dcfg.total_images = 96;
+      dcfg.train_images = 64;
+      data = dataset::generate_dataset(dcfg);
+      Rng rng(7);
+      committee.train_all(data, data.train_indices, rng);
+    }
+  };
+  static Fixture fixture;  // train the full VGG/BoVW/DDM roster exactly once
+
+  util::ThreadPool pool(threads);
+  fixture.committee.set_thread_pool(threads > 1 ? &pool : nullptr);
+  for (auto _ : state) {
+    const auto votes = fixture.committee.expert_votes_batch(fixture.data,
+                                                            fixture.data.test_indices);
+    benchmark::DoNotOptimize(votes.data());
+  }
+  fixture.committee.set_thread_pool(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.data.test_indices.size()));
+}
+BENCHMARK(BM_CommitteeBatchInference)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Parallel-vs-serial GBDT training (CQC's model fit): feature-parallel split
+// search with ordered reduction. Arg = thread count, Arg(1) = serial.
+void BM_GbdtFitParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 560, cols = 24;
+  Rng rng(11);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(cols));
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : rows[i]) v = rng.uniform(0, 1);
+    labels[i] = rng.index(3);
+  }
+  const auto x = gbdt::FeatureMatrix::from_rows(rows);
+  util::ThreadPool pool(threads);
+  gbdt::GbdtConfig cfg;
+  cfg.num_rounds = 20;
+  cfg.tree.pool = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    gbdt::Gbdt model;
+    model.fit(x, labels, 3, cfg);
+    benchmark::DoNotOptimize(model.num_rounds());
+  }
+}
+BENCHMARK(BM_GbdtFitParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

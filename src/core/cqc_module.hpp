@@ -27,6 +27,9 @@ class CqcModule {
   bool trained() const { return aggregator_.trained(); }
   truth::CqcAggregator& aggregator() { return aggregator_; }
 
+  /// Route GBDT training through a thread pool (nullptr = serial).
+  void set_thread_pool(util::ThreadPool* pool) { aggregator_.set_thread_pool(pool); }
+
   /// Collect every pilot response with its golden label — also used to fit
   /// the Table I baselines on identical data.
   static std::vector<truth::LabeledQuery> labeled_queries_from_pilot(

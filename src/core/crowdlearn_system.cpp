@@ -9,12 +9,16 @@ namespace crowdlearn::core {
 CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
                                    const CrowdLearnConfig& cfg)
     : cfg_(cfg),
+      pool_(std::make_shared<util::ThreadPool>(util::resolve_thread_count(cfg.num_threads))),
       committee_(std::move(committee)),
       qss_(cfg.qss),
       ipd_(cfg.ipd),
       cqc_(cfg.cqc),
       mic_(cfg.mic),
-      rng_(cfg.seed) {}
+      rng_(cfg.seed) {
+  committee_.set_thread_pool(pool_.get());
+  cqc_.set_thread_pool(pool_.get());
+}
 
 void CrowdLearnSystem::initialize(const dataset::Dataset& data,
                                   const crowd::PilotResult& pilot) {
@@ -42,9 +46,13 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   Stopwatch ai_clock;
   const double spent_before = platform.total_spent_cents();
 
-  // (1) QSS: uncertainty-ranked, epsilon-greedy query-set selection.
+  // (1) QSS: uncertainty-ranked, epsilon-greedy query-set selection. All
+  // per-image committee votes are precomputed through the thread pool first;
+  // ranking then runs on this thread over the finished batch.
   const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
-  QssSelection sel = qss_.select(committee_, data, cycle.image_ids, query_count);
+  QssSelection sel = qss_.select(committee_, cycle.image_ids,
+                                 committee_.expert_votes_batch(data, cycle.image_ids),
+                                 query_count);
   out.queried_ids = sel.queried_ids;
 
   // (2) IPD + platform: one incentive decision per query. The platform's

@@ -6,12 +6,15 @@
 //   (4) MIC calibrates the committee — weight update, retraining, and crowd
 //       offloading of the queried images' labels.
 
+#include <memory>
+
 #include "core/cqc_module.hpp"
 #include "core/ipd.hpp"
 #include "core/mic.hpp"
 #include "core/qss.hpp"
 #include "dataset/stream.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace crowdlearn::core {
 
@@ -22,6 +25,10 @@ struct CrowdLearnConfig {
   truth::CqcConfig cqc;
   MicConfig mic;
   std::uint64_t seed = 31;
+  /// Worker threads for committee inference/training and GBDT split search.
+  /// 0 = auto (CROWDLEARN_THREADS env var, else hardware_concurrency).
+  /// Outputs are byte-identical for any value (tests/test_determinism.cpp).
+  std::size_t num_threads = 0;
 };
 
 /// Everything observable about one executed sensing cycle.
@@ -64,9 +71,13 @@ class CrowdLearnSystem {
   CqcModule& cqc() { return cqc_; }
   const CrowdLearnConfig& config() const { return cfg_; }
   bool initialized() const { return initialized_; }
+  util::ThreadPool& thread_pool() { return *pool_; }
 
  private:
   CrowdLearnConfig cfg_;
+  /// Owns the worker pool the committee and CQC borrow; declared before them
+  /// so it outlives every borrower.
+  std::shared_ptr<util::ThreadPool> pool_;
   experts::ExpertCommittee committee_;
   Qss qss_;
   Ipd ipd_;

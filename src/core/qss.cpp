@@ -10,17 +10,25 @@ QssSelection Qss::select(experts::ExpertCommittee& committee, const dataset::Dat
                          const std::vector<std::size_t>& cycle_image_ids,
                          std::size_t query_count) {
   if (cycle_image_ids.empty()) throw std::invalid_argument("Qss::select: empty cycle");
+  return select(committee, cycle_image_ids,
+                committee.expert_votes_batch(data, cycle_image_ids), query_count);
+}
+
+QssSelection Qss::select(const experts::ExpertCommittee& committee,
+                         const std::vector<std::size_t>& cycle_image_ids,
+                         std::vector<std::vector<std::vector<double>>> votes,
+                         std::size_t query_count) {
+  if (cycle_image_ids.empty()) throw std::invalid_argument("Qss::select: empty cycle");
   if (query_count > cycle_image_ids.size())
     throw std::invalid_argument("Qss::select: query_count exceeds cycle size");
+  if (votes.size() != cycle_image_ids.size())
+    throw std::invalid_argument("Qss::select: vote batch size mismatch");
 
   QssSelection sel;
+  sel.votes = std::move(votes);
   sel.entropies.reserve(cycle_image_ids.size());
-  sel.votes.reserve(cycle_image_ids.size());
-  for (std::size_t id : cycle_image_ids) {
-    std::vector<std::vector<double>> votes = committee.expert_votes(data.image(id));
-    sel.entropies.push_back(committee.committee_entropy(votes));
-    sel.votes.push_back(std::move(votes));
-  }
+  for (const auto& image_votes : sel.votes)
+    sel.entropies.push_back(committee.committee_entropy(image_votes));
 
   // s_list: positions sorted by entropy, most uncertain first.
   std::vector<std::size_t> s_list(cycle_image_ids.size());

@@ -35,8 +35,20 @@ class Qss {
   explicit Qss(const QssConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
 
   /// Select `query_count` of the cycle's images for crowd querying.
+  /// Computes the expert votes itself (through the committee's thread pool
+  /// when one is attached) and delegates to the precomputed-votes overload.
   QssSelection select(experts::ExpertCommittee& committee, const dataset::Dataset& data,
                       const std::vector<std::size_t>& cycle_image_ids,
+                      std::size_t query_count);
+
+  /// Select from precomputed expert votes (votes[i][m] = expert m's
+  /// distribution for cycle image i) — the path run_cycle uses after batching
+  /// all committee inference through the thread pool. Ranking, the epsilon-
+  /// greedy draw and every RNG consumption happen on the calling thread in
+  /// input order, so selection is independent of how the votes were computed.
+  QssSelection select(const experts::ExpertCommittee& committee,
+                      const std::vector<std::size_t>& cycle_image_ids,
+                      std::vector<std::vector<std::vector<double>>> votes,
                       std::size_t query_count);
 
   double epsilon() const { return cfg_.epsilon; }

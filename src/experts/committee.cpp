@@ -6,6 +6,7 @@
 #include "experts/ddm.hpp"
 #include "experts/vgg16_like.hpp"
 #include "stats/distribution.hpp"
+#include "util/thread_pool.hpp"
 
 namespace crowdlearn::experts {
 
@@ -30,6 +31,7 @@ ExpertCommittee ExpertCommittee::clone() const {
   for (const auto& e : experts_) experts.push_back(e->clone());
   ExpertCommittee copy(std::move(experts));
   copy.weights_ = weights_;
+  copy.pool_ = pool_;
   return copy;
 }
 
@@ -39,29 +41,82 @@ bool ExpertCommittee::all_trained() const {
   return true;
 }
 
+namespace {
+
+/// One independent RNG stream per expert, forked from the master stream in
+/// expert order *before* any parallel dispatch. The fork sequence consumes
+/// the parent exactly as the old serial loop did, so per-seed results are
+/// unchanged — and no task ever touches shared RNG state.
+std::vector<Rng> fork_per_expert(Rng& rng, std::size_t num_experts) {
+  std::vector<Rng> children;
+  children.reserve(num_experts);
+  for (std::size_t m = 0; m < num_experts; ++m) children.push_back(rng.fork());
+  return children;
+}
+
+}  // namespace
+
 void ExpertCommittee::train_all(const dataset::Dataset& data,
                                 const std::vector<std::size_t>& image_ids, Rng& rng) {
-  for (auto& e : experts_) {
-    Rng child = rng.fork();
-    e->train(data, image_ids, child);
+  std::vector<Rng> children = fork_per_expert(rng, experts_.size());
+  if (pool_ != nullptr && pool_->size() > 1 && experts_.size() > 1) {
+    pool_->parallel_for(experts_.size(),
+                        [&](std::size_t m) { experts_[m]->train(data, image_ids, children[m]); });
+  } else {
+    for (std::size_t m = 0; m < experts_.size(); ++m)
+      experts_[m]->train(data, image_ids, children[m]);
   }
 }
 
 void ExpertCommittee::retrain_all(const dataset::Dataset& data,
                                   const std::vector<std::size_t>& image_ids,
                                   const std::vector<std::size_t>& crowd_labels, Rng& rng) {
-  for (auto& e : experts_) {
-    Rng child = rng.fork();
-    e->retrain(data, image_ids, crowd_labels, child);
+  std::vector<Rng> children = fork_per_expert(rng, experts_.size());
+  if (pool_ != nullptr && pool_->size() > 1 && experts_.size() > 1) {
+    pool_->parallel_for(experts_.size(), [&](std::size_t m) {
+      experts_[m]->retrain(data, image_ids, crowd_labels, children[m]);
+    });
+  } else {
+    for (std::size_t m = 0; m < experts_.size(); ++m)
+      experts_[m]->retrain(data, image_ids, crowd_labels, children[m]);
   }
 }
 
 std::vector<std::vector<double>> ExpertCommittee::expert_votes(
     const dataset::DisasterImage& image) {
-  std::vector<std::vector<double>> votes;
-  votes.reserve(experts_.size());
-  for (auto& e : experts_) votes.push_back(e->predict_proba(image));
+  std::vector<std::vector<double>> votes(experts_.size());
+  if (pool_ != nullptr && pool_->size() > 1 && experts_.size() > 1) {
+    pool_->parallel_for(experts_.size(),
+                        [&](std::size_t m) { votes[m] = experts_[m]->predict_proba(image); });
+  } else {
+    for (std::size_t m = 0; m < experts_.size(); ++m)
+      votes[m] = experts_[m]->predict_proba(image);
+  }
   return votes;
+}
+
+std::vector<std::vector<std::vector<double>>> ExpertCommittee::expert_votes_batch(
+    const dataset::Dataset& data, const std::vector<std::size_t>& ids) {
+  std::vector<std::vector<std::vector<double>>> out(ids.size());
+  if (pool_ == nullptr || pool_->size() <= 1 || ids.size() <= 1) {
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = expert_votes(data.image(ids[i]));
+    return out;
+  }
+  pool_->parallel_chunks(ids.size(), [&](std::size_t begin, std::size_t end) {
+    // Private replica per chunk: inference mutates layer caches, so the
+    // shared roster cannot serve two threads. Clones carry the exact trained
+    // parameters, so every chunk computes the same bits the serial path would.
+    std::vector<std::unique_ptr<DdaAlgorithm>> replica;
+    replica.reserve(experts_.size());
+    for (const auto& e : experts_) replica.push_back(e->clone());
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<std::vector<double>> votes(replica.size());
+      for (std::size_t m = 0; m < replica.size(); ++m)
+        votes[m] = replica[m]->predict_proba(data.image(ids[i]));
+      out[i] = std::move(votes);
+    }
+  });
+  return out;
 }
 
 std::vector<double> ExpertCommittee::committee_vote(
@@ -97,9 +152,10 @@ std::size_t ExpertCommittee::predict(const dataset::DisasterImage& image) {
 
 std::vector<std::size_t> ExpertCommittee::predict_batch(const dataset::Dataset& data,
                                                         const std::vector<std::size_t>& ids) {
+  const auto votes = expert_votes_batch(data, ids);
   std::vector<std::size_t> out;
   out.reserve(ids.size());
-  for (std::size_t id : ids) out.push_back(predict(data.image(id)));
+  for (const auto& image_votes : votes) out.push_back(stats::argmax(committee_vote(image_votes)));
   return out;
 }
 

@@ -8,6 +8,10 @@
 
 #include "experts/dda_algorithm.hpp"
 
+namespace crowdlearn::util {
+class ThreadPool;
+}
+
 namespace crowdlearn::experts {
 
 class ExpertCommittee {
@@ -21,6 +25,14 @@ class ExpertCommittee {
   const std::vector<double>& weights() const { return weights_; }
   /// Replace the expert weights (normalized internally; must be >= 0).
   void set_weights(std::vector<double> w);
+
+  /// Attach a pool for expert- and image-parallel execution (nullptr =
+  /// serial). The pool must outlive the committee. Parallel and serial
+  /// execution produce byte-identical results: chunking is static, results
+  /// land in preallocated per-index slots, and training RNG streams are
+  /// forked from the master seed before dispatch.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
 
   /// Deep copy: cloned experts, same weights.
   ExpertCommittee clone() const;
@@ -39,6 +51,14 @@ class ExpertCommittee {
   /// Individual expert votes for one image (one distribution per expert).
   std::vector<std::vector<double>> expert_votes(const dataset::DisasterImage& image);
 
+  /// Expert votes for a whole image batch: out[i][m] = expert m's
+  /// distribution for image ids[i]. With a pool attached the batch is
+  /// image-parallel: each static chunk runs on a private clone of the expert
+  /// roster (inference mutates layer activation caches, so experts cannot be
+  /// shared across threads), which yields the same bits as the serial path.
+  std::vector<std::vector<std::vector<double>>> expert_votes_batch(
+      const dataset::Dataset& data, const std::vector<std::size_t>& ids);
+
   /// Committee vote rho (Eq. 2), normalized to a distribution.
   std::vector<double> committee_vote(const dataset::DisasterImage& image);
   /// Committee vote computed from precomputed expert votes.
@@ -56,6 +76,7 @@ class ExpertCommittee {
  private:
   std::vector<std::unique_ptr<DdaAlgorithm>> experts_;
   std::vector<double> weights_;
+  util::ThreadPool* pool_ = nullptr;  ///< not owned; nullptr = serial
 };
 
 /// The paper's default committee: {VGG16, BoVW, DDM}.

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace crowdlearn::gbdt {
 
 FeatureMatrix FeatureMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
@@ -33,6 +35,45 @@ std::vector<std::size_t> feature_subset(std::size_t cols, double colsample, Rng&
   rng.shuffle(feats);
   feats.resize(keep);
   return feats;
+}
+
+/// Best split found while scanning one feature.
+struct SplitCandidate {
+  bool valid = false;
+  double gain = -std::numeric_limits<double>::infinity();
+  std::size_t feature = 0;
+  double threshold = 0.0;
+};
+
+/// Deterministic total preference order over candidates: higher gain wins;
+/// exact gain ties go to the lower feature index, then the lower threshold.
+/// Because the reduction visits candidates in a fixed order and this
+/// predicate depends only on candidate values, the chosen split is identical
+/// no matter how many threads scanned the features.
+bool improves(const SplitCandidate& cand, const SplitCandidate& best) {
+  if (!cand.valid) return false;
+  if (!best.valid) return true;
+  if (cand.gain != best.gain) return cand.gain > best.gain;
+  if (cand.feature != best.feature) return cand.feature < best.feature;
+  return cand.threshold < best.threshold;
+}
+
+/// Scan every candidate feature (parallel when cfg.pool allows) and reduce
+/// to the single best split on the calling thread, in subset order.
+template <typename ScanFeature>
+SplitCandidate best_split(const std::vector<std::size_t>& feats, const TreeConfig& cfg,
+                          ScanFeature&& scan) {
+  std::vector<SplitCandidate> candidates(feats.size());
+  auto scan_one = [&](std::size_t fi) { candidates[fi] = scan(feats[fi]); };
+  if (cfg.pool != nullptr && cfg.pool->size() > 1 && feats.size() > 1) {
+    cfg.pool->parallel_for(feats.size(), scan_one);
+  } else {
+    for (std::size_t fi = 0; fi < feats.size(); ++fi) scan_one(fi);
+  }
+  SplitCandidate best;
+  for (const SplitCandidate& cand : candidates)
+    if (improves(cand, best)) best = cand;
+  return best;
 }
 
 }  // namespace
@@ -74,12 +115,14 @@ std::int32_t RegressionTree::build(const FeatureMatrix& x, const std::vector<dou
   if (depth >= cfg.max_depth || indices.size() < 2 * cfg.min_samples_leaf) return make_leaf();
 
   const double parent_score = g_sum * g_sum / (h_sum + cfg.lambda);
-  double best_gain = cfg.min_gain;
-  std::size_t best_feature = 0;
-  double best_threshold = 0.0;
 
-  for (std::size_t f : feature_subset(x.cols, cfg.colsample, rng)) {
+  // The subset is drawn (and the RNG advanced) before any parallel work; each
+  // feature scan then only reads shared state and writes its own candidate.
+  const std::vector<std::size_t> feats = feature_subset(x.cols, cfg.colsample, rng);
+  const SplitCandidate best = best_split(feats, cfg, [&](std::size_t f) {
     // Sort indices by feature value and scan split points.
+    SplitCandidate cand;
+    cand.feature = f;
     std::vector<std::size_t> sorted = indices;
     std::sort(sorted.begin(), sorted.end(),
               [&](std::size_t a, std::size_t b) { return x.at(a, f) < x.at(b, f); });
@@ -96,15 +139,18 @@ std::int32_t RegressionTree::build(const FeatureMatrix& x, const std::vector<dou
       const double gr = g_sum - gl, hr = h_sum - hl;
       const double gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) -
                           parent_score;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5 * (v + v_next);
+      if (gain > cfg.min_gain && (!cand.valid || gain > cand.gain)) {
+        cand.valid = true;
+        cand.gain = gain;
+        cand.threshold = 0.5 * (v + v_next);
       }
     }
-  }
+    return cand;
+  });
 
-  if (best_gain <= cfg.min_gain) return make_leaf();
+  if (!best.valid) return make_leaf();
+  const std::size_t best_feature = best.feature;
+  const double best_threshold = best.threshold;
 
   std::vector<std::size_t> left_idx, right_idx;
   for (std::size_t i : indices) {
@@ -148,6 +194,13 @@ std::size_t RegressionTree::depth() const {
   std::size_t d = 0;
   for (const Node& n : nodes_) d = std::max(d, n.depth);
   return d;
+}
+
+std::vector<std::size_t> RegressionTree::split_features() const {
+  std::vector<std::size_t> feats;
+  for (const Node& n : nodes_)
+    if (!n.leaf) feats.push_back(n.feature);
+  return feats;
 }
 
 // ---------------------------------------------------------------------------
@@ -216,11 +269,10 @@ std::int32_t DecisionTreeClassifier::build(const FeatureMatrix& x,
       parent_gini <= 1e-12)
     return make_leaf();
 
-  double best_gain = cfg.min_gain;
-  std::size_t best_feature = 0;
-  double best_threshold = 0.0;
-
-  for (std::size_t f : feature_subset(x.cols, cfg.colsample, rng)) {
+  const std::vector<std::size_t> feats = feature_subset(x.cols, cfg.colsample, rng);
+  const SplitCandidate best = best_split(feats, cfg, [&](std::size_t f) {
+    SplitCandidate cand;
+    cand.feature = f;
     std::vector<std::size_t> sorted = indices;
     std::sort(sorted.begin(), sorted.end(),
               [&](std::size_t a, std::size_t b) { return x.at(a, f) < x.at(b, f); });
@@ -243,15 +295,18 @@ std::int32_t DecisionTreeClassifier::build(const FeatureMatrix& x,
            right_total * weighted_gini(right_cw, right_total)) /
           std::max(total, 1e-12);
       const double gain = parent_gini - child_gini;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5 * (v + v_next);
+      if (gain > cfg.min_gain && (!cand.valid || gain > cand.gain)) {
+        cand.valid = true;
+        cand.gain = gain;
+        cand.threshold = 0.5 * (v + v_next);
       }
     }
-  }
+    return cand;
+  });
 
-  if (best_gain <= cfg.min_gain) return make_leaf();
+  if (!best.valid) return make_leaf();
+  const std::size_t best_feature = best.feature;
+  const double best_threshold = best.threshold;
 
   std::vector<std::size_t> left_idx, right_idx;
   for (std::size_t i : indices) {
@@ -298,6 +353,13 @@ std::size_t DecisionTreeClassifier::predict_row(const FeatureMatrix& x, std::siz
 std::vector<double> DecisionTreeClassifier::predict_proba(
     const std::vector<double>& features) const {
   return descend(features).class_dist;
+}
+
+std::vector<std::size_t> DecisionTreeClassifier::split_features() const {
+  std::vector<std::size_t> feats;
+  for (const Node& n : nodes_)
+    if (!n.leaf) feats.push_back(n.feature);
+  return feats;
 }
 
 }  // namespace crowdlearn::gbdt

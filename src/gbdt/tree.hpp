@@ -9,6 +9,10 @@
 
 #include "util/rng.hpp"
 
+namespace crowdlearn::util {
+class ThreadPool;
+}
+
 namespace crowdlearn::gbdt {
 
 /// Dataset view: row-major feature matrix.
@@ -27,6 +31,12 @@ struct TreeConfig {
   double lambda = 1.0;       ///< L2 regularization on leaf weights (regression tree)
   double min_gain = 1e-6;    ///< minimum split gain
   double colsample = 1.0;    ///< fraction of features considered per split
+  /// Optional pool for feature-parallel split search (not owned; nullptr =
+  /// serial). Candidate splits are scanned one feature per task and reduced
+  /// on the calling thread with a deterministic tie-break (higher gain, then
+  /// lower feature index, then lower threshold), so the fitted tree is
+  /// byte-identical at any thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Regression tree fit to (gradient, hessian) per sample, minimizing the
@@ -44,6 +54,10 @@ class RegressionTree {
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t depth() const;
   bool trained() const { return !nodes_.empty(); }
+  /// Split feature of every internal node, in node-creation order (empty for
+  /// a single-leaf tree). Exposed for structural tests, e.g. that equal-gain
+  /// splits resolve to the lowest feature index at any thread count.
+  std::vector<std::size_t> split_features() const;
 
  private:
   struct Node {
@@ -80,6 +94,8 @@ class DecisionTreeClassifier {
 
   std::size_t num_classes() const { return k_; }
   bool trained() const { return !nodes_.empty(); }
+  /// Split feature of every internal node, in node-creation order.
+  std::vector<std::size_t> split_features() const;
 
  private:
   struct Node {

@@ -47,6 +47,11 @@ class CqcAggregator : public Aggregator {
   bool trained() const { return model_.trained(); }
   const gbdt::Gbdt& model() const { return model_; }
 
+  /// Route the GBDT's split search through a thread pool (nullptr = serial).
+  /// The pool must outlive the aggregator. Fitted models are byte-identical
+  /// at any thread count (see TreeConfig::pool).
+  void set_thread_pool(util::ThreadPool* pool) { cfg_.gbdt.tree.pool = pool; }
+
  private:
   CqcConfig cfg_;
   gbdt::Gbdt model_;

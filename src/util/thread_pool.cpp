@@ -1,0 +1,61 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace crowdlearn::util {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CROWDLEARN_THREADS")) {
+    // strtoul silently negates "-3" to a huge value, so parse as signed and
+    // cap at a sane ceiling; malformed or out-of-range values fall through.
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+ThreadPool*& ThreadPool::current_pool() {
+  static thread_local ThreadPool* current = nullptr;
+  return current;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) : threads_(resolve_thread_count(num_threads)) {
+  if (threads_ < 2) return;  // inline mode: no workers, submit() runs on the caller
+  workers_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  current_pool() = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace crowdlearn::util

@@ -1,0 +1,140 @@
+#pragma once
+// Deterministic thread-pool parallelism.
+//
+// The library's reproducibility contract is bit-identical outputs per seed,
+// so the pool is built around three rules that every caller must follow:
+//   1. Static chunking: work over [0, n) is split into at most size()
+//      contiguous chunks whose boundaries depend only on n and size() — never
+//      on timing — and each chunk writes to disjoint, preallocated slots.
+//   2. Ordered reduction: chunk/task results are combined on the calling
+//      thread in index order; no atomics-based accumulation of doubles.
+//   3. Pre-split randomness: tasks never draw from a shared Rng. Callers fork
+//      one child stream per task from the master seed *before* dispatch.
+// Under those rules the outputs are byte-identical for any thread count,
+// which tests/test_determinism.cpp locks in.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace crowdlearn::util {
+
+/// Thread count used by a component: an explicit request wins, otherwise the
+/// CROWDLEARN_THREADS environment variable, otherwise hardware_concurrency
+/// (never less than 1).
+std::size_t resolve_thread_count(std::size_t requested = 0);
+
+/// Fixed-size worker pool with exception-propagating futures.
+///
+/// A pool constructed with one thread spawns no workers at all: submit() runs
+/// the task inline on the caller, so serial runs pay zero synchronization
+/// cost and single-threaded determinism is trivial. Calls into the pool from
+/// one of its own workers also run inline, which makes accidental nesting
+/// (a parallel section reached from inside a task) safe instead of a
+/// deadlock.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1; 1 means inline execution).
+  std::size_t size() const { return threads_; }
+
+  /// Stop accepting tasks, finish the queued ones and join the workers.
+  /// Idempotent; called by the destructor. submit() afterwards throws.
+  void shutdown();
+
+  /// Queue one task. The returned future carries the result or the thrown
+  /// exception. Runs inline when the pool is single-threaded, already shut
+  /// down tasks throw, or when called from one of this pool's own workers.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    bool inline_run = workers_.empty() || current_pool() == this;
+    if (!inline_run) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (shutdown_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.push([task] { (*task)(); });
+      lock.unlock();
+      cv_.notify_one();
+      return fut;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    (*task)();
+    return fut;
+  }
+
+  /// Run fn(begin, end) over static contiguous chunks of [0, n), at most one
+  /// chunk per worker. Waits for every chunk, then rethrows the first failure
+  /// in chunk order. Chunk boundaries depend only on n and size().
+  template <typename ChunkFn>
+  void parallel_chunks(std::size_t n, ChunkFn&& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min(size(), n);
+    if (chunks <= 1 || current_pool() == this) {
+      fn(std::size_t{0}, n);
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t end = begin + base + (c < extra ? 1 : 0);
+      futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+      begin = end;
+    }
+    wait_all(futures);
+  }
+
+  /// Run body(i) for every i in [0, n), chunked as in parallel_chunks.
+  template <typename Body>
+  void parallel_for(std::size_t n, Body&& body) {
+    parallel_chunks(n, [&body](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+
+  /// Wait on every future (so no task can outlive its captures), then
+  /// rethrow the first exception in index order.
+  static void wait_all(std::vector<std::future<void>>& futures) {
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  /// The pool whose worker is executing the current thread, if any.
+  static ThreadPool*& current_pool();
+  void worker_loop();
+
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace crowdlearn::util

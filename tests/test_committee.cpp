@@ -4,6 +4,7 @@
 
 #include "experts/bovw.hpp"
 #include "experts/committee.hpp"
+#include "util/thread_pool.hpp"
 
 namespace crowdlearn::experts {
 namespace {
@@ -114,6 +115,64 @@ TEST_F(CommitteeTest, DefaultCommitteeHasThePaperRoster) {
   EXPECT_EQ(committee.expert(0).name(), "VGG16");
   EXPECT_EQ(committee.expert(1).name(), "BoVW");
   EXPECT_EQ(committee.expert(2).name(), "DDM");
+}
+
+TEST_F(CommitteeTest, ParallelInferenceIsByteIdenticalToSerial) {
+  ExpertCommittee committee = make_small_committee(3);
+  committee.train_all(data_, data_.train_indices, rng_);
+
+  // Serial reference: no pool attached.
+  const auto serial_votes = committee.expert_votes_batch(data_, data_.test_indices);
+  const auto serial_preds = committee.predict_batch(data_, data_.test_indices);
+
+  util::ThreadPool pool(4);
+  committee.set_thread_pool(&pool);
+  const auto parallel_votes = committee.expert_votes_batch(data_, data_.test_indices);
+  const auto parallel_preds = committee.predict_batch(data_, data_.test_indices);
+  const auto& probe = data_.image(data_.test_indices[0]);
+  const auto parallel_single = committee.expert_votes(probe);
+  committee.set_thread_pool(nullptr);
+  const auto serial_single = committee.expert_votes(probe);
+
+  EXPECT_EQ(parallel_votes, serial_votes);  // exact doubles, every image/expert
+  EXPECT_EQ(parallel_preds, serial_preds);
+  EXPECT_EQ(parallel_single, serial_single);
+}
+
+TEST_F(CommitteeTest, ParallelTrainingIsByteIdenticalToSerial) {
+  // Two fresh committees trained from identical master seeds — one through a
+  // pool, one serially — must end up with identical parameters, hence
+  // identical votes. Per-expert RNG streams are forked before dispatch.
+  ExpertCommittee serial_committee = make_small_committee(3);
+  ExpertCommittee parallel_committee = make_small_committee(3);
+  util::ThreadPool pool(4);
+  parallel_committee.set_thread_pool(&pool);
+
+  Rng serial_rng(77), parallel_rng(77);
+  serial_committee.train_all(data_, data_.train_indices, serial_rng);
+  parallel_committee.train_all(data_, data_.train_indices, parallel_rng);
+  for (int i = 0; i < 10; ++i) {
+    const auto& img = data_.image(data_.test_indices[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(serial_committee.committee_vote(img), parallel_committee.committee_vote(img));
+  }
+  // The master streams were consumed identically (one fork per expert).
+  EXPECT_EQ(serial_rng.uniform(), parallel_rng.uniform());
+
+  // Retraining through the pool stays in lockstep too.
+  const std::vector<std::size_t> ids{data_.train_indices[0], data_.train_indices[1]};
+  serial_committee.retrain_all(data_, ids, {1, 2}, serial_rng);
+  parallel_committee.retrain_all(data_, ids, {1, 2}, parallel_rng);
+  for (int i = 0; i < 10; ++i) {
+    const auto& img = data_.image(data_.test_indices[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(serial_committee.committee_vote(img), parallel_committee.committee_vote(img));
+  }
+}
+
+TEST_F(CommitteeTest, TrainingExceptionPropagatesFromPool) {
+  ExpertCommittee committee = make_small_committee(2);
+  util::ThreadPool pool(4);
+  committee.set_thread_pool(&pool);
+  EXPECT_THROW(committee.train_all(data_, {}, rng_), std::invalid_argument);
 }
 
 TEST_F(CommitteeTest, Validation) {

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "experts/bovw.hpp"
+
+// Determinism contract of the parallel execution layer: running the full
+// CrowdLearn closed loop with the same seed must produce byte-identical
+// CycleOutcomes at ANY thread count. Every floating-point comparison below is
+// exact (operator== on doubles) on purpose — "close enough" would let
+// nondeterministic reduction orders slip through.
+
+namespace crowdlearn::core {
+namespace {
+
+experts::ExpertCommittee fast_committee() {
+  experts::BovwConfig fast;
+  fast.train.epochs = 6;
+  fast.train.learning_rate = 0.05;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> experts_vec;
+  for (int i = 0; i < 3; ++i)
+    experts_vec.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  return experts::ExpertCommittee(std::move(experts_vec));
+}
+
+/// Rebuild the entire experiment from scratch (dataset, pilot, committee,
+/// platform) and run the stream with the given thread count. Each invocation
+/// is fully independent, so any cross-run difference can only come from the
+/// thread count.
+std::vector<CycleOutcome> run_loop(std::size_t num_threads) {
+  ExperimentConfig cfg;
+  cfg.dataset.total_images = 140;
+  cfg.dataset.train_images = 90;
+  cfg.stream.num_cycles = 3;
+  cfg.stream.images_per_cycle = 8;
+  cfg.stream.grouped_contexts = false;
+  cfg.pilot.queries_per_cell = 6;
+  cfg.seed = 97;
+  const ExperimentSetup setup = make_setup(cfg);
+
+  CrowdLearnConfig sys_cfg = default_crowdlearn_config(setup, 4, 240.0);
+  sys_cfg.num_threads = num_threads;
+
+  CrowdLearnSystem system(fast_committee(), sys_cfg);
+  system.initialize(setup.data, setup.pilot);
+  crowd::CrowdPlatform platform = make_platform(setup, 1);
+  dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+  return system.run_stream(setup.data, platform, stream);
+}
+
+void expect_identical(const std::vector<CycleOutcome>& a, const std::vector<CycleOutcome>& b,
+                      const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    SCOPED_TRACE(std::string(label) + ", cycle " + std::to_string(c));
+    EXPECT_EQ(a[c].cycle_index, b[c].cycle_index);
+    EXPECT_EQ(a[c].image_ids, b[c].image_ids);
+    EXPECT_EQ(a[c].predictions, b[c].predictions);
+    EXPECT_EQ(a[c].probabilities, b[c].probabilities);  // exact, element-wise
+    EXPECT_EQ(a[c].queried_ids, b[c].queried_ids);
+    EXPECT_EQ(a[c].incentives_cents, b[c].incentives_cents);
+    EXPECT_EQ(a[c].expert_losses, b[c].expert_losses);
+    EXPECT_EQ(a[c].expert_weights, b[c].expert_weights);
+    EXPECT_EQ(a[c].crowd_delay_seconds, b[c].crowd_delay_seconds);
+    EXPECT_EQ(a[c].spent_cents, b[c].spent_cents);
+  }
+}
+
+TEST(Determinism, RunStreamIsByteIdenticalAcrossThreadCounts) {
+  const std::vector<CycleOutcome> serial = run_loop(1);
+  const std::vector<CycleOutcome> two = run_loop(2);
+  const std::vector<CycleOutcome> eight = run_loop(8);
+  expect_identical(serial, two, "1 vs 2 threads");
+  expect_identical(serial, eight, "1 vs 8 threads");
+}
+
+TEST(Determinism, RepeatedRunsAtSameThreadCountAreByteIdentical) {
+  const std::vector<CycleOutcome> first = run_loop(2);
+  const std::vector<CycleOutcome> second = run_loop(2);
+  expect_identical(first, second, "2 threads, run 1 vs run 2");
+}
+
+}  // namespace
+}  // namespace crowdlearn::core

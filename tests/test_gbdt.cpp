@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "gbdt/gbdt.hpp"
+#include "util/thread_pool.hpp"
 
 namespace crowdlearn::gbdt {
 namespace {
@@ -117,6 +118,128 @@ TEST(Gbdt, Validation) {
   EXPECT_THROW(model.fit(x, {0, 1}, 1, cfg), std::invalid_argument);    // k < 2
   cfg.subsample = 0.0;
   EXPECT_THROW(model.fit(x, {0, 1}, 2, cfg), std::invalid_argument);
+}
+
+TEST(Gbdt, ParallelFitIsByteIdenticalToSerial) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 50, rng);
+  // Pad with extra correlated features so the split search has real fan-out.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].push_back(rows[i][0] + rows[i][1]);
+    rows[i].push_back(rows[i][0] * 0.5 + rng.normal(0.0, 0.1));
+    rows[i].push_back(rng.uniform(-1.0, 1.0));
+  }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+
+  GbdtConfig serial_cfg;
+  serial_cfg.num_rounds = 15;
+  GbdtConfig parallel_cfg = serial_cfg;
+  util::ThreadPool pool(4);
+  parallel_cfg.tree.pool = &pool;
+
+  Gbdt serial_model, parallel_model;
+  serial_model.fit(x, y, 3, serial_cfg);
+  parallel_model.fit(x, y, 3, parallel_cfg);
+
+  for (int i = 0; i < 25; ++i) {
+    std::vector<double> q(x.cols);
+    for (double& v : q) v = rng.uniform(-1.0, 4.0);
+    // Exact comparison: the parallel split search must pick the same split
+    // (same feature, same threshold, same bits) at every node.
+    EXPECT_EQ(serial_model.predict_proba(q), parallel_model.predict_proba(q));
+  }
+}
+
+TEST(Gbdt, ParallelFitWithColumnSubsamplingMatchesSerial) {
+  Rng rng(8);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  make_data(rows, y, 40, rng);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].push_back(rng.uniform(-1.0, 1.0));
+    rows[i].push_back(rng.uniform(-1.0, 1.0));
+  }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+
+  GbdtConfig serial_cfg;
+  serial_cfg.num_rounds = 10;
+  serial_cfg.tree.colsample = 0.5;  // the subset draw happens before dispatch
+  GbdtConfig parallel_cfg = serial_cfg;
+  util::ThreadPool pool(3);
+  parallel_cfg.tree.pool = &pool;
+
+  Gbdt serial_model, parallel_model;
+  serial_model.fit(x, y, 3, serial_cfg);
+  parallel_model.fit(x, y, 3, parallel_cfg);
+  for (int i = 0; i < 25; ++i) {
+    std::vector<double> q(x.cols);
+    for (double& v : q) v = rng.uniform(-1.0, 4.0);
+    EXPECT_EQ(serial_model.predict_proba(q), parallel_model.predict_proba(q));
+  }
+}
+
+TEST(RegressionTreeSplit, EqualGainTieBreaksToLowestFeatureAtAnyThreadCount) {
+  // Columns 1 and 2 are exact duplicates of column 0, so every candidate
+  // split has an exactly equal gain on all three features. The deterministic
+  // tie-break must pick feature 0 everywhere, serial or parallel.
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> grad, hess;
+  for (int i = 0; i < 64; ++i) {
+    const double v = rng.uniform(-2.0, 2.0);
+    rows.push_back({v, v, v});
+    grad.push_back(v > 0.0 ? 1.0 + rng.normal(0.0, 0.05) : -1.0 + rng.normal(0.0, 0.05));
+    hess.push_back(1.0);
+  }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+
+  RegressionTree serial_tree;
+  serial_tree.fit(x, grad, hess, cfg, rng);
+  ASSERT_FALSE(serial_tree.split_features().empty());
+  for (std::size_t f : serial_tree.split_features()) EXPECT_EQ(f, 0u);
+
+  util::ThreadPool pool(4);
+  cfg.pool = &pool;
+  RegressionTree parallel_tree;
+  parallel_tree.fit(x, grad, hess, cfg, rng);
+  EXPECT_EQ(parallel_tree.split_features(), serial_tree.split_features());
+  EXPECT_EQ(parallel_tree.num_nodes(), serial_tree.num_nodes());
+}
+
+TEST(DecisionTreeSplit, ParallelFitMatchesSerialIncludingTies) {
+  Rng rng(10);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> y;
+  std::vector<double> w;
+  for (int i = 0; i < 90; ++i) {
+    const double v = rng.uniform(-2.0, 2.0);
+    rows.push_back({v, v, rng.uniform(-2.0, 2.0)});  // f1 duplicates f0
+    y.push_back(v > 0.0 ? 1u : 0u);
+    w.push_back(1.0);
+  }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+  TreeConfig cfg;
+  cfg.max_depth = 4;
+
+  DecisionTreeClassifier serial_tree;
+  serial_tree.fit(x, y, w, 2, cfg, rng);
+  ASSERT_FALSE(serial_tree.split_features().empty());
+  // Wherever the duplicated pair wins, the lower index must be chosen.
+  for (std::size_t f : serial_tree.split_features()) EXPECT_NE(f, 1u);
+
+  util::ThreadPool pool(4);
+  cfg.pool = &pool;
+  DecisionTreeClassifier parallel_tree;
+  parallel_tree.fit(x, y, w, 2, cfg, rng);
+  EXPECT_EQ(parallel_tree.split_features(), serial_tree.split_features());
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<double> q{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    EXPECT_EQ(serial_tree.predict_proba(q), parallel_tree.predict_proba(q));
+  }
 }
 
 class GbdtSubsampleTest : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace crowdlearn::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  auto fut = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(fut.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [](std::size_t i) {
+                                     if (i == 57) throw std::invalid_argument("bad index");
+                                   }),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ThreadPool, ChunkExceptionDoesNotCancelOtherChunks) {
+  // A failing chunk must not cancel the others: parallel_chunks waits for
+  // every chunk to finish, then rethrows.
+  ThreadPool pool(4);
+  std::vector<int> visited(64, 0);
+  EXPECT_THROW(pool.parallel_chunks(visited.size(),
+                                    [&](std::size_t begin, std::size_t end) {
+                                      for (std::size_t i = begin; i < end; ++i) visited[i] = 1;
+                                      if (begin == 0) throw std::runtime_error("first chunk");
+                                    }),
+               std::runtime_error);
+  EXPECT_EQ(std::accumulate(visited.begin(), visited.end(), 0),
+            static_cast<int>(visited.size()));
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+  pool.shutdown();  // idempotent
+  // Single-threaded (inline) pools obey the same contract.
+  ThreadPool inline_pool(1);
+  inline_pool.shutdown();
+  EXPECT_THROW(inline_pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleElementRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1, 0);
+  pool.parallel_for(1, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPool, ParallelForOddSizedRangesCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {std::size_t{3}, std::size_t{7}, std::size_t{101}, std::size_t{1013}}) {
+    std::vector<int> hits(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i << " of " << n;
+  }
+}
+
+TEST(ThreadPool, ParallelChunksAreContiguousAndOrdered) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds(pool.size(),
+                                                          {std::size_t{0}, std::size_t{0}});
+  std::atomic<std::size_t> next{0};
+  pool.parallel_chunks(10, [&](std::size_t begin, std::size_t end) {
+    bounds[next.fetch_add(1)] = {begin, end};
+  });
+  // Chunk boundaries depend only on (n, size): sorted they must tile [0, 10).
+  std::sort(bounds.begin(), bounds.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : bounds) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 10u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyWaves) {
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<std::size_t> out(17, 0);
+    pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, NestedParallelismRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    // A parallel section reached from inside a task must not re-enqueue onto
+    // the same (possibly fully busy) pool.
+    pool.parallel_for(8, [&](std::size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 32);
+}
+
+TEST(ThreadPool, ResolveThreadCountPrefersExplicitRequest) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, ResolveThreadCountReadsEnvironment) {
+  ASSERT_EQ(setenv("CROWDLEARN_THREADS", "5", 1), 0);
+  EXPECT_EQ(resolve_thread_count(0), 5u);
+  EXPECT_EQ(resolve_thread_count(2), 2u);  // explicit request still wins
+  ASSERT_EQ(setenv("CROWDLEARN_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // malformed values fall through
+  ASSERT_EQ(setenv("CROWDLEARN_THREADS", "-3", 1), 0);
+  EXPECT_LE(resolve_thread_count(0), 4096u);  // negatives must not wrap to 2^64
+  ASSERT_EQ(setenv("CROWDLEARN_THREADS", "99999999", 1), 0);
+  EXPECT_LE(resolve_thread_count(0), 4096u);  // absurd counts fall through
+  ASSERT_EQ(unsetenv("CROWDLEARN_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace crowdlearn::util
