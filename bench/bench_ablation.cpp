@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "truth/voting.hpp"
+#include "util/guard.hpp"
 
 namespace {
 
@@ -42,7 +43,7 @@ double run_crowdlearn_f1(const core::ExperimentSetup& setup,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
   std::cout << "=== Ablation studies (seed " << seed << ") ===\n";
   core::ExperimentSetup setup = core::make_default_setup(seed);
@@ -229,4 +230,8 @@ int main(int argc, char** argv) {
                  "experts (not just individual doubt), so it flags more errors.\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -1,0 +1,61 @@
+// Robustness scenario: the full CrowdLearn loop against a fault-injecting
+// crowd platform, sweeping the HIT-abandonment rate over {0%, 10%, 25%}
+// (plus stragglers, malformed submissions and one outage window at the
+// faulty points). Reports end-to-end accuracy and crowd delay per rate,
+// alongside the broker's robustness telemetry: retries, partial and failed
+// queries, and committee fallbacks. The headline check is graceful
+// degradation — accuracy should bend, not break, as the crowd gets flaky.
+//
+// Usage: bench_faults [seed]
+
+#include "bench_common.hpp"
+#include "util/guard.hpp"
+
+static int run(int argc, char** argv) {
+  using namespace crowdlearn;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+
+  std::cout << "=== Fault injection: CrowdLearn vs abandonment rate (seed " << seed
+            << ") ===\n";
+  core::ExperimentSetup setup = core::make_default_setup(seed);
+  const bench::PretrainedPool pool = bench::PretrainedPool::train(setup);
+
+  TablePrinter table({"abandonment", "accuracy", "crowd_delay_s", "retries", "partials",
+                      "failures", "fallbacks", "spent_cents"});
+  for (double rate : {0.0, 0.10, 0.25}) {
+    crowd::FaultInjectionConfig faults;
+    faults.abandonment_prob = rate;
+    if (rate > 0.0) {
+      faults.straggler_prob = 0.05;
+      faults.malformed_label_prob = 0.02;
+      faults.outages.push_back({12, 15});  // queries 12..14 hit a dead platform
+    }
+    setup.platform_cfg.faults = faults;
+
+    std::cerr << "  abandonment " << rate << "...\n";
+    core::CrowdLearnRunner runner(
+        core::default_crowdlearn_config(setup, bench::kQueriesPerCycle,
+                                        bench::kDefaultBudgetCents),
+        pool.clone_committee());
+    const core::SchemeEvaluation e = core::evaluate_scheme(runner, setup);
+
+    std::size_t retries = 0, partials = 0, failures = 0, fallbacks = 0;
+    for (const core::CycleOutcome& out : e.outcomes) {
+      retries += out.query_retries;
+      partials += out.partial_queries;
+      failures += out.failed_queries;
+      fallbacks += out.fallback_ids.size();
+    }
+    table.add_row({TablePrinter::num(rate, 2), TablePrinter::num(e.report.accuracy, 4),
+                   TablePrinter::num(e.mean_crowd_delay_seconds, 1),
+                   std::to_string(retries), std::to_string(partials),
+                   std::to_string(failures), std::to_string(fallbacks),
+                   TablePrinter::num(e.total_spent_cents, 2)});
+  }
+  table.print_ascii(std::cout);
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
+}

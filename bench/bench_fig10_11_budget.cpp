@@ -10,8 +10,9 @@
 // Usage: bench_fig10_11_budget [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -41,4 +42,8 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: F1 rises then plateaus above ~$6-8; delay falls then "
                "plateaus; spending $40 buys little over $8.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

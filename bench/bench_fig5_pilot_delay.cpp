@@ -9,8 +9,9 @@
 // Usage: bench_fig5_pilot_delay [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -60,4 +61,8 @@ int main(int argc, char** argv) {
                                  2)
             << " (paper: ~1, mid levels indistinguishable at night)\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -9,8 +9,9 @@
 // Usage: bench_fig6_pilot_quality [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -46,4 +47,8 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: the four mid-range comparisons are NOT significant; the\n"
                "1c->2c step (low-incentive penalty) is the one that can be.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -7,8 +7,9 @@
 // Usage: bench_fig7_roc [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -39,4 +40,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nExpected: CrowdLearn's TPR column dominates at every FPR.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

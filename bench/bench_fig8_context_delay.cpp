@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/ipd.hpp"
+#include "util/guard.hpp"
 
 namespace {
 
@@ -49,7 +50,7 @@ PolicyStats drive_policy(core::Ipd& ipd, const std::string& name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
   std::cout << "=== Figure 8: Crowd Delay at Different Temporal Contexts (seed " << seed
@@ -105,4 +106,8 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: CrowdLearn lowest and flattest across contexts at equal "
                "budget.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -10,8 +10,9 @@
 // Usage: bench_fig9_queryset [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -68,4 +69,8 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected: CrowdLearn rises monotonically with the query fraction;\n"
                "the other hybrids stay near-flat; CrowdLearn@0% ~= Ensemble.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

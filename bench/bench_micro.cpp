@@ -11,6 +11,7 @@
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
 #include "util/thread_pool.hpp"
+#include "util/guard.hpp"
 
 namespace {
 
@@ -179,7 +180,7 @@ BENCHMARK(BM_GbdtFitParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 // Custom main: the bench-suite driver passes a bare seed argument to every
 // binary; google-benchmark rejects unknown positional arguments, so strip
 // them (micro-benchmarks have no randomized workload to seed).
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i)
@@ -189,4 +190,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -19,8 +19,9 @@
 #include "truth/td_em.hpp"
 #include "truth/voting.hpp"
 #include "truth/weighted_voting.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -70,4 +71,8 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper Table I overall: CQC 0.9350, Voting 0.8425, TD-EM 0.8625, "
                "Filtering 0.8775.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -10,8 +10,9 @@
 // Usage: bench_table2_accuracy [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -30,4 +31,8 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper Table II: CrowdLearn 0.877 acc / 0.894 F1; best baseline "
                "Hybrid-AL 0.823 acc / 0.841 F1; weakest BoVW 0.670 acc.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -12,8 +12,9 @@
 // Usage: bench_table3_delay [seed]
 
 #include "bench_common.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
 
@@ -43,4 +44,8 @@ int main(int argc, char** argv) {
               << "% (paper: ~35%)\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

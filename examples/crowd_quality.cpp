@@ -18,8 +18,9 @@
 #include "truth/voting.hpp"
 #include "truth/weighted_voting.hpp"
 #include "util/csv.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
@@ -91,4 +92,8 @@ int main(int argc, char** argv) {
                "pulls ahead on the failure modes where the questionnaire carries the\n"
                "signal the severity votes miss.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -13,8 +13,9 @@
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
@@ -56,4 +57,8 @@ int main(int argc, char** argv) {
                "than Hybrid-AL (context-aware incentives), with Ensemble cheapest but\n"
                "least accurate on failure-mode images.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

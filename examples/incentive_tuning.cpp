@@ -12,8 +12,9 @@
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
@@ -120,4 +121,8 @@ int main(int argc, char** argv) {
                "incentives buy speed) and small in the evening/midnight (where they\n"
                "don't), beating both fixed and random at equal budget.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -11,8 +11,9 @@
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 
@@ -79,4 +80,8 @@ int main(int argc, char** argv) {
   std::cout << "\nTotal crowd spend: " << platform.total_spent_cents() << " cents\n";
   std::cout << "Done. See examples/disaster_response.cpp for the full evaluation.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

@@ -15,8 +15,9 @@
 
 #include "experts/ddm.hpp"
 #include "imaging/pgm.hpp"
+#include "util/guard.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace crowdlearn;
   const std::string out_dir = argc > 1 ? argv[1] : "scenes";
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
@@ -88,4 +89,8 @@ int main(int argc, char** argv) {
             << "Severe scenes show cracks/debris; fakes sit on unnaturally clean\n"
             << "backgrounds; Grad-CAM maps light up over the damage evidence.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return crowdlearn::util::run_guarded(run, argc, argv);
 }

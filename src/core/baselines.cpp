@@ -118,6 +118,10 @@ CycleOutcome HybridParaRunner::run_cycle(const dataset::Dataset& data,
     const crowd::QueryResponse resp =
         platform.post_query(id, cfg_.fixed_incentive_cents, cycle.context);
     delay_sum += resp.completion_delay_seconds;
+    if (resp.answers.empty()) {  // abandoned/refused under fault injection
+      ++out.failed_queries;
+      continue;  // the AI probabilities already cover this image
+    }
     out.queried_ids.push_back(id);
     out.incentives_cents.push_back(cfg_.fixed_incentive_cents);
     queried_pos_order.push_back(pos);
@@ -195,6 +199,10 @@ CycleOutcome HybridAlRunner::run_cycle(const dataset::Dataset& data,
     const crowd::QueryResponse resp =
         platform.post_query(id, cfg_.fixed_incentive_cents, cycle.context);
     delay_sum += resp.completion_delay_seconds;
+    if (resp.answers.empty()) {  // abandoned/refused under fault injection
+      ++out.failed_queries;
+      continue;  // nothing to retrain on; the AI prediction stands
+    }
     out.queried_ids.push_back(id);
     out.incentives_cents.push_back(cfg_.fixed_incentive_cents);
     retrain_labels.push_back(

@@ -15,6 +15,7 @@ CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
       ipd_(cfg.ipd),
       cqc_(cfg.cqc),
       mic_(cfg.mic),
+      broker_(cfg.broker),
       rng_(cfg.seed) {
   committee_.set_thread_pool(pool_.get());
   cqc_.set_thread_pool(pool_.get());
@@ -48,54 +49,88 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
 
   // (1) QSS: uncertainty-ranked, epsilon-greedy query-set selection. All
   // per-image committee votes are precomputed through the thread pool first;
-  // ranking then runs on this thread over the finished batch.
+  // ranking then runs on this thread over the finished batch. Degenerate
+  // expert output (NaN / zero-mass votes) is quarantined before anything
+  // downstream consumes the batch — the scan runs on this thread, in index
+  // order, so parallel inference cannot perturb it.
   const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
-  QssSelection sel = qss_.select(committee_, cycle.image_ids,
-                                 committee_.expert_votes_batch(data, cycle.image_ids),
+  auto votes_batch = committee_.expert_votes_batch(data, cycle.image_ids);
+  committee_.quarantine_degenerate_votes(votes_batch);
+  QssSelection sel = qss_.select(committee_, cycle.image_ids, std::move(votes_batch),
                                  query_count);
   out.queried_ids = sel.queried_ids;
 
-  // (2) IPD + platform: one incentive decision per query. The platform's
-  // simulated crowd delay is not part of the AI-side wall clock.
+  // (2) IPD + broker: one incentive decision per query; the broker runs the
+  // full resilient lifecycle (deadline, dedup, retries, escalation bounded
+  // by IPD's remaining budget). The platform's simulated crowd delay is not
+  // part of the AI-side wall clock.
   const double ai_before_crowd = ai_clock.elapsed_seconds();
-  std::vector<crowd::QueryResponse> responses;
-  responses.reserve(sel.queried_ids.size());
+  std::vector<crowd::QueryResult> results;
+  results.reserve(sel.queried_ids.size());
   double delay_sum = 0.0;
   for (std::size_t q = 0; q < sel.queried_ids.size(); ++q) {
     const double incentive = ipd_.assign_incentive(cycle.context);
     out.incentives_cents.push_back(incentive);
-    crowd::QueryResponse resp =
-        platform.post_query(sel.queried_ids[q], incentive, cycle.context);
-    ipd_.feedback(cycle.context, incentive, resp.completion_delay_seconds);
-    delay_sum += resp.completion_delay_seconds;
-    responses.push_back(std::move(resp));
+    crowd::QueryResult r = broker_.execute(platform, sel.queried_ids[q], incentive,
+                                           cycle.context, ipd_.remaining_budget_cents());
+    // Queries that never reached workers (outage, budget refusal) carry no
+    // incentive->delay signal; feeding them to the bandit would corrupt it.
+    if (r.delay_feedback_valid)
+      ipd_.feedback(cycle.context, incentive, r.response.completion_delay_seconds);
+    ipd_.record_spend(r.total_charged_cents);
+    delay_sum += r.response.completion_delay_seconds;
+    out.query_retries += r.retries;
+    results.push_back(std::move(r));
   }
-  if (!responses.empty())
-    out.crowd_delay_seconds = delay_sum / static_cast<double>(responses.size());
+  if (!results.empty())
+    out.crowd_delay_seconds = delay_sum / static_cast<double>(results.size());
+
+  // Partition brokered outcomes: usable responses feed CQC/MIC; failed
+  // queries degrade gracefully to the committee's own prediction below.
+  std::vector<crowd::QueryResponse> responses;  // ok subset, queried order
+  std::vector<std::size_t> ok_query_index(results.size(), results.size());
+  std::vector<std::size_t> ok_ids;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    if (results[q].ok()) {
+      ok_query_index[q] = responses.size();
+      responses.push_back(results[q].response);
+      ok_ids.push_back(sel.queried_ids[q]);
+      if (results[q].outcome == crowd::QueryOutcome::kPartial) ++out.partial_queries;
+    } else {
+      ++out.failed_queries;
+      out.fallback_ids.push_back(sel.queried_ids[q]);
+    }
+  }
 
   std::vector<std::vector<double>> truth_dists;
   std::vector<std::size_t> truth_labels;
   if (!responses.empty()) {
-    // (3) CQC: refine raw answers into truthful distributions.
+    // (3) CQC: refine raw answers into truthful distributions. Masked
+    // features absorb partial answer sets; failed queries never get here.
     truth_dists = cqc_.refine(responses);
     truth_labels.reserve(truth_dists.size());
     for (const auto& d : truth_dists) truth_labels.push_back(stats::argmax(d));
 
-    // (4a) MIC weight update from the queried images' expert votes.
+    // (4a) MIC weight update from the queried images' expert votes. Only
+    // queries with real crowd truth contribute; fallback images must not
+    // move the Hedge weights (there is nothing to score the experts against).
     std::vector<std::vector<std::vector<double>>> queried_votes;
-    queried_votes.reserve(sel.queried_positions.size());
-    for (std::size_t pos : sel.queried_positions) queried_votes.push_back(sel.votes[pos]);
+    queried_votes.reserve(responses.size());
+    for (std::size_t q = 0; q < sel.queried_positions.size(); ++q)
+      if (results[q].ok()) queried_votes.push_back(sel.votes[sel.queried_positions[q]]);
     out.expert_losses = mic_.update_committee_weights(committee_, queried_votes, truth_dists);
   }
   out.expert_weights = committee_.weights();
 
-  // Final labels: crowd offloading for queried images, reweighted committee
-  // vote (cached expert votes, new weights) for the rest.
+  // Final labels: crowd offloading for successfully queried images,
+  // reweighted committee vote (cached expert votes, new weights) for the
+  // rest — including failed queries, which fall back to the committee.
   for (std::size_t q = 0; q < sel.queried_positions.size(); ++q) {
     const std::size_t pos = sel.queried_positions[q];
-    if (mic_.offloading_enabled() && !truth_dists.empty()) {
-      out.probabilities[pos] = truth_dists[q];
-      out.predictions[pos] = truth_labels[q];
+    const bool crowd_ok = results[q].ok() && !truth_dists.empty();
+    if (mic_.offloading_enabled() && crowd_ok) {
+      out.probabilities[pos] = truth_dists[ok_query_index[q]];
+      out.predictions[pos] = truth_labels[ok_query_index[q]];
     } else {
       out.probabilities[pos] = committee_.committee_vote(sel.votes[pos]);
       out.predictions[pos] = stats::argmax(out.probabilities[pos]);
@@ -107,7 +142,10 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   }
 
   // (4b) MIC retraining with CQC labels, effective from the next cycle.
-  if (!truth_labels.empty()) mic_.retrain(committee_, data, sel.queried_ids, truth_labels, rng_);
+  // Fallback images contribute nothing (their "label" would just echo the
+  // committee back at itself). A successful retrain also reinstates any
+  // quarantined experts.
+  if (!truth_labels.empty()) mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
 
   out.algorithm_delay_seconds = ai_clock.elapsed_seconds();
   (void)ai_before_crowd;  // platform calls are simulated and effectively instant

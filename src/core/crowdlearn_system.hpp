@@ -12,6 +12,7 @@
 #include "core/ipd.hpp"
 #include "core/mic.hpp"
 #include "core/qss.hpp"
+#include "crowd/broker.hpp"
 #include "dataset/stream.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -24,6 +25,7 @@ struct CrowdLearnConfig {
   IpdConfig ipd;
   truth::CqcConfig cqc;
   MicConfig mic;
+  crowd::BrokerConfig broker;
   std::uint64_t seed = 31;
   /// Worker threads for committee inference/training and GBDT split search.
   /// 0 = auto (CROWDLEARN_THREADS env var, else hardware_concurrency).
@@ -47,6 +49,12 @@ struct CycleOutcome {
   double spent_cents = 0.0;
   std::vector<double> expert_losses;   ///< Eq. 5 losses this cycle
   std::vector<double> expert_weights;  ///< committee weights after MIC
+  /// Robustness telemetry (all zero/empty against a fault-free platform).
+  std::vector<std::size_t> fallback_ids;  ///< queried images answered by the
+                                          ///< committee because the crowd failed
+  std::size_t query_retries = 0;    ///< broker retries summed over the cycle
+  std::size_t partial_queries = 0;  ///< resolved with fewer answers than requested
+  std::size_t failed_queries = 0;   ///< no usable crowd answer at all
 };
 
 class CrowdLearnSystem {
@@ -69,6 +77,7 @@ class CrowdLearnSystem {
   experts::ExpertCommittee& committee() { return committee_; }
   Ipd& ipd() { return ipd_; }
   CqcModule& cqc() { return cqc_; }
+  crowd::QueryBroker& broker() { return broker_; }
   const CrowdLearnConfig& config() const { return cfg_; }
   bool initialized() const { return initialized_; }
   util::ThreadPool& thread_pool() { return *pool_; }
@@ -83,6 +92,7 @@ class CrowdLearnSystem {
   Ipd ipd_;
   CqcModule cqc_;
   Mic mic_;
+  crowd::QueryBroker broker_;
   Rng rng_;
   bool initialized_ = false;
 };

@@ -41,12 +41,25 @@ class Ipd {
   /// No-op for policies without warm-start support.
   void warm_start_from_pilot(const crowd::PilotResult& pilot);
 
+  /// Record cents actually charged by the platform for a brokered query
+  /// (including escalated retries), so the remaining budget reflects real
+  /// spend rather than the policy's nominal action costs.
+  void record_spend(double cents) { spent_cents_ += cents; }
+  double spent_cents() const { return spent_cents_; }
+  /// Budget headroom (cents) still available for posting queries; the
+  /// broker uses it to bound incentive escalation. Never negative.
+  double remaining_budget_cents() const {
+    return spent_cents_ >= cfg_.total_budget_cents ? 0.0
+                                                   : cfg_.total_budget_cents - spent_cents_;
+  }
+
   bandit::IncentivePolicy& policy() { return *policy_; }
   const IpdConfig& config() const { return cfg_; }
 
  private:
   IpdConfig cfg_;
   std::unique_ptr<bandit::IncentivePolicy> policy_;
+  double spent_cents_ = 0.0;  ///< actual charged spend across brokered queries
 };
 
 }  // namespace crowdlearn::core

@@ -43,8 +43,19 @@ std::vector<double> Mic::update_committee_weights(
     const std::vector<std::vector<std::vector<double>>>& votes,
     const std::vector<std::vector<double>>& truth_dists) const {
   const std::vector<double> losses = expert_losses(votes, truth_dists, committee.size());
-  if (cfg_.enable_weight_update && !votes.empty())
-    committee.set_weights(updated_weights(committee.weights(), losses));
+  if (cfg_.enable_weight_update && !votes.empty()) {
+    if (committee.num_quarantined() == 0) {
+      committee.set_weights(updated_weights(committee.weights(), losses));
+    } else {
+      // Quarantined experts' losses come from sanitized placeholder votes,
+      // not real predictions — freeze their weights and apply Hedge to the
+      // healthy experts only (set_weights renormalizes the full vector).
+      std::vector<double> w = committee.weights();
+      for (std::size_t m = 0; m < w.size(); ++m)
+        if (!committee.is_quarantined(m)) w[m] *= std::exp(-cfg_.eta * losses[m]);
+      committee.set_weights(std::move(w));
+    }
+  }
   return losses;
 }
 

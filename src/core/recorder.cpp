@@ -18,7 +18,9 @@ void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
                                   "images",         "queried",
                                   "accuracy",       "crowd_delay_s",
                                   "algorithm_delay_s", "spent_cents",
-                                  "mean_incentive_cents"};
+                                  "mean_incentive_cents", "retries",
+                                  "partial_queries", "failed_queries",
+                                  "fallbacks"};
   for (std::size_t m = 0; m < num_experts; ++m)
     header.push_back("w_expert" + std::to_string(m));
   TablePrinter table(header);
@@ -44,7 +46,11 @@ void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
         TablePrinter::num(out.crowd_delay_seconds, 2),
         TablePrinter::num(out.algorithm_delay_seconds, 6),
         TablePrinter::num(out.spent_cents, 2),
-        TablePrinter::num(mean_incentive, 2)};
+        TablePrinter::num(mean_incentive, 2),
+        std::to_string(out.query_retries),
+        std::to_string(out.partial_queries),
+        std::to_string(out.failed_queries),
+        std::to_string(out.fallback_ids.size())};
     for (std::size_t m = 0; m < num_experts; ++m)
       row.push_back(m < out.expert_weights.size()
                         ? TablePrinter::num(out.expert_weights[m], 4)

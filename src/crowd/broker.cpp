@@ -1,0 +1,147 @@
+#include "crowd/broker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdlearn::crowd {
+
+const char* query_outcome_name(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kComplete: return "complete";
+    case QueryOutcome::kPartial: return "partial";
+    case QueryOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+QueryBroker::QueryBroker(const BrokerConfig& cfg) : cfg_(cfg) {
+  if (cfg.deadline_factor <= 0.0 || cfg.min_deadline_seconds < 0.0)
+    throw std::invalid_argument("QueryBroker: deadline must be positive");
+  if (cfg.escalation_factor < 1.0)
+    throw std::invalid_argument("QueryBroker: escalation_factor must be >= 1");
+  if (cfg.max_incentive_cents < cfg.min_incentive_cents ||
+      cfg.min_incentive_cents <= 0.0)
+    throw std::invalid_argument("QueryBroker: bad incentive bounds");
+  if (cfg.retry_backoff_seconds < 0.0)
+    throw std::invalid_argument("QueryBroker: retry_backoff_seconds must be >= 0");
+}
+
+QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
+                                 double incentive_cents, TemporalContext context,
+                                 double budget_headroom_cents) {
+  if (incentive_cents <= 0.0)
+    throw std::invalid_argument("QueryBroker::execute: incentive must be positive");
+
+  QueryResult r;
+  const std::size_t requested = platform.config().workers_per_query;
+  double incentive = std::min(incentive_cents, cfg_.max_incentive_cents);
+  double charged = 0.0;
+  double elapsed = 0.0;
+  bool reached_workers = false;
+  std::vector<WorkerAnswer> accepted;
+  std::vector<std::size_t> seen_workers;
+
+  for (std::size_t attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) elapsed += cfg_.retry_backoff_seconds;
+    const double deadline =
+        std::max(cfg_.min_deadline_seconds,
+                 cfg_.deadline_factor * platform.expected_answer_delay(context, incentive));
+    if (attempt == 0) r.deadline_seconds = deadline;
+
+    QueryResponse resp = platform.post_query(image_id, incentive, context);
+    charged += resp.charged_cents;
+
+    QueryAttempt at;
+    at.incentive_cents = incentive;
+    at.platform_status = resp.status;
+    at.charged_cents = resp.charged_cents;
+    at.deadline_seconds = deadline;
+
+    if (resp.status == QueryStatus::kBudgetRefused) {
+      // The platform's hard cap refused the charge; a retry at the same or a
+      // higher price cannot succeed, so the lifecycle ends here.
+      r.attempts.push_back(at);
+      break;
+    }
+
+    if (resp.status == QueryStatus::kOutage) {
+      // Platform down: wait out the deadline, then back off and repost at
+      // the same price (the outage says nothing about worker incentives).
+      at.timed_out = true;
+      elapsed += deadline;
+      r.deadline_exceeded = true;
+      r.attempts.push_back(at);
+      continue;
+    }
+
+    reached_workers = true;
+    // Accept answers that arrived within the deadline, once per worker.
+    double attempt_completion = 0.0;
+    for (WorkerAnswer& a : resp.answers) {
+      if (a.delay_seconds > deadline) continue;  // straggler past the deadline
+      if (std::find(seen_workers.begin(), seen_workers.end(), a.worker_id) !=
+          seen_workers.end()) {
+        ++r.duplicates_dropped;
+        ++total_duplicates_dropped_;
+        continue;
+      }
+      seen_workers.push_back(a.worker_id);
+      attempt_completion = std::max(attempt_completion, a.delay_seconds);
+      accepted.push_back(std::move(a));
+      ++at.answers_accepted;
+    }
+
+    if (accepted.size() >= requested) {
+      // Earlier attempts' answers arrived during earlier deadline windows;
+      // only this attempt's completion extends the clock.
+      elapsed += attempt_completion;
+      r.attempts.push_back(at);
+      break;
+    }
+
+    // Short of answers: the requester observes only that the deadline passed
+    // with too few submissions (abandonment and late stragglers look alike).
+    at.timed_out = true;
+    elapsed += deadline;
+    r.deadline_exceeded = true;
+    r.attempts.push_back(at);
+
+    if (attempt == cfg_.max_retries) break;
+    // Escalate within the ceiling and the caller's budget headroom.
+    const double escalated = std::min(incentive * cfg_.escalation_factor,
+                                      cfg_.max_incentive_cents);
+    const double headroom = budget_headroom_cents - charged;
+    if (headroom < cfg_.min_incentive_cents) break;  // cannot afford another post
+    incentive = std::min(escalated, headroom);
+  }
+
+  r.retries = r.attempts.empty() ? 0 : r.attempts.size() - 1;
+  total_retries_ += r.retries;
+  r.total_charged_cents = charged;
+  r.delay_feedback_valid = reached_workers;
+
+  r.response.image_id = image_id;
+  r.response.context = context;
+  r.response.incentive_cents = incentive;
+  r.response.requested_answers = requested;
+  r.response.charged_cents = charged;
+  r.response.completion_delay_seconds = elapsed;
+  double delay_sum = 0.0;
+  for (const WorkerAnswer& a : accepted) delay_sum += a.delay_seconds;
+  r.response.mean_answer_delay_seconds =
+      accepted.empty() ? 0.0 : delay_sum / static_cast<double>(accepted.size());
+  r.response.status = accepted.size() >= requested ? QueryStatus::kComplete
+                      : !accepted.empty()          ? QueryStatus::kPartial
+                                                   : QueryStatus::kAbandoned;
+  r.response.answers = std::move(accepted);
+
+  r.outcome = r.response.answers.size() >= requested ? QueryOutcome::kComplete
+              : !r.response.answers.empty()          ? QueryOutcome::kPartial
+                                                     : QueryOutcome::kFailed;
+  if (r.outcome == QueryOutcome::kPartial) ++total_partials_;
+  if (r.outcome == QueryOutcome::kFailed) ++total_failures_;
+  return r;
+}
+
+}  // namespace crowdlearn::crowd

@@ -1,0 +1,119 @@
+#pragma once
+// Resilient query lifecycle on top of the (possibly faulty) crowd platform.
+//
+// The broker owns everything between "IPD priced this query" and "CQC gets a
+// usable response set": it derives a per-query deadline from the platform's
+// expected answer delay, accepts only answers that arrive within it, dedupes
+// double submissions, retries timed-out / outage-failed queries with bounded
+// incentive escalation and backoff, and reports a typed QueryResult so the
+// closed loop can degrade gracefully (fall back to the committee) instead of
+// crashing or feeding fabricated truth into MIC.
+//
+// Lifecycle state machine per query (see DESIGN.md section 5c):
+//
+//   POSTED --outage/cap--> WAIT(backoff) --retry--> POSTED
+//   POSTED --answers by deadline >= requested--> COMPLETE
+//   POSTED --deadline, some answers, retries left--> ESCALATE --> POSTED
+//   POSTED --deadline, retries exhausted--> PARTIAL (>=1 answer) | FAILED (0)
+//
+// The broker is deterministic: it draws no randomness of its own, and the
+// platform's behavioral stream is consumed exactly once per post_query.
+
+#include <limits>
+
+#include "crowd/platform.hpp"
+
+namespace crowdlearn::crowd {
+
+/// Terminal state of one brokered query.
+enum class QueryOutcome {
+  kComplete,  ///< at least `workers_per_query` unique on-deadline answers
+  kPartial,   ///< some answers, fewer than requested, after all retries
+  kFailed,    ///< no usable answer at all; callers must fall back
+};
+
+const char* query_outcome_name(QueryOutcome outcome);
+
+/// Provenance of one platform attempt within a brokered query.
+struct QueryAttempt {
+  double incentive_cents = 0.0;
+  QueryStatus platform_status = QueryStatus::kComplete;
+  std::size_t answers_accepted = 0;  ///< unique, on-deadline answers gained
+  double charged_cents = 0.0;
+  double deadline_seconds = 0.0;
+  bool timed_out = false;  ///< deadline elapsed before the request completed
+};
+
+/// Everything the closed loop needs to know about one brokered query.
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::kFailed;
+  /// Merged, deduplicated answers across all attempts. `incentive_cents` is
+  /// the final (possibly escalated) price; delay fields cover the whole
+  /// lifecycle including deadline waits and retry backoff.
+  QueryResponse response;
+  std::vector<QueryAttempt> attempts;  ///< retry provenance, in order
+  std::size_t retries = 0;             ///< attempts.size() - 1 (when any ran)
+  double total_charged_cents = 0.0;    ///< cents actually spent, all attempts
+  double deadline_seconds = 0.0;       ///< first attempt's deadline
+  std::size_t duplicates_dropped = 0;
+  bool deadline_exceeded = false;  ///< any attempt timed out
+  /// Whether response.completion_delay_seconds is an informative signal for
+  /// the IPD bandit. False when the query never reached workers (pure
+  /// outage / budget refusal) — feeding those delays into the bandit would
+  /// corrupt the incentive->delay reward estimates.
+  bool delay_feedback_valid = false;
+
+  bool ok() const { return outcome != QueryOutcome::kFailed; }
+};
+
+struct BrokerConfig {
+  /// Additional attempts after the first post (>= 0).
+  std::size_t max_retries = 2;
+  /// Deadline = max(min_deadline_seconds, deadline_factor * expected delay
+  /// at the attempt's context and incentive). With the default lognormal
+  /// noise (sigma 0.22) a factor of 3 is ~5 sigma above the mean, so
+  /// fault-free queries never time out.
+  double deadline_factor = 3.0;
+  double min_deadline_seconds = 120.0;
+  /// Incentive multiplier applied on retry after a timeout (workers were too
+  /// slow or abandoned: pay more). Outage retries keep the same price.
+  double escalation_factor = 1.5;
+  /// Hard ceiling on any escalated incentive (cents).
+  double max_incentive_cents = 20.0;
+  /// Simulated wait between attempts (seconds of crowd time).
+  double retry_backoff_seconds = 60.0;
+  /// Smallest incentive worth posting; retries stop when the remaining
+  /// budget headroom falls below it.
+  double min_incentive_cents = 1.0;
+};
+
+class QueryBroker {
+ public:
+  explicit QueryBroker(const BrokerConfig& cfg = {});
+
+  /// Run one query through the full lifecycle against `platform`.
+  /// `budget_headroom_cents` bounds the total spend of this query including
+  /// every escalated retry (the caller passes IPD's remaining budget so
+  /// escalation is provably bounded); +infinity means unconstrained.
+  QueryResult execute(CrowdPlatform& platform, std::size_t image_id,
+                      double incentive_cents, TemporalContext context,
+                      double budget_headroom_cents =
+                          std::numeric_limits<double>::infinity());
+
+  const BrokerConfig& config() const { return cfg_; }
+
+  /// Lifetime counters across execute() calls (benches / observability).
+  std::size_t total_retries() const { return total_retries_; }
+  std::size_t total_partials() const { return total_partials_; }
+  std::size_t total_failures() const { return total_failures_; }
+  std::size_t total_duplicates_dropped() const { return total_duplicates_dropped_; }
+
+ private:
+  BrokerConfig cfg_;
+  std::size_t total_retries_ = 0;
+  std::size_t total_partials_ = 0;
+  std::size_t total_failures_ = 0;
+  std::size_t total_duplicates_dropped_ = 0;
+};
+
+}  // namespace crowdlearn::crowd

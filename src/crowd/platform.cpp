@@ -2,19 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace crowdlearn::crowd {
 
 namespace {
 double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Salt for the fault RNG stream fork (arbitrary constant, fixed forever so
+/// fault realizations are reproducible per platform seed).
+constexpr std::uint64_t kFaultStreamSalt = 0xFA017;
+
+void validate_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0 || !std::isfinite(p))
+    throw std::invalid_argument(std::string("CrowdPlatform: ") + what +
+                                " must be a probability in [0, 1]");
+}
 }  // namespace
 
+const char* query_status_name(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kComplete: return "complete";
+    case QueryStatus::kPartial: return "partial";
+    case QueryStatus::kAbandoned: return "abandoned";
+    case QueryStatus::kOutage: return "outage";
+    case QueryStatus::kBudgetRefused: return "budget_refused";
+  }
+  return "unknown";
+}
+
 CrowdPlatform::CrowdPlatform(const dataset::Dataset* dataset, const PlatformConfig& cfg)
-    : dataset_(dataset), cfg_(cfg), rng_(cfg.seed) {
+    : dataset_(dataset),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      fault_rng_(mix_seed(cfg.seed ^ kFaultStreamSalt)) {
   if (dataset_ == nullptr) throw std::invalid_argument("CrowdPlatform: null dataset");
   if (cfg.workers_per_query == 0 || cfg.pool_size < cfg.workers_per_query)
     throw std::invalid_argument("CrowdPlatform: pool too small for workers_per_query");
+  validate_probability(cfg.faults.abandonment_prob, "abandonment_prob");
+  validate_probability(cfg.faults.straggler_prob, "straggler_prob");
+  validate_probability(cfg.faults.blank_questionnaire_prob, "blank_questionnaire_prob");
+  validate_probability(cfg.faults.malformed_label_prob, "malformed_label_prob");
+  validate_probability(cfg.faults.duplicate_prob, "duplicate_prob");
+  if (cfg.faults.straggler_multiplier < 1.0)
+    throw std::invalid_argument("CrowdPlatform: straggler_multiplier must be >= 1");
+  for (const OutageWindow& w : cfg.faults.outages)
+    if (w.end < w.begin)
+      throw std::invalid_argument("CrowdPlatform: outage window end before begin");
   Rng pool_rng(cfg.population_seed);
   pool_ = make_worker_pool(cfg.pool_size, cfg.quality.mean_label_reliability,
                            cfg.quality.label_reliability_sd,
@@ -30,6 +65,11 @@ double CrowdPlatform::expected_answer_delay(TemporalContext context,
                                     sigmoid((d.center_cents[c] - incentive_cents) /
                                             d.width_cents[c]);
   return d.base_seconds[c] * g;
+}
+
+double CrowdPlatform::remaining_cap_cents() const {
+  if (cfg_.max_spend_cents <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, cfg_.max_spend_cents - spent_cents_);
 }
 
 double CrowdPlatform::effective_reliability(const WorkerProfile& w,
@@ -64,35 +104,111 @@ std::vector<std::size_t> CrowdPlatform::sample_workers(TemporalContext context,
   return chosen;
 }
 
+bool CrowdPlatform::in_outage(std::size_t sequence) const {
+  for (const OutageWindow& w : cfg_.faults.outages)
+    if (sequence >= w.begin && sequence < w.end) return true;
+  return false;
+}
+
+std::size_t CrowdPlatform::apply_faults(QueryResponse& resp) {
+  const FaultInjectionConfig& f = cfg_.faults;
+  std::vector<WorkerAnswer> kept;
+  kept.reserve(resp.answers.size());
+  for (WorkerAnswer& a : resp.answers) {
+    // An abandoned HIT consumes exactly one fault draw; the remaining fault
+    // draws for that answer are skipped (the answer never materializes).
+    if (fault_rng_.bernoulli(f.abandonment_prob)) {
+      ++fault_stats_.abandoned_answers;
+      continue;
+    }
+    if (fault_rng_.bernoulli(f.straggler_prob)) {
+      a.delay_seconds *= f.straggler_multiplier * (1.0 + fault_rng_.uniform(0.0, 1.0));
+      ++fault_stats_.stragglers;
+    }
+    if (fault_rng_.bernoulli(f.blank_questionnaire_prob)) {
+      a.questionnaire.clear();
+      ++fault_stats_.blank_questionnaires;
+    }
+    if (fault_rng_.bernoulli(f.malformed_label_prob)) {
+      a.label = kMalformedLabel;
+      ++fault_stats_.malformed_labels;
+    }
+    kept.push_back(std::move(a));
+  }
+  const std::size_t paid = kept.size();
+  // Duplicate submissions: a worker's double-submit appends a copy of the
+  // original answer; the platform pays each assignment once.
+  for (std::size_t i = 0; i < paid; ++i) {
+    if (fault_rng_.bernoulli(f.duplicate_prob)) {
+      kept.push_back(kept[i]);
+      ++fault_stats_.duplicate_answers;
+    }
+  }
+  resp.answers = std::move(kept);
+  return paid;
+}
+
 QueryResponse CrowdPlatform::post_query(std::size_t image_id, double incentive_cents,
                                         TemporalContext context) {
   if (incentive_cents <= 0.0)
     throw std::invalid_argument("post_query: incentive must be positive");
-  const dataset::DisasterImage& image = dataset_->image(image_id);
 
   QueryResponse resp;
   resp.image_id = image_id;
   resp.context = context;
   resp.incentive_cents = incentive_cents;
+  resp.requested_answers = cfg_.workers_per_query;
 
+  const std::size_t sequence = queries_posted_++;
+  if (in_outage(sequence)) {
+    resp.status = QueryStatus::kOutage;
+    ++fault_stats_.outage_refusals;
+    return resp;
+  }
+  if (cfg_.max_spend_cents > 0.0 &&
+      spent_cents_ + incentive_cents > cfg_.max_spend_cents + 1e-9) {
+    resp.status = QueryStatus::kBudgetRefused;
+    ++fault_stats_.budget_refusals;
+    return resp;
+  }
+
+  const dataset::DisasterImage& image = dataset_->image(image_id);
   const double expected = expected_answer_delay(context, incentive_cents);
   const double mu = std::log(expected) - 0.5 * cfg_.delay.noise_sigma * cfg_.delay.noise_sigma;
 
-  double total_delay = 0.0, max_delay = 0.0;
   for (std::size_t idx : sample_workers(context, incentive_cents)) {
     const WorkerProfile& w = pool_[idx];
     WorkerAnswer ans =
         answer_query(w, image, effective_reliability(w, incentive_cents), rng_);
     // Lognormal with mean == expected (mu shifted by -sigma^2/2).
     ans.delay_seconds = rng_.lognormal(mu, cfg_.delay.noise_sigma);
-    total_delay += ans.delay_seconds;
-    max_delay = std::max(max_delay, ans.delay_seconds);
     resp.answers.push_back(std::move(ans));
   }
-  resp.mean_answer_delay_seconds = total_delay / static_cast<double>(resp.answers.size());
-  resp.completion_delay_seconds = max_delay;
 
-  spent_cents_ += incentive_cents;
+  // Fault layer: only entered (and only consuming the fault stream) when any
+  // fault is configured, so the zero-fault path is bit-identical to a
+  // platform with no fault layer at all.
+  std::size_t paid = resp.answers.size();
+  if (cfg_.faults.any()) paid = apply_faults(resp);
+
+  double total_delay = 0.0, max_delay = 0.0;
+  for (const WorkerAnswer& a : resp.answers) {
+    total_delay += a.delay_seconds;
+    max_delay = std::max(max_delay, a.delay_seconds);
+  }
+  if (!resp.answers.empty()) {
+    resp.mean_answer_delay_seconds = total_delay / static_cast<double>(resp.answers.size());
+    resp.completion_delay_seconds = max_delay;
+  }
+
+  resp.status = paid == cfg_.workers_per_query ? QueryStatus::kComplete
+                : paid > 0                     ? QueryStatus::kPartial
+                                               : QueryStatus::kAbandoned;
+  // The ledger charges per completed assignment: abandoned HITs and
+  // duplicate submissions are never paid.
+  resp.charged_cents =
+      incentive_cents * static_cast<double>(paid) / static_cast<double>(cfg_.workers_per_query);
+  spent_cents_ += resp.charged_cents;
   return resp;
 }
 

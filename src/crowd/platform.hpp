@@ -10,6 +10,15 @@
 // and delay is nearly flat in the incentive except at the extremes.
 // Label quality (Figure 6) is ~80% per worker, depressed slightly at 1-2
 // cent incentives and flat above.
+//
+// On top of the well-behaved model sits a deterministic fault-injection
+// layer (FaultInjectionConfig): abandoned HITs, straggler delay tails,
+// blank questionnaires, malformed labels, duplicate submissions and timed
+// platform outage windows. Faults draw from a dedicated RNG stream forked
+// from the platform seed, so the behavioral stream that generates answers
+// is consumed identically whether faults are configured or not — a run with
+// every fault probability at zero is byte-identical to a run with no fault
+// layer at all.
 
 #include <array>
 #include <vector>
@@ -49,11 +58,66 @@ struct QualityModelConfig {
   double penalty_at_2_cents = 0.95;
 };
 
+/// Half-open range [begin, end) of posted-query sequence numbers during
+/// which the platform is down: post_query returns QueryStatus::kOutage and
+/// charges nothing. Sequence numbers count every post_query call on the
+/// instance (including refused ones), in order.
+struct OutageWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Deterministic fault injection. All probabilities are per answer; faults
+/// are applied on top of the normally generated response, drawing only from
+/// the platform's dedicated fault RNG stream.
+struct FaultInjectionConfig {
+  /// P(a sampled worker abandons the HIT and never submits).
+  double abandonment_prob = 0.0;
+  /// P(an answer lands in the heavy straggler tail of the delay model).
+  double straggler_prob = 0.0;
+  /// Delay multiplier floor for straggler answers (actual multiplier is
+  /// uniform in [mult, 2*mult]).
+  double straggler_multiplier = 6.0;
+  /// P(a worker submits a blank/malformed questionnaire — empty vector).
+  double blank_questionnaire_prob = 0.0;
+  /// P(a worker submits a garbage label — kMalformedLabel sentinel).
+  double malformed_label_prob = 0.0;
+  /// P(a completed answer is submitted twice; the copy is appended and is
+  /// never paid for).
+  double duplicate_prob = 0.0;
+  /// Platform outage windows over posted-query sequence numbers.
+  std::vector<OutageWindow> outages;
+
+  /// Whether any fault can fire. When false the fault layer is never
+  /// entered and the fault RNG stream is never consumed.
+  bool any() const {
+    return abandonment_prob > 0.0 || straggler_prob > 0.0 ||
+           blank_questionnaire_prob > 0.0 || malformed_label_prob > 0.0 ||
+           duplicate_prob > 0.0 || !outages.empty();
+  }
+};
+
+/// How one post_query call ended.
+enum class QueryStatus {
+  kComplete,       ///< every requested answer arrived
+  kPartial,        ///< at least one, but fewer than requested (abandonment)
+  kAbandoned,      ///< no worker submitted anything
+  kOutage,         ///< platform down for this request; nothing charged
+  kBudgetRefused,  ///< hard spend cap would be exceeded; nothing charged
+};
+
+const char* query_status_name(QueryStatus status);
+
 struct PlatformConfig {
   std::size_t pool_size = 60;
   std::size_t workers_per_query = 5;
   DelayModelConfig delay;
   QualityModelConfig quality;
+  FaultInjectionConfig faults;
+  /// Hard ledger cap in cents; <= 0 means unlimited. post_query calls that
+  /// would charge past the cap return QueryStatus::kBudgetRefused instead of
+  /// silently charging.
+  double max_spend_cents = 0.0;
   /// Behavioral randomness (which workers take a HIT, delays, answer noise).
   std::uint64_t seed = 7;
   /// Identity of the worker population. Platform instances sharing this
@@ -62,23 +126,46 @@ struct PlatformConfig {
   std::uint64_t population_seed = 0xC4A3D;
 };
 
+/// Running totals of injected faults (observability for tests and benches).
+struct FaultStats {
+  std::size_t abandoned_answers = 0;
+  std::size_t stragglers = 0;
+  std::size_t blank_questionnaires = 0;
+  std::size_t malformed_labels = 0;
+  std::size_t duplicate_answers = 0;
+  std::size_t outage_refusals = 0;
+  std::size_t budget_refusals = 0;
+};
+
 /// One posted query's full response set.
 struct QueryResponse {
   std::size_t image_id = 0;
   TemporalContext context = TemporalContext::kMorning;
   double incentive_cents = 0.0;
+  QueryStatus status = QueryStatus::kComplete;
+  std::size_t requested_answers = 0;
+  /// Cents actually charged for this query: the incentive prorated by the
+  /// fraction of requested assignments completed (duplicates unpaid).
+  double charged_cents = 0.0;
   std::vector<WorkerAnswer> answers;
   /// Time until the last requested answer arrived (the query is complete).
   double completion_delay_seconds = 0.0;
   /// Mean of the individual answer delays.
   double mean_answer_delay_seconds = 0.0;
+
+  /// Whether the response carries any usable answers.
+  bool ok() const {
+    return status == QueryStatus::kComplete || status == QueryStatus::kPartial;
+  }
 };
 
 class CrowdPlatform {
  public:
   CrowdPlatform(const dataset::Dataset* dataset, const PlatformConfig& cfg);
 
-  /// Post one query. Charges `incentive_cents` to the ledger.
+  /// Post one query. Charges the completed fraction of `incentive_cents` to
+  /// the ledger; outage / budget-refused calls charge nothing and return a
+  /// response with the corresponding status and no answers.
   QueryResponse post_query(std::size_t image_id, double incentive_cents,
                            TemporalContext context);
 
@@ -88,6 +175,14 @@ class CrowdPlatform {
 
   double total_spent_cents() const { return spent_cents_; }
   void reset_ledger() { spent_cents_ = 0.0; }
+
+  /// Headroom under the hard cap; +infinity when no cap is configured.
+  double remaining_cap_cents() const;
+
+  /// Number of post_query calls made so far (outage windows index into this).
+  std::size_t queries_posted() const { return queries_posted_; }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
   const std::vector<WorkerProfile>& workers() const { return pool_; }
   const PlatformConfig& config() const { return cfg_; }
@@ -102,13 +197,24 @@ class CrowdPlatform {
   PlatformConfig cfg_;
   std::vector<WorkerProfile> pool_;
   Rng rng_;
+  /// Dedicated stream for fault decisions, forked from the platform seed, so
+  /// fault draws never perturb the behavioral stream above.
+  Rng fault_rng_;
   double spent_cents_ = 0.0;
+  std::size_t queries_posted_ = 0;
+  FaultStats fault_stats_;
 
   /// Sample workers for a query, weighted by context activity and incentive
   /// take-up, without replacement.
   std::vector<std::size_t> sample_workers(TemporalContext context, double incentive_cents);
 
   double effective_reliability(const WorkerProfile& w, double incentive_cents) const;
+
+  bool in_outage(std::size_t sequence) const;
+
+  /// Mutate the freshly generated answers per the fault config. Returns the
+  /// number of paid (non-abandoned, non-duplicate) answers.
+  std::size_t apply_faults(QueryResponse& resp);
 };
 
 }  // namespace crowdlearn::crowd

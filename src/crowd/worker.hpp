@@ -32,12 +32,19 @@ struct WorkerProfile {
   double incentive_sensitivity = 0.5;
 };
 
+/// Sentinel label of a garbage submission (fault injection): not a valid
+/// severity class index. Downstream aggregators mask answers carrying it.
+inline constexpr std::size_t kMalformedLabel = static_cast<std::size_t>(-1);
+
 /// One worker's answer to one crowd query.
 struct WorkerAnswer {
   std::size_t worker_id = 0;
   std::size_t label = 0;  ///< claimed severity class index
   std::vector<double> questionnaire;  ///< 0/1 answers, Questionnaire::kDims wide
   double delay_seconds = 0.0;
+
+  /// Whether the claimed label is a valid severity class.
+  bool label_valid() const { return label < dataset::kNumSeverityClasses; }
 };
 
 /// Draw a worker pool with profiles sampled around the configured means.

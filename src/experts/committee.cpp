@@ -1,5 +1,6 @@
 #include "experts/committee.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "experts/bovw.hpp"
@@ -16,6 +17,7 @@ ExpertCommittee::ExpertCommittee(std::vector<std::unique_ptr<DdaAlgorithm>> expe
   for (const auto& e : experts_)
     if (!e) throw std::invalid_argument("ExpertCommittee: null expert");
   weights_.assign(experts_.size(), 1.0 / static_cast<double>(experts_.size()));
+  quarantined_.assign(experts_.size(), 0);
 }
 
 void ExpertCommittee::set_weights(std::vector<double> w) {
@@ -31,6 +33,7 @@ ExpertCommittee ExpertCommittee::clone() const {
   for (const auto& e : experts_) experts.push_back(e->clone());
   ExpertCommittee copy(std::move(experts));
   copy.weights_ = weights_;
+  copy.quarantined_ = quarantined_;
   copy.pool_ = pool_;
   return copy;
 }
@@ -66,6 +69,7 @@ void ExpertCommittee::train_all(const dataset::Dataset& data,
     for (std::size_t m = 0; m < experts_.size(); ++m)
       experts_[m]->train(data, image_ids, children[m]);
   }
+  reinstate_quarantined();
 }
 
 void ExpertCommittee::retrain_all(const dataset::Dataset& data,
@@ -80,6 +84,7 @@ void ExpertCommittee::retrain_all(const dataset::Dataset& data,
     for (std::size_t m = 0; m < experts_.size(); ++m)
       experts_[m]->retrain(data, image_ids, crowd_labels, children[m]);
   }
+  reinstate_quarantined();
 }
 
 std::vector<std::vector<double>> ExpertCommittee::expert_votes(
@@ -119,18 +124,72 @@ std::vector<std::vector<std::vector<double>>> ExpertCommittee::expert_votes_batc
   return out;
 }
 
+namespace {
+
+bool vote_is_degenerate(const std::vector<double>& vote) {
+  if (vote.size() != dataset::kNumSeverityClasses) return true;
+  double sum = 0.0;
+  for (double v : vote) {
+    if (!std::isfinite(v) || v < 0.0) return true;
+    sum += v;
+  }
+  return sum <= 0.0;
+}
+
+}  // namespace
+
 std::vector<double> ExpertCommittee::committee_vote(
     const std::vector<std::vector<double>>& votes) const {
   if (votes.size() != experts_.size())
     throw std::invalid_argument("committee_vote: vote count mismatch");
   std::vector<double> rho(dataset::kNumSeverityClasses, 0.0);
+  const bool all_quarantined = num_quarantined() == experts_.size();
   for (std::size_t m = 0; m < votes.size(); ++m) {
     if (votes[m].size() != rho.size())
       throw std::invalid_argument("committee_vote: vote width mismatch");
+    // Quarantined experts carry no weight; normalize() below renormalizes
+    // the surviving weights implicitly. If everyone is quarantined, vote
+    // over the sanitized (uniform-replaced) distributions instead.
+    if (!all_quarantined && quarantined_[m] != 0) continue;
     for (std::size_t c = 0; c < rho.size(); ++c) rho[c] += weights_[m] * votes[m][c];
   }
   stats::normalize(rho);  // Eq. 2's normalization step
   return rho;
+}
+
+std::size_t ExpertCommittee::quarantine_degenerate_votes(
+    std::vector<std::vector<double>>& votes) {
+  if (votes.size() != experts_.size())
+    throw std::invalid_argument("quarantine_degenerate_votes: vote count mismatch");
+  std::size_t newly = 0;
+  const double uniform = 1.0 / static_cast<double>(dataset::kNumSeverityClasses);
+  for (std::size_t m = 0; m < votes.size(); ++m) {
+    if (!vote_is_degenerate(votes[m])) continue;
+    if (quarantined_[m] == 0) {
+      quarantined_[m] = 1;
+      ++newly;
+    }
+    votes[m].assign(dataset::kNumSeverityClasses, uniform);
+  }
+  return newly;
+}
+
+std::size_t ExpertCommittee::quarantine_degenerate_votes(
+    std::vector<std::vector<std::vector<double>>>& batch) {
+  std::size_t newly = 0;
+  for (auto& votes : batch) newly += quarantine_degenerate_votes(votes);
+  return newly;
+}
+
+std::size_t ExpertCommittee::num_quarantined() const {
+  std::size_t n = 0;
+  for (char q : quarantined_)
+    if (q != 0) ++n;
+  return n;
+}
+
+void ExpertCommittee::reinstate_quarantined() {
+  quarantined_.assign(experts_.size(), 0);
 }
 
 std::vector<double> ExpertCommittee::committee_vote(const dataset::DisasterImage& image) {

@@ -59,10 +59,31 @@ class ExpertCommittee {
   std::vector<std::vector<std::vector<double>>> expert_votes_batch(
       const dataset::Dataset& data, const std::vector<std::size_t>& ids);
 
-  /// Committee vote rho (Eq. 2), normalized to a distribution.
+  /// Committee vote rho (Eq. 2), normalized to a distribution. Quarantined
+  /// experts are excluded and the remaining weights renormalized; when every
+  /// expert is quarantined the vote falls back to the full weighted sum over
+  /// the (sanitized) votes.
   std::vector<double> committee_vote(const dataset::DisasterImage& image);
   /// Committee vote computed from precomputed expert votes.
   std::vector<double> committee_vote(const std::vector<std::vector<double>>& votes) const;
+
+  /// Scan per-expert votes for degenerate output (wrong width, non-finite,
+  /// negative, or all-zero mass). Offending experts are quarantined — their
+  /// votes are replaced by a uniform distribution in place and they stop
+  /// contributing to committee_vote and Hedge updates until the next
+  /// successful (re)train reinstates them. Returns the number of experts
+  /// newly quarantined by this scan. Runs on the calling thread; callers in
+  /// parallel sections must scan after the parallel region, in index order.
+  std::size_t quarantine_degenerate_votes(std::vector<std::vector<double>>& votes);
+  /// Batch overload over expert_votes_batch output (images scanned in order).
+  std::size_t quarantine_degenerate_votes(
+      std::vector<std::vector<std::vector<double>>>& batch);
+
+  bool is_quarantined(std::size_t m) const { return quarantined_.at(m) != 0; }
+  std::size_t num_quarantined() const;
+  /// Clear the quarantine mask (called automatically after train/retrain:
+  /// a successful retrain is the reinstatement criterion).
+  void reinstate_quarantined();
 
   /// Committee entropy H (Eq. 3) of the normalized committee vote.
   double committee_entropy(const dataset::DisasterImage& image);
@@ -76,6 +97,7 @@ class ExpertCommittee {
  private:
   std::vector<std::unique_ptr<DdaAlgorithm>> experts_;
   std::vector<double> weights_;
+  std::vector<char> quarantined_;     ///< 1 = excluded from votes/updates
   util::ThreadPool* pool_ = nullptr;  ///< not owned; nullptr = serial
 };
 

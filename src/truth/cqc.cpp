@@ -13,18 +13,34 @@ std::vector<double> cqc_features(const QueryResponse& response, double delay_sca
   const std::size_t k = dataset::kNumSeverityClasses;
   const auto n = static_cast<double>(response.answers.size());
 
+  // Partial/faulty response sets are masked, not rejected: malformed labels
+  // drop out of the vote statistics, blank (or wrong-width) questionnaires
+  // drop out of the questionnaire means, and each block normalizes by its
+  // own valid count. A fully valid response reproduces the original features.
   std::vector<double> votes(k, 0.0);
   std::vector<double> q_mean(dataset::Questionnaire::kDims, 0.0);
-  double delay_mean = 0.0;
+  double delay_mean = 0.0, n_labels = 0.0, n_questionnaires = 0.0;
   for (const crowd::WorkerAnswer& a : response.answers) {
-    votes.at(a.label) += 1.0;
-    if (a.questionnaire.size() != q_mean.size())
-      throw std::invalid_argument("cqc_features: questionnaire width mismatch");
-    for (std::size_t i = 0; i < q_mean.size(); ++i) q_mean[i] += a.questionnaire[i];
+    if (a.label_valid()) {
+      votes[a.label] += 1.0;
+      n_labels += 1.0;
+    }
+    if (a.questionnaire.size() == q_mean.size()) {
+      for (std::size_t i = 0; i < q_mean.size(); ++i) q_mean[i] += a.questionnaire[i];
+      n_questionnaires += 1.0;
+    }
     delay_mean += a.delay_seconds;
   }
-  for (double& v : votes) v /= n;
-  for (double& v : q_mean) v /= n;
+  if (n_labels > 0.0) {
+    for (double& v : votes) v /= n_labels;
+  } else {
+    // No valid label at all: maximum-uncertainty vote block.
+    std::fill(votes.begin(), votes.end(), 1.0 / static_cast<double>(k));
+  }
+  if (n_questionnaires > 0.0)
+    for (double& v : q_mean) v /= n_questionnaires;
+  // else: all-zero questionnaire block, the same masking convention the
+  // use_questionnaire ablation applies.
   delay_mean /= n;
 
   const double h = stats::entropy(votes) / stats::max_entropy(k);

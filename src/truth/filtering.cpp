@@ -45,13 +45,15 @@ std::vector<std::vector<double>> FilteringAggregator::aggregate(
     std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
     std::size_t used = 0;
     for (const crowd::WorkerAnswer& a : q.answers) {
-      if (is_blacklisted(a.worker_id)) continue;
+      if (is_blacklisted(a.worker_id) || !a.label_valid()) continue;
       dist.at(a.label) += 1.0;
       ++used;
     }
     if (used == 0) {
       // Every respondent blacklisted: fall back to the unfiltered vote.
-      for (const crowd::WorkerAnswer& a : q.answers) dist.at(a.label) += 1.0;
+      // All-malformed responses stay all-zero and normalize to uniform.
+      for (const crowd::WorkerAnswer& a : q.answers)
+        if (a.label_valid()) dist.at(a.label) += 1.0;
     }
     stats::normalize(dist);
     out.push_back(std::move(dist));

@@ -24,8 +24,9 @@ std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse
   std::vector<std::vector<double>> posterior(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     std::vector<double> dist(k, 0.0);
-    for (const crowd::WorkerAnswer& a : batch[i].answers) dist.at(a.label) += 1.0;
-    stats::normalize(dist);
+    for (const crowd::WorkerAnswer& a : batch[i].answers)
+      if (a.label_valid()) dist[a.label] += 1.0;
+    stats::normalize(dist);  // all-malformed tallies normalize to uniform
     posterior[i] = std::move(dist);
   }
 
@@ -46,6 +47,7 @@ std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse
     for (std::size_t i = 0; i < batch.size(); ++i) {
       for (std::size_t t = 0; t < k; ++t) prior_counts[t] += posterior[i][t];
       for (const crowd::WorkerAnswer& a : batch[i].answers) {
+        if (!a.label_valid()) continue;  // malformed submissions carry no signal
         const std::size_t wi = worker_index.at(a.worker_id);
         for (std::size_t t = 0; t < k; ++t) confusion[wi][t][a.label] += posterior[i][t];
       }
@@ -61,6 +63,7 @@ std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse
       for (std::size_t t = 0; t < k; ++t) {
         double lp = std::log(std::max(prior[t], 1e-12));
         for (const crowd::WorkerAnswer& a : batch[i].answers) {
+          if (!a.label_valid()) continue;
           const std::size_t wi = worker_index.at(a.worker_id);
           lp += std::log(std::max(confusion[wi][t][a.label], 1e-12));
         }

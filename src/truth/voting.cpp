@@ -29,7 +29,11 @@ std::vector<double> MajorityVoting::vote_distribution(const QueryResponse& respo
   if (response.answers.empty())
     throw std::invalid_argument("MajorityVoting: response has no answers");
   std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
-  for (const crowd::WorkerAnswer& ans : response.answers) dist.at(ans.label) += 1.0;
+  // Malformed submissions (fault injection) carry an out-of-range label;
+  // mask them instead of throwing. If every answer is malformed the all-zero
+  // tally normalizes to a uniform distribution (maximum uncertainty).
+  for (const crowd::WorkerAnswer& ans : response.answers)
+    if (ans.label_valid()) dist[ans.label] += 1.0;
   stats::normalize(dist);
   return dist;
 }

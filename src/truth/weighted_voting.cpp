@@ -57,13 +57,16 @@ std::vector<std::vector<double>> WeightedVoting::aggregate(
     std::vector<double> dist(dataset::kNumSeverityClasses, 0.0);
     double total = 0.0;
     for (const crowd::WorkerAnswer& a : q.answers) {
+      if (!a.label_valid()) continue;  // malformed submission (fault injection)
       const double w = worker_weight(a.worker_id);
-      dist.at(a.label) += w;
+      dist[a.label] += w;
       total += w;
     }
     if (total <= 0.0) {
       // Every respondent weightless (all near-chance): plain vote fallback.
-      for (const crowd::WorkerAnswer& a : q.answers) dist.at(a.label) += 1.0;
+      // All-malformed responses stay all-zero and normalize to uniform.
+      for (const crowd::WorkerAnswer& a : q.answers)
+        if (a.label_valid()) dist[a.label] += 1.0;
     }
     stats::normalize(dist);
     out.push_back(std::move(dist));

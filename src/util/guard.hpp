@@ -1,0 +1,25 @@
+#pragma once
+// Top-level exception guard for executables. Every example and bench binary
+// wraps its real entry point with run_guarded so that any uncaught exception
+// — including the typed refusals the fault-injecting platform can raise —
+// prints a diagnostic and exits nonzero instead of calling std::terminate.
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+namespace crowdlearn::util {
+
+template <typename F, typename... Args>
+int run_guarded(F&& body, Args&&... args) {
+  try {
+    return std::forward<F>(body)(std::forward<Args>(args)...);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+  }
+  return 1;
+}
+
+}  // namespace crowdlearn::util

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crowd/broker.hpp"
+
+namespace crowdlearn::crowd {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 60;
+    dcfg.train_images = 30;
+    dcfg.seed = 3;
+    data_ = dataset::generate_dataset(dcfg);
+  }
+
+  std::size_t image() const { return data_.test_indices[0]; }
+
+  dataset::Dataset data_;
+  PlatformConfig cfg_;
+};
+
+TEST(BrokerConfigTest, Validation) {
+  BrokerConfig bad;
+  bad.deadline_factor = 0.0;
+  EXPECT_THROW(QueryBroker{bad}, std::invalid_argument);
+  bad = {};
+  bad.escalation_factor = 0.5;
+  EXPECT_THROW(QueryBroker{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_incentive_cents = 0.5;  // below min_incentive_cents
+  EXPECT_THROW(QueryBroker{bad}, std::invalid_argument);
+  bad = {};
+  bad.retry_backoff_seconds = -1.0;
+  EXPECT_THROW(QueryBroker{bad}, std::invalid_argument);
+}
+
+TEST_F(BrokerTest, CleanQueryMatchesDirectPost) {
+  // Against a fault-free platform the broker must reduce to a single
+  // post_query: same answers, same charge, same completion delay.
+  CrowdPlatform direct(&data_, cfg_), brokered(&data_, cfg_);
+  QueryBroker broker;
+
+  const QueryResponse want = direct.post_query(image(), 8.0, TemporalContext::kEvening);
+  const QueryResult r = broker.execute(brokered, image(), 8.0, TemporalContext::kEvening);
+
+  EXPECT_EQ(r.outcome, QueryOutcome::kComplete);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.attempts.size(), 1u);
+  EXPECT_FALSE(r.deadline_exceeded);
+  EXPECT_TRUE(r.delay_feedback_valid);
+  EXPECT_DOUBLE_EQ(r.total_charged_cents, 8.0);
+  EXPECT_DOUBLE_EQ(r.response.completion_delay_seconds, want.completion_delay_seconds);
+  EXPECT_DOUBLE_EQ(r.response.mean_answer_delay_seconds, want.mean_answer_delay_seconds);
+  ASSERT_EQ(r.response.answers.size(), want.answers.size());
+  for (std::size_t i = 0; i < want.answers.size(); ++i) {
+    EXPECT_EQ(r.response.answers[i].worker_id, want.answers[i].worker_id);
+    EXPECT_EQ(r.response.answers[i].label, want.answers[i].label);
+    EXPECT_DOUBLE_EQ(r.response.answers[i].delay_seconds, want.answers[i].delay_seconds);
+  }
+  EXPECT_DOUBLE_EQ(brokered.total_spent_cents(), direct.total_spent_cents());
+}
+
+TEST_F(BrokerTest, TotalAbandonmentEscalatesThenFails) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.attempts.size(), broker.config().max_retries + 1);
+  EXPECT_EQ(r.retries, broker.config().max_retries);
+  // Timed-out retries escalate the incentive by 1.5x under the 20c ceiling.
+  EXPECT_DOUBLE_EQ(r.attempts[0].incentive_cents, 8.0);
+  EXPECT_DOUBLE_EQ(r.attempts[1].incentive_cents, 12.0);
+  EXPECT_DOUBLE_EQ(r.attempts[2].incentive_cents, 18.0);
+  for (const QueryAttempt& at : r.attempts) {
+    EXPECT_TRUE(at.timed_out);
+    EXPECT_EQ(at.platform_status, QueryStatus::kAbandoned);
+    EXPECT_DOUBLE_EQ(at.charged_cents, 0.0);
+  }
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_TRUE(r.delay_feedback_valid);  // workers were reached, they all bailed
+  EXPECT_DOUBLE_EQ(r.total_charged_cents, 0.0);
+  EXPECT_TRUE(r.response.answers.empty());
+  // The elapsed lifecycle covers every deadline window plus the backoffs.
+  double waited = 0.0;
+  for (const QueryAttempt& at : r.attempts) waited += at.deadline_seconds;
+  waited += 2.0 * broker.config().retry_backoff_seconds;
+  EXPECT_DOUBLE_EQ(r.response.completion_delay_seconds, waited);
+  EXPECT_EQ(broker.total_failures(), 1u);
+  EXPECT_EQ(broker.total_retries(), broker.config().max_retries);
+}
+
+TEST_F(BrokerTest, OutageRetriesAtSamePriceThenCompletes) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.outages.push_back({0, 1});  // first post hits a dead platform
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 6.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kComplete);
+  ASSERT_EQ(r.attempts.size(), 2u);
+  EXPECT_EQ(r.attempts[0].platform_status, QueryStatus::kOutage);
+  EXPECT_TRUE(r.attempts[0].timed_out);
+  EXPECT_DOUBLE_EQ(r.attempts[0].charged_cents, 0.0);
+  // An outage says nothing about worker incentives: retry at the same price.
+  EXPECT_DOUBLE_EQ(r.attempts[1].incentive_cents, 6.0);
+  EXPECT_EQ(r.attempts[1].platform_status, QueryStatus::kComplete);
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_TRUE(r.delay_feedback_valid);
+  EXPECT_DOUBLE_EQ(r.total_charged_cents, 6.0);
+  // Lifecycle delay = waited-out deadline + backoff + the retry's completion.
+  EXPECT_GT(r.response.completion_delay_seconds, r.attempts[0].deadline_seconds);
+}
+
+TEST_F(BrokerTest, BudgetRefusalEndsLifecycle) {
+  PlatformConfig cfg = cfg_;
+  cfg.max_spend_cents = 4.0;
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+  ASSERT_EQ(r.attempts.size(), 1u);  // a cap refusal cannot be retried away
+  EXPECT_EQ(r.attempts[0].platform_status, QueryStatus::kBudgetRefused);
+  EXPECT_FALSE(r.delay_feedback_valid);  // never reached workers: no signal
+  EXPECT_DOUBLE_EQ(r.total_charged_cents, 0.0);
+}
+
+TEST_F(BrokerTest, EscalationClampedByBudgetHeadroom) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r =
+      broker.execute(platform, image(), 8.0, TemporalContext::kEvening, 8.5);
+  ASSERT_GE(r.attempts.size(), 2u);
+  // Unclamped escalation would ask 12c; the caller only has 8.5c headroom.
+  EXPECT_DOUBLE_EQ(r.attempts[1].incentive_cents, 8.5);
+}
+
+TEST_F(BrokerTest, TinyHeadroomStopsRetries) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  // Headroom below min_incentive_cents: the first post (already approved by
+  // the caller) goes through, but no retry can be afforded afterwards.
+  const QueryResult r =
+      broker.execute(platform, image(), 8.0, TemporalContext::kEvening, 0.9);
+  EXPECT_EQ(r.attempts.size(), 1u);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+}
+
+TEST_F(BrokerTest, DuplicateSubmissionsDroppedOnce) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.duplicate_prob = 1.0;  // every answer is submitted twice
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kComplete);
+  EXPECT_EQ(r.response.answers.size(), cfg.workers_per_query);
+  EXPECT_EQ(r.duplicates_dropped, cfg.workers_per_query);
+  EXPECT_EQ(broker.total_duplicates_dropped(), cfg.workers_per_query);
+  std::set<std::size_t> ids;
+  for (const WorkerAnswer& a : r.response.answers)
+    EXPECT_TRUE(ids.insert(a.worker_id).second);
+  // Duplicates are unpaid: the ledger still charges exactly one incentive.
+  EXPECT_DOUBLE_EQ(r.total_charged_cents, 8.0);
+}
+
+TEST_F(BrokerTest, PartialAttemptsMergeUniqueWorkers) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 0.5;
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+    std::set<std::size_t> ids;
+    for (const WorkerAnswer& a : r.response.answers)
+      EXPECT_TRUE(ids.insert(a.worker_id).second) << "broker must dedup workers";
+    if (r.outcome == QueryOutcome::kComplete) {
+      EXPECT_GE(r.response.answers.size(), cfg.workers_per_query);
+    }
+    // Charge never exceeds the sum of what each attempt actually paid.
+    double attempt_sum = 0.0;
+    for (const QueryAttempt& at : r.attempts) attempt_sum += at.charged_cents;
+    EXPECT_DOUBLE_EQ(r.total_charged_cents, attempt_sum);
+  }
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), platform.total_spent_cents());
+}
+
+TEST_F(BrokerTest, RejectsNonPositiveIncentive) {
+  CrowdPlatform platform(&data_, cfg_);
+  QueryBroker broker;
+  EXPECT_THROW(broker.execute(platform, image(), 0.0, TemporalContext::kMorning),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crowdlearn::crowd

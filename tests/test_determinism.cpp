@@ -25,8 +25,10 @@ experts::ExpertCommittee fast_committee() {
 /// Rebuild the entire experiment from scratch (dataset, pilot, committee,
 /// platform) and run the stream with the given thread count. Each invocation
 /// is fully independent, so any cross-run difference can only come from the
-/// thread count.
-std::vector<CycleOutcome> run_loop(std::size_t num_threads) {
+/// thread count. `faults` applies to the deployment platform only (the pilot
+/// study runs clean, as in the benches).
+std::vector<CycleOutcome> run_loop(std::size_t num_threads,
+                                   const crowd::FaultInjectionConfig& faults = {}) {
   ExperimentConfig cfg;
   cfg.dataset.total_images = 140;
   cfg.dataset.train_images = 90;
@@ -35,7 +37,8 @@ std::vector<CycleOutcome> run_loop(std::size_t num_threads) {
   cfg.stream.grouped_contexts = false;
   cfg.pilot.queries_per_cell = 6;
   cfg.seed = 97;
-  const ExperimentSetup setup = make_setup(cfg);
+  ExperimentSetup setup = make_setup(cfg);
+  setup.platform_cfg.faults = faults;
 
   CrowdLearnConfig sys_cfg = default_crowdlearn_config(setup, 4, 240.0);
   sys_cfg.num_threads = num_threads;
@@ -62,6 +65,10 @@ void expect_identical(const std::vector<CycleOutcome>& a, const std::vector<Cycl
     EXPECT_EQ(a[c].expert_weights, b[c].expert_weights);
     EXPECT_EQ(a[c].crowd_delay_seconds, b[c].crowd_delay_seconds);
     EXPECT_EQ(a[c].spent_cents, b[c].spent_cents);
+    EXPECT_EQ(a[c].fallback_ids, b[c].fallback_ids);
+    EXPECT_EQ(a[c].query_retries, b[c].query_retries);
+    EXPECT_EQ(a[c].partial_queries, b[c].partial_queries);
+    EXPECT_EQ(a[c].failed_queries, b[c].failed_queries);
   }
 }
 
@@ -77,6 +84,54 @@ TEST(Determinism, RepeatedRunsAtSameThreadCountAreByteIdentical) {
   const std::vector<CycleOutcome> first = run_loop(2);
   const std::vector<CycleOutcome> second = run_loop(2);
   expect_identical(first, second, "2 threads, run 1 vs run 2");
+}
+
+TEST(Determinism, ZeroProbabilityFaultLayerLeavesOutcomesByteIdentical) {
+  // The fault layer armed (any() == true via a never-reached outage window)
+  // but with every probability at zero must produce the exact CycleOutcome
+  // stream of a run with no fault layer at all: the behavioral RNG stream is
+  // untouched and the broker's single clean attempt reduces to post_query.
+  crowd::FaultInjectionConfig zero;
+  zero.outages.push_back({1000000, 1000001});
+  ASSERT_TRUE(zero.any());
+  const std::vector<CycleOutcome> plain = run_loop(1);
+  const std::vector<CycleOutcome> armed = run_loop(1, zero);
+  expect_identical(plain, armed, "no fault layer vs zero-probability layer");
+  for (const CycleOutcome& out : plain) {
+    EXPECT_EQ(out.query_retries, 0u);
+    EXPECT_EQ(out.partial_queries, 0u);
+    EXPECT_EQ(out.failed_queries, 0u);
+    EXPECT_TRUE(out.fallback_ids.empty());
+  }
+}
+
+TEST(Determinism, FaultyRunDegradesGracefullyAtAnyThreadCount) {
+  // Heavy abandonment plus an outage window long enough to swallow a whole
+  // query lifecycle (3 consecutive attempts): every cycle must still
+  // complete, with committee fallbacks recorded, and the outcome stream must
+  // stay byte-identical at 1/2/8 threads.
+  crowd::FaultInjectionConfig faults;
+  faults.abandonment_prob = 0.25;
+  faults.outages.push_back({4, 10});
+
+  const std::vector<CycleOutcome> serial = run_loop(1, faults);
+  const std::vector<CycleOutcome> two = run_loop(2, faults);
+  const std::vector<CycleOutcome> eight = run_loop(8, faults);
+  expect_identical(serial, two, "faulty, 1 vs 2 threads");
+  expect_identical(serial, eight, "faulty, 1 vs 8 threads");
+
+  ASSERT_EQ(serial.size(), 3u);
+  std::size_t fallbacks = 0, retries = 0;
+  for (const CycleOutcome& out : serial) {
+    // Every image got a final prediction despite the faults.
+    ASSERT_EQ(out.predictions.size(), out.image_ids.size());
+    for (const auto& p : out.probabilities) ASSERT_EQ(p.size(), dataset::kNumSeverityClasses);
+    ASSERT_EQ(out.fallback_ids.size(), out.failed_queries);
+    fallbacks += out.fallback_ids.size();
+    retries += out.query_retries;
+  }
+  EXPECT_GE(fallbacks, 1u) << "the outage window must fail at least one query";
+  EXPECT_GE(retries, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/mic.hpp"
+#include "crowd/platform.hpp"
+#include "experts/bovw.hpp"
+#include "truth/cqc.hpp"
+#include "truth/filtering.hpp"
+#include "truth/td_em.hpp"
+#include "truth/voting.hpp"
+#include "truth/weighted_voting.hpp"
+
+namespace crowdlearn {
+namespace {
+
+using crowd::CrowdPlatform;
+using crowd::FaultInjectionConfig;
+using crowd::PlatformConfig;
+using crowd::QueryResponse;
+using crowd::QueryStatus;
+using crowd::WorkerAnswer;
+using dataset::TemporalContext;
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  FaultsTest() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 60;
+    dcfg.train_images = 30;
+    dcfg.seed = 3;
+    data_ = dataset::generate_dataset(dcfg);
+  }
+
+  std::size_t image() const { return data_.test_indices[0]; }
+
+  dataset::Dataset data_;
+  PlatformConfig cfg_;
+};
+
+TEST(FaultInjectionConfigTest, AnyDetectsEveryKnob) {
+  FaultInjectionConfig f;
+  EXPECT_FALSE(f.any());
+  f.abandonment_prob = 0.1;
+  EXPECT_TRUE(f.any());
+  f = {};
+  f.straggler_prob = 0.1;
+  EXPECT_TRUE(f.any());
+  f = {};
+  f.blank_questionnaire_prob = 0.1;
+  EXPECT_TRUE(f.any());
+  f = {};
+  f.malformed_label_prob = 0.1;
+  EXPECT_TRUE(f.any());
+  f = {};
+  f.duplicate_prob = 0.1;
+  EXPECT_TRUE(f.any());
+  f = {};
+  f.outages.push_back({0, 1});
+  EXPECT_TRUE(f.any());
+}
+
+TEST_F(FaultsTest, ConfigValidation) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 1.5;
+  EXPECT_THROW(CrowdPlatform(&data_, cfg), std::invalid_argument);
+  cfg = cfg_;
+  cfg.faults.straggler_multiplier = 0.5;
+  EXPECT_THROW(CrowdPlatform(&data_, cfg), std::invalid_argument);
+  cfg = cfg_;
+  cfg.faults.outages.push_back({5, 2});
+  EXPECT_THROW(CrowdPlatform(&data_, cfg), std::invalid_argument);
+}
+
+TEST_F(FaultsTest, FullAbandonmentYieldsEmptyUnpaidResponse) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  const QueryResponse resp = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(resp.status, QueryStatus::kAbandoned);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.answers.empty());
+  EXPECT_DOUBLE_EQ(resp.charged_cents, 0.0);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 0.0);
+  EXPECT_EQ(platform.fault_stats().abandoned_answers, cfg.workers_per_query);
+}
+
+TEST_F(FaultsTest, StragglersStretchDelaysOnly) {
+  // Same behavioral seed with and without the straggler fault: answers pair
+  // up one-to-one and only the delays change, by a factor in [mult, 2*mult].
+  PlatformConfig faulty = cfg_;
+  faulty.faults.straggler_prob = 1.0;
+  faulty.faults.straggler_multiplier = 6.0;
+  CrowdPlatform clean(&data_, cfg_), stretched(&data_, faulty);
+
+  const QueryResponse a = clean.post_query(image(), 8.0, TemporalContext::kEvening);
+  const QueryResponse b = stretched.post_query(image(), 8.0, TemporalContext::kEvening);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (std::size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].worker_id, b.answers[i].worker_id);
+    EXPECT_EQ(a.answers[i].label, b.answers[i].label);
+    const double ratio = b.answers[i].delay_seconds / a.answers[i].delay_seconds;
+    EXPECT_GE(ratio, 6.0);
+    EXPECT_LE(ratio, 12.0);
+  }
+  EXPECT_EQ(stretched.fault_stats().stragglers, a.answers.size());
+  EXPECT_EQ(b.status, QueryStatus::kComplete);  // slow, but everyone delivered
+}
+
+TEST_F(FaultsTest, BlankQuestionnairesAreMaskedByCqcFeatures) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.blank_questionnaire_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  const QueryResponse resp = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  for (const WorkerAnswer& a : resp.answers) EXPECT_TRUE(a.questionnaire.empty());
+  EXPECT_EQ(platform.fault_stats().blank_questionnaires, resp.answers.size());
+
+  // CQC masks the questionnaire block to zero instead of throwing.
+  const std::vector<double> feats = truth::cqc_features(resp, 1500.0);
+  ASSERT_EQ(feats.size(), truth::kCqcFeatureDims);
+  for (std::size_t i = 5; i < 5 + dataset::Questionnaire::kDims; ++i)
+    EXPECT_DOUBLE_EQ(feats[i], 0.0);
+  // The vote block is untouched and still sums to one.
+  double vote_mass = 0.0;
+  for (std::size_t c = 0; c < dataset::kNumSeverityClasses; ++c) vote_mass += feats[c];
+  EXPECT_NEAR(vote_mass, 1.0, 1e-12);
+}
+
+TEST_F(FaultsTest, MalformedLabelsAreMaskedEverywhere) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.malformed_label_prob = 1.0;
+  CrowdPlatform platform(&data_, cfg);
+  const QueryResponse resp = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  for (const WorkerAnswer& a : resp.answers) {
+    EXPECT_EQ(a.label, crowd::kMalformedLabel);
+    EXPECT_FALSE(a.label_valid());
+  }
+
+  const double uniform = 1.0 / static_cast<double>(dataset::kNumSeverityClasses);
+  // Majority voting: all-malformed tallies degrade to maximum uncertainty.
+  const std::vector<double> mv = truth::MajorityVoting::vote_distribution(resp);
+  for (double v : mv) EXPECT_DOUBLE_EQ(v, uniform);
+  // CQC features: uniform vote block, no throw.
+  const std::vector<double> feats = truth::cqc_features(resp, 1500.0);
+  for (std::size_t c = 0; c < dataset::kNumSeverityClasses; ++c)
+    EXPECT_DOUBLE_EQ(feats[c], uniform);
+  // Weighted voting, filtering and EM must not crash on the sentinel either.
+  const std::vector<QueryResponse> batch{resp};
+  truth::WeightedVoting wv;
+  EXPECT_EQ(wv.aggregate(batch).size(), 1u);
+  truth::FilteringAggregator fa;
+  EXPECT_EQ(fa.aggregate(batch).size(), 1u);
+  truth::TdEm em;
+  EXPECT_EQ(em.aggregate(batch).size(), 1u);
+}
+
+TEST_F(FaultsTest, MixedLabelsMaskOnlyTheMalformedOnes) {
+  QueryResponse resp;
+  resp.answers.push_back({0, 1, {}, 10.0});
+  resp.answers.push_back({1, crowd::kMalformedLabel, {}, 12.0});
+  resp.answers.push_back({2, 1, {}, 14.0});
+  const std::vector<double> dist = truth::MajorityVoting::vote_distribution(resp);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);  // two valid votes, both for class 1
+}
+
+TEST_F(FaultsTest, OutageWindowRefusesAndCharges_Nothing) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.outages.push_back({1, 3});
+  CrowdPlatform platform(&data_, cfg);
+  const QueryResponse ok0 = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  const QueryResponse down1 = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  const QueryResponse down2 = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  const QueryResponse ok3 = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(ok0.status, QueryStatus::kComplete);
+  EXPECT_EQ(down1.status, QueryStatus::kOutage);
+  EXPECT_EQ(down2.status, QueryStatus::kOutage);
+  EXPECT_EQ(ok3.status, QueryStatus::kComplete);
+  EXPECT_TRUE(down1.answers.empty());
+  EXPECT_DOUBLE_EQ(down1.charged_cents, 0.0);
+  EXPECT_EQ(platform.queries_posted(), 4u);
+  EXPECT_EQ(platform.fault_stats().outage_refusals, 2u);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 16.0);
+}
+
+TEST_F(FaultsTest, HardSpendCapRefusesTyped) {
+  PlatformConfig cfg = cfg_;
+  cfg.max_spend_cents = 10.0;
+  CrowdPlatform platform(&data_, cfg);
+  EXPECT_DOUBLE_EQ(platform.remaining_cap_cents(), 10.0);
+
+  const QueryResponse ok = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(ok.status, QueryStatus::kComplete);
+  EXPECT_DOUBLE_EQ(platform.remaining_cap_cents(), 2.0);
+
+  const QueryResponse refused = platform.post_query(image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(refused.status, QueryStatus::kBudgetRefused);
+  EXPECT_TRUE(refused.answers.empty());
+  EXPECT_DOUBLE_EQ(refused.charged_cents, 0.0);
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 8.0);
+  EXPECT_EQ(platform.fault_stats().budget_refusals, 1u);
+
+  // A query that fits exactly is allowed; the cap then reads zero headroom.
+  const QueryResponse exact = platform.post_query(image(), 2.0, TemporalContext::kEvening);
+  EXPECT_EQ(exact.status, QueryStatus::kComplete);
+  EXPECT_DOUBLE_EQ(platform.remaining_cap_cents(), 0.0);
+
+  // No cap configured -> infinite headroom.
+  CrowdPlatform uncapped(&data_, cfg_);
+  EXPECT_TRUE(std::isinf(uncapped.remaining_cap_cents()));
+}
+
+TEST_F(FaultsTest, ZeroProbabilityFaultLayerIsByteIdentical) {
+  // Fault layer armed (an outage window far in the future) but with every
+  // probability at zero: consuming the fault stream must not perturb the
+  // behavioral stream, so responses are bit-identical to an unfaulted twin.
+  PlatformConfig layered = cfg_;
+  layered.faults.outages.push_back({100000, 100001});
+  ASSERT_TRUE(layered.faults.any());
+  CrowdPlatform plain(&data_, cfg_), armed(&data_, layered);
+
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t id = data_.test_indices[static_cast<std::size_t>(i)];
+    const QueryResponse a = plain.post_query(id, 8.0, TemporalContext::kAfternoon);
+    const QueryResponse b = armed.post_query(id, 8.0, TemporalContext::kAfternoon);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.charged_cents, b.charged_cents);  // exact
+    EXPECT_EQ(a.completion_delay_seconds, b.completion_delay_seconds);
+    EXPECT_EQ(a.mean_answer_delay_seconds, b.mean_answer_delay_seconds);
+    ASSERT_EQ(a.answers.size(), b.answers.size());
+    for (std::size_t j = 0; j < a.answers.size(); ++j) {
+      EXPECT_EQ(a.answers[j].worker_id, b.answers[j].worker_id);
+      EXPECT_EQ(a.answers[j].label, b.answers[j].label);
+      EXPECT_EQ(a.answers[j].delay_seconds, b.answers[j].delay_seconds);  // exact
+      EXPECT_EQ(a.answers[j].questionnaire, b.answers[j].questionnaire);
+    }
+  }
+  EXPECT_EQ(plain.total_spent_cents(), armed.total_spent_cents());
+}
+
+// ---------------------------------------------------------------------------
+// Expert quarantine
+// ---------------------------------------------------------------------------
+
+experts::ExpertCommittee tiny_committee() {
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> experts_vec;
+  for (int i = 0; i < 3; ++i)
+    experts_vec.push_back(std::make_unique<experts::BovwClassifier>());
+  return experts::ExpertCommittee(std::move(experts_vec));
+}
+
+TEST(QuarantineTest, DegenerateVoteQuarantinesAndSanitizes) {
+  experts::ExpertCommittee committee = tiny_committee();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double third = 1.0 / 3.0;
+  std::vector<std::vector<double>> votes{
+      {0.7, 0.2, 0.1}, {nan, 0.0, 0.0}, {0.1, 0.2, 0.7}};
+  EXPECT_EQ(committee.quarantine_degenerate_votes(votes), 1u);
+  EXPECT_TRUE(committee.is_quarantined(1));
+  EXPECT_EQ(committee.num_quarantined(), 1u);
+  // The degenerate vote is replaced by a sanitized uniform in place.
+  for (double v : votes[1]) EXPECT_DOUBLE_EQ(v, third);
+
+  // committee_vote excludes the quarantined expert: equal healthy weights
+  // mean the result is the normalized mean of experts 0 and 2.
+  const std::vector<double> rho = committee.committee_vote(votes);
+  EXPECT_NEAR(rho[0], 0.4, 1e-12);
+  EXPECT_NEAR(rho[1], 0.2, 1e-12);
+  EXPECT_NEAR(rho[2], 0.4, 1e-12);
+
+  // Re-scanning the same expert does not double-count.
+  std::vector<std::vector<double>> votes2{
+      {0.7, 0.2, 0.1}, {-1.0, 1.0, 0.5}, {0.1, 0.2, 0.7}};
+  EXPECT_EQ(committee.quarantine_degenerate_votes(votes2), 0u);
+  EXPECT_EQ(committee.num_quarantined(), 1u);
+
+  committee.reinstate_quarantined();
+  EXPECT_EQ(committee.num_quarantined(), 0u);
+}
+
+TEST(QuarantineTest, AllQuarantinedFallsBackToSanitizedVotes) {
+  experts::ExpertCommittee committee = tiny_committee();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> votes{{nan, 0, 0}, {}, {-1, 0, 0}};
+  EXPECT_EQ(committee.quarantine_degenerate_votes(votes), 3u);
+  const std::vector<double> rho = committee.committee_vote(votes);
+  for (double v : rho) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);  // uniform, not NaN
+}
+
+TEST(QuarantineTest, WrongSizeAndZeroMassCountAsDegenerate) {
+  experts::ExpertCommittee committee = tiny_committee();
+  std::vector<std::vector<double>> votes{
+      {0.2, 0.3, 0.5}, {0.5, 0.5}, {0.0, 0.0, 0.0}};
+  EXPECT_EQ(committee.quarantine_degenerate_votes(votes), 2u);
+  EXPECT_FALSE(committee.is_quarantined(0));
+  EXPECT_TRUE(committee.is_quarantined(1));
+  EXPECT_TRUE(committee.is_quarantined(2));
+}
+
+TEST(QuarantineTest, BatchOverloadScansEveryImage) {
+  experts::ExpertCommittee committee = tiny_committee();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<std::vector<double>>> batch{
+      {{0.7, 0.2, 0.1}, {0.2, 0.3, 0.5}, {0.1, 0.2, 0.7}},
+      {{0.7, 0.2, 0.1}, {inf, 0.0, 0.0}, {0.1, 0.2, 0.7}}};
+  EXPECT_EQ(committee.quarantine_degenerate_votes(batch), 1u);
+  EXPECT_TRUE(committee.is_quarantined(1));
+  for (double v : batch[1][1]) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+TEST(QuarantineTest, HedgeUpdateFreezesQuarantinedWeights) {
+  experts::ExpertCommittee committee = tiny_committee();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> votes{
+      {0.8, 0.1, 0.1}, {nan, 0.0, 0.0}, {0.8, 0.1, 0.1}};
+  committee.quarantine_degenerate_votes(votes);
+  ASSERT_TRUE(committee.is_quarantined(1));
+
+  core::Mic mic{core::MicConfig{}};
+  // One queried image whose truth disagrees sharply with the healthy experts:
+  // both healthy experts take a large loss while the quarantined one's
+  // sanitized uniform vote would (spuriously) look better. Frozen weights
+  // mean the quarantined expert must come out ahead only by renormalization.
+  const std::vector<std::vector<std::vector<double>>> queried_votes{votes};
+  const std::vector<std::vector<double>> truth{{0.05, 0.05, 0.9}};
+  mic.update_committee_weights(committee, queried_votes, truth);
+
+  const std::vector<double>& w = committee.weights();
+  // Healthy experts shrink below the frozen quarantined weight.
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_DOUBLE_EQ(w[0], w[2]);  // same loss, same multiplier
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdlearn

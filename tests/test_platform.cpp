@@ -151,5 +151,90 @@ TEST_F(PlatformTest, BatchHelperPostsAll) {
   EXPECT_DOUBLE_EQ(platform.total_spent_cents(), 12.0);
 }
 
+TEST_F(PlatformTest, BatchMatchesSequentialPosting) {
+  // post_queries must consume both RNG streams exactly like the equivalent
+  // sequence of post_query calls: same answers, same faults, same ledger.
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 0.2;
+  cfg.faults.duplicate_prob = 0.15;
+  cfg.faults.malformed_label_prob = 0.1;
+  CrowdPlatform batched(&data_, cfg), sequential(&data_, cfg);
+
+  const std::vector<std::size_t> ids{data_.test_indices[0], data_.test_indices[1],
+                                     data_.test_indices[2], data_.test_indices[3]};
+  const auto batch = batched.post_queries(ids, 6.0, TemporalContext::kEvening);
+  std::vector<QueryResponse> seq;
+  for (std::size_t id : ids)
+    seq.push_back(sequential.post_query(id, 6.0, TemporalContext::kEvening));
+
+  ASSERT_EQ(batch.size(), seq.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].status, seq[i].status);
+    EXPECT_EQ(batch[i].charged_cents, seq[i].charged_cents);  // exact
+    EXPECT_EQ(batch[i].completion_delay_seconds, seq[i].completion_delay_seconds);
+    ASSERT_EQ(batch[i].answers.size(), seq[i].answers.size());
+    for (std::size_t j = 0; j < batch[i].answers.size(); ++j) {
+      EXPECT_EQ(batch[i].answers[j].worker_id, seq[i].answers[j].worker_id);
+      EXPECT_EQ(batch[i].answers[j].label, seq[i].answers[j].label);
+      EXPECT_EQ(batch[i].answers[j].delay_seconds, seq[i].answers[j].delay_seconds);
+      EXPECT_EQ(batch[i].answers[j].questionnaire, seq[i].answers[j].questionnaire);
+    }
+  }
+  EXPECT_EQ(batched.total_spent_cents(), sequential.total_spent_cents());
+  EXPECT_EQ(batched.queries_posted(), sequential.queries_posted());
+  EXPECT_EQ(batched.fault_stats().abandoned_answers,
+            sequential.fault_stats().abandoned_answers);
+  EXPECT_EQ(batched.fault_stats().duplicate_answers,
+            sequential.fault_stats().duplicate_answers);
+}
+
+TEST_F(PlatformTest, LedgerAccountsMixedOutcomes) {
+  // Under mixed complete / partial / abandoned / outage outcomes the ledger
+  // must equal the sum of per-query charges, each charge the incentive
+  // prorated by completed (paid) assignments.
+  PlatformConfig cfg = cfg_;
+  cfg.faults.abandonment_prob = 0.5;
+  cfg.faults.outages.push_back({2, 4});
+  CrowdPlatform platform(&data_, cfg);
+
+  double charged_sum = 0.0;
+  const double incentive = 8.0;
+  std::size_t complete = 0, partial = 0, abandoned = 0, outage = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto resp = platform.post_query(
+        data_.test_indices[static_cast<std::size_t>(i) % data_.test_indices.size()],
+        incentive, TemporalContext::kEvening);
+    charged_sum += resp.charged_cents;
+    switch (resp.status) {
+      case QueryStatus::kComplete:
+        ++complete;
+        EXPECT_DOUBLE_EQ(resp.charged_cents, incentive);
+        break;
+      case QueryStatus::kPartial:
+        ++partial;
+        EXPECT_DOUBLE_EQ(resp.charged_cents,
+                         incentive * static_cast<double>(resp.answers.size()) /
+                             static_cast<double>(cfg.workers_per_query));
+        break;
+      case QueryStatus::kAbandoned:
+        ++abandoned;
+        EXPECT_DOUBLE_EQ(resp.charged_cents, 0.0);
+        break;
+      case QueryStatus::kOutage:
+        ++outage;
+        EXPECT_DOUBLE_EQ(resp.charged_cents, 0.0);
+        EXPECT_TRUE(resp.answers.empty());
+        break;
+      case QueryStatus::kBudgetRefused:
+        ADD_FAILURE() << "no cap configured";
+        break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(platform.total_spent_cents(), charged_sum);
+  EXPECT_EQ(outage, 2u);
+  EXPECT_GT(partial + abandoned, 0u) << "abandonment=0.5 should degrade some query";
+  EXPECT_EQ(complete + partial + abandoned + outage, 16u);
+}
+
 }  // namespace
 }  // namespace crowdlearn::crowd
