@@ -107,18 +107,57 @@ inline std::vector<std::unique_ptr<core::SchemeRunner>> make_all_schemes(
 }
 
 /// Train the pool and evaluate the full roster, printing progress to stderr.
+/// When `crowdlearn_metrics` is non-null, observability is enabled on the
+/// CrowdLearn runner and its full metric snapshot (every crowdlearn_* series,
+/// see docs/OBSERVABILITY.md) is copied out before the runner is destroyed.
 inline std::vector<core::SchemeEvaluation> evaluate_all_schemes(
     const core::ExperimentSetup& setup, double budget_cents = kDefaultBudgetCents,
-    std::size_t queries_per_cycle = kQueriesPerCycle) {
+    std::size_t queries_per_cycle = kQueriesPerCycle,
+    std::vector<obs::MetricSample>* crowdlearn_metrics = nullptr) {
   const PretrainedPool pool = PretrainedPool::train(setup);
   auto runners = make_all_schemes(setup, pool, budget_cents, queries_per_cycle);
+  if (crowdlearn_metrics != nullptr) {
+    if (auto* cl = dynamic_cast<core::CrowdLearnRunner*>(runners.front().get()))
+      cl->system().enable_observability();
+  }
   std::vector<core::SchemeEvaluation> evals;
   evals.reserve(runners.size());
   for (std::size_t i = 0; i < runners.size(); ++i) {
     std::cerr << "  evaluating " << runners[i]->name() << "...\n";
     evals.push_back(core::evaluate_scheme(*runners[i], setup, i));
+    if (i == 0 && crowdlearn_metrics != nullptr) {
+      if (auto* cl = dynamic_cast<core::CrowdLearnRunner*>(runners.front().get());
+          cl != nullptr && cl->system().observability() != nullptr)
+        *crowdlearn_metrics = cl->system().observability()->metrics().snapshot();
+    }
   }
   return evals;
+}
+
+/// Locate one series in a snapshot taken by evaluate_all_schemes; nullptr
+/// when absent (e.g. the library was built with -DCROWDLEARN_OBS=OFF).
+inline const obs::MetricSample* find_sample(
+    const std::vector<obs::MetricSample>& samples, const std::string& name) {
+  for (const obs::MetricSample& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+/// Render a histogram snapshot as a compact one-line-per-bucket table, for
+/// the delay-distribution readouts in bench_table3 / bench_faults.
+inline void print_histogram(std::ostream& os, const std::string& title,
+                            const obs::Histogram::Snapshot& h) {
+  os << title << " (n=" << h.count << ", mean=" << TablePrinter::num(h.mean(), 1)
+     << ")\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    cumulative += h.bucket_counts[i];
+    if (h.bucket_counts[i] == 0) continue;
+    os << "  le " << (i < h.upper_bounds.size()
+                          ? TablePrinter::num(h.upper_bounds[i], 0)
+                          : std::string("+Inf"))
+       << ": " << h.bucket_counts[i] << " (cum " << cumulative << ")\n";
+  }
 }
 
 }  // namespace crowdlearn::bench

@@ -37,6 +37,7 @@ static int run(int argc, char** argv) {
         core::default_crowdlearn_config(setup, bench::kQueriesPerCycle,
                                         bench::kDefaultBudgetCents),
         pool.clone_committee());
+    runner.system().enable_observability();
     const core::SchemeEvaluation e = core::evaluate_scheme(runner, setup);
 
     std::size_t retries = 0, partials = 0, failures = 0, fallbacks = 0;
@@ -51,6 +52,24 @@ static int run(int argc, char** argv) {
                    std::to_string(retries), std::to_string(partials),
                    std::to_string(failures), std::to_string(fallbacks),
                    TablePrinter::num(e.total_spent_cents, 2)});
+
+    // The broker tracks its two retry budgets separately (escalation for
+    // deadline misses, same-price for outages); the CycleOutcome "retries"
+    // column above is their sum. Break them apart via the metrics registry.
+    if (const obs::Observability* o = runner.system().observability()) {
+      auto count = [&o](const char* name) -> std::uint64_t {
+        const obs::Counter* c = o->metrics().find_counter(name);
+        return c != nullptr ? c->value() : 0;
+      };
+      std::cout << "  rate " << TablePrinter::num(rate, 2)
+                << ": escalation retries " << count("crowdlearn_broker_retries_total")
+                << ", outage retries " << count("crowdlearn_broker_outage_retries_total")
+                << ", outage hits " << count("crowdlearn_broker_outages_total")
+                << ", budget refusals "
+                << count("crowdlearn_broker_budget_refusals_total")
+                << ", duplicates dropped "
+                << count("crowdlearn_broker_duplicates_dropped_total") << "\n";
+    }
   }
   table.print_ascii(std::cout);
   return 0;

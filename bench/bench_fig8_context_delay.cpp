@@ -61,12 +61,16 @@ static int run(int argc, char** argv) {
   const std::size_t horizon = setup.stream_cfg.num_cycles * bench::kQueriesPerCycle;
 
   std::vector<PolicyStats> results;
+  // Metrics for the bandit policy only: the per-(context, incentive)
+  // arm-pull counters show WHERE the UCB-ALP policy spends its budget.
+  obs::Observability ipd_obs;
   {
     core::IpdConfig cfg;
     cfg.total_budget_cents = budget;
     cfg.horizon_queries = horizon;
     cfg.seed = mix_seed(seed ^ 0x1);
     core::Ipd ipd(cfg);
+    if (obs::kCompiledIn) ipd.set_observability(&ipd_obs);
     ipd.warm_start_from_pilot(setup.pilot);
     results.push_back(drive_policy(ipd, "CrowdLearn (IPD)", setup, 61, horizon));
   }
@@ -102,6 +106,32 @@ static int run(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print_ascii(std::cout);
+
+  if (obs::kCompiledIn) {
+    // Arm-pull counts per (context, incentive level) for the bandit policy,
+    // straight from the crowdlearn_ipd_pulls_total counters. The day-time
+    // contexts should skew toward higher incentives.
+    std::cout << "\nUCB-ALP arm pulls per context (crowdlearn_ipd_pulls_total):\n";
+    std::vector<std::string> header{"context"};
+    for (double level : crowd::kIncentiveLevels)
+      header.push_back(TablePrinter::num(level, 0) + "c");
+    TablePrinter pulls(header);
+    for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+      const auto context = static_cast<dataset::TemporalContext>(c);
+      std::vector<std::string> row{dataset::context_name(context)};
+      for (double level : crowd::kIncentiveLevels) {
+        const obs::Counter* counter =
+            ipd_obs.metrics().find_counter(obs::MetricsRegistry::labeled(
+                "crowdlearn_ipd_pulls_total",
+                {{"context", dataset::context_name(context)},
+                 {"incentive", TablePrinter::num(level, 0)}}));
+        row.push_back(counter != nullptr ? std::to_string(counter->value())
+                                         : std::string("0"));
+      }
+      pulls.add_row(std::move(row));
+    }
+    pulls.print_ascii(std::cout);
+  }
 
   std::cout << "\nExpected: CrowdLearn lowest and flattest across contexts at equal "
                "budget.\n";

@@ -10,6 +10,7 @@
 #include "gbdt/gbdt.hpp"
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
+#include "obs/observability.hpp"
 #include "util/thread_pool.hpp"
 #include "util/guard.hpp"
 
@@ -174,6 +175,57 @@ void BM_GbdtFitParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbdtFitParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Observability overhead: the per-event cost instrumented hot paths pay.
+// BM_ObsDisabledGuard is the price of instrumentation when observability is
+// OFF (one null check) — it should be indistinguishable from free.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench_total");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(&c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h =
+      reg.histogram("bench_seconds", obs::Histogram::exponential_bounds(1e-6, 4.0, 12));
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 1e-7;
+    benchmark::DoNotOptimize(&h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanScope(benchmark::State& state) {
+  obs::Observability o;
+  obs::Tracer* tracer = obs::kCompiledIn ? &o.tracer() : nullptr;
+  for (auto _ : state) {
+    obs::SpanScope span(tracer, "bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanScope);
+
+void BM_ObsDisabledGuard(benchmark::State& state) {
+  obs::Observability* none = nullptr;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    if (obs::active(none)) ++hits;  // the branch every disabled call site pays
+    obs::SpanScope span(obs::tracer_of(none), "bench.span", "bench");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsDisabledGuard);
 
 }  // namespace
 

@@ -2,7 +2,11 @@
 //
 // Generates a synthetic disaster-image dataset, runs the MTurk pilot study,
 // initializes the CrowdLearn closed loop (QSS -> IPD -> CQC -> MIC), executes
-// a handful of sensing cycles and prints what happened in each.
+// a handful of sensing cycles and prints what happened in each. Observability
+// is enabled for the run, so it also drops two artifacts in the working
+// directory (see docs/OBSERVABILITY.md):
+//   quickstart_metrics.prom  - Prometheus text snapshot of every metric
+//   quickstart_trace.json    - Chrome trace_event JSON (open in Perfetto)
 //
 // Usage: quickstart [seed]
 
@@ -10,6 +14,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "core/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/guard.hpp"
 
@@ -43,6 +48,7 @@ static int run(int argc, char** argv) {
       setup, /*queries_per_cycle=*/5,
       /*total_budget_cents=*/8.0 * 5.0 * static_cast<double>(cfg.stream.num_cycles));
   core::CrowdLearnRunner runner(cl_cfg);
+  runner.system().enable_observability();
   runner.initialize(setup.data, &setup.pilot);
 
   crowd::CrowdPlatform platform = core::make_platform(setup, /*run_index=*/0);
@@ -78,7 +84,22 @@ static int run(int argc, char** argv) {
   table.print_ascii(std::cout);
 
   std::cout << "\nTotal crowd spend: " << platform.total_spent_cents() << " cents\n";
-  std::cout << "Done. See examples/disaster_response.cpp for the full evaluation.\n";
+
+  if (const obs::Observability* o = runner.system().observability()) {
+    const obs::MetricsRegistry& reg = o->metrics();
+    std::cout << "\nObservability (" << reg.size() << " series collected):\n";
+    if (const obs::Counter* c = reg.find_counter("crowdlearn_broker_retries_total"))
+      std::cout << "  broker escalation retries: " << c->value() << "\n";
+    if (const obs::Histogram* h =
+            reg.find_histogram("crowdlearn_cycle_crowd_delay_seconds"))
+      std::cout << "  mean crowd delay: " << h->snapshot().mean() << " s\n";
+    core::write_metrics_text_file(o, "quickstart_metrics.prom");
+    core::write_trace_file(o, "quickstart_trace.json");
+    std::cout << "  wrote quickstart_metrics.prom and quickstart_trace.json "
+                 "(load the trace at https://ui.perfetto.dev)\n";
+  }
+
+  std::cout << "\nDone. See examples/disaster_response.cpp for the full evaluation.\n";
   return 0;
 }
 

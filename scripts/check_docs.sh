@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# Doc/code drift lint, run as a tier-1 ctest (see add_test in the root
+# CMakeLists.txt; WORKING_DIRECTORY is the repo root).
+#
+# Three checks:
+#   1. every `src/<dir>/<file>.hpp` path referenced in the markdown docs
+#      exists on disk;
+#   2. every `crowdlearn_*` metric name documented in docs/OBSERVABILITY.md
+#      appears somewhere in src/;
+#   3. every `bench_*` binary named in EXPERIMENTS.md or README.md is a real
+#      target in bench/CMakeLists.txt.
+#
+# POSIX sh + grep/sed only — no bash-isms, no external deps.
+
+set -u
+
+fail=0
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md"
+
+for doc in $DOCS; do
+  [ -f "$doc" ] || { err "missing doc: $doc"; }
+done
+
+# --- 1. referenced source paths exist ---------------------------------------
+# Pull src/<dir>/<name>.hpp (and .cpp) tokens out of the docs. Backtick fences
+# are irrelevant to the regex; we just want every path-shaped reference.
+for doc in $DOCS; do
+  [ -f "$doc" ] || continue
+  paths=$(grep -o 'src/[A-Za-z0-9_]*/[A-Za-z0-9_.]*\.[hc]pp' "$doc" | sort -u)
+  for p in $paths; do
+    [ -f "$p" ] || err "$doc references $p, which does not exist"
+  done
+  # tests/, bench/, examples/ references too.
+  paths=$(grep -o '\(tests\|bench\|examples\)/[A-Za-z0-9_.]*\.[hc]pp' "$doc" | sort -u)
+  for p in $paths; do
+    [ -f "$p" ] || err "$doc references $p, which does not exist"
+  done
+done
+
+# --- 2. documented metric names exist in src/ -------------------------------
+if [ -f docs/OBSERVABILITY.md ]; then
+  # Strip file-name tokens (crowdlearn_system.cpp) first, and require the
+  # match to end on an alphanumeric so `crowdlearn_*` prose doesn't count.
+  metrics=$(sed 's/crowdlearn_[a-z0-9_]*\.[ch]pp//g' docs/OBSERVABILITY.md \
+              | grep -o 'crowdlearn_[a-z0-9_]*[a-z0-9]' | sort -u)
+  [ -n "$metrics" ] || err "docs/OBSERVABILITY.md documents no crowdlearn_* metrics"
+  for m in $metrics; do
+    if ! grep -rqF "\"$m\"" src/; then
+      err "metric $m is documented in docs/OBSERVABILITY.md but not found in src/"
+    fi
+  done
+  # And the reverse: every metric registered in src/ must be documented.
+  for m in $(grep -rho '"crowdlearn_[a-z0-9_]*"' src/ | tr -d '"' | sort -u); do
+    echo "$metrics" | grep -qx "$m" \
+      || err "metric $m is registered in src/ but undocumented in docs/OBSERVABILITY.md"
+  done
+fi
+
+# --- 3. documented bench binaries are real targets --------------------------
+# Targets are the bare names listed in CL_BENCH_TARGETS in bench/CMakeLists.txt.
+bench_targets=$(sed -n 's/^[[:space:]]*\(bench_[a-z0-9_]*\)[[:space:]]*$/\1/p' \
+                  bench/CMakeLists.txt | sort -u)
+[ -n "$bench_targets" ] || err "no bench_* targets found in bench/CMakeLists.txt"
+
+for doc in EXPERIMENTS.md README.md; do
+  [ -f "$doc" ] || continue
+  for b in $(grep -o 'bench_[a-z0-9_]*[a-z0-9]' "$doc" | sort -u); do
+    case "$b" in
+      bench_output|bench_common) continue ;;  # not binaries: the log + shared header
+    esac
+    echo "$bench_targets" | grep -qx "$b" \
+      || err "$doc names $b, which is not a target in bench/CMakeLists.txt"
+  done
+done
+
+# And the reverse: every bench target should appear in EXPERIMENTS.md.
+for b in $bench_targets; do
+  grep -q "$b" EXPERIMENTS.md || err "bench target $b is missing from EXPERIMENTS.md"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK"
+exit 0

@@ -1,10 +1,24 @@
 #include "core/cqc_module.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::core {
+
+namespace {
+
+/// Argmax of the raw (un-refined) majority tally over valid worker labels;
+/// the yardstick CQC's refined labels are compared against.
+std::size_t majority_label(const crowd::QueryResponse& response) {
+  std::vector<double> tally(dataset::kNumSeverityClasses, 0.0);
+  for (const crowd::WorkerAnswer& a : response.answers)
+    if (a.label_valid()) tally[a.label] += 1.0;
+  return stats::argmax(tally);
+}
+
+}  // namespace
 
 std::vector<truth::LabeledQuery> CqcModule::labeled_queries_from_pilot(
     const crowd::PilotResult& pilot, const dataset::Dataset& data) {
@@ -34,7 +48,36 @@ void CqcModule::fit(const std::vector<truth::LabeledQuery>& training) {
 
 std::vector<std::vector<double>> CqcModule::refine(
     const std::vector<crowd::QueryResponse>& responses) {
-  return aggregator_.aggregate(responses);
+  obs::SpanScope span(obs::tracer_of(obs_), "cqc.refine", "core");
+  span.arg("responses", static_cast<double>(responses.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<double>> refined = aggregator_.aggregate(responses);
+  if (obs::active(obs_)) {
+    obs_refine_seconds_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    obs_refined_->inc(responses.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (stats::argmax(refined[i]) == majority_label(responses[i]))
+        obs_majority_agreement_->inc();
+    }
+  }
+  return refined;
+}
+
+void CqcModule::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_refined_ = nullptr;
+    obs_majority_agreement_ = nullptr;
+    obs_refine_seconds_ = nullptr;
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_refined_ = &m.counter("crowdlearn_cqc_refined_total");
+  obs_majority_agreement_ = &m.counter("crowdlearn_cqc_majority_agreement_total");
+  obs_refine_seconds_ = &m.histogram("crowdlearn_cqc_refine_seconds",
+                                     obs::Histogram::exponential_bounds(1e-5, 4.0, 10));
 }
 
 std::vector<std::size_t> CqcModule::refine_labels(

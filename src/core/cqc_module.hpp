@@ -4,6 +4,7 @@
 // answers into truthful label distributions for MIC.
 
 #include "crowd/pilot.hpp"
+#include "obs/observability.hpp"
 #include "truth/cqc.hpp"
 
 namespace crowdlearn::core {
@@ -30,6 +31,11 @@ class CqcModule {
   /// Route GBDT training through a thread pool (nullptr = serial).
   void set_thread_pool(util::ThreadPool* pool) { aggregator_.set_thread_pool(pool); }
 
+  /// Wire CQC metrics: refined-query count, how often the refined label
+  /// agrees with raw majority voting (disagreement is where CQC earns its
+  /// keep), and refine latency. Never feeds back into aggregation.
+  void set_observability(obs::Observability* o);
+
   /// Collect every pilot response with its golden label — also used to fit
   /// the Table I baselines on identical data.
   static std::vector<truth::LabeledQuery> labeled_queries_from_pilot(
@@ -37,6 +43,11 @@ class CqcModule {
 
  private:
   truth::CqcAggregator aggregator_;
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  obs::Counter* obs_refined_ = nullptr;
+  obs::Counter* obs_majority_agreement_ = nullptr;
+  obs::Histogram* obs_refine_seconds_ = nullptr;
 };
 
 }  // namespace crowdlearn::core

@@ -19,6 +19,30 @@ CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
       rng_(cfg.seed) {
   committee_.set_thread_pool(pool_.get());
   cqc_.set_thread_pool(pool_.get());
+  if (cfg_.observability.enabled) enable_observability();
+}
+
+void CrowdLearnSystem::enable_observability() {
+  if (!obs::kCompiledIn || obs_ != nullptr) return;
+  cfg_.observability.enabled = true;
+  obs_ = std::make_shared<obs::Observability>(cfg_.observability);
+  obs::Observability* o = obs_.get();
+  pool_->set_observability(o);
+  committee_.set_observability(o);
+  qss_.set_observability(o);
+  ipd_.set_observability(o);
+  cqc_.set_observability(o);
+  broker_.set_observability(o);
+  obs::MetricsRegistry& m = o->metrics();
+  obs_cycles_ = &m.counter("crowdlearn_cycles_total");
+  obs_queries_ = &m.counter("crowdlearn_queries_total");
+  obs_fallbacks_ = &m.counter("crowdlearn_query_fallbacks_total");
+  obs_partials_ = &m.counter("crowdlearn_query_partials_total");
+  obs_failures_ = &m.counter("crowdlearn_query_failures_total");
+  obs_algo_seconds_ = &m.histogram("crowdlearn_cycle_algorithm_seconds",
+                                   obs::Histogram::exponential_bounds(0.01, 2.0, 12));
+  obs_crowd_delay_ = &m.histogram("crowdlearn_cycle_crowd_delay_seconds",
+                                  obs::Histogram::exponential_bounds(30.0, 2.0, 9));
 }
 
 void CrowdLearnSystem::initialize(const dataset::Dataset& data,
@@ -36,6 +60,9 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   if (!initialized_) throw std::logic_error("CrowdLearnSystem: run_cycle before initialize");
   if (cycle.image_ids.empty())
     throw std::invalid_argument("CrowdLearnSystem: empty sensing cycle");
+
+  obs::SpanScope cycle_span(obs::tracer_of(obs_.get()), "cycle", "core");
+  cycle_span.arg("cycle_index", static_cast<double>(cycle.index));
 
   CycleOutcome out;
   out.cycle_index = cycle.index;
@@ -68,19 +95,25 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   std::vector<crowd::QueryResult> results;
   results.reserve(sel.queried_ids.size());
   double delay_sum = 0.0;
-  for (std::size_t q = 0; q < sel.queried_ids.size(); ++q) {
-    const double incentive = ipd_.assign_incentive(cycle.context);
-    out.incentives_cents.push_back(incentive);
-    crowd::QueryResult r = broker_.execute(platform, sel.queried_ids[q], incentive,
-                                           cycle.context, ipd_.remaining_budget_cents());
-    // Queries that never reached workers (outage, budget refusal) carry no
-    // incentive->delay signal; feeding them to the bandit would corrupt it.
-    if (r.delay_feedback_valid)
-      ipd_.feedback(cycle.context, incentive, r.response.completion_delay_seconds);
-    ipd_.record_spend(r.total_charged_cents);
-    delay_sum += r.response.completion_delay_seconds;
-    out.query_retries += r.retries;
-    results.push_back(std::move(r));
+  {
+    obs::SpanScope crowd_span(obs::tracer_of(obs_.get()), "crowd.queries", "crowd");
+    crowd_span.arg("queries", static_cast<double>(sel.queried_ids.size()));
+    for (std::size_t q = 0; q < sel.queried_ids.size(); ++q) {
+      const double incentive = ipd_.assign_incentive(cycle.context);
+      out.incentives_cents.push_back(incentive);
+      crowd::QueryResult r = broker_.execute(platform, sel.queried_ids[q], incentive,
+                                             cycle.context, ipd_.remaining_budget_cents());
+      // Queries that never reached workers (outage, budget refusal) carry no
+      // incentive->delay signal; feeding them to the bandit would corrupt it.
+      if (r.delay_feedback_valid)
+        ipd_.feedback(cycle.context, incentive, r.response.completion_delay_seconds);
+      ipd_.record_spend(cycle.context, r.total_charged_cents);
+      delay_sum += r.response.completion_delay_seconds;
+      // Cycle telemetry counts every repost, whatever its cause; the broker
+      // keeps the two retry budgets distinct (see broker.hpp).
+      out.query_retries += r.retries + r.outage_retries;
+      results.push_back(std::move(r));
+    }
   }
   if (!results.empty())
     out.crowd_delay_seconds = delay_sum / static_cast<double>(results.size());
@@ -118,6 +151,7 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
     queried_votes.reserve(responses.size());
     for (std::size_t q = 0; q < sel.queried_positions.size(); ++q)
       if (results[q].ok()) queried_votes.push_back(sel.votes[sel.queried_positions[q]]);
+    obs::SpanScope mic_span(obs::tracer_of(obs_.get()), "mic.weight_update", "core");
     out.expert_losses = mic_.update_committee_weights(committee_, queried_votes, truth_dists);
   }
   out.expert_weights = committee_.weights();
@@ -145,11 +179,25 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   // Fallback images contribute nothing (their "label" would just echo the
   // committee back at itself). A successful retrain also reinstates any
   // quarantined experts.
-  if (!truth_labels.empty()) mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
+  if (!truth_labels.empty()) {
+    obs::SpanScope retrain_span(obs::tracer_of(obs_.get()), "mic.retrain", "core");
+    retrain_span.arg("labels", static_cast<double>(truth_labels.size()));
+    mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
+  }
 
   out.algorithm_delay_seconds = ai_clock.elapsed_seconds();
   (void)ai_before_crowd;  // platform calls are simulated and effectively instant
   out.spent_cents = platform.total_spent_cents() - spent_before;
+
+  if (obs::active(obs_.get())) {
+    obs_cycles_->inc();
+    obs_queries_->inc(sel.queried_ids.size());
+    obs_fallbacks_->inc(out.fallback_ids.size());
+    obs_partials_->inc(out.partial_queries);
+    obs_failures_->inc(out.failed_queries);
+    obs_algo_seconds_->observe(out.algorithm_delay_seconds);
+    if (!results.empty()) obs_crowd_delay_->observe(out.crowd_delay_seconds);
+  }
   return out;
 }
 

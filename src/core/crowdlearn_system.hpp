@@ -14,6 +14,7 @@
 #include "core/qss.hpp"
 #include "crowd/broker.hpp"
 #include "dataset/stream.hpp"
+#include "obs/observability.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,6 +32,11 @@ struct CrowdLearnConfig {
   /// 0 = auto (CROWDLEARN_THREADS env var, else hardware_concurrency).
   /// Outputs are byte-identical for any value (tests/test_determinism.cpp).
   std::size_t num_threads = 0;
+  /// Metrics + tracing (docs/OBSERVABILITY.md). Off by default; when on,
+  /// every module records into one registry/tracer owned by the system.
+  /// Instrumentation never draws randomness or alters control flow, so
+  /// outputs are byte-identical with observability on or off.
+  obs::ObservabilityConfig observability;
 };
 
 /// Everything observable about one executed sensing cycle.
@@ -82,8 +88,21 @@ class CrowdLearnSystem {
   bool initialized() const { return initialized_; }
   util::ThreadPool& thread_pool() { return *pool_; }
 
+  /// Create the Observability context and wire every module's metric
+  /// handles. Called by the constructor when cfg.observability.enabled;
+  /// callable afterwards (e.g. from a bench on a pre-built runner).
+  /// Idempotent; a no-op when instrumentation is compiled out.
+  void enable_observability();
+  /// The system's registry + tracer; nullptr while observability is off.
+  obs::Observability* observability() { return obs_.get(); }
+  const obs::Observability* observability() const { return obs_.get(); }
+
  private:
   CrowdLearnConfig cfg_;
+  /// Declared before pool_ (and every module): pool workers and modules
+  /// record through raw handles into this registry, so it must be destroyed
+  /// last.
+  std::shared_ptr<obs::Observability> obs_;
   /// Owns the worker pool the committee and CQC borrow; declared before them
   /// so it outlives every borrower.
   std::shared_ptr<util::ThreadPool> pool_;
@@ -95,6 +114,15 @@ class CrowdLearnSystem {
   crowd::QueryBroker broker_;
   Rng rng_;
   bool initialized_ = false;
+
+  /// System-level handles cached by enable_observability().
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_queries_ = nullptr;
+  obs::Counter* obs_fallbacks_ = nullptr;
+  obs::Counter* obs_partials_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::Histogram* obs_algo_seconds_ = nullptr;
+  obs::Histogram* obs_crowd_delay_ = nullptr;
 };
 
 }  // namespace crowdlearn::core

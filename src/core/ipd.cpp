@@ -1,10 +1,20 @@
 #include "core/ipd.hpp"
 
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace crowdlearn::core {
 
 namespace {
+
+std::string format_cents(double cents) {
+  if (cents == std::floor(cents)) return std::to_string(static_cast<long long>(cents));
+  std::ostringstream os;
+  os << cents;
+  return os.str();
+}
 
 std::unique_ptr<bandit::IncentivePolicy> make_default_policy(const IpdConfig& cfg) {
   bandit::UcbAlpConfig bc;
@@ -28,12 +38,77 @@ Ipd::Ipd(const IpdConfig& cfg, std::unique_ptr<bandit::IncentivePolicy> policy)
 }
 
 double Ipd::assign_incentive(dataset::TemporalContext context) {
-  return policy_->choose(static_cast<std::size_t>(context));
+  const double incentive = policy_->choose(static_cast<std::size_t>(context));
+  if (obs::active(obs_)) {
+    if (obs::Counter* c = pull_counter(context, incentive)) c->inc();
+  }
+  return incentive;
 }
 
 void Ipd::feedback(dataset::TemporalContext context, double incentive_cents,
                    double delay_seconds) {
   policy_->observe(static_cast<std::size_t>(context), incentive_cents, delay_seconds);
+}
+
+void Ipd::record_spend(double cents) {
+  spent_cents_ += cents;
+  publish_budget_gauges();
+}
+
+void Ipd::record_spend(dataset::TemporalContext context, double cents) {
+  spent_cents_ += cents;
+  if (obs::active(obs_)) {
+    obs_context_spend_[static_cast<std::size_t>(context)]->add(cents);
+  }
+  publish_budget_gauges();
+}
+
+void Ipd::publish_budget_gauges() {
+  if (!obs::active(obs_)) return;
+  obs_spent_->set(spent_cents_);
+  obs_remaining_->set(remaining_budget_cents());
+}
+
+obs::Counter* Ipd::pull_counter(dataset::TemporalContext context, double incentive_cents) {
+  const std::size_t c = static_cast<std::size_t>(context);
+  if (c >= obs_pulls_.size()) return nullptr;
+  const std::vector<obs::Counter*>& row = obs_pulls_[c];
+  for (std::size_t a = 0; a < cfg_.incentive_levels.size(); ++a) {
+    if (std::fabs(cfg_.incentive_levels[a] - incentive_cents) < 1e-9) return row[a];
+  }
+  return row.back();  // the incentive="other" slot
+}
+
+void Ipd::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_pulls_.clear();
+    obs_spent_ = nullptr;
+    obs_remaining_ = nullptr;
+    obs_context_spend_.clear();
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_pulls_.assign(dataset::kNumContexts, {});
+  obs_context_spend_.resize(dataset::kNumContexts);
+  for (std::size_t c = 0; c < dataset::kNumContexts; ++c) {
+    const char* ctx = dataset::context_name(static_cast<dataset::TemporalContext>(c));
+    std::vector<obs::Counter*>& row = obs_pulls_[c];
+    row.reserve(cfg_.incentive_levels.size() + 1);
+    for (double level : cfg_.incentive_levels) {
+      row.push_back(&m.counter(obs::MetricsRegistry::labeled(
+          "crowdlearn_ipd_pulls_total",
+          {{"context", ctx}, {"incentive", format_cents(level)}})));
+    }
+    row.push_back(&m.counter(obs::MetricsRegistry::labeled(
+        "crowdlearn_ipd_pulls_total", {{"context", ctx}, {"incentive", "other"}})));
+    obs_context_spend_[c] = &m.gauge(obs::MetricsRegistry::labeled(
+        "crowdlearn_ipd_context_spent_cents", {{"context", ctx}}));
+  }
+  obs_spent_ = &m.gauge("crowdlearn_ipd_spent_cents");
+  obs_remaining_ = &m.gauge("crowdlearn_ipd_remaining_budget_cents");
+  publish_budget_gauges();
 }
 
 void Ipd::warm_start_from_pilot(const crowd::PilotResult& pilot) {

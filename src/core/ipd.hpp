@@ -6,9 +6,11 @@
 // on the training set.
 
 #include <memory>
+#include <vector>
 
 #include "bandit/ucb_alp.hpp"
 #include "crowd/pilot.hpp"
+#include "obs/observability.hpp"
 
 namespace crowdlearn::core {
 
@@ -44,7 +46,10 @@ class Ipd {
   /// Record cents actually charged by the platform for a brokered query
   /// (including escalated retries), so the remaining budget reflects real
   /// spend rather than the policy's nominal action costs.
-  void record_spend(double cents) { spent_cents_ += cents; }
+  void record_spend(double cents);
+  /// Context-attributed overload used by run_cycle: same accounting, plus a
+  /// per-context spend gauge when metrics are wired.
+  void record_spend(dataset::TemporalContext context, double cents);
   double spent_cents() const { return spent_cents_; }
   /// Budget headroom (cents) still available for posting queries; the
   /// broker uses it to bound incentive escalation. Never negative.
@@ -56,10 +61,26 @@ class Ipd {
   bandit::IncentivePolicy& policy() { return *policy_; }
   const IpdConfig& config() const { return cfg_; }
 
+  /// Wire IPD metrics: per-(context, incentive) arm-pull counters, spend
+  /// gauges (total, per-context) and the remaining-budget gauge. Recording
+  /// happens after the policy's choice and never feeds back into it.
+  void set_observability(obs::Observability* o);
+
  private:
+  obs::Counter* pull_counter(dataset::TemporalContext context, double incentive_cents);
+  void publish_budget_gauges();
+
   IpdConfig cfg_;
   std::unique_ptr<bandit::IncentivePolicy> policy_;
   double spent_cents_ = 0.0;  ///< actual charged spend across brokered queries
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  /// obs_pulls_[context][level] with one extra trailing slot per context for
+  /// incentives off the configured level grid (label incentive="other").
+  std::vector<std::vector<obs::Counter*>> obs_pulls_;
+  obs::Gauge* obs_spent_ = nullptr;
+  obs::Gauge* obs_remaining_ = nullptr;
+  std::vector<obs::Gauge*> obs_context_spend_;
 };
 
 }  // namespace crowdlearn::core

@@ -24,11 +24,18 @@ QssSelection Qss::select(const experts::ExpertCommittee& committee,
   if (votes.size() != cycle_image_ids.size())
     throw std::invalid_argument("Qss::select: vote batch size mismatch");
 
+  obs::SpanScope span(obs::tracer_of(obs_), "qss.select", "core");
+  span.arg("cycle_images", static_cast<double>(cycle_image_ids.size()));
+  span.arg("query_count", static_cast<double>(query_count));
+
   QssSelection sel;
   sel.votes = std::move(votes);
   sel.entropies.reserve(cycle_image_ids.size());
   for (const auto& image_votes : sel.votes)
     sel.entropies.push_back(committee.committee_entropy(image_votes));
+  if (obs::active(obs_)) {
+    for (double h : sel.entropies) obs_entropy_->observe(h);
+  }
 
   // s_list: positions sorted by entropy, most uncertain first.
   std::vector<std::size_t> s_list(cycle_image_ids.size());
@@ -41,8 +48,12 @@ QssSelection Qss::select(const experts::ExpertCommittee& committee,
   std::vector<std::size_t> chosen_positions;
   for (std::size_t y = 0; y < query_count; ++y) {
     std::size_t pick_at = 0;  // head of s_list = highest remaining entropy
-    if (cfg_.epsilon > 0.0 && rng_.bernoulli(cfg_.epsilon))
-      pick_at = rng_.index(s_list.size());
+    const bool explore = cfg_.epsilon > 0.0 && rng_.bernoulli(cfg_.epsilon);
+    if (explore) pick_at = rng_.index(s_list.size());
+    if (obs::active(obs_)) {
+      obs_selections_->inc();
+      if (explore) obs_explore_picks_->inc();
+    }
     chosen_positions.push_back(s_list[pick_at]);
     s_list.erase(s_list.begin() + static_cast<std::ptrdiff_t>(pick_at));
   }
@@ -56,6 +67,24 @@ QssSelection Qss::select(const experts::ExpertCommittee& committee,
     sel.remaining_positions.push_back(pos);
   }
   return sel;
+}
+
+void Qss::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_entropy_ = nullptr;
+    obs_selections_ = nullptr;
+    obs_explore_picks_ = nullptr;
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  // Committee entropy lives in [0, ln 3 ~= 1.0986] for 3 severity classes;
+  // 12 x 0.1 buckets cover the range with an empty-by-construction overflow.
+  obs_entropy_ = &m.histogram("crowdlearn_qss_entropy",
+                              obs::Histogram::linear_bounds(0.1, 0.1, 12));
+  obs_selections_ = &m.counter("crowdlearn_qss_selections_total");
+  obs_explore_picks_ = &m.counter("crowdlearn_qss_explore_picks_total");
 }
 
 }  // namespace crowdlearn::core

@@ -7,6 +7,7 @@
 // is confidently wrong (fakes and close-ups).
 
 #include "experts/committee.hpp"
+#include "obs/observability.hpp"
 #include "util/rng.hpp"
 
 namespace crowdlearn::core {
@@ -53,9 +54,19 @@ class Qss {
 
   double epsilon() const { return cfg_.epsilon; }
 
+  /// Wire QSS metrics (entropy distribution, selection/exploration counts).
+  /// Recording happens after every RNG draw and never feeds back into the
+  /// selection, so the chosen query set is identical with metrics on or off.
+  void set_observability(obs::Observability* o);
+
  private:
   QssConfig cfg_;
   Rng rng_;
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  obs::Histogram* obs_entropy_ = nullptr;
+  obs::Counter* obs_selections_ = nullptr;
+  obs::Counter* obs_explore_picks_ = nullptr;
 };
 
 }  // namespace crowdlearn::core

@@ -90,4 +90,41 @@ void write_summary_file(const std::vector<SchemeEvaluation>& evals,
   write_summary(evals, os);
 }
 
+namespace {
+
+const obs::Observability& require_obs(const obs::Observability* o, const char* fn) {
+  if (o == nullptr)
+    throw std::invalid_argument(std::string(fn) + ": observability is not enabled");
+  return *o;
+}
+
+}  // namespace
+
+void write_metrics_text(const obs::Observability* o, std::ostream& os) {
+  require_obs(o, "write_metrics_text").metrics().write_prometheus(os);
+  if (!os) throw std::runtime_error("write_metrics_text: stream failure");
+}
+
+void write_metrics_json(const obs::Observability* o, std::ostream& os) {
+  require_obs(o, "write_metrics_json").metrics().write_json(os);
+  if (!os) throw std::runtime_error("write_metrics_json: stream failure");
+}
+
+void write_metrics_text_file(const obs::Observability* o, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_metrics_text_file: cannot open " + path);
+  write_metrics_text(o, os);
+}
+
+void write_metrics_json_file(const obs::Observability* o, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_metrics_json_file: cannot open " + path);
+  write_metrics_json(o, os);
+}
+
+void write_trace_file(const obs::Observability* o, const std::string& path) {
+  if (!require_obs(o, "write_trace_file").tracer().write_chrome_trace_file(path))
+    throw std::runtime_error("write_trace_file: cannot write " + path);
+}
+
 }  // namespace crowdlearn::core

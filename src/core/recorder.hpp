@@ -1,14 +1,17 @@
 #pragma once
 // Experiment recording: flatten scheme evaluations into CSV files so runs
-// can be archived and re-plotted without re-executing them. Two artifacts:
+// can be archived and re-plotted without re-executing them. Artifacts:
 //   - a per-cycle log (one row per sensing cycle: context, delays, spend,
 //     per-cycle accuracy, expert weights);
-//   - a summary table (one row per scheme: the Table II/III columns).
+//   - a summary table (one row per scheme: the Table II/III columns);
+//   - observability dumps (Prometheus text / JSON metric snapshots and a
+//     Chrome trace_event JSON) for a run with observability enabled.
 
 #include <iosfwd>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/observability.hpp"
 
 namespace crowdlearn::core {
 
@@ -27,5 +30,15 @@ void write_summary(const std::vector<SchemeEvaluation>& evals, std::ostream& os)
 void write_cycle_log_file(const dataset::Dataset& data, const SchemeEvaluation& eval,
                           const std::string& path);
 void write_summary_file(const std::vector<SchemeEvaluation>& evals, const std::string& path);
+
+/// Observability dumps. Each throws std::invalid_argument when `o` is null
+/// (the caller never enabled observability) and std::runtime_error on
+/// unwritable paths. Text format is Prometheus exposition; JSON mirrors the
+/// registry snapshot; the trace is Chrome trace_event JSON for Perfetto.
+void write_metrics_text(const obs::Observability* o, std::ostream& os);
+void write_metrics_json(const obs::Observability* o, std::ostream& os);
+void write_metrics_text_file(const obs::Observability* o, const std::string& path);
+void write_metrics_json_file(const obs::Observability* o, const std::string& path);
+void write_trace_file(const obs::Observability* o, const std::string& path);
 
 }  // namespace crowdlearn::core

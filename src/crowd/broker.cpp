@@ -33,6 +33,10 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
   if (incentive_cents <= 0.0)
     throw std::invalid_argument("QueryBroker::execute: incentive must be positive");
 
+  obs::SpanScope span(obs::tracer_of(obs_), "broker.query", "crowd");
+  span.arg("image_id", static_cast<double>(image_id));
+  span.arg("incentive_cents", incentive_cents);
+
   QueryResult r;
   const std::size_t requested = platform.config().workers_per_query;
   double incentive = std::min(incentive_cents, cfg_.max_incentive_cents);
@@ -42,15 +46,22 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
   std::vector<WorkerAnswer> accepted;
   std::vector<std::size_t> seen_workers;
 
-  for (std::size_t attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
-    if (attempt > 0) elapsed += cfg_.retry_backoff_seconds;
+  // Open loop with two independent retry budgets — escalation retries
+  // (deadline misses; repost at a higher price, bounded by `max_retries`)
+  // and outage retries (platform down; repost at the SAME price, bounded by
+  // `max_outage_retries`). See the accounting note in broker.hpp.
+  std::size_t escalation_retries = 0;
+  std::size_t outage_retries = 0;
+  for (;;) {
+    if (!r.attempts.empty()) elapsed += cfg_.retry_backoff_seconds;
     const double deadline =
         std::max(cfg_.min_deadline_seconds,
                  cfg_.deadline_factor * platform.expected_answer_delay(context, incentive));
-    if (attempt == 0) r.deadline_seconds = deadline;
+    if (r.attempts.empty()) r.deadline_seconds = deadline;
 
     QueryResponse resp = platform.post_query(image_id, incentive, context);
     charged += resp.charged_cents;
+    if (obs::active(obs_)) obs_attempts_->inc();
 
     QueryAttempt at;
     at.incentive_cents = incentive;
@@ -62,6 +73,7 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
       // The platform's hard cap refused the charge; a retry at the same or a
       // higher price cannot succeed, so the lifecycle ends here.
       r.attempts.push_back(at);
+      if (obs::active(obs_)) obs_budget_refusals_->inc();
       break;
     }
 
@@ -72,6 +84,9 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
       elapsed += deadline;
       r.deadline_exceeded = true;
       r.attempts.push_back(at);
+      if (obs::active(obs_)) obs_outages_->inc();
+      if (outage_retries == cfg_.max_outage_retries) break;
+      ++outage_retries;
       continue;
     }
 
@@ -107,17 +122,21 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
     r.deadline_exceeded = true;
     r.attempts.push_back(at);
 
-    if (attempt == cfg_.max_retries) break;
+    if (escalation_retries == cfg_.max_retries) break;
     // Escalate within the ceiling and the caller's budget headroom.
     const double escalated = std::min(incentive * cfg_.escalation_factor,
                                       cfg_.max_incentive_cents);
     const double headroom = budget_headroom_cents - charged;
     if (headroom < cfg_.min_incentive_cents) break;  // cannot afford another post
     incentive = std::min(escalated, headroom);
+    ++escalation_retries;
+    if (obs::active(obs_)) obs_escalations_->inc();
   }
 
-  r.retries = r.attempts.empty() ? 0 : r.attempts.size() - 1;
+  r.retries = escalation_retries;
+  r.outage_retries = outage_retries;
   total_retries_ += r.retries;
+  total_outage_retries_ += r.outage_retries;
   r.total_charged_cents = charged;
   r.delay_feedback_valid = reached_workers;
 
@@ -141,7 +160,56 @@ QueryResult QueryBroker::execute(CrowdPlatform& platform, std::size_t image_id,
                                                      : QueryOutcome::kFailed;
   if (r.outcome == QueryOutcome::kPartial) ++total_partials_;
   if (r.outcome == QueryOutcome::kFailed) ++total_failures_;
+
+  if (obs::active(obs_)) {
+    obs_queries_->inc();
+    obs_retries_->inc(r.retries);
+    obs_outage_retries_->inc(r.outage_retries);
+    obs_duplicates_->inc(r.duplicates_dropped);
+    if (r.outcome == QueryOutcome::kPartial) obs_partials_->inc();
+    if (r.outcome == QueryOutcome::kFailed) obs_failures_->inc();
+    if (r.delay_feedback_valid) obs_delay_seconds_->observe(elapsed);
+    obs_charged_cents_->add(charged);
+  }
+  span.arg("attempts", static_cast<double>(r.attempts.size()));
+  span.arg("charged_cents", charged);
   return r;
+}
+
+void QueryBroker::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_queries_ = nullptr;
+    obs_attempts_ = nullptr;
+    obs_retries_ = nullptr;
+    obs_outage_retries_ = nullptr;
+    obs_escalations_ = nullptr;
+    obs_outages_ = nullptr;
+    obs_budget_refusals_ = nullptr;
+    obs_partials_ = nullptr;
+    obs_failures_ = nullptr;
+    obs_duplicates_ = nullptr;
+    obs_delay_seconds_ = nullptr;
+    obs_charged_cents_ = nullptr;
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_queries_ = &m.counter("crowdlearn_broker_queries_total");
+  obs_attempts_ = &m.counter("crowdlearn_broker_attempts_total");
+  obs_retries_ = &m.counter("crowdlearn_broker_retries_total");
+  obs_outage_retries_ = &m.counter("crowdlearn_broker_outage_retries_total");
+  obs_escalations_ = &m.counter("crowdlearn_broker_escalations_total");
+  obs_outages_ = &m.counter("crowdlearn_broker_outages_total");
+  obs_budget_refusals_ = &m.counter("crowdlearn_broker_budget_refusals_total");
+  obs_partials_ = &m.counter("crowdlearn_broker_partials_total");
+  obs_failures_ = &m.counter("crowdlearn_broker_failures_total");
+  obs_duplicates_ = &m.counter("crowdlearn_broker_duplicates_dropped_total");
+  // Crowd delays run ~100 s (fast, high incentive) to a few thousand seconds
+  // (retried lifecycles incl. deadline waits); 9 doubling buckets from 30 s.
+  obs_delay_seconds_ = &m.histogram("crowdlearn_broker_completion_delay_seconds",
+                                    obs::Histogram::exponential_bounds(30.0, 2.0, 9));
+  obs_charged_cents_ = &m.gauge("crowdlearn_broker_charged_cents");
 }
 
 }  // namespace crowdlearn::crowd

@@ -11,10 +11,24 @@
 //
 // Lifecycle state machine per query (see DESIGN.md section 5c):
 //
-//   POSTED --outage/cap--> WAIT(backoff) --retry--> POSTED
+//   POSTED --outage--> WAIT(backoff) --outage retry, same price--> POSTED
 //   POSTED --answers by deadline >= requested--> COMPLETE
-//   POSTED --deadline, some answers, retries left--> ESCALATE --> POSTED
+//   POSTED --deadline, too few answers, retries left--> ESCALATE --> POSTED
 //   POSTED --deadline, retries exhausted--> PARTIAL (>=1 answer) | FAILED (0)
+//   POSTED --platform budget cap--> FAILED (terminal; paying more cannot help)
+//
+// Retry accounting — intended semantics: the two retry reasons draw on
+// SEPARATE budgets because they mean different things.
+//   - An *escalation retry* (deadline passed with too few answers) says the
+//     incentive was too low for the context; it reposts at an escalated
+//     price and consumes one of `max_retries`.
+//   - An *outage retry* (the platform was down, no worker ever saw the HIT)
+//     says nothing about incentives; it reposts at the SAME price and
+//     consumes one of `max_outage_retries`.
+// A platform blip must not eat the escalation budget of a query that later
+// turns out to be under-priced (and vice versa). QueryResult::retries counts
+// only escalation retries; QueryResult::outage_retries counts outage
+// reposts. tests/test_broker.cpp pins both budgets.
 //
 // The broker is deterministic: it draws no randomness of its own, and the
 // platform's behavioral stream is consumed exactly once per post_query.
@@ -22,6 +36,7 @@
 #include <limits>
 
 #include "crowd/platform.hpp"
+#include "obs/observability.hpp"
 
 namespace crowdlearn::crowd {
 
@@ -52,7 +67,8 @@ struct QueryResult {
   /// lifecycle including deadline waits and retry backoff.
   QueryResponse response;
   std::vector<QueryAttempt> attempts;  ///< retry provenance, in order
-  std::size_t retries = 0;             ///< attempts.size() - 1 (when any ran)
+  std::size_t retries = 0;             ///< escalation retries (deadline misses)
+  std::size_t outage_retries = 0;      ///< same-price reposts after outages
   double total_charged_cents = 0.0;    ///< cents actually spent, all attempts
   double deadline_seconds = 0.0;       ///< first attempt's deadline
   std::size_t duplicates_dropped = 0;
@@ -67,8 +83,13 @@ struct QueryResult {
 };
 
 struct BrokerConfig {
-  /// Additional attempts after the first post (>= 0).
+  /// Escalation retries: additional *escalated* posts after a deadline
+  /// passed with too few answers (>= 0). Outage reposts do NOT count here.
   std::size_t max_retries = 2;
+  /// Outage retries: additional same-price posts after the platform was
+  /// down (>= 0). Tracked separately from `max_retries` — see the retry
+  /// accounting note at the top of this header.
+  std::size_t max_outage_retries = 2;
   /// Deadline = max(min_deadline_seconds, deadline_factor * expected delay
   /// at the attempt's context and incentive). With the default lognormal
   /// noise (sigma 0.22) a factor of 3 is ~5 sigma above the mean, so
@@ -104,16 +125,37 @@ class QueryBroker {
 
   /// Lifetime counters across execute() calls (benches / observability).
   std::size_t total_retries() const { return total_retries_; }
+  std::size_t total_outage_retries() const { return total_outage_retries_; }
   std::size_t total_partials() const { return total_partials_; }
   std::size_t total_failures() const { return total_failures_; }
   std::size_t total_duplicates_dropped() const { return total_duplicates_dropped_; }
 
+  /// Wire broker metrics (attempt/retry/escalation/outage counters, the
+  /// completion-delay histogram, charged-cents gauge) and per-query spans.
+  /// Recording never feeds back into the lifecycle decisions.
+  void set_observability(obs::Observability* o);
+
  private:
   BrokerConfig cfg_;
   std::size_t total_retries_ = 0;
+  std::size_t total_outage_retries_ = 0;
   std::size_t total_partials_ = 0;
   std::size_t total_failures_ = 0;
   std::size_t total_duplicates_dropped_ = 0;
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  obs::Counter* obs_queries_ = nullptr;
+  obs::Counter* obs_attempts_ = nullptr;
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_outage_retries_ = nullptr;
+  obs::Counter* obs_escalations_ = nullptr;
+  obs::Counter* obs_outages_ = nullptr;
+  obs::Counter* obs_budget_refusals_ = nullptr;
+  obs::Counter* obs_partials_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::Counter* obs_duplicates_ = nullptr;
+  obs::Histogram* obs_delay_seconds_ = nullptr;
+  obs::Gauge* obs_charged_cents_ = nullptr;
 };
 
 }  // namespace crowdlearn::crowd

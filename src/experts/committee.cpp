@@ -1,7 +1,9 @@
 #include "experts/committee.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "experts/bovw.hpp"
 #include "experts/ddm.hpp"
@@ -25,6 +27,37 @@ void ExpertCommittee::set_weights(std::vector<double> w) {
     throw std::invalid_argument("ExpertCommittee::set_weights: size mismatch");
   stats::normalize(w);
   weights_ = std::move(w);
+  if (obs::active(obs_)) {
+    for (std::size_t m = 0; m < weights_.size(); ++m)
+      obs_weight_gauges_[m]->set(weights_[m]);
+    obs_weight_updates_->inc();
+  }
+}
+
+void ExpertCommittee::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_weight_gauges_.clear();
+    obs_weight_updates_ = nullptr;
+    obs_quarantined_total_ = nullptr;
+    obs_quarantined_now_ = nullptr;
+    obs_batch_seconds_ = nullptr;
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_weight_gauges_.resize(experts_.size());
+  for (std::size_t i = 0; i < experts_.size(); ++i) {
+    obs_weight_gauges_[i] = &m.gauge(obs::MetricsRegistry::labeled(
+        "crowdlearn_expert_weight", {{"expert", std::to_string(i)}}));
+    obs_weight_gauges_[i]->set(weights_[i]);
+  }
+  obs_weight_updates_ = &m.counter("crowdlearn_committee_weight_updates_total");
+  obs_quarantined_total_ = &m.counter("crowdlearn_committee_quarantined_total");
+  obs_quarantined_now_ = &m.gauge("crowdlearn_committee_quarantined");
+  obs_batch_seconds_ =
+      &m.histogram("crowdlearn_committee_batch_inference_seconds",
+                   obs::Histogram::exponential_bounds(1e-3, 2.0, 14));
 }
 
 ExpertCommittee ExpertCommittee::clone() const {
@@ -35,6 +68,7 @@ ExpertCommittee ExpertCommittee::clone() const {
   copy.weights_ = weights_;
   copy.quarantined_ = quarantined_;
   copy.pool_ = pool_;
+  copy.set_observability(obs_);
   return copy;
 }
 
@@ -102,9 +136,19 @@ std::vector<std::vector<double>> ExpertCommittee::expert_votes(
 
 std::vector<std::vector<std::vector<double>>> ExpertCommittee::expert_votes_batch(
     const dataset::Dataset& data, const std::vector<std::size_t>& ids) {
+  obs::SpanScope span(obs::tracer_of(obs_), "committee.votes_batch", "experts");
+  span.arg("images", static_cast<double>(ids.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto record_batch_time = [&] {
+    if (obs_batch_seconds_ != nullptr) {
+      obs_batch_seconds_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    }
+  };
   std::vector<std::vector<std::vector<double>>> out(ids.size());
   if (pool_ == nullptr || pool_->size() <= 1 || ids.size() <= 1) {
     for (std::size_t i = 0; i < ids.size(); ++i) out[i] = expert_votes(data.image(ids[i]));
+    record_batch_time();
     return out;
   }
   pool_->parallel_chunks(ids.size(), [&](std::size_t begin, std::size_t end) {
@@ -121,6 +165,7 @@ std::vector<std::vector<std::vector<double>>> ExpertCommittee::expert_votes_batc
       out[i] = std::move(votes);
     }
   });
+  record_batch_time();
   return out;
 }
 
@@ -171,6 +216,10 @@ std::size_t ExpertCommittee::quarantine_degenerate_votes(
     }
     votes[m].assign(dataset::kNumSeverityClasses, uniform);
   }
+  if (newly > 0 && obs::active(obs_)) {
+    obs_quarantined_total_->inc(newly);
+    obs_quarantined_now_->set(static_cast<double>(num_quarantined()));
+  }
   return newly;
 }
 
@@ -190,6 +239,7 @@ std::size_t ExpertCommittee::num_quarantined() const {
 
 void ExpertCommittee::reinstate_quarantined() {
   quarantined_.assign(experts_.size(), 0);
+  if (obs::active(obs_)) obs_quarantined_now_->set(0.0);
 }
 
 std::vector<double> ExpertCommittee::committee_vote(const dataset::DisasterImage& image) {

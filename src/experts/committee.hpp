@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "experts/dda_algorithm.hpp"
+#include "obs/observability.hpp"
 
 namespace crowdlearn::util {
 class ThreadPool;
@@ -33,6 +34,12 @@ class ExpertCommittee {
   /// forked from the master seed before dispatch.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Wire committee metrics (per-expert weight gauges, quarantine counters,
+  /// batch-inference latency) and spans. Handles resolve once here; hot
+  /// paths record through cached pointers. Pass an inactive/null context to
+  /// unwire. The Observability object must outlive the committee.
+  void set_observability(obs::Observability* o);
 
   /// Deep copy: cloned experts, same weights.
   ExpertCommittee clone() const;
@@ -99,6 +106,13 @@ class ExpertCommittee {
   std::vector<double> weights_;
   std::vector<char> quarantined_;     ///< 1 = excluded from votes/updates
   util::ThreadPool* pool_ = nullptr;  ///< not owned; nullptr = serial
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  std::vector<obs::Gauge*> obs_weight_gauges_;  ///< one per expert
+  obs::Counter* obs_weight_updates_ = nullptr;
+  obs::Counter* obs_quarantined_total_ = nullptr;
+  obs::Gauge* obs_quarantined_now_ = nullptr;
+  obs::Histogram* obs_batch_seconds_ = nullptr;
 };
 
 /// The paper's default committee: {VGG16, BoVW, DDM}.

@@ -1,0 +1,335 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crowdlearn::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: upper_bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: upper_bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket with v <= bound; overflow bucket when v > bounds_.back().
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[idx];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.upper_bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.bucket_counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double width,
+                                             std::size_t count) {
+  std::vector<double> b(count);
+  for (std::size_t i = 0; i < count; ++i) b[i] = start + width * static_cast<double>(i);
+  return b;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> b(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v *= factor) b[i] = v;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::MetricsRegistry(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(const std::string& name) const {
+  const std::size_t h = std::hash<std::string>{}(name);
+  return shards_[h % shards_.size()];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end()) {
+    Entry e;
+    e.type = MetricType::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = s.entries.emplace(name, std::move(e)).first;
+  } else if (it->second.type != MetricType::kCounter) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different type");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end()) {
+    Entry e;
+    e.type = MetricType::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = s.entries.emplace(name, std::move(e)).first;
+  } else if (it->second.type != MetricType::kGauge) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different type");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end()) {
+    Entry e;
+    e.type = MetricType::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    it = s.entries.emplace(name, std::move(e)).first;
+  } else if (it->second.type != MetricType::kHistogram) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different type");
+  }
+  return *it->second.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end() || it->second.type != MetricType::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end() || it->second.type != MetricType::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end() || it->second.type != MetricType::kHistogram) return nullptr;
+  return it->second.histogram.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.entries.size();
+  }
+  return n;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, entry] : s.entries) {
+      MetricSample ms;
+      ms.name = name;
+      ms.type = entry.type;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          ms.value = static_cast<double>(entry.counter->value());
+          break;
+        case MetricType::kGauge:
+          ms.value = entry.gauge->value();
+          break;
+        case MetricType::kHistogram:
+          ms.histogram = entry.histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(ms));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+// Splits "base{k="v"}" into {"base", "k=\"v\""} ("" labels when absent).
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), labels};
+}
+
+// Re-joins a base name with labels plus one extra label appended.
+std::string with_extra_label(const std::string& base, const std::string& labels,
+                             const std::string& extra) {
+  std::string out = base;
+  out += '{';
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  for (const MetricSample& ms : snapshot()) {
+    const auto [base, labels] = split_labels(ms.name);
+    switch (ms.type) {
+      case MetricType::kCounter:
+        os << "# TYPE " << base << " counter\n";
+        os << ms.name << ' ' << static_cast<std::uint64_t>(ms.value) << '\n';
+        break;
+      case MetricType::kGauge:
+        os << "# TYPE " << base << " gauge\n";
+        os << ms.name << ' ' << format_double(ms.value) << '\n';
+        break;
+      case MetricType::kHistogram: {
+        os << "# TYPE " << base << " histogram\n";
+        const Histogram::Snapshot& h = ms.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          os << with_extra_label(base + "_bucket", labels,
+                                 "le=\"" + format_double(h.upper_bounds[i]) + "\"")
+             << ' ' << cumulative << '\n';
+        }
+        cumulative += h.bucket_counts.back();
+        os << with_extra_label(base + "_bucket", labels, "le=\"+Inf\"") << ' '
+           << cumulative << '\n';
+        os << base + "_sum" << (labels.empty() ? "" : "{" + labels + "}") << ' '
+           << format_double(h.sum) << '\n';
+        os << base + "_count" << (labels.empty() ? "" : "{" + labels + "}") << ' '
+           << h.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::vector<MetricSample> all = snapshot();
+  auto emit_group = [&](MetricType type, const char* key, auto emit_value) {
+    os << '"' << key << "\":{";
+    bool first = true;
+    for (const MetricSample& ms : all) {
+      if (ms.type != type) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"';
+      json_escape(os, ms.name);
+      os << "\":";
+      emit_value(ms);
+    }
+    os << '}';
+  };
+  os << '{';
+  emit_group(MetricType::kCounter, "counters", [&](const MetricSample& ms) {
+    os << static_cast<std::uint64_t>(ms.value);
+  });
+  os << ',';
+  emit_group(MetricType::kGauge, "gauges", [&](const MetricSample& ms) {
+    os << format_double(ms.value);
+  });
+  os << ',';
+  emit_group(MetricType::kHistogram, "histograms", [&](const MetricSample& ms) {
+    const Histogram::Snapshot& h = ms.histogram;
+    os << "{\"count\":" << h.count << ",\"sum\":" << format_double(h.sum);
+    if (h.count > 0) {
+      os << ",\"min\":" << format_double(h.min) << ",\"max\":" << format_double(h.max);
+    }
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"le\":";
+      if (i < h.upper_bounds.size()) {
+        os << format_double(h.upper_bounds[i]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.bucket_counts[i] << '}';
+    }
+    os << "]}";
+  });
+  os << '}';
+}
+
+std::string MetricsRegistry::labeled(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace crowdlearn::obs

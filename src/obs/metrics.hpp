@@ -1,0 +1,174 @@
+#pragma once
+// Lock-sharded metrics registry: counters, gauges and fixed-bucket
+// histograms, exported as Prometheus-style text and as a JSON snapshot.
+//
+// Contract (docs/OBSERVABILITY.md):
+//   - Metric objects returned by the registry have stable addresses for the
+//     registry's lifetime, so hot paths resolve a handle once (at wiring
+//     time) and then record through a pointer — no name lookup per event.
+//   - Recording is thread-safe. Counters and gauges are single atomics;
+//     histograms take a per-histogram mutex so a snapshot can never tear
+//     (a snapshot's bucket counts always sum to its total count, and its
+//     sum/min/max were produced by exactly those observations).
+//   - Recording never draws randomness and never feeds back into control
+//     flow: enabling metrics cannot perturb the library's determinism
+//     contract (tests/test_determinism.cpp locks this in end-to-end).
+//   - Histogram bucket `upper_bounds` are *inclusive* upper edges
+//     (Prometheus `le` semantics): a value v lands in the first bucket with
+//     v <= upper_bounds[i]; values above the last bound land in the implicit
+//     +Inf overflow bucket. tests/test_obs_metrics.cpp pins the boundaries.
+//
+// Labels are encoded into the series name Prometheus-style, e.g.
+//   crowdlearn_expert_weight{expert="0"}
+// (see MetricsRegistry::labeled). The registry treats the full string as the
+// series key; the text exporter splits it back apart so histogram suffixes
+// (_bucket/_sum/_count) merge with existing labels correctly.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crowdlearn::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (also supports accumulate via add()).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    // CAS loop instead of fetch_add(double): portable across libstdc++
+    // versions that predate the C++20 floating-point atomic operations.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (Prometheus `le`).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; an implicit
+  /// +Inf overflow bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  /// A consistent point-in-time view: bucket_counts.size() ==
+  /// upper_bounds.size() + 1 (last is the +Inf overflow bucket) and the
+  /// bucket counts always sum to `count`.
+  struct Snapshot {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0
+    double max = 0.0;  ///< meaningful only when count > 0
+    double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// {start, start+width, ..., start+(count-1)*width}
+  static std::vector<double> linear_bounds(double start, double width, std::size_t count);
+  /// {start, start*factor, ..., start*factor^(count-1)}
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One exported series in a registry snapshot.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;           ///< counter (as double) or gauge value
+  Histogram::Snapshot histogram;  ///< populated for kHistogram only
+};
+
+/// Name-keyed registry, sharded by name hash so unrelated get-or-create
+/// calls from different threads do not contend on one mutex. Lookups happen
+/// at wiring time only; the returned references stay valid until the
+/// registry is destroyed.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t num_shards = 8);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Throws std::logic_error if `name` is already registered
+  /// as a different metric type.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// For an existing histogram the bounds argument is ignored.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// nullptr when the series does not exist (or has a different type).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const;
+
+  /// All series, sorted by name. Each histogram sample is internally
+  /// consistent (see Histogram::Snapshot); the snapshot as a whole is a
+  /// per-series-consistent view, not a global atomic cut.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Prometheus text exposition format (one block per series, sorted).
+  void write_prometheus(std::ostream& os) const;
+  /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Encode labels into a series name: labeled("x", {{"a","1"}}) == x{a="1"}.
+  static std::string labeled(
+      const std::string& base,
+      std::initializer_list<std::pair<const char*, std::string>> labels);
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+  };
+
+  Shard& shard_for(const std::string& name) const;
+
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace crowdlearn::obs

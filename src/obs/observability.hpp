@@ -1,0 +1,79 @@
+#pragma once
+// Observability context: one MetricsRegistry + one Tracer, handed to
+// instrumented components as a nullable pointer.
+//
+// Two kill switches compose (docs/OBSERVABILITY.md):
+//   - Compile-time: build with -DCROWDLEARN_OBS=OFF (CMake option) and
+//     CROWDLEARN_OBS_ENABLED is 0; obs::active() becomes `if constexpr
+//     (false)` so every instrumentation site folds to nothing.
+//   - Runtime: leave CrowdLearnConfig::observability.enabled false (the
+//     default) and components hold a null Observability*, so each site
+//     costs one predictable-null branch.
+//
+// Instrumented components follow one pattern: a set_observability(obs*)
+// method resolves metric handles ONCE (registry lookups take a shard lock)
+// and caches raw Counter*/Gauge*/Histogram* members; hot paths then do
+//   if (obs::active(obs_)) { handle_->inc(); }
+// Recording never draws randomness and never feeds back into control flow,
+// preserving the byte-identical-per-seed determinism contract.
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef CROWDLEARN_OBS_ENABLED
+#define CROWDLEARN_OBS_ENABLED 1
+#endif
+
+namespace crowdlearn::obs {
+
+/// True when instrumentation was compiled in (CMake option CROWDLEARN_OBS).
+inline constexpr bool kCompiledIn = CROWDLEARN_OBS_ENABLED != 0;
+
+struct ObservabilityConfig {
+  bool enabled = false;        ///< master runtime switch
+  bool tracing = true;         ///< also collect spans (only when enabled)
+  std::size_t metric_shards = 8;
+};
+
+/// Owns the registry and the tracer. Components receive `Observability*`
+/// (null when disabled) and must not outlive it; CrowdLearnSystem owns one
+/// via shared_ptr declared before the thread pool so workers never observe
+/// a dangling registry.
+class Observability {
+ public:
+  explicit Observability(const ObservabilityConfig& cfg = {})
+      : cfg_(cfg), metrics_(cfg.metric_shards) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  const ObservabilityConfig& config() const { return cfg_; }
+
+ private:
+  ObservabilityConfig cfg_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// The one guard every instrumentation site uses. Folds to `false` at
+/// compile time when instrumentation is compiled out.
+inline bool active(const Observability* o) {
+  if constexpr (!kCompiledIn) {
+    (void)o;
+    return false;
+  } else {
+    return o != nullptr;
+  }
+}
+
+/// Tracer to hand to SpanScope: null unless observability is active AND
+/// tracing is configured on.
+inline Tracer* tracer_of(Observability* o) {
+  if (!active(o)) return nullptr;
+  return o->config().tracing ? &o->tracer() : nullptr;
+}
+
+}  // namespace crowdlearn::obs

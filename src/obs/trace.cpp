@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace crowdlearn::obs {
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void Tracer::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(const char* name, const char* category) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = now_us();
+  ev.instant = true;
+  ev.tid = tid_for_current_thread();
+  record(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+int Tracer::tid_for_current_thread() {
+  const std::thread::id id = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = thread_ids_.find(id);
+  if (it == thread_ids_.end()) {
+    it = thread_ids_.emplace(id, static_cast<int>(thread_ids_.size())).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, ev.name);
+    os << "\",\"cat\":\"";
+    json_escape(os, ev.category);
+    os << "\",\"ph\":\"" << (ev.instant ? 'i' : 'X') << "\"";
+    os << ",\"ts\":" << ev.ts_us;
+    if (!ev.instant) os << ",\"dur\":" << ev.dur_us;
+    os << ",\"pid\":1,\"tid\":" << ev.tid;
+    if (ev.instant) os << ",\"s\":\"t\"";
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : ev.args) {
+        if (!afirst) os << ',';
+        afirst = false;
+        os << '"';
+        json_escape(os, k);
+        os << "\":";
+        std::ostringstream num;
+        num.precision(17);
+        num << v;
+        os << num.str();
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace crowdlearn::obs

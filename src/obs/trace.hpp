@@ -1,0 +1,109 @@
+#pragma once
+// Nested-span tracer emitting Chrome trace_event JSON ("complete" events,
+// ph="X") so a sensing cycle can be opened directly in about:tracing or
+// https://ui.perfetto.dev. Timings come from std::chrono::steady_clock and
+// are recorded relative to the tracer's construction, in microseconds.
+//
+// Usage (hot paths use the nullable RAII form so a disabled tracer costs a
+// single pointer test):
+//
+//   obs::SpanScope span(tracer, "committee.votes_batch", "experts");
+//   ... work ...
+//   span.arg("images", n);   // optional numeric args, attached on close
+//
+// The tracer never draws randomness and never feeds back into control flow,
+// so enabling it cannot perturb the determinism contract.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace crowdlearn::obs {
+
+/// One finished span (or instant event when dur_us < 0 is not used; instants
+/// are stored with dur_us == 0 and instant == true).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;   ///< start, microseconds since tracer construction
+  std::int64_t dur_us = 0;  ///< duration in microseconds
+  int tid = 0;              ///< small dense id assigned per OS thread
+  bool instant = false;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since construction (steady clock).
+  std::int64_t now_us() const;
+
+  /// Record a finished span. Thread-safe.
+  void record(TraceEvent ev);
+
+  /// Zero-duration marker ("instant" event, rendered as a vertical tick).
+  void instant(const char* name, const char* category = "mark");
+
+  std::size_t event_count() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}. Load in about:tracing
+  /// or Perfetto. Events are sorted by timestamp for stable output.
+  void write_chrome_trace(std::ostream& os) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  /// Dense per-thread id for the calling thread (assigned on first use).
+  int tid_for_current_thread();
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span. Constructed against a nullable Tracer*: with nullptr every
+/// member is a no-op, so instrumentation sites pay one branch when tracing
+/// is off. Times the scope with steady_clock and records on destruction.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const char* name, const char* category)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    ev_.name = name;
+    ev_.category = category;
+    ev_.ts_us = tracer_->now_us();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attach a numeric argument, shown in the trace viewer's details pane.
+  void arg(const char* key, double value) {
+    if (tracer_ == nullptr) return;
+    ev_.args.emplace_back(key, value);
+  }
+
+  ~SpanScope() {
+    if (tracer_ == nullptr) return;
+    ev_.dur_us = tracer_->now_us() - ev_.ts_us;
+    ev_.tid = tracer_->tid_for_current_thread();
+    tracer_->record(std::move(ev_));
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent ev_;
+};
+
+}  // namespace crowdlearn::obs

@@ -22,10 +22,12 @@ std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse
 
   // Initialize posteriors from majority voting.
   std::vector<std::vector<double>> posterior(batch.size());
+  std::vector<std::size_t> majority(batch.size(), 0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     std::vector<double> dist(k, 0.0);
     for (const crowd::WorkerAnswer& a : batch[i].answers)
       if (a.label_valid()) dist[a.label] += 1.0;
+    majority[i] = stats::argmax(dist);
     stats::normalize(dist);  // all-malformed tallies normalize to uniform
     posterior[i] = std::move(dist);
   }
@@ -88,7 +90,31 @@ std::vector<std::vector<double>> TdEm::aggregate(const std::vector<QueryResponse
     for (std::size_t t = 0; t < k; ++t) diag += confusion[wi][t][t];
     reliability_[wi] = diag / static_cast<double>(k);
   }
+
+  if (obs::active(obs_)) {
+    obs_iterations_->observe(static_cast<double>(iterations_used_));
+    obs_refined_->inc(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (stats::argmax(posterior[i]) == majority[i]) obs_majority_agreement_->inc();
+    }
+  }
   return posterior;
+}
+
+void TdEm::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_ = nullptr;
+    obs_refined_ = nullptr;
+    obs_majority_agreement_ = nullptr;
+    obs_iterations_ = nullptr;
+    return;
+  }
+  obs_ = o;
+  obs::MetricsRegistry& m = o->metrics();
+  obs_refined_ = &m.counter("crowdlearn_tdem_refined_total");
+  obs_majority_agreement_ = &m.counter("crowdlearn_tdem_majority_agreement_total");
+  obs_iterations_ = &m.histogram("crowdlearn_tdem_iterations",
+                                 obs::Histogram::linear_bounds(5.0, 5.0, 10));
 }
 
 }  // namespace crowdlearn::truth

@@ -5,6 +5,7 @@
 // truth discovery the paper cites [29]. As the paper notes, it degrades
 // when each worker contributes few responses — which Table I reflects.
 
+#include "obs/observability.hpp"
 #include "truth/aggregator.hpp"
 
 namespace crowdlearn::truth {
@@ -27,10 +28,20 @@ class TdEm : public Aggregator {
   const std::vector<double>& worker_reliability() const { return reliability_; }
   std::size_t iterations_used() const { return iterations_used_; }
 
+  /// Wire TD-EM metrics: EM iteration histogram, refined-query count, and
+  /// how often EM's posterior argmax agrees with the majority-vote
+  /// initialization it started from. Never feeds back into the EM loop.
+  void set_observability(obs::Observability* o);
+
  private:
   TdEmConfig cfg_;
   std::vector<double> reliability_;
   std::size_t iterations_used_ = 0;
+
+  obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
+  obs::Counter* obs_refined_ = nullptr;
+  obs::Counter* obs_majority_agreement_ = nullptr;
+  obs::Histogram* obs_iterations_ = nullptr;
 };
 
 }  // namespace crowdlearn::truth

@@ -53,9 +53,28 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop();
+      update_queue_depth_locked();
     }
-    task();  // packaged_task captures any exception into its future
+    task();  // instrumented wrapper; packaged_task captures any exception
   }
+}
+
+void ThreadPool::set_observability(obs::Observability* o) {
+  if (!obs::active(o)) {
+    obs_tasks_total_.store(nullptr, std::memory_order_release);
+    obs_queue_depth_.store(nullptr, std::memory_order_release);
+    obs_task_seconds_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  obs::MetricsRegistry& m = o->metrics();
+  obs_tasks_total_.store(&m.counter("crowdlearn_pool_tasks_total"),
+                         std::memory_order_release);
+  obs_queue_depth_.store(&m.gauge("crowdlearn_pool_queue_depth"),
+                         std::memory_order_release);
+  obs_task_seconds_.store(
+      &m.histogram("crowdlearn_pool_task_seconds",
+                   obs::Histogram::exponential_bounds(1e-6, 4.0, 12)),
+      std::memory_order_release);
 }
 
 }  // namespace crowdlearn::util

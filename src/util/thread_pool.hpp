@@ -13,6 +13,8 @@
 // Under those rules the outputs are byte-identical for any thread count,
 // which tests/test_determinism.cpp locks in.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -22,6 +24,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/observability.hpp"
 
 namespace crowdlearn::util {
 
@@ -53,6 +57,12 @@ class ThreadPool {
   /// Idempotent; called by the destructor. submit() afterwards throws.
   void shutdown();
 
+  /// Wire (or unwire, with an inactive/null context) pool metrics: task
+  /// count, per-task latency histogram, and queue depth gauge. Handles are
+  /// atomics because workers may already be running when this is called; the
+  /// Observability object must outlive the pool. Never affects scheduling.
+  void set_observability(obs::Observability* o);
+
   /// Queue one task. The returned future carries the result or the thrown
   /// exception. Runs inline when the pool is single-threaded, already shut
   /// down tasks throw, or when called from one of this pool's own workers.
@@ -65,7 +75,8 @@ class ThreadPool {
     if (!inline_run) {
       std::unique_lock<std::mutex> lock(mutex_);
       if (shutdown_) throw std::runtime_error("ThreadPool::submit after shutdown");
-      queue_.push([task] { (*task)(); });
+      queue_.push([this, task] { run_instrumented(*task); });
+      update_queue_depth_locked();
       lock.unlock();
       cv_.notify_one();
       return fut;
@@ -74,7 +85,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       if (shutdown_) throw std::runtime_error("ThreadPool::submit after shutdown");
     }
-    (*task)();
+    run_instrumented(*task);
     return fut;
   }
 
@@ -129,12 +140,42 @@ class ThreadPool {
   static ThreadPool*& current_pool();
   void worker_loop();
 
+  /// Execute one task, recording count + latency when handles are wired.
+  /// The metric path reads only the steady clock — no RNG, no feedback into
+  /// scheduling — so determinism is unaffected.
+  template <typename Task>
+  void run_instrumented(Task& task) {
+    obs::Histogram* hist = obs_task_seconds_.load(std::memory_order_acquire);
+    obs::Counter* total = obs_tasks_total_.load(std::memory_order_acquire);
+    if (hist == nullptr && total == nullptr) {
+      task();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();  // packaged_task: exceptions land in the future, not here
+    if (total != nullptr) total->inc();
+    if (hist != nullptr) {
+      hist->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    }
+  }
+
+  /// Publish queue_.size(); requires mutex_ held.
+  void update_queue_depth_locked() {
+    if (obs::Gauge* g = obs_queue_depth_.load(std::memory_order_acquire)) {
+      g->set(static_cast<double>(queue_.size()));
+    }
+  }
+
   std::size_t threads_ = 1;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool shutdown_ = false;
+  std::atomic<obs::Counter*> obs_tasks_total_{nullptr};
+  std::atomic<obs::Gauge*> obs_queue_depth_{nullptr};
+  std::atomic<obs::Histogram*> obs_task_seconds_{nullptr};
 };
 
 }  // namespace crowdlearn::util

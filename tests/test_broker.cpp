@@ -115,8 +115,69 @@ TEST_F(BrokerTest, OutageRetriesAtSamePriceThenCompletes) {
   EXPECT_TRUE(r.deadline_exceeded);
   EXPECT_TRUE(r.delay_feedback_valid);
   EXPECT_DOUBLE_EQ(r.total_charged_cents, 6.0);
+  // The repost draws on the outage budget, not the escalation budget.
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.outage_retries, 1u);
+  EXPECT_EQ(broker.total_retries(), 0u);
+  EXPECT_EQ(broker.total_outage_retries(), 1u);
   // Lifecycle delay = waited-out deadline + backoff + the retry's completion.
   EXPECT_GT(r.response.completion_delay_seconds, r.attempts[0].deadline_seconds);
+}
+
+TEST_F(BrokerTest, OutageRetriesDoNotConsumeEscalationBudget) {
+  // Regression: an outage repost used to eat one of the <= max_retries
+  // escalation slots, so a query that hit a platform blip AND turned out to
+  // be under-priced got one fewer escalated attempt than a clean one. The
+  // two budgets are now separate (broker.hpp, retry accounting note).
+  PlatformConfig cfg = cfg_;
+  cfg.faults.outages.push_back({0, 1});   // first post hits a dead platform
+  cfg.faults.abandonment_prob = 1.0;      // then every worker bails
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  // 1 outage post + same-price repost + the FULL escalation ladder.
+  ASSERT_EQ(r.attempts.size(), 4u);
+  EXPECT_EQ(r.attempts[0].platform_status, QueryStatus::kOutage);
+  EXPECT_DOUBLE_EQ(r.attempts[0].incentive_cents, 8.0);
+  EXPECT_DOUBLE_EQ(r.attempts[1].incentive_cents, 8.0);   // outage repost: same price
+  EXPECT_DOUBLE_EQ(r.attempts[2].incentive_cents, 12.0);  // 1st escalation
+  EXPECT_DOUBLE_EQ(r.attempts[3].incentive_cents, 18.0);  // 2nd escalation
+  EXPECT_EQ(r.retries, broker.config().max_retries);
+  EXPECT_EQ(r.outage_retries, 1u);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+}
+
+TEST_F(BrokerTest, LongOutageExhaustsOutageBudgetSeparately) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.outages.push_back({0, 100});  // platform down for the whole run
+  CrowdPlatform platform(&data_, cfg);
+  QueryBroker broker;
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+  ASSERT_EQ(r.attempts.size(), broker.config().max_outage_retries + 1);
+  for (const QueryAttempt& at : r.attempts) {
+    EXPECT_EQ(at.platform_status, QueryStatus::kOutage);
+    EXPECT_DOUBLE_EQ(at.incentive_cents, 8.0);  // outages never escalate
+  }
+  EXPECT_EQ(r.retries, 0u);  // no escalation slot was consumed
+  EXPECT_EQ(r.outage_retries, broker.config().max_outage_retries);
+  EXPECT_FALSE(r.delay_feedback_valid);  // workers were never reached
+}
+
+TEST_F(BrokerTest, ZeroOutageRetriesStopsAtFirstOutage) {
+  PlatformConfig cfg = cfg_;
+  cfg.faults.outages.push_back({0, 1});
+  CrowdPlatform platform(&data_, cfg);
+  BrokerConfig bcfg;
+  bcfg.max_outage_retries = 0;
+  QueryBroker broker(bcfg);
+
+  const QueryResult r = broker.execute(platform, image(), 8.0, TemporalContext::kEvening);
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+  EXPECT_EQ(r.attempts.size(), 1u);
+  EXPECT_EQ(r.outage_retries, 0u);
 }
 
 TEST_F(BrokerTest, BudgetRefusalEndsLifecycle) {

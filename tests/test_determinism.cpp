@@ -28,7 +28,8 @@ experts::ExpertCommittee fast_committee() {
 /// thread count. `faults` applies to the deployment platform only (the pilot
 /// study runs clean, as in the benches).
 std::vector<CycleOutcome> run_loop(std::size_t num_threads,
-                                   const crowd::FaultInjectionConfig& faults = {}) {
+                                   const crowd::FaultInjectionConfig& faults = {},
+                                   bool observability = false) {
   ExperimentConfig cfg;
   cfg.dataset.total_images = 140;
   cfg.dataset.train_images = 90;
@@ -42,6 +43,7 @@ std::vector<CycleOutcome> run_loop(std::size_t num_threads,
 
   CrowdLearnConfig sys_cfg = default_crowdlearn_config(setup, 4, 240.0);
   sys_cfg.num_threads = num_threads;
+  sys_cfg.observability.enabled = observability;
 
   CrowdLearnSystem system(fast_committee(), sys_cfg);
   system.initialize(setup.data, setup.pilot);
@@ -102,6 +104,19 @@ TEST(Determinism, ZeroProbabilityFaultLayerLeavesOutcomesByteIdentical) {
     EXPECT_EQ(out.partial_queries, 0u);
     EXPECT_EQ(out.failed_queries, 0u);
     EXPECT_TRUE(out.fallback_ids.empty());
+  }
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbOutcomesAtAnyThreadCount) {
+  // Instrumentation only reads the steady clock and writes to atomics — it
+  // must never draw from the behavioral RNG streams or feed back into
+  // control flow. Runs with observability enabled therefore have to be
+  // byte-identical to runs without it, at every thread count.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::vector<CycleOutcome> plain = run_loop(threads);
+    const std::vector<CycleOutcome> instrumented = run_loop(threads, {}, true);
+    expect_identical(plain, instrumented, "obs off vs obs on");
   }
 }
 

@@ -87,5 +87,39 @@ TEST(Recorder, FileWrappersRoundTrip) {
                std::runtime_error);
 }
 
+TEST(Recorder, MetricsDumpsRequireObservability) {
+  std::ostringstream os;
+  EXPECT_THROW(write_metrics_text(nullptr, os), std::invalid_argument);
+  EXPECT_THROW(write_metrics_json(nullptr, os), std::invalid_argument);
+  EXPECT_THROW(write_trace_file(nullptr, "anywhere.json"), std::invalid_argument);
+}
+
+TEST(Recorder, MetricsDumpsWriteBothFormats) {
+  obs::Observability o;
+  o.metrics().counter("crowdlearn_cycles_total").inc(3);
+  o.metrics().histogram("lat_seconds", {1.0}).observe(0.5);
+  { obs::SpanScope span(&o.tracer(), "cycle", "core"); }
+
+  std::ostringstream text, json;
+  write_metrics_text(&o, text);
+  write_metrics_json(&o, json);
+  EXPECT_NE(text.str().find("crowdlearn_cycles_total 3"), std::string::npos);
+  EXPECT_NE(text.str().find("lat_seconds_bucket"), std::string::npos);
+  EXPECT_NE(json.str().find("\"crowdlearn_cycles_total\":3"), std::string::npos);
+
+  const std::string prom = ::testing::TempDir() + "/crowdlearn_metrics.prom";
+  const std::string trace = ::testing::TempDir() + "/crowdlearn_trace.json";
+  write_metrics_text_file(&o, prom);
+  write_trace_file(&o, trace);
+  std::ifstream prom_in(prom), trace_in(trace);
+  EXPECT_TRUE(prom_in.good());
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  EXPECT_NE(trace_buf.str().find("\"name\":\"cycle\""), std::string::npos);
+
+  EXPECT_THROW(write_metrics_json_file(&o, "/nonexistent/dir/m.json"), std::runtime_error);
+  EXPECT_THROW(write_trace_file(&o, "/nonexistent/dir/t.json"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace crowdlearn::core

@@ -160,6 +160,71 @@ TEST_F(SystemTest, AccuracyBeatsCommitteeAlone) {
   EXPECT_GT(loop_acc, frozen_acc);
 }
 
+TEST_F(SystemTest, ObservabilityCollectsEndToEndMetrics) {
+  CrowdLearnConfig cfg = system_config();
+  cfg.observability.enabled = true;
+  CrowdLearnSystem system(fast_committee(), cfg);
+  if (!obs::kCompiledIn) {
+    EXPECT_EQ(system.observability(), nullptr);
+    return;  // compiled out: the rest of the test has nothing to observe
+  }
+  ASSERT_NE(system.observability(), nullptr);
+  system.initialize(setup_->data, setup_->pilot);
+  crowd::CrowdPlatform platform = make_platform(*setup_, 8);
+  dataset::SensingCycleStream stream(setup_->data, setup_->stream_cfg);
+  const auto outcomes = system.run_stream(setup_->data, platform, stream);
+
+  const obs::MetricsRegistry& reg = system.observability()->metrics();
+  const obs::Counter* cycles = reg.find_counter("crowdlearn_cycles_total");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_EQ(cycles->value(), outcomes.size());
+
+  std::size_t queried = 0;
+  for (const CycleOutcome& out : outcomes) queried += out.queried_ids.size();
+  const obs::Counter* queries = reg.find_counter("crowdlearn_queries_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value(), queried);
+  const obs::Counter* broker_queries = reg.find_counter("crowdlearn_broker_queries_total");
+  ASSERT_NE(broker_queries, nullptr);
+  EXPECT_EQ(broker_queries->value(), queried);
+
+  // QSS observed one entropy per streamed image; IPD pulled one arm per query.
+  const obs::Histogram* entropy = reg.find_histogram("crowdlearn_qss_entropy");
+  ASSERT_NE(entropy, nullptr);
+  EXPECT_EQ(entropy->snapshot().count, 8u * 10u);
+  const obs::Counter* selections = reg.find_counter("crowdlearn_qss_selections_total");
+  ASSERT_NE(selections, nullptr);
+  EXPECT_EQ(selections->value(), queried);
+
+  // Spend bookkeeping agrees with the platform's ledger.
+  const obs::Gauge* spent = reg.find_gauge("crowdlearn_ipd_spent_cents");
+  ASSERT_NE(spent, nullptr);
+  EXPECT_NEAR(spent->value(), platform.total_spent_cents(), 1e-6);
+
+  // Per-expert weight gauges mirror the final committee weights.
+  const auto& weights = outcomes.back().expert_weights;
+  for (std::size_t m = 0; m < weights.size(); ++m) {
+    const obs::Gauge* g = reg.find_gauge(obs::MetricsRegistry::labeled(
+        "crowdlearn_expert_weight", {{"expert", std::to_string(m)}}));
+    ASSERT_NE(g, nullptr) << "expert " << m;
+    EXPECT_DOUBLE_EQ(g->value(), weights[m]);
+  }
+
+  // Tracing captured the cycle spans (one per run_cycle call, plus nested).
+  const obs::Tracer& tracer = system.observability()->tracer();
+  EXPECT_GE(tracer.event_count(), outcomes.size());
+
+  // Timing histograms observed one sample per cycle.
+  const obs::Histogram* algo = reg.find_histogram("crowdlearn_cycle_algorithm_seconds");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->snapshot().count, outcomes.size());
+}
+
+TEST_F(SystemTest, ObservabilityDisabledByDefault) {
+  CrowdLearnSystem system(fast_committee(), system_config());
+  EXPECT_EQ(system.observability(), nullptr);
+}
+
 TEST_F(SystemTest, EmptyCycleRejected) {
   CrowdLearnSystem system(fast_committee(), system_config());
   system.initialize(setup_->data, setup_->pilot);
