@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bandit/ucb_alp.hpp"
+#include "ckpt/io.hpp"
 #include "crowd/platform.hpp"
 #include "experts/committee.hpp"
 #include "gbdt/gbdt.hpp"
@@ -226,6 +227,83 @@ void BM_ObsDisabledGuard(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ObsDisabledGuard);
+
+// --- Checkpoint container (docs/CHECKPOINTING.md) ---
+
+// Shared fixture: a trained GBT (the largest single blob a real checkpoint
+// carries) plus a warm UCB-ALP policy, serialized once for the load bench.
+struct CkptFixture {
+  gbdt::Gbdt model;
+  bandit::UcbAlpPolicy policy;
+
+  CkptFixture() : policy(make_policy_config()) {
+    Rng rng(11);
+    std::vector<std::vector<double>> rows(240, std::vector<double>(12));
+    std::vector<std::size_t> labels(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (double& v : rows[i]) v = rng.uniform(0, 1);
+      labels[i] = rng.index(3);
+    }
+    gbdt::GbdtConfig cfg;
+    cfg.num_rounds = 20;
+    model.fit(gbdt::FeatureMatrix::from_rows(rows), labels, 3, cfg);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::size_t ctx = i % 4;
+      policy.observe(ctx, policy.choose(ctx), rng.uniform(10, 400));
+    }
+  }
+
+  static bandit::UcbAlpConfig make_policy_config() {
+    bandit::UcbAlpConfig cfg;
+    cfg.action_costs = {1, 2, 4, 6, 8, 10, 20};
+    cfg.num_contexts = 4;
+    cfg.total_budget_cents = 800.0;
+    cfg.horizon = 200;
+    return cfg;
+  }
+
+  static const CkptFixture& instance() {
+    static const CkptFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const CkptFixture& fx = CkptFixture::instance();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ckpt::Writer w;
+    fx.model.save_state(w);
+    fx.policy.save_state(w);
+    const std::string image = ckpt::file_image(w);  // header + CRC included
+    bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const CkptFixture& fx = CkptFixture::instance();
+  ckpt::Writer w;
+  fx.model.save_state(w);
+  fx.policy.save_state(w);
+  const std::string image = ckpt::file_image(w);
+  for (auto _ : state) {
+    // The full read path: container validation (magic/version/size/CRC) then
+    // a typed parse into live modules.
+    gbdt::Gbdt model;
+    bandit::UcbAlpPolicy policy(CkptFixture::make_policy_config());
+    ckpt::Reader r(ckpt::validate_image(image));
+    model.load_state(r);
+    policy.load_state(r);
+    benchmark::DoNotOptimize(model.num_rounds());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_CheckpointLoad);
 
 }  // namespace
 

@@ -8,29 +8,93 @@
 //   quickstart_metrics.prom  - Prometheus text snapshot of every metric
 //   quickstart_trace.json    - Chrome trace_event JSON (open in Perfetto)
 //
-// Usage: quickstart [seed]
+// Usage: quickstart [seed] [flags]
+//   --cycles N          run an N-cycle stream (default 8)
+//   --stop-after K      execute only the first K remaining cycles
+//   --checkpoint PATH   save the full loop state to PATH after the last cycle
+//   --resume PATH       restore the loop state from PATH instead of training
+//                       from scratch; already-run cycles are skipped
+//   --cycle-log PATH    write/append the deterministic per-cycle CSV log
+//   --metrics-json PATH write the deterministic metrics JSON snapshot
+//
+// The checkpoint flags demonstrate docs/CHECKPOINTING.md: running
+//   quickstart 42 --cycles 8 --stop-after 5 --checkpoint ckpt.bin --cycle-log a.csv
+//   quickstart 42 --cycles 8 --resume ckpt.bin --cycle-log a.csv
+// produces a cycle log byte-identical to the single uninterrupted run.
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "ckpt/io.hpp"
 #include "core/experiment.hpp"
 #include "core/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/guard.hpp"
 
+namespace {
+
+struct CliOptions {
+  std::uint64_t seed = 42;
+  std::size_t num_cycles = 8;
+  std::size_t stop_after = 0;  // 0 = run to the end of the stream
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::string cycle_log_path;
+  std::string metrics_json_path;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc)
+      throw std::invalid_argument(std::string(flag) + " requires a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--cycles") == 0)
+      opt.num_cycles = std::strtoull(value(i, a).c_str(), nullptr, 10);
+    else if (std::strcmp(a, "--stop-after") == 0)
+      opt.stop_after = std::strtoull(value(i, a).c_str(), nullptr, 10);
+    else if (std::strcmp(a, "--checkpoint") == 0)
+      opt.checkpoint_path = value(i, a);
+    else if (std::strcmp(a, "--resume") == 0)
+      opt.resume_path = value(i, a);
+    else if (std::strcmp(a, "--cycle-log") == 0)
+      opt.cycle_log_path = value(i, a);
+    else if (std::strcmp(a, "--metrics-json") == 0)
+      opt.metrics_json_path = value(i, a);
+    else if (a[0] == '-')
+      throw std::invalid_argument(std::string("unknown flag: ") + a);
+    else
+      opt.seed = std::strtoull(a, nullptr, 10);
+  }
+  if (opt.num_cycles == 0) throw std::invalid_argument("--cycles must be positive");
+  return opt;
+}
+
+}  // namespace
+
 static int run(int argc, char** argv) {
   using namespace crowdlearn;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const CliOptions opt = parse_cli(argc, argv);
 
-  std::cout << "CrowdLearn quickstart (seed " << seed << ")\n\n";
+  std::cout << "CrowdLearn quickstart (seed " << opt.seed << ")\n\n";
 
-  // A reduced setup so the quickstart finishes fast: 300 images, 8 cycles.
+  // A reduced setup so the quickstart finishes fast: 300 images. A resumed
+  // run MUST rebuild this setup with the same knobs — the checkpoint holds
+  // the loop's mutable state, not the dataset or configuration.
   core::ExperimentConfig cfg;
-  cfg.seed = seed;
+  cfg.seed = opt.seed;
   cfg.dataset.total_images = 300;
   cfg.dataset.train_images = 220;
-  cfg.dataset.seed = seed;
-  cfg.stream.num_cycles = 8;
+  cfg.dataset.seed = opt.seed;
+  cfg.stream.num_cycles = opt.num_cycles;
   cfg.stream.images_per_cycle = 10;
   cfg.stream.grouped_contexts = false;  // rotate contexts so all four appear
   cfg.pilot.queries_per_cell = 6;
@@ -43,21 +107,35 @@ static int run(int argc, char** argv) {
             << setup.data.failure_count(setup.data.test_indices)
             << " failure-mode images in the test set\n\n";
 
-  std::cout << "Training the committee (VGG16, BoVW, DDM) and CQC...\n";
   core::CrowdLearnConfig cl_cfg = core::default_crowdlearn_config(
       setup, /*queries_per_cycle=*/5,
-      /*total_budget_cents=*/8.0 * 5.0 * static_cast<double>(cfg.stream.num_cycles));
+      /*total_budget_cents=*/8.0 * 5.0 * static_cast<double>(opt.num_cycles));
   core::CrowdLearnRunner runner(cl_cfg);
   runner.system().enable_observability();
-  runner.initialize(setup.data, &setup.pilot);
 
   crowd::CrowdPlatform platform = core::make_platform(setup, /*run_index=*/0);
   dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
 
+  if (!opt.resume_path.empty()) {
+    std::cout << "Resuming from checkpoint " << opt.resume_path << "...\n";
+    runner.system().resume_from(opt.resume_path, &platform);
+    std::cout << "  " << runner.system().cycles_run() << " cycles already run\n\n";
+  } else {
+    std::cout << "Training the committee (VGG16, BoVW, DDM) and CQC...\n";
+    runner.initialize(setup.data, &setup.pilot);
+  }
+
+  const std::size_t first_cycle = runner.system().cycles_run();
+  std::size_t budget = opt.stop_after == 0 ? stream.cycles().size() : opt.stop_after;
+
   TablePrinter table({"cycle", "context", "queried", "incentive(c)", "crowd delay(s)",
                       "accuracy", "w(VGG16)", "w(BoVW)", "w(DDM)"});
+  std::vector<core::CycleOutcome> outcomes;
   for (const dataset::SensingCycle& cycle : stream.cycles()) {
-    const core::CycleOutcome out = runner.run_cycle(setup.data, platform, cycle);
+    if (cycle.index < first_cycle) continue;  // already covered by the checkpoint
+    if (budget == 0) break;
+    --budget;
+    core::CycleOutcome out = runner.run_cycle(setup.data, platform, cycle);
 
     std::size_t correct = 0;
     for (std::size_t i = 0; i < out.image_ids.size(); ++i)
@@ -80,10 +158,34 @@ static int run(int argc, char** argv) {
                    TablePrinter::num(out.expert_weights.at(0), 2),
                    TablePrinter::num(out.expert_weights.at(1), 2),
                    TablePrinter::num(out.expert_weights.at(2), 2)});
+    outcomes.push_back(std::move(out));
   }
   table.print_ascii(std::cout);
 
   std::cout << "\nTotal crowd spend: " << platform.total_spent_cents() << " cents\n";
+
+  if (!opt.checkpoint_path.empty()) {
+    runner.system().save_checkpoint(opt.checkpoint_path, &platform);
+    std::cout << "Saved checkpoint to " << opt.checkpoint_path << " ("
+              << runner.system().cycles_run() << " cycles run)\n";
+  }
+  if (!opt.cycle_log_path.empty()) {
+    // On resume, append rows without a header so the two halves concatenate
+    // into one valid CSV — byte-identical to the uninterrupted run's log.
+    core::CycleLogOptions log_opts;
+    log_opts.include_wall_clock = false;
+    log_opts.include_header = opt.resume_path.empty();
+    std::ofstream os(opt.cycle_log_path,
+                     opt.resume_path.empty() ? std::ios::out : std::ios::app);
+    if (!os) throw std::runtime_error("cannot open " + opt.cycle_log_path);
+    core::write_cycle_log(setup.data, outcomes, os, log_opts);
+    std::cout << "Wrote cycle log to " << opt.cycle_log_path << "\n";
+  }
+  if (!opt.metrics_json_path.empty()) {
+    core::write_metrics_json_deterministic_file(runner.system().observability(),
+                                                opt.metrics_json_path);
+    std::cout << "Wrote deterministic metrics JSON to " << opt.metrics_json_path << "\n";
+  }
 
   if (const obs::Observability* o = runner.system().observability()) {
     const obs::MetricsRegistry& reg = o->metrics();

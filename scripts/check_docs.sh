@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -81,6 +81,28 @@ done
 # And the reverse: every bench target should appear in EXPERIMENTS.md.
 for b in $bench_targets; do
   grep -q "$b" EXPERIMENTS.md || err "bench target $b is missing from EXPERIMENTS.md"
+done
+
+# --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
+# The label sets are wired as `list(APPEND labels <name>)`; every label the
+# docs tell readers to pass to `ctest -L` must actually be appended somewhere.
+for label in concurrency faults ckpt golden; do
+  grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
+    || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
+done
+# And the reverse: every wired label should be documented somewhere.
+for label in $(sed -n 's/^[[:space:]]*list(APPEND labels \([a-z0-9_]*\)).*/\1/p' \
+                 tests/CMakeLists.txt | sort -u); do
+  found=0
+  for doc in $DOCS; do
+    [ -f "$doc" ] && grep -q -- "-L $label" "$doc" && found=1
+  done
+  [ "$found" -eq 1 ] || err "ctest label '$label' is wired but no doc shows 'ctest ... -L $label'"
+done
+
+# --- 5. golden files exist and match what test_golden_trace compares --------
+for g in tests/golden/golden_trace.csv tests/golden/golden_metrics.json; do
+  [ -f "$g" ] || err "missing committed golden file: $g (run scripts/make_golden.sh)"
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# =============================================================================
+# !!  THIS SCRIPT OVERWRITES THE COMMITTED GOLDEN TRACE FILES  !!
+#
+#   tests/golden/golden_trace.csv
+#   tests/golden/golden_metrics.json
+#
+# Those files are the reference output of the pinned scenario in
+# tests/test_golden_trace.cpp. Regenerating them SILENCES the golden-trace
+# regression test for whatever behavior change you just made — which is only
+# correct when the change is INTENTIONAL.
+#
+# Before committing regenerated goldens:
+#   1. `git diff tests/golden/` and read every changed value;
+#   2. be able to say WHY each delta matches the change you made;
+#   3. mention the regeneration in the commit message.
+#
+# Never run this to "fix CI" without understanding the diff.
+# =============================================================================
+#
+# Usage: scripts/make_golden.sh [build-dir]     (default: build)
+#
+# POSIX sh only. Builds the test binary, regenerates via
+# CROWDLEARN_REGEN_GOLDEN=1, then re-runs the comparison to prove the new
+# files reproduce.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tests/test_golden_trace"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "make_golden: no build at $BUILD_DIR (run: cmake -B $BUILD_DIR -S .)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target test_golden_trace -j >/dev/null
+
+echo "make_golden: regenerating tests/golden/ ..."
+CROWDLEARN_REGEN_GOLDEN=1 "$BIN" >/dev/null
+
+echo "make_golden: verifying the regenerated files reproduce ..."
+"$BIN" >/dev/null
+
+echo "make_golden: done. Now REVIEW the diff before committing:"
+echo "  git diff --stat tests/golden/"
+git --no-pager diff --stat tests/golden/ 2>/dev/null || true
+exit 0

@@ -4,7 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+
 namespace crowdlearn::bandit {
+
+namespace {
+constexpr char kRandomTag[4] = {'P', 'R', 'N', '1'};
+constexpr char kEpsTag[4] = {'P', 'E', 'G', '1'};
+}  // namespace
 
 double delay_to_reward(double delay_seconds, double delay_scale_seconds) {
   if (delay_scale_seconds <= 0.0)
@@ -26,6 +33,16 @@ RandomIncentivePolicy::RandomIncentivePolicy(std::vector<double> levels, std::ui
 
 double RandomIncentivePolicy::choose(std::size_t /*context*/) {
   return levels_[rng_.index(levels_.size())];
+}
+
+void RandomIncentivePolicy::save_state(ckpt::Writer& w) const {
+  w.begin_section(kRandomTag);
+  ckpt::save_rng(w, rng_);
+}
+
+void RandomIncentivePolicy::load_state(ckpt::Reader& r) {
+  r.expect_section(kRandomTag);
+  ckpt::load_rng(r, rng_);
 }
 
 EpsilonGreedyIncentivePolicy::EpsilonGreedyIncentivePolicy(std::vector<double> levels,
@@ -82,6 +99,20 @@ void EpsilonGreedyIncentivePolicy::observe(std::size_t context, double incentive
   const std::size_t level = level_index(incentive_cents);
   reward_sum_[context][level] += delay_to_reward(delay_seconds, delay_scale_);
   ++count_[context][level];
+}
+
+void EpsilonGreedyIncentivePolicy::save_state(ckpt::Writer& w) const {
+  w.begin_section(kEpsTag);
+  ckpt::save_rng(w, rng_);
+  ckpt::save_f64_table(w, reward_sum_);
+  ckpt::save_size_table(w, count_);
+}
+
+void EpsilonGreedyIncentivePolicy::load_state(ckpt::Reader& r) {
+  r.expect_section(kEpsTag);
+  ckpt::load_rng(r, rng_);
+  ckpt::load_f64_table(r, reward_sum_, num_contexts_, levels_.size());
+  ckpt::load_size_table(r, count_, num_contexts_, levels_.size());
 }
 
 }  // namespace crowdlearn::bandit

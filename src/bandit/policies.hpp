@@ -11,6 +11,11 @@
 
 #include "util/rng.hpp"
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::bandit {
 
 /// Convert an observed delay into a bounded reward in [0, 1]: the payoff in
@@ -29,6 +34,12 @@ class IncentivePolicy {
   virtual void observe(std::size_t context, double incentive_cents, double delay_seconds) = 0;
 
   virtual const char* name() const = 0;
+
+  /// Checkpoint hooks (src/ckpt). The base implementation persists nothing —
+  /// correct for policies whose whole state is their construction config
+  /// (e.g. fixed incentives). Stateful policies override both.
+  virtual void save_state(ckpt::Writer&) const {}
+  virtual void load_state(ckpt::Reader&) {}
 };
 
 /// Constant incentive — the strategy Hybrid-Para/Hybrid-AL use (maximum
@@ -54,6 +65,9 @@ class RandomIncentivePolicy : public IncentivePolicy {
   void observe(std::size_t, double, double) override {}
   const char* name() const override { return "random"; }
 
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   std::vector<double> levels_;
   Rng rng_;
@@ -71,6 +85,9 @@ class EpsilonGreedyIncentivePolicy : public IncentivePolicy {
   const char* name() const override { return "epsilon_greedy"; }
 
   double mean_reward(std::size_t context, std::size_t level) const;
+
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
 
  private:
   std::vector<double> levels_;

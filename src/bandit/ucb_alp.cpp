@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "ckpt/state.hpp"
 
 namespace crowdlearn::bandit {
 
@@ -201,6 +204,56 @@ void UcbAlpPolicy::warm_start(std::size_t context, double incentive_cents,
                               double delay_seconds) {
   if (context >= cfg_.num_contexts) throw std::out_of_range("UcbAlpPolicy::warm_start");
   add_observation(context, incentive_cents, delay_seconds, /*charge=*/false);
+}
+
+namespace {
+constexpr char kUcbAlpTag[4] = {'U', 'C', 'B', '1'};
+}
+
+void UcbAlpPolicy::save_state(ckpt::Writer& w) const {
+  w.begin_section(kUcbAlpTag);
+  ckpt::save_rng(w, rng_);
+  w.f64(remaining_budget_);
+  w.u64(remaining_rounds_);
+  w.u64(total_pulls_);
+  ckpt::save_f64_table(w, reward_sum_);
+  ckpt::save_size_table(w, count_);
+  ckpt::save_f64_table(w, last_solution_.probs);
+  w.f64(last_solution_.expected_cost);
+  w.f64(last_solution_.expected_reward);
+  w.f64(last_solution_.lambda);
+}
+
+void UcbAlpPolicy::load_state(ckpt::Reader& r) {
+  r.expect_section(kUcbAlpTag);
+  ckpt::load_rng(r, rng_);
+  remaining_budget_ = r.f64();
+  remaining_rounds_ = static_cast<std::size_t>(r.u64());
+  total_pulls_ = static_cast<std::size_t>(r.u64());
+  const std::size_t z = cfg_.num_contexts;
+  const std::size_t k = cfg_.action_costs.size();
+  ckpt::load_f64_table(r, reward_sum_, z, k);
+  ckpt::load_size_table(r, count_, z, k);
+  // The cached ALP solution is empty until the first choose(), so accept
+  // either no rows or a full num_contexts × num_actions table.
+  AlpSolution sol;
+  const std::uint64_t rows = r.u64();
+  if (rows != 0 && rows != z) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "UcbAlpPolicy: ALP solution row count mismatch");
+  }
+  sol.probs.resize(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    sol.probs[i] = r.vec_f64();
+    if (sol.probs[i].size() != k) {
+      throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                            "UcbAlpPolicy: ALP solution column count mismatch");
+    }
+  }
+  sol.expected_cost = r.f64();
+  sol.expected_reward = r.f64();
+  sol.lambda = r.f64();
+  last_solution_ = std::move(sol);
 }
 
 }  // namespace crowdlearn::bandit

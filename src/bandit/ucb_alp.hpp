@@ -70,6 +70,13 @@ class UcbAlpPolicy : public IncentivePolicy {
   /// The most recent ALP solution (for inspection / benchmarks).
   const AlpSolution& last_solution() const { return last_solution_; }
 
+  /// Checkpoint hooks (src/ckpt): persist / restore every mutable field —
+  /// RNG stream, remaining budget and rounds, per-context×arm statistics and
+  /// the cached ALP solution. load_state throws ckpt::CkptError(kMalformed)
+  /// when the stored table dimensions do not match this policy's config.
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   UcbAlpConfig cfg_;
   Rng rng_;

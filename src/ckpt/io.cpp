@@ -1,0 +1,196 @@
+#include "ckpt/io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+namespace crowdlearn::ckpt {
+
+const char* ckpt_errc_name(CkptErrc code) {
+  switch (code) {
+    case CkptErrc::kIo: return "ckpt io error";
+    case CkptErrc::kBadMagic: return "ckpt bad magic";
+    case CkptErrc::kBadVersion: return "ckpt bad version";
+    case CkptErrc::kTruncated: return "ckpt truncated";
+    case CkptErrc::kCrcMismatch: return "ckpt crc mismatch";
+    case CkptErrc::kMalformed: return "ckpt malformed";
+    case CkptErrc::kConfigMismatch: return "ckpt config mismatch";
+  }
+  return "ckpt unknown error";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void append_le(std::string& out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint64_t parse_le(const char* p, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void Writer::u8(std::uint8_t v) { payload_.push_back(static_cast<char>(v)); }
+void Writer::u32(std::uint32_t v) { append_le(payload_, v, 4); }
+void Writer::u64(std::uint64_t v) { append_le(payload_, v, 8); }
+void Writer::i64(std::int64_t v) { append_le(payload_, static_cast<std::uint64_t>(v), 8); }
+void Writer::f64(double v) { append_le(payload_, std::bit_cast<std::uint64_t>(v), 8); }
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  payload_.append(s);
+}
+
+void Writer::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void Writer::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void Writer::vec_sizes(const std::vector<std::size_t>& v) {
+  u64(v.size());
+  for (std::size_t x : v) u64(x);
+}
+
+void Writer::begin_section(const char tag[4]) { payload_.append(tag, 4); }
+
+std::string file_image(const Writer& w) {
+  std::string image(kMagic, sizeof(kMagic));
+  append_le(image, kFormatVersion, 4);
+  append_le(image, w.payload().size(), 8);
+  append_le(image, crc32(w.payload().data(), w.payload().size()), 4);
+  image.append(w.payload());
+  return image;
+}
+
+void Writer::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CkptError(CkptErrc::kIo, "cannot open " + path + " for writing");
+  const std::string image = file_image(*this);
+  os.write(image.data(), static_cast<std::streamsize>(image.size()));
+  os.flush();
+  if (!os) throw CkptError(CkptErrc::kIo, "write failure on " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+const char* Reader::take(std::size_t n) {
+  if (payload_.size() - offset_ < n)
+    throw CkptError(CkptErrc::kMalformed, "payload overrun");
+  const char* p = payload_.data() + offset_;
+  offset_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() { return static_cast<std::uint8_t>(*take(1)); }
+std::uint32_t Reader::u32() { return static_cast<std::uint32_t>(parse_le(take(4), 4)); }
+std::uint64_t Reader::u64() { return parse_le(take(8), 8); }
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(parse_le(take(8), 8)); }
+double Reader::f64() { return std::bit_cast<double>(parse_le(take(8), 8)); }
+
+std::string Reader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) throw CkptError(CkptErrc::kMalformed, "string length overrun");
+  const char* p = take(static_cast<std::size_t>(n));
+  return std::string(p, static_cast<std::size_t>(n));
+}
+
+std::vector<double> Reader::vec_f64() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) throw CkptError(CkptErrc::kMalformed, "vector length overrun");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> Reader::vec_u64() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) throw CkptError(CkptErrc::kMalformed, "vector length overrun");
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (std::uint64_t& x : v) x = u64();
+  return v;
+}
+
+std::vector<std::size_t> Reader::vec_sizes() {
+  const std::vector<std::uint64_t> raw = vec_u64();
+  return std::vector<std::size_t>(raw.begin(), raw.end());
+}
+
+void Reader::expect_section(const char tag[4]) {
+  const char* p = take(4);
+  if (std::memcmp(p, tag, 4) != 0)
+    throw CkptError(CkptErrc::kMalformed,
+                    "expected section '" + std::string(tag, 4) + "', found '" +
+                        std::string(p, 4) + "'");
+}
+
+void Reader::expect_end() const {
+  if (!at_end()) throw CkptError(CkptErrc::kMalformed, "trailing payload bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Container validation
+
+std::string validate_image(const std::string& image) {
+  if (image.size() < kHeaderSize)
+    throw CkptError(CkptErrc::kTruncated, "file shorter than the header");
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+    throw CkptError(CkptErrc::kBadMagic, "not a CrowdLearn checkpoint");
+  const auto version = static_cast<std::uint32_t>(parse_le(image.data() + 8, 4));
+  if (version != kFormatVersion)
+    throw CkptError(CkptErrc::kBadVersion,
+                    "container version " + std::to_string(version) + ", expected " +
+                        std::to_string(kFormatVersion));
+  const std::uint64_t payload_size = parse_le(image.data() + 12, 8);
+  const auto expected_crc = static_cast<std::uint32_t>(parse_le(image.data() + 20, 4));
+  if (image.size() - kHeaderSize < payload_size)
+    throw CkptError(CkptErrc::kTruncated, "file ends before the declared payload");
+  if (image.size() - kHeaderSize > payload_size)
+    throw CkptError(CkptErrc::kMalformed, "trailing bytes after the declared payload");
+  std::string payload = image.substr(kHeaderSize);
+  if (crc32(payload.data(), payload.size()) != expected_crc)
+    throw CkptError(CkptErrc::kCrcMismatch, "payload does not match the header CRC");
+  return payload;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CkptError(CkptErrc::kIo, "cannot open " + path);
+  std::string image((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (is.bad()) throw CkptError(CkptErrc::kIo, "read failure on " + path);
+  return validate_image(image);
+}
+
+}  // namespace crowdlearn::ckpt

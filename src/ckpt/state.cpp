@@ -1,0 +1,129 @@
+#include "ckpt/state.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crowdlearn::ckpt {
+
+namespace {
+constexpr char kRngTag[4] = {'R', 'N', 'G', '1'};
+constexpr char kMetricsTag[4] = {'M', 'E', 'T', '1'};
+}  // namespace
+
+void save_rng(Writer& w, const Rng& rng) {
+  w.begin_section(kRngTag);
+  w.str(rng.serialize());
+}
+
+void load_rng(Reader& r, Rng& rng) {
+  r.expect_section(kRngTag);
+  const std::string state = r.str();
+  try {
+    rng.deserialize(state);
+  } catch (const std::invalid_argument& e) {
+    throw CkptError(CkptErrc::kMalformed, e.what());
+  }
+}
+
+void save_metrics(Writer& w, const obs::MetricsRegistry& registry) {
+  w.begin_section(kMetricsTag);
+  const std::vector<obs::MetricSample> all = registry.snapshot();
+  w.u64(all.size());
+  for (const obs::MetricSample& ms : all) {
+    w.str(ms.name);
+    w.u8(static_cast<std::uint8_t>(ms.type));
+    switch (ms.type) {
+      case obs::MetricType::kCounter:
+        w.u64(static_cast<std::uint64_t>(ms.value));
+        break;
+      case obs::MetricType::kGauge:
+        w.f64(ms.value);
+        break;
+      case obs::MetricType::kHistogram:
+        w.vec_f64(ms.histogram.upper_bounds);
+        w.vec_u64(ms.histogram.bucket_counts);
+        w.u64(ms.histogram.count);
+        w.f64(ms.histogram.sum);
+        w.f64(ms.histogram.min);
+        w.f64(ms.histogram.max);
+        break;
+    }
+  }
+}
+
+void load_metrics(Reader& r, obs::MetricsRegistry& registry) {
+  r.expect_section(kMetricsTag);
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    const std::uint8_t type = r.u8();
+    try {
+      switch (static_cast<obs::MetricType>(type)) {
+        case obs::MetricType::kCounter:
+          registry.counter(name).restore(r.u64());
+          break;
+        case obs::MetricType::kGauge:
+          registry.gauge(name).set(r.f64());
+          break;
+        case obs::MetricType::kHistogram: {
+          obs::Histogram::Snapshot s;
+          s.upper_bounds = r.vec_f64();
+          s.bucket_counts = r.vec_u64();
+          s.count = r.u64();
+          s.sum = r.f64();
+          s.min = r.f64();
+          s.max = r.f64();
+          registry.histogram(name, s.upper_bounds).restore(s);
+          break;
+        }
+        default:
+          throw CkptError(CkptErrc::kMalformed,
+                          "unknown metric type for series '" + name + "'");
+      }
+    } catch (const std::logic_error& e) {
+      // Registry type collisions and bounds mismatches surface as the
+      // checkpoint being inconsistent with this process's registry.
+      throw CkptError(CkptErrc::kMalformed, e.what());
+    }
+  }
+}
+
+void save_f64_table(Writer& w, const std::vector<std::vector<double>>& t) {
+  w.u64(t.size());
+  for (const std::vector<double>& row : t) w.vec_f64(row);
+}
+
+void load_f64_table(Reader& r, std::vector<std::vector<double>>& t,
+                    std::size_t rows, std::size_t cols) {
+  const std::uint64_t n = r.u64();
+  if (n != rows)
+    throw CkptError(CkptErrc::kMalformed, "table row count mismatch");
+  std::vector<std::vector<double>> loaded(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    loaded[i] = r.vec_f64();
+    if (loaded[i].size() != cols)
+      throw CkptError(CkptErrc::kMalformed, "table column count mismatch");
+  }
+  t = std::move(loaded);
+}
+
+void save_size_table(Writer& w, const std::vector<std::vector<std::size_t>>& t) {
+  w.u64(t.size());
+  for (const std::vector<std::size_t>& row : t) w.vec_sizes(row);
+}
+
+void load_size_table(Reader& r, std::vector<std::vector<std::size_t>>& t,
+                     std::size_t rows, std::size_t cols) {
+  const std::uint64_t n = r.u64();
+  if (n != rows)
+    throw CkptError(CkptErrc::kMalformed, "table row count mismatch");
+  std::vector<std::vector<std::size_t>> loaded(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    loaded[i] = r.vec_sizes();
+    if (loaded[i].size() != cols)
+      throw CkptError(CkptErrc::kMalformed, "table column count mismatch");
+  }
+  t = std::move(loaded);
+}
+
+}  // namespace crowdlearn::ckpt

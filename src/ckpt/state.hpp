@@ -1,0 +1,41 @@
+#pragma once
+// Checkpoint hooks for the cross-cutting state types that do not own their
+// own save/load members: util::Rng streams and the obs::MetricsRegistry.
+// Module-specific state (GBDT trees, bandit statistics, platform ledgers,
+// experts) lives as save_state/load_state members next to each module; this
+// header only covers the shared plumbing every module hook builds on.
+
+#include "ckpt/io.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::ckpt {
+
+/// Persist an Rng stream's exact position (seed + full mt19937_64 state).
+/// After load_rng the stream produces the same draw sequence the saved
+/// stream would have produced next.
+void save_rng(Writer& w, const Rng& rng);
+void load_rng(Reader& r, Rng& rng);
+
+/// Persist every series of a registry (name, type, value; histogram bucket
+/// bounds and counts travel too so absent series can be re-created on load).
+/// load_metrics get-or-creates each series by name and overwrites its value;
+/// series present in the registry but absent from the checkpoint keep their
+/// current value. Throws CkptError(kMalformed) when a checkpointed series
+/// collides with an existing series of a different type or incompatible
+/// histogram bounds.
+void save_metrics(Writer& w, const obs::MetricsRegistry& registry);
+void load_metrics(Reader& r, obs::MetricsRegistry& registry);
+
+/// Row-major 2-D tables (bandit per-context×arm statistics, confusion
+/// matrices). load_* validates the stored dimensions against `rows`/`cols`
+/// and throws CkptError(kMalformed) on mismatch, so a checkpoint produced
+/// under a different configuration cannot silently load into the wrong shape.
+void save_f64_table(Writer& w, const std::vector<std::vector<double>>& t);
+void load_f64_table(Reader& r, std::vector<std::vector<double>>& t,
+                    std::size_t rows, std::size_t cols);
+void save_size_table(Writer& w, const std::vector<std::vector<std::size_t>>& t);
+void load_size_table(Reader& r, std::vector<std::vector<std::size_t>>& t,
+                     std::size_t rows, std::size_t cols);
+
+}  // namespace crowdlearn::ckpt

@@ -36,6 +36,10 @@ class CqcModule {
   /// keep), and refine latency. Never feeds back into aggregation.
   void set_observability(obs::Observability* o);
 
+  /// Checkpoint hooks (src/ckpt): delegate to the aggregator's trained GBT.
+  void save_state(ckpt::Writer& w) const { aggregator_.save_state(w); }
+  void load_state(ckpt::Reader& r) { aggregator_.load_state(r); }
+
   /// Collect every pilot response with its golden label — also used to fit
   /// the Table I baselines on identical data.
   static std::vector<truth::LabeledQuery> labeled_queries_from_pilot(

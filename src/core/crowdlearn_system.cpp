@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::core {
@@ -198,7 +199,120 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
     obs_algo_seconds_->observe(out.algorithm_delay_seconds);
     if (!results.empty()) obs_crowd_delay_->observe(out.crowd_delay_seconds);
   }
+  ++cycles_run_;
   return out;
+}
+
+namespace {
+constexpr char kSystemTag[4] = {'S', 'Y', 'S', '1'};
+}
+
+void CrowdLearnSystem::serialize_state(ckpt::Writer& w,
+                                       const crowd::CrowdPlatform* platform) const {
+  w.begin_section(kSystemTag);
+  // Config fingerprint: everything the restored modules' shapes and RNG
+  // streams were derived from. A checkpoint only makes sense on a system
+  // built with the same knobs.
+  w.u64(cfg_.seed);
+  w.u64(cfg_.queries_per_cycle);
+  w.u64(committee_.size());
+  w.u64(cfg_.qss.seed);
+  w.u64(cfg_.ipd.seed);
+  w.f64(cfg_.ipd.total_budget_cents);
+  w.u64(cfg_.ipd.horizon_queries);
+
+  w.u64(cycles_run_);
+  ckpt::save_rng(w, rng_);
+  committee_.save_state(w);
+  qss_.save_state(w);
+  ipd_.save_state(w);
+  cqc_.save_state(w);
+  broker_.save_state(w);
+
+  w.u8(obs_ != nullptr ? 1 : 0);
+  if (obs_ != nullptr) ckpt::save_metrics(w, obs_->metrics());
+
+  w.u8(platform != nullptr ? 1 : 0);
+  if (platform != nullptr) platform->save_state(w);
+}
+
+void CrowdLearnSystem::apply_state(ckpt::Reader& r, crowd::CrowdPlatform* platform) {
+  r.expect_section(kSystemTag);
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t queries_per_cycle = r.u64();
+  const std::uint64_t num_experts = r.u64();
+  const std::uint64_t qss_seed = r.u64();
+  const std::uint64_t ipd_seed = r.u64();
+  const double ipd_budget = r.f64();
+  const std::uint64_t ipd_horizon = r.u64();
+  if (seed != cfg_.seed || queries_per_cycle != cfg_.queries_per_cycle ||
+      num_experts != committee_.size() || qss_seed != cfg_.qss.seed ||
+      ipd_seed != cfg_.ipd.seed || ipd_budget != cfg_.ipd.total_budget_cents ||
+      ipd_horizon != cfg_.ipd.horizon_queries) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kConfigMismatch,
+                          "checkpoint was produced under a different system config");
+  }
+
+  cycles_run_ = static_cast<std::size_t>(r.u64());
+  ckpt::load_rng(r, rng_);
+  committee_.load_state(r);
+  qss_.load_state(r);
+  ipd_.load_state(r);
+  cqc_.load_state(r);
+  broker_.load_state(r);
+
+  if (r.u8() != 0) {
+    if (obs_ != nullptr) {
+      ckpt::load_metrics(r, obs_->metrics());
+    } else {
+      // Consume (and validate) the section so the stream stays in sync; the
+      // values land in a scratch registry that dies here.
+      obs::MetricsRegistry scratch;
+      ckpt::load_metrics(r, scratch);
+    }
+  }
+
+  const bool has_platform = r.u8() != 0;
+  if (has_platform != (platform != nullptr)) {
+    throw ckpt::CkptError(
+        ckpt::CkptErrc::kConfigMismatch,
+        has_platform ? "checkpoint carries platform state; pass the platform to resume_from"
+                     : "checkpoint has no platform state but a platform was supplied");
+  }
+  if (platform != nullptr) platform->load_state(r);
+  r.expect_end();
+}
+
+void CrowdLearnSystem::save_checkpoint(const std::string& path,
+                                       const crowd::CrowdPlatform* platform) const {
+  if (!initialized_)
+    throw std::logic_error("CrowdLearnSystem: save_checkpoint before initialize");
+  ckpt::Writer w;
+  serialize_state(w, platform);
+  w.write_file(path);
+}
+
+void CrowdLearnSystem::resume_from(const std::string& path,
+                                   crowd::CrowdPlatform* platform) {
+  // Validate the whole container (magic, version, size, CRC) before touching
+  // any state.
+  std::string payload = ckpt::read_file(path);
+
+  // Snapshot the current state so a payload that fails mid-apply (malformed
+  // content behind a valid CRC, config mismatch discovered late) rolls back
+  // instead of leaving the system half-mutated.
+  ckpt::Writer rollback;
+  serialize_state(rollback, platform);
+
+  ckpt::Reader r(std::move(payload));
+  try {
+    apply_state(r, platform);
+  } catch (...) {
+    ckpt::Reader undo(rollback.payload());
+    apply_state(undo, platform);
+    throw;
+  }
+  initialized_ = true;
 }
 
 std::vector<CycleOutcome> CrowdLearnSystem::run_stream(

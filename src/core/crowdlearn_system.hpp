@@ -7,6 +7,7 @@
 //       offloading of the queried images' labels.
 
 #include <memory>
+#include <string>
 
 #include "core/cqc_module.hpp"
 #include "core/ipd.hpp"
@@ -17,6 +18,11 @@
 #include "obs/observability.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
+
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
 
 namespace crowdlearn::core {
 
@@ -80,6 +86,29 @@ class CrowdLearnSystem {
                                        crowd::CrowdPlatform& platform,
                                        const dataset::SensingCycleStream& stream);
 
+  /// Write the full mutable loop state to `path` (docs/CHECKPOINTING.md):
+  /// every module's trained models and statistics, every RNG stream's
+  /// position, the metrics registry (when observability is on), and — when
+  /// `platform` is given — the external platform's ledgers and streams.
+  /// Requires initialize() to have run (throws std::logic_error otherwise);
+  /// file-level failures surface as ckpt::CkptError(kIo).
+  void save_checkpoint(const std::string& path,
+                       const crowd::CrowdPlatform* platform = nullptr) const;
+
+  /// Restore the state written by save_checkpoint so the next run_cycle
+  /// produces byte-identical output to the run that saved — across
+  /// processes and at any thread count. Validates the whole container
+  /// (magic/version/CRC) before touching any state; on any typed
+  /// ckpt::CkptError during apply the previous state is rolled back, so a
+  /// failed resume never leaves the system partially mutated. Pass the same
+  /// `platform` argument the checkpoint was saved with (state presence is
+  /// checked both ways). Marks the system initialized on success.
+  void resume_from(const std::string& path, crowd::CrowdPlatform* platform = nullptr);
+
+  /// Number of run_cycle calls completed (checkpoint cursor: a resumed
+  /// caller skips stream cycles with index < cycles_run()).
+  std::size_t cycles_run() const { return cycles_run_; }
+
   experts::ExpertCommittee& committee() { return committee_; }
   Ipd& ipd() { return ipd_; }
   CqcModule& cqc() { return cqc_; }
@@ -114,6 +143,12 @@ class CrowdLearnSystem {
   crowd::QueryBroker broker_;
   Rng rng_;
   bool initialized_ = false;
+  std::size_t cycles_run_ = 0;
+
+  /// Serialize / apply the full system state (shared by save_checkpoint,
+  /// resume_from and its rollback buffer).
+  void serialize_state(ckpt::Writer& w, const crowd::CrowdPlatform* platform) const;
+  void apply_state(ckpt::Reader& r, crowd::CrowdPlatform* platform);
 
   /// System-level handles cached by enable_observability().
   obs::Counter* obs_cycles_ = nullptr;

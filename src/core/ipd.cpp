@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/io.hpp"
+
 namespace crowdlearn::core {
 
 namespace {
@@ -108,6 +110,31 @@ void Ipd::set_observability(obs::Observability* o) {
   }
   obs_spent_ = &m.gauge("crowdlearn_ipd_spent_cents");
   obs_remaining_ = &m.gauge("crowdlearn_ipd_remaining_budget_cents");
+  publish_budget_gauges();
+}
+
+namespace {
+constexpr char kIpdTag[4] = {'I', 'P', 'D', '1'};
+}
+
+void Ipd::save_state(ckpt::Writer& w) const {
+  w.begin_section(kIpdTag);
+  w.str(policy_->name());
+  w.f64(spent_cents_);
+  policy_->save_state(w);
+}
+
+void Ipd::load_state(ckpt::Reader& r) {
+  r.expect_section(kIpdTag);
+  const std::string stored_policy = r.str();
+  if (stored_policy != policy_->name()) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "checkpoint holds incentive policy '" + stored_policy +
+                              "' but this IPD runs '" + policy_->name() + "'");
+  }
+  const double spent = r.f64();
+  policy_->load_state(r);
+  spent_cents_ = spent;
   publish_budget_gauges();
 }
 

@@ -66,6 +66,13 @@ class Ipd {
   /// happens after the policy's choice and never feeds back into it.
   void set_observability(obs::Observability* o);
 
+  /// Checkpoint hooks (src/ckpt): the spend ledger plus the policy's state
+  /// (delegated). load_state validates the stored policy name against the
+  /// installed policy and throws ckpt::CkptError(kMalformed) on mismatch —
+  /// a UCB-ALP checkpoint must not load into a fixed-incentive baseline.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   obs::Counter* pull_counter(dataset::TemporalContext context, double incentive_cents);
   void publish_budget_gauges();

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+
 namespace crowdlearn::core {
 
 QssSelection Qss::select(experts::ExpertCommittee& committee, const dataset::Dataset& data,
@@ -85,6 +87,20 @@ void Qss::set_observability(obs::Observability* o) {
                               obs::Histogram::linear_bounds(0.1, 0.1, 12));
   obs_selections_ = &m.counter("crowdlearn_qss_selections_total");
   obs_explore_picks_ = &m.counter("crowdlearn_qss_explore_picks_total");
+}
+
+namespace {
+constexpr char kQssTag[4] = {'Q', 'S', 'S', '1'};
+}
+
+void Qss::save_state(ckpt::Writer& w) const {
+  w.begin_section(kQssTag);
+  ckpt::save_rng(w, rng_);
+}
+
+void Qss::load_state(ckpt::Reader& r) {
+  r.expect_section(kQssTag);
+  ckpt::load_rng(r, rng_);
 }
 
 }  // namespace crowdlearn::core

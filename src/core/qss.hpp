@@ -10,6 +10,11 @@
 #include "obs/observability.hpp"
 #include "util/rng.hpp"
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::core {
 
 struct QssConfig {
@@ -58,6 +63,11 @@ class Qss {
   /// Recording happens after every RNG draw and never feeds back into the
   /// selection, so the chosen query set is identical with metrics on or off.
   void set_observability(obs::Observability* o);
+
+  /// Checkpoint hooks (src/ckpt): the epsilon-greedy RNG stream is QSS's
+  /// only mutable state.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   QssConfig cfg_;

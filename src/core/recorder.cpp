@@ -8,24 +8,24 @@
 
 namespace crowdlearn::core {
 
-void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
-                     std::ostream& os) {
+void write_cycle_log(const dataset::Dataset& data,
+                     const std::vector<CycleOutcome>& outcomes, std::ostream& os,
+                     const CycleLogOptions& opts) {
   std::size_t num_experts = 0;
-  for (const CycleOutcome& out : eval.outcomes)
+  for (const CycleOutcome& out : outcomes)
     num_experts = std::max(num_experts, out.expert_weights.size());
 
-  std::vector<std::string> header{"cycle",          "context",
-                                  "images",         "queried",
-                                  "accuracy",       "crowd_delay_s",
-                                  "algorithm_delay_s", "spent_cents",
-                                  "mean_incentive_cents", "retries",
-                                  "partial_queries", "failed_queries",
-                                  "fallbacks"};
+  std::vector<std::string> header{"cycle",    "context", "images",
+                                  "queried",  "accuracy", "crowd_delay_s"};
+  if (opts.include_wall_clock) header.push_back("algorithm_delay_s");
+  for (const char* col : {"spent_cents", "mean_incentive_cents", "retries",
+                          "partial_queries", "failed_queries", "fallbacks"})
+    header.push_back(col);
   for (std::size_t m = 0; m < num_experts; ++m)
     header.push_back("w_expert" + std::to_string(m));
   TablePrinter table(header);
 
-  for (const CycleOutcome& out : eval.outcomes) {
+  for (const CycleOutcome& out : outcomes) {
     std::size_t correct = 0;
     for (std::size_t i = 0; i < out.image_ids.size(); ++i)
       if (out.predictions[i] == dataset::label_index(data.image(out.image_ids[i]).true_label))
@@ -43,22 +43,28 @@ void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
         TablePrinter::num(static_cast<double>(correct) /
                               static_cast<double>(out.image_ids.size()),
                           4),
-        TablePrinter::num(out.crowd_delay_seconds, 2),
-        TablePrinter::num(out.algorithm_delay_seconds, 6),
-        TablePrinter::num(out.spent_cents, 2),
-        TablePrinter::num(mean_incentive, 2),
-        std::to_string(out.query_retries),
-        std::to_string(out.partial_queries),
-        std::to_string(out.failed_queries),
-        std::to_string(out.fallback_ids.size())};
+        TablePrinter::num(out.crowd_delay_seconds, 2)};
+    if (opts.include_wall_clock)
+      row.push_back(TablePrinter::num(out.algorithm_delay_seconds, 6));
+    row.push_back(TablePrinter::num(out.spent_cents, 2));
+    row.push_back(TablePrinter::num(mean_incentive, 2));
+    row.push_back(std::to_string(out.query_retries));
+    row.push_back(std::to_string(out.partial_queries));
+    row.push_back(std::to_string(out.failed_queries));
+    row.push_back(std::to_string(out.fallback_ids.size()));
     for (std::size_t m = 0; m < num_experts; ++m)
       row.push_back(m < out.expert_weights.size()
                         ? TablePrinter::num(out.expert_weights[m], 4)
                         : std::string(""));
     table.add_row(std::move(row));
   }
-  table.print_csv(os);
+  table.print_csv(os, opts.include_header);
   if (!os) throw std::runtime_error("write_cycle_log: stream failure");
+}
+
+void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
+                     std::ostream& os) {
+  write_cycle_log(data, eval.outcomes, os);
 }
 
 void write_summary(const std::vector<SchemeEvaluation>& evals, std::ostream& os) {
@@ -125,6 +131,43 @@ void write_metrics_json_file(const obs::Observability* o, const std::string& pat
 void write_trace_file(const obs::Observability* o, const std::string& path) {
   if (!require_obs(o, "write_trace_file").tracer().write_chrome_trace_file(path))
     throw std::runtime_error("write_trace_file: cannot write " + path);
+}
+
+bool is_wall_clock_metric(const obs::MetricSample& sample) {
+  if (sample.type != obs::MetricType::kHistogram) return false;
+  const std::string& n = sample.name;
+  const std::string suffix = "_seconds";
+  if (n.size() < suffix.size() ||
+      n.compare(n.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return false;
+  // Crowd delays are simulated (a deterministic function of the run's RNG
+  // streams); everything else in seconds came off a host clock.
+  return n.find("_delay_seconds") == std::string::npos;
+}
+
+bool is_host_execution_metric(const obs::MetricSample& sample) {
+  if (is_wall_clock_metric(sample)) return true;
+  // Thread-pool series (task counts, queue depth) describe how the work was
+  // scheduled on THIS host — they scale with num_threads even though the
+  // simulated results do not, so they cannot appear in an export compared
+  // across thread counts.
+  return sample.name.rfind("crowdlearn_pool", 0) == 0;
+}
+
+void write_metrics_json_deterministic(const obs::Observability* o, std::ostream& os) {
+  require_obs(o, "write_metrics_json_deterministic")
+      .metrics()
+      .write_json(os,
+                  [](const obs::MetricSample& s) { return !is_host_execution_metric(s); });
+  if (!os) throw std::runtime_error("write_metrics_json_deterministic: stream failure");
+}
+
+void write_metrics_json_deterministic_file(const obs::Observability* o,
+                                           const std::string& path) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_metrics_json_deterministic_file: cannot open " + path);
+  write_metrics_json_deterministic(o, os);
 }
 
 }  // namespace crowdlearn::core

@@ -15,11 +15,31 @@
 
 namespace crowdlearn::core {
 
+/// Knobs for the per-cycle CSV log.
+struct CycleLogOptions {
+  /// Emit the algorithm_delay_s column. It is the one wall-clock-derived
+  /// column, so deterministic comparisons (golden traces, checkpoint resume
+  /// equivalence) set this false; everything else in the log is a pure
+  /// function of the simulated run.
+  bool include_wall_clock = true;
+  /// Emit the header row. False when appending the resumed half of a
+  /// checkpointed run to an existing log so the concatenation is one valid
+  /// CSV file (docs/CHECKPOINTING.md).
+  bool include_header = true;
+};
+
 /// Write one scheme's per-cycle log as CSV. Columns:
 /// cycle,context,images,queried,accuracy,crowd_delay_s,algorithm_delay_s,
-/// spent_cents,mean_incentive_cents,w_expert0..w_expertN
+/// spent_cents,mean_incentive_cents,retries,partial_queries,failed_queries,
+/// fallbacks,w_expert0..w_expertN
 void write_cycle_log(const dataset::Dataset& data, const SchemeEvaluation& eval,
                      std::ostream& os);
+
+/// Same log from raw cycle outcomes (what run_stream returns), without
+/// requiring a full SchemeEvaluation wrapper.
+void write_cycle_log(const dataset::Dataset& data,
+                     const std::vector<CycleOutcome>& outcomes, std::ostream& os,
+                     const CycleLogOptions& opts = {});
 
 /// Write a summary CSV over several scheme evaluations (one row each).
 /// Columns: scheme,accuracy,precision,recall,f1,macro_auc,
@@ -40,5 +60,23 @@ void write_metrics_json(const obs::Observability* o, std::ostream& os);
 void write_metrics_text_file(const obs::Observability* o, const std::string& path);
 void write_metrics_json_file(const obs::Observability* o, const std::string& path);
 void write_trace_file(const obs::Observability* o, const std::string& path);
+
+/// True for series that measure host wall-clock time (histograms named
+/// `*_seconds`), EXCEPT the simulated crowd-delay series (`*_delay_seconds`),
+/// which are a deterministic function of the run.
+bool is_wall_clock_metric(const obs::MetricSample& sample);
+
+/// True for series that describe host execution rather than the simulated
+/// run: wall-clock series plus thread-pool scheduling series
+/// (`crowdlearn_pool_*`), whose values scale with num_threads.
+bool is_host_execution_metric(const obs::MetricSample& sample);
+
+/// Metrics JSON with every host-execution series dropped, so two runs with
+/// equal simulated state produce byte-identical output — at any thread count
+/// — the comparison format for golden traces and checkpoint-resume
+/// equivalence (docs/CHECKPOINTING.md).
+void write_metrics_json_deterministic(const obs::Observability* o, std::ostream& os);
+void write_metrics_json_deterministic_file(const obs::Observability* o,
+                                           const std::string& path);
 
 }  // namespace crowdlearn::core

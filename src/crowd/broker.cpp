@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
+
 namespace crowdlearn::crowd {
 
 const char* query_outcome_name(QueryOutcome outcome) {
@@ -210,6 +212,33 @@ void QueryBroker::set_observability(obs::Observability* o) {
   obs_delay_seconds_ = &m.histogram("crowdlearn_broker_completion_delay_seconds",
                                     obs::Histogram::exponential_bounds(30.0, 2.0, 9));
   obs_charged_cents_ = &m.gauge("crowdlearn_broker_charged_cents");
+}
+
+namespace {
+constexpr char kBrokerTag[4] = {'B', 'R', 'K', '1'};
+}
+
+void QueryBroker::save_state(ckpt::Writer& w) const {
+  w.begin_section(kBrokerTag);
+  w.u64(total_retries_);
+  w.u64(total_outage_retries_);
+  w.u64(total_partials_);
+  w.u64(total_failures_);
+  w.u64(total_duplicates_dropped_);
+}
+
+void QueryBroker::load_state(ckpt::Reader& r) {
+  r.expect_section(kBrokerTag);
+  const auto retries = static_cast<std::size_t>(r.u64());
+  const auto outage_retries = static_cast<std::size_t>(r.u64());
+  const auto partials = static_cast<std::size_t>(r.u64());
+  const auto failures = static_cast<std::size_t>(r.u64());
+  const auto duplicates = static_cast<std::size_t>(r.u64());
+  total_retries_ = retries;
+  total_outage_retries_ = outage_retries;
+  total_partials_ = partials;
+  total_failures_ = failures;
+  total_duplicates_dropped_ = duplicates;
 }
 
 }  // namespace crowdlearn::crowd

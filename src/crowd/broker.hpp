@@ -135,6 +135,12 @@ class QueryBroker {
   /// Recording never feeds back into the lifecycle decisions.
   void set_observability(obs::Observability* o);
 
+  /// Checkpoint hooks (src/ckpt): persist / restore the lifetime counters.
+  /// The broker draws no randomness, so counters are its entire mutable
+  /// state; the observability wiring is reconstructed, not checkpointed.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   BrokerConfig cfg_;
   std::size_t total_retries_ = 0;

@@ -5,14 +5,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+
 namespace crowdlearn::crowd {
 
 namespace {
 double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-
-/// Salt for the fault RNG stream fork (arbitrary constant, fixed forever so
-/// fault realizations are reproducible per platform seed).
-constexpr std::uint64_t kFaultStreamSalt = 0xFA017;
 
 void validate_probability(double p, const char* what) {
   if (p < 0.0 || p > 1.0 || !std::isfinite(p))
@@ -111,25 +109,30 @@ bool CrowdPlatform::in_outage(std::size_t sequence) const {
 }
 
 std::size_t CrowdPlatform::apply_faults(QueryResponse& resp) {
+  // Each knob consumes fault-stream draws only when that knob is armed
+  // (probability > 0), so a knob at zero is byte-identical to the knob not
+  // existing at all — tests/test_faults.cpp pins this per knob by mirroring
+  // the fault stream (kFaultStreamSalt) and predicting every draw.
   const FaultInjectionConfig& f = cfg_.faults;
   std::vector<WorkerAnswer> kept;
   kept.reserve(resp.answers.size());
   for (WorkerAnswer& a : resp.answers) {
     // An abandoned HIT consumes exactly one fault draw; the remaining fault
     // draws for that answer are skipped (the answer never materializes).
-    if (fault_rng_.bernoulli(f.abandonment_prob)) {
+    if (f.abandonment_prob > 0.0 && fault_rng_.bernoulli(f.abandonment_prob)) {
       ++fault_stats_.abandoned_answers;
       continue;
     }
-    if (fault_rng_.bernoulli(f.straggler_prob)) {
+    if (f.straggler_prob > 0.0 && fault_rng_.bernoulli(f.straggler_prob)) {
       a.delay_seconds *= f.straggler_multiplier * (1.0 + fault_rng_.uniform(0.0, 1.0));
       ++fault_stats_.stragglers;
     }
-    if (fault_rng_.bernoulli(f.blank_questionnaire_prob)) {
+    if (f.blank_questionnaire_prob > 0.0 &&
+        fault_rng_.bernoulli(f.blank_questionnaire_prob)) {
       a.questionnaire.clear();
       ++fault_stats_.blank_questionnaires;
     }
-    if (fault_rng_.bernoulli(f.malformed_label_prob)) {
+    if (f.malformed_label_prob > 0.0 && fault_rng_.bernoulli(f.malformed_label_prob)) {
       a.label = kMalformedLabel;
       ++fault_stats_.malformed_labels;
     }
@@ -138,10 +141,12 @@ std::size_t CrowdPlatform::apply_faults(QueryResponse& resp) {
   const std::size_t paid = kept.size();
   // Duplicate submissions: a worker's double-submit appends a copy of the
   // original answer; the platform pays each assignment once.
-  for (std::size_t i = 0; i < paid; ++i) {
-    if (fault_rng_.bernoulli(f.duplicate_prob)) {
-      kept.push_back(kept[i]);
-      ++fault_stats_.duplicate_answers;
+  if (f.duplicate_prob > 0.0) {
+    for (std::size_t i = 0; i < paid; ++i) {
+      if (fault_rng_.bernoulli(f.duplicate_prob)) {
+        kept.push_back(kept[i]);
+        ++fault_stats_.duplicate_answers;
+      }
     }
   }
   resp.answers = std::move(kept);
@@ -210,6 +215,66 @@ QueryResponse CrowdPlatform::post_query(std::size_t image_id, double incentive_c
       incentive_cents * static_cast<double>(paid) / static_cast<double>(cfg_.workers_per_query);
   spent_cents_ += resp.charged_cents;
   return resp;
+}
+
+namespace {
+constexpr char kPlatformTag[4] = {'P', 'L', 'T', '1'};
+}
+
+void CrowdPlatform::save_state(ckpt::Writer& w) const {
+  w.begin_section(kPlatformTag);
+  // Config fingerprint: the worker pool and behavioral streams are derived
+  // from these, so a checkpoint only makes sense on a platform built the
+  // same way.
+  w.u64(cfg_.seed);
+  w.u64(cfg_.population_seed);
+  w.u64(cfg_.pool_size);
+  w.u64(cfg_.workers_per_query);
+  ckpt::save_rng(w, rng_);
+  ckpt::save_rng(w, fault_rng_);
+  w.f64(spent_cents_);
+  w.u64(queries_posted_);
+  w.u64(fault_stats_.abandoned_answers);
+  w.u64(fault_stats_.stragglers);
+  w.u64(fault_stats_.blank_questionnaires);
+  w.u64(fault_stats_.malformed_labels);
+  w.u64(fault_stats_.duplicate_answers);
+  w.u64(fault_stats_.outage_refusals);
+  w.u64(fault_stats_.budget_refusals);
+}
+
+void CrowdPlatform::load_state(ckpt::Reader& r) {
+  r.expect_section(kPlatformTag);
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t population_seed = r.u64();
+  const std::uint64_t pool_size = r.u64();
+  const std::uint64_t workers_per_query = r.u64();
+  if (seed != cfg_.seed || population_seed != cfg_.population_seed ||
+      pool_size != cfg_.pool_size || workers_per_query != cfg_.workers_per_query) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kConfigMismatch,
+                          "checkpoint was produced by a platform with a different "
+                          "seed or worker pool");
+  }
+  // Parse into temporaries; commit only after the whole section read clean.
+  Rng rng = rng_;
+  Rng fault_rng = fault_rng_;
+  ckpt::load_rng(r, rng);
+  ckpt::load_rng(r, fault_rng);
+  const double spent = r.f64();
+  const auto posted = static_cast<std::size_t>(r.u64());
+  FaultStats stats;
+  stats.abandoned_answers = static_cast<std::size_t>(r.u64());
+  stats.stragglers = static_cast<std::size_t>(r.u64());
+  stats.blank_questionnaires = static_cast<std::size_t>(r.u64());
+  stats.malformed_labels = static_cast<std::size_t>(r.u64());
+  stats.duplicate_answers = static_cast<std::size_t>(r.u64());
+  stats.outage_refusals = static_cast<std::size_t>(r.u64());
+  stats.budget_refusals = static_cast<std::size_t>(r.u64());
+  rng_ = rng;
+  fault_rng_ = fault_rng;
+  spent_cents_ = spent;
+  queries_posted_ = posted;
+  fault_stats_ = stats;
 }
 
 std::vector<QueryResponse> CrowdPlatform::post_queries(

@@ -16,9 +16,11 @@
 // blank questionnaires, malformed labels, duplicate submissions and timed
 // platform outage windows. Faults draw from a dedicated RNG stream forked
 // from the platform seed, so the behavioral stream that generates answers
-// is consumed identically whether faults are configured or not — a run with
-// every fault probability at zero is byte-identical to a run with no fault
-// layer at all.
+// is consumed identically whether faults are configured or not. The fault
+// stream is consumed per knob, only when that knob is armed (probability
+// > 0): a knob at zero is byte-identical to the knob not existing, and a
+// config with every probability at zero is byte-identical to no fault layer
+// at all (tests/test_faults.cpp pins both).
 
 #include <array>
 #include <vector>
@@ -26,10 +28,20 @@
 #include "crowd/worker.hpp"
 #include "dataset/generator.hpp"
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::crowd {
 
 /// The seven incentive levels (in cents) the paper studies.
 inline constexpr std::array<double, 7> kIncentiveLevels{1, 2, 4, 6, 8, 10, 20};
+
+/// Salt XORed into the platform seed to fork the dedicated fault stream
+/// (fault_rng_ = Rng(mix_seed(seed ^ salt))). Public so tests can construct
+/// a mirror of the fault stream and predict each knob's draws exactly.
+inline constexpr std::uint64_t kFaultStreamSalt = 0xFA017;
 
 /// Context x incentive -> expected delay, as
 ///   delay = base[ctx] * ( floor[ctx] + (1 - floor[ctx]) *
@@ -191,6 +203,15 @@ class CrowdPlatform {
   /// exposed for tests and for analytic calibration checks. Real responses
   /// add lognormal noise on top.
   double expected_answer_delay(TemporalContext context, double incentive_cents) const;
+
+  /// Checkpoint hooks (src/ckpt): persist / restore both RNG streams, the
+  /// spend ledger, the posted-query sequence counter and fault statistics.
+  /// The worker pool is rebuilt deterministically from population_seed, so
+  /// only a fingerprint travels: load_state throws
+  /// ckpt::CkptError(kConfigMismatch) when the checkpoint was produced under
+  /// a different seed, population_seed or pool size.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   const dataset::Dataset* dataset_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
 #include "experts/bovw.hpp"
 #include "experts/ddm.hpp"
 #include "experts/vgg16_like.hpp"
@@ -84,6 +85,33 @@ void BoostedEnsemble::retrain(const dataset::Dataset& data,
 std::vector<double> BoostedEnsemble::predict_proba(const dataset::DisasterImage& image) {
   if (!trained_) throw std::logic_error("BoostedEnsemble::predict before train");
   return meta_.predict_proba(stacked_features(image));
+}
+
+namespace {
+constexpr char kEnsembleTag[4] = {'E', 'N', 'S', '1'};
+}
+
+void BoostedEnsemble::save_state(ckpt::Writer& w) const {
+  w.begin_section(kEnsembleTag);
+  w.u8(trained_ ? 1 : 0);
+  w.u64(members_.size());
+  for (const auto& m : members_) m->save_state(w);
+  meta_.save_state(w);
+  w.vec_sizes(meta_training_ids_);
+}
+
+void BoostedEnsemble::load_state(ckpt::Reader& r) {
+  r.expect_section(kEnsembleTag);
+  const bool trained = r.u8() != 0;
+  const std::uint64_t count = r.u64();
+  if (count != members_.size()) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "BoostedEnsemble member count mismatch");
+  }
+  for (auto& m : members_) m->load_state(r);
+  meta_.load_state(r);
+  meta_training_ids_ = r.vec_sizes();
+  trained_ = trained;
 }
 
 }  // namespace crowdlearn::experts

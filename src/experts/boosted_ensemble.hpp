@@ -40,6 +40,11 @@ class BoostedEnsemble : public DdaAlgorithm {
   std::size_t num_members() const { return members_.size(); }
   DdaAlgorithm& member(std::size_t m) { return *members_.at(m); }
 
+  /// Checkpoint hooks (src/ckpt): member experts, the boosted meta model and
+  /// the golden ids it recalibrates on after retrain().
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
+
  private:
   std::vector<std::unique_ptr<DdaAlgorithm>> members_;
   gbdt::AdaBoostConfig boost_cfg_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/io.hpp"
 #include "experts/bovw.hpp"
 #include "experts/ddm.hpp"
 #include "experts/vgg16_like.hpp"
@@ -58,6 +59,56 @@ void ExpertCommittee::set_observability(obs::Observability* o) {
   obs_batch_seconds_ =
       &m.histogram("crowdlearn_committee_batch_inference_seconds",
                    obs::Histogram::exponential_bounds(1e-3, 2.0, 14));
+}
+
+namespace {
+constexpr char kCommitteeTag[4] = {'C', 'M', 'T', '1'};
+}
+
+void ExpertCommittee::save_state(ckpt::Writer& w) const {
+  w.begin_section(kCommitteeTag);
+  w.u64(experts_.size());
+  for (const auto& e : experts_) {
+    w.str(e->name());
+    e->save_state(w);
+  }
+  w.vec_f64(weights_);
+  std::vector<std::uint64_t> quarantined(quarantined_.begin(), quarantined_.end());
+  w.vec_u64(quarantined);
+}
+
+void ExpertCommittee::load_state(ckpt::Reader& r) {
+  r.expect_section(kCommitteeTag);
+  const std::uint64_t count = r.u64();
+  if (count != experts_.size()) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "checkpoint roster has a different expert count");
+  }
+  for (const auto& e : experts_) {
+    const std::string stored_name = r.str();
+    if (stored_name != e->name()) {
+      throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                            "checkpoint roster expert '" + stored_name +
+                                "' does not match committee expert '" + e->name() + "'");
+    }
+    e->load_state(r);
+  }
+  // Weights were normalized when they were set; restore the saved bits
+  // directly instead of renormalizing (re-dividing an already-normalized
+  // vector is not a bitwise no-op).
+  std::vector<double> weights = r.vec_f64();
+  std::vector<std::uint64_t> quarantined = r.vec_u64();
+  if (weights.size() != experts_.size() || quarantined.size() != experts_.size()) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "committee weight/quarantine vector size mismatch");
+  }
+  weights_ = std::move(weights);
+  quarantined_.assign(quarantined.begin(), quarantined.end());
+  if (obs::active(obs_)) {
+    for (std::size_t m = 0; m < weights_.size(); ++m)
+      obs_weight_gauges_[m]->set(weights_[m]);
+    obs_quarantined_now_->set(static_cast<double>(num_quarantined()));
+  }
 }
 
 ExpertCommittee ExpertCommittee::clone() const {

@@ -101,6 +101,13 @@ class ExpertCommittee {
   std::vector<std::size_t> predict_batch(const dataset::Dataset& data,
                                          const std::vector<std::size_t>& ids);
 
+  /// Checkpoint hooks (src/ckpt): per-expert state (delegated to each
+  /// expert), the Hedge weights and the quarantine mask. load_state
+  /// validates the stored roster (count and per-expert names) against this
+  /// committee and throws ckpt::CkptError(kMalformed) on mismatch.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   std::vector<std::unique_ptr<DdaAlgorithm>> experts_;
   std::vector<double> weights_;

@@ -1,12 +1,22 @@
 #include "experts/dda_algorithm.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
 #include "nn/serialize.hpp"
 
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::experts {
+
+void DdaAlgorithm::save_state(ckpt::Writer&) const {
+  throw std::logic_error("expert '" + name() + "' does not support checkpointing");
+}
+
+void DdaAlgorithm::load_state(ckpt::Reader&) {
+  throw std::logic_error("expert '" + name() + "' does not support checkpointing");
+}
 
 std::size_t DdaAlgorithm::predict(const dataset::DisasterImage& image) {
   return stats::argmax(predict_proba(image));
@@ -49,6 +59,51 @@ void NeuralDdaAlgorithm::load_model(std::istream& is) {
   trained_ = true;
   base_training_ids_.clear();
   on_model_loaded();
+}
+
+namespace {
+constexpr char kNeuralTag[4] = {'N', 'D', 'A', '1'};
+}
+
+void NeuralDdaAlgorithm::save_state(ckpt::Writer& w) const {
+  w.begin_section(kNeuralTag);
+  w.str(name());
+  w.u8(trained_ ? 1 : 0);
+  std::ostringstream blob;
+  if (trained_) nn::save_model(model_, blob);
+  w.str(blob.str());
+  w.vec_sizes(base_training_ids_);
+  w.u64(replay_per_new_label_);
+}
+
+void NeuralDdaAlgorithm::load_state(ckpt::Reader& r) {
+  r.expect_section(kNeuralTag);
+  const std::string stored_name = r.str();
+  if (stored_name != name()) {
+    throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                          "checkpoint holds expert '" + stored_name +
+                              "' but this expert is '" + name() + "'");
+  }
+  const bool trained = r.u8() != 0;
+  const std::string blob = r.str();
+  std::vector<std::size_t> base_ids = r.vec_sizes();
+  const auto replay = static_cast<std::size_t>(r.u64());
+
+  nn::Sequential model;
+  if (trained) {
+    std::istringstream is(blob);
+    try {
+      model = nn::load_model(is);
+    } catch (const std::exception& e) {
+      throw ckpt::CkptError(ckpt::CkptErrc::kMalformed,
+                            "expert '" + name() + "' model blob: " + e.what());
+    }
+  }
+  model_ = std::move(model);
+  trained_ = trained;
+  base_training_ids_ = std::move(base_ids);
+  replay_per_new_label_ = replay;
+  if (trained_) on_model_loaded();
 }
 
 void NeuralDdaAlgorithm::copy_neural_state(const NeuralDdaAlgorithm& src) {

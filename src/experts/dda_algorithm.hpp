@@ -12,6 +12,11 @@
 #include "dataset/generator.hpp"
 #include "nn/sequential.hpp"
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::experts {
 
 class DdaAlgorithm {
@@ -39,6 +44,14 @@ class DdaAlgorithm {
 
   /// Whether train() has completed on this instance.
   virtual bool is_trained() const = 0;
+
+  /// Checkpoint hooks (src/ckpt): persist / restore the expert's full
+  /// mutable state (trained parameters AND retrain bookkeeping — unlike the
+  /// neural save_model/load_model pair, which drops the golden replay set).
+  /// The base implementations throw std::logic_error; every expert the
+  /// system checkpoints must override both.
+  virtual void save_state(ckpt::Writer& w) const;
+  virtual void load_state(ckpt::Reader& r);
 
   /// Argmax of predict_proba.
   std::size_t predict(const dataset::DisasterImage& image);
@@ -70,6 +83,14 @@ class NeuralDdaAlgorithm : public DdaAlgorithm {
   /// loaded expert retrains on crowd labels alone unless train() ran first.
   void save_model(std::ostream& os) const;
   void load_model(std::istream& is);
+
+  /// Checkpoint hooks: the network plus the retrain bookkeeping
+  /// (base_training_ids_, replay rate), so a restored expert replays golden
+  /// samples exactly like the saved one. load_state validates the stored
+  /// expert name against name() and throws ckpt::CkptError(kMalformed) on
+  /// mismatch (a reordered roster must fail loudly, not load the wrong net).
+  void save_state(ckpt::Writer& w) const override;
+  void load_state(ckpt::Reader& r) override;
 
  protected:
   /// Build the (untrained) network. Called once at the start of train().

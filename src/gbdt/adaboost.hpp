@@ -36,6 +36,10 @@ class AdaBoostSamme {
   const std::vector<double>& learner_weights() const { return alphas_; }
   bool trained() const { return !learners_.empty(); }
 
+  /// Checkpoint hooks (src/ckpt, gbdt/serialize.cpp).
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   std::size_t k_ = 0;
   std::vector<DecisionTreeClassifier> learners_;

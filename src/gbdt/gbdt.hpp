@@ -38,6 +38,11 @@ class Gbdt {
   std::size_t num_rounds() const { return k_ == 0 ? 0 : trees_.size() / k_; }
   bool trained() const { return !trees_.empty(); }
 
+  /// Checkpoint hooks (src/ckpt, gbdt/serialize.cpp): persist / restore the
+  /// fitted ensemble bit-exactly, including shrinkage and base score.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   std::size_t k_ = 0;
   double base_score_ = 0.0;

@@ -13,6 +13,11 @@ namespace crowdlearn::util {
 class ThreadPool;
 }
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::gbdt {
 
 /// Dataset view: row-major feature matrix.
@@ -59,6 +64,12 @@ class RegressionTree {
   /// splits resolve to the lowest feature index at any thread count.
   std::vector<std::size_t> split_features() const;
 
+  /// Checkpoint hooks (src/ckpt): persist / restore the fitted structure
+  /// bit-exactly (gbdt/serialize.cpp). load_state throws
+  /// ckpt::CkptError(kMalformed) on inconsistent node tables.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
+
  private:
   struct Node {
     bool leaf = true;
@@ -96,6 +107,10 @@ class DecisionTreeClassifier {
   bool trained() const { return !nodes_.empty(); }
   /// Split feature of every internal node, in node-creation order.
   std::vector<std::size_t> split_features() const;
+
+  /// Checkpoint hooks (src/ckpt, gbdt/serialize.cpp).
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   struct Node {

@@ -51,6 +51,23 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+void Histogram::restore(const Snapshot& s) {
+  if (s.upper_bounds != bounds_)
+    throw std::invalid_argument("Histogram::restore: bucket bounds mismatch");
+  if (s.bucket_counts.size() != bounds_.size() + 1)
+    throw std::invalid_argument("Histogram::restore: bucket count size mismatch");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : s.bucket_counts) total += c;
+  if (total != s.count)
+    throw std::invalid_argument("Histogram::restore: bucket counts do not sum to count");
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_ = s.bucket_counts;
+  count_ = s.count;
+  sum_ = s.sum;
+  min_ = s.min;
+  max_ = s.max;
+}
+
 std::vector<double> Histogram::linear_bounds(double start, double width,
                                              std::size_t count) {
   std::vector<double> b(count);
@@ -268,7 +285,13 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  const std::vector<MetricSample> all = snapshot();
+  write_json(os, [](const MetricSample&) { return true; });
+}
+
+void MetricsRegistry::write_json(
+    std::ostream& os, const std::function<bool(const MetricSample&)>& keep) const {
+  std::vector<MetricSample> all = snapshot();
+  std::erase_if(all, [&](const MetricSample& ms) { return !keep(ms); });
   auto emit_group = [&](MetricType type, const char* key, auto emit_value) {
     os << '"' << key << "\":{";
     bool first = true;

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -41,6 +42,10 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
   std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  /// Overwrite the count. Checkpoint restore only — hot paths must stay
+  /// monotonic through inc().
+  void restore(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -85,6 +90,11 @@ class Histogram {
     double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
   };
   Snapshot snapshot() const;
+
+  /// Overwrite the full histogram state from a snapshot. Checkpoint restore
+  /// only. Throws std::invalid_argument unless the snapshot's bounds match
+  /// this histogram's bounds and its bucket counts sum to its total count.
+  void restore(const Snapshot& s);
 
   const std::vector<double>& upper_bounds() const { return bounds_; }
 
@@ -148,6 +158,11 @@ class MetricsRegistry {
   void write_prometheus(std::ostream& os) const;
   /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   void write_json(std::ostream& os) const;
+  /// Same JSON shape over the series `keep` accepts — used by the recorder's
+  /// deterministic export, which drops wall-clock timing series so two
+  /// equal-state runs compare byte-identical (docs/CHECKPOINTING.md).
+  void write_json(std::ostream& os,
+                  const std::function<bool(const MetricSample&)>& keep) const;
 
   /// Encode labels into a series name: labeled("x", {{"a","1"}}) == x{a="1"}.
   static std::string labeled(

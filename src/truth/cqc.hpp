@@ -52,6 +52,11 @@ class CqcAggregator : public Aggregator {
   /// at any thread count (see TreeConfig::pool).
   void set_thread_pool(util::ThreadPool* pool) { cfg_.gbdt.tree.pool = pool; }
 
+  /// Checkpoint hooks (src/ckpt): the trained GBT is the aggregator's only
+  /// mutable state; the config is construction-time and travels outside.
+  void save_state(ckpt::Writer& w) const { model_.save_state(w); }
+  void load_state(ckpt::Reader& r) { model_.load_state(r); }
+
  private:
   CqcConfig cfg_;
   gbdt::Gbdt model_;

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::truth {
@@ -115,6 +116,24 @@ void TdEm::set_observability(obs::Observability* o) {
   obs_majority_agreement_ = &m.counter("crowdlearn_tdem_majority_agreement_total");
   obs_iterations_ = &m.histogram("crowdlearn_tdem_iterations",
                                  obs::Histogram::linear_bounds(5.0, 5.0, 10));
+}
+
+namespace {
+constexpr char kTdEmTag[4] = {'T', 'D', 'E', '1'};
+}
+
+void TdEm::save_state(ckpt::Writer& w) const {
+  w.begin_section(kTdEmTag);
+  w.vec_f64(reliability_);
+  w.u64(iterations_used_);
+}
+
+void TdEm::load_state(ckpt::Reader& r) {
+  r.expect_section(kTdEmTag);
+  std::vector<double> reliability = r.vec_f64();
+  const auto iterations = static_cast<std::size_t>(r.u64());
+  reliability_ = std::move(reliability);
+  iterations_used_ = iterations;
 }
 
 }  // namespace crowdlearn::truth

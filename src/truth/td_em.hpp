@@ -8,6 +8,11 @@
 #include "obs/observability.hpp"
 #include "truth/aggregator.hpp"
 
+namespace crowdlearn::ckpt {
+class Writer;
+class Reader;
+}
+
 namespace crowdlearn::truth {
 
 struct TdEmConfig {
@@ -32,6 +37,11 @@ class TdEm : public Aggregator {
   /// how often EM's posterior argmax agrees with the majority-vote
   /// initialization it started from. Never feeds back into the EM loop.
   void set_observability(obs::Observability* o);
+
+  /// Checkpoint hooks (src/ckpt): persist / restore the last aggregate()
+  /// call's worker-reliability estimates and iteration count.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   TdEmConfig cfg_;

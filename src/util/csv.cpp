@@ -59,7 +59,7 @@ std::string csv_escape(const std::string& field) {
   return out;
 }
 
-void TablePrinter::print_csv(std::ostream& os) const {
+void TablePrinter::print_csv(std::ostream& os, bool include_header) const {
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ",";
@@ -67,7 +67,7 @@ void TablePrinter::print_csv(std::ostream& os) const {
     }
     os << "\n";
   };
-  emit(header_);
+  if (include_header) emit(header_);
   for (const auto& row : rows_) emit(row);
 }
 

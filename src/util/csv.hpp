@@ -20,7 +20,10 @@ class TablePrinter {
   static std::string num(double v, int precision = 3);
 
   void print_ascii(std::ostream& os) const;
-  void print_csv(std::ostream& os) const;
+  void print_csv(std::ostream& os) const { print_csv(os, true); }
+  /// CSV with the header row optionally suppressed (for appending rows to an
+  /// existing file, e.g. the resumed half of a checkpointed run's cycle log).
+  void print_csv(std::ostream& os, bool include_header) const;
 
   std::size_t rows() const { return rows_.size(); }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace crowdlearn {
@@ -17,6 +18,22 @@ std::uint64_t mix_seed(std::uint64_t x) {
 }
 
 Rng Rng::fork() { return Rng(mix_seed(engine_())); }
+
+std::string Rng::serialize() const {
+  std::ostringstream os;
+  os << seed_ << ' ' << engine_;
+  return os.str();
+}
+
+void Rng::deserialize(const std::string& state) {
+  std::istringstream is(state);
+  std::uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(is >> seed >> engine))
+    throw std::invalid_argument("Rng::deserialize: malformed state string");
+  seed_ = seed;
+  engine_ = engine;
+}
 
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);

@@ -67,6 +67,14 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  /// Exact stream capture: the construction seed plus the engine's full
+  /// textual state (std::mt19937_64 stream operators round-trip the state
+  /// bit-for-bit). Draw sequences resume exactly where they stopped.
+  std::string serialize() const;
+  /// Restore a stream captured with serialize(). Throws
+  /// std::invalid_argument on malformed input; the stream is unchanged then.
+  void deserialize(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;

@@ -143,6 +143,12 @@ class ThreadPool {
   /// Execute one task, recording count + latency when handles are wired.
   /// The metric path reads only the steady clock — no RNG, no feedback into
   /// scheduling — so determinism is unaffected.
+  ///
+  /// The count is recorded BEFORE the task body runs: executing a
+  /// packaged_task makes its future ready, and a caller joining on that
+  /// future may snapshot the registry immediately — a post-execution inc()
+  /// could be missed by that snapshot, making tasks_total depend on
+  /// scheduling (it must not: deterministic exports compare it bit-exactly).
   template <typename Task>
   void run_instrumented(Task& task) {
     obs::Histogram* hist = obs_task_seconds_.load(std::memory_order_acquire);
@@ -151,9 +157,9 @@ class ThreadPool {
       task();
       return;
     }
+    if (total != nullptr) total->inc();
     const auto t0 = std::chrono::steady_clock::now();
     task();  // packaged_task: exceptions land in the future, not here
-    if (total != nullptr) total->inc();
     if (hist != nullptr) {
       hist->observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());

@@ -238,6 +238,70 @@ TEST_F(FaultsTest, ZeroProbabilityFaultLayerIsByteIdentical) {
   EXPECT_EQ(plain.total_spent_cents(), armed.total_spent_cents());
 }
 
+TEST_F(FaultsTest, StragglerMirrorPredictsEveryFaultDraw) {
+  // Pin the per-knob "consumed only when armed" contract: with ONLY the
+  // straggler knob armed, the fault stream must advance by exactly
+  // {bernoulli, uniform} per answer — nothing for the four knobs at zero.
+  // A mirror of the fault stream (same salt, same draw sequence) therefore
+  // predicts every faulted delay bit-for-bit; any draw consumed by a zero
+  // knob would desynchronize the mirror and fail the exact comparison.
+  PlatformConfig faulty = cfg_;
+  faulty.faults.straggler_prob = 1.0;
+  faulty.faults.straggler_multiplier = 6.0;
+  CrowdPlatform clean(&data_, cfg_), stretched(&data_, faulty);
+  Rng mirror(mix_seed(faulty.seed ^ crowd::kFaultStreamSalt));
+
+  for (int q = 0; q < 4; ++q) {
+    const std::size_t id = data_.test_indices[static_cast<std::size_t>(q)];
+    const QueryResponse a = clean.post_query(id, 8.0, TemporalContext::kEvening);
+    const QueryResponse b = stretched.post_query(id, 8.0, TemporalContext::kEvening);
+    ASSERT_EQ(a.answers.size(), b.answers.size());
+    for (std::size_t i = 0; i < a.answers.size(); ++i) {
+      ASSERT_TRUE(mirror.bernoulli(1.0));  // the knob's own gate draw
+      const double mult = 6.0 * (1.0 + mirror.uniform(0.0, 1.0));
+      // delay * mult, associated exactly as apply_faults' `delay *= mult`.
+      EXPECT_EQ(b.answers[i].delay_seconds, a.answers[i].delay_seconds * mult);  // exact
+    }
+  }
+}
+
+TEST_F(FaultsTest, MirrorPredictsInterleavedKnobDraws) {
+  // Three knobs armed (abandonment, straggler, duplicate), two at zero
+  // (blank questionnaire, malformed label). A mirror replaying apply_faults'
+  // documented draw order must stay in lockstep across queries — pinning
+  // both the knob order and that zero knobs consume nothing in between.
+  PlatformConfig faulty = cfg_;
+  faulty.faults.abandonment_prob = 0.4;
+  faulty.faults.straggler_prob = 1.0;
+  faulty.faults.straggler_multiplier = 6.0;
+  faulty.faults.duplicate_prob = 0.5;
+  CrowdPlatform clean(&data_, cfg_), faulted(&data_, faulty);
+  Rng mirror(mix_seed(faulty.seed ^ crowd::kFaultStreamSalt));
+
+  for (int q = 0; q < 6; ++q) {
+    const std::size_t id = data_.test_indices[static_cast<std::size_t>(q)];
+    const QueryResponse a = clean.post_query(id, 8.0, TemporalContext::kEvening);
+    const QueryResponse b = faulted.post_query(id, 8.0, TemporalContext::kEvening);
+
+    std::vector<double> expected_delays;
+    for (const WorkerAnswer& orig : a.answers) {
+      if (mirror.bernoulli(0.4)) continue;  // abandoned: one draw, then skip
+      ASSERT_TRUE(mirror.bernoulli(1.0));
+      // Parenthesized exactly as apply_faults computes it (delay *= mult *
+      // (1 + u)): a different association is off by one ULP.
+      expected_delays.push_back(orig.delay_seconds *
+                                (6.0 * (1.0 + mirror.uniform(0.0, 1.0))));
+    }
+    const std::size_t paid = expected_delays.size();
+    for (std::size_t i = 0; i < paid; ++i)
+      if (mirror.bernoulli(0.5)) expected_delays.push_back(expected_delays[i]);
+
+    ASSERT_EQ(b.answers.size(), expected_delays.size());
+    for (std::size_t i = 0; i < b.answers.size(); ++i)
+      EXPECT_EQ(b.answers[i].delay_seconds, expected_delays[i]);  // exact
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Expert quarantine
 // ---------------------------------------------------------------------------

@@ -1,0 +1,204 @@
+// Golden-trace regression test: one pinned CrowdLearn run whose cycle-log
+// CSV and deterministic metrics JSON are committed under tests/golden/.
+// Any change to the numerical pipeline — RNG streams, expert training,
+// Hedge updates, the bandit, the aggregator, fault injection, metric
+// names — shows up as a diff against these files.
+//
+// The comparison uses the recorder's deterministic exports (wall-clock
+// columns and `*_seconds` timing histograms excluded), so the trace is
+// stable across machines, thread counts and runs.
+//
+// To regenerate after an INTENTIONAL behavior change:
+//   CROWDLEARN_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+// or scripts/make_golden.sh — then inspect the diff before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/recorder.hpp"
+#include "experts/bovw.hpp"
+
+#ifndef CROWDLEARN_GOLDEN_DIR
+#error "CROWDLEARN_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace crowdlearn {
+namespace {
+
+// The pinned scenario. Every knob is explicit: changing ANY of these values
+// invalidates the committed golden files.
+constexpr std::size_t kGoldenCycles = 10;
+constexpr std::size_t kGoldenThreads = 2;
+
+const core::ExperimentSetup& golden_setup() {
+  static const core::ExperimentSetup s = [] {
+    core::ExperimentConfig cfg;
+    cfg.dataset.total_images = 150;
+    cfg.dataset.train_images = 90;
+    cfg.stream.num_cycles = kGoldenCycles;
+    cfg.stream.images_per_cycle = 4;
+    cfg.stream.grouped_contexts = false;
+    cfg.pilot.queries_per_cell = 6;
+    cfg.seed = 20240805;
+    return core::make_setup(cfg);
+  }();
+  return s;
+}
+
+core::CrowdLearnSystem golden_system() {
+  experts::BovwConfig fast;
+  fast.train.epochs = 10;
+  fast.train.learning_rate = 0.05;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+  roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+
+  core::CrowdLearnConfig cfg =
+      core::default_crowdlearn_config(golden_setup(), /*queries_per_cycle=*/2, 500.0);
+  cfg.num_threads = kGoldenThreads;
+  cfg.observability.enabled = true;
+  return core::CrowdLearnSystem(
+      experts::ExpertCommittee(std::move(roster)), cfg);
+}
+
+struct GoldenRun {
+  std::string csv;
+  std::string metrics_json;
+};
+
+GoldenRun run_golden_scenario() {
+  const core::ExperimentSetup& setup = golden_setup();
+  core::CrowdLearnSystem system = golden_system();
+  system.initialize(setup.data, setup.pilot);
+
+  crowd::PlatformConfig pcfg = setup.platform_cfg;
+  pcfg.seed = setup.seed + 17;
+  // Exercise the fault layer too, so its draws are part of the trace.
+  pcfg.faults.straggler_prob = 0.10;
+  pcfg.faults.duplicate_prob = 0.05;
+  crowd::CrowdPlatform platform(&setup.data, pcfg);
+
+  const dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+  std::vector<core::CycleOutcome> outcomes;
+  for (const dataset::SensingCycle& cycle : stream.cycles())
+    outcomes.push_back(system.run_cycle(setup.data, platform, cycle));
+
+  GoldenRun out;
+  core::CycleLogOptions opts;
+  opts.include_wall_clock = false;
+  std::ostringstream csv;
+  core::write_cycle_log(setup.data, outcomes, csv, opts);
+  out.csv = csv.str();
+
+  std::ostringstream metrics;
+  core::write_metrics_json_deterministic(system.observability(), metrics);
+  out.metrics_json = metrics.str();
+  return out;
+}
+
+std::string golden_path(const char* file) {
+  return std::string(CROWDLEARN_GOLDEN_DIR) + "/" + file;
+}
+
+std::string read_or_empty(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("CROWDLEARN_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.good()) << "cannot write " << path;
+  os.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+/// Context: the failing-diff message points at the regen procedure instead
+/// of leaving the reader to find it in the header comment.
+constexpr const char* kRegenHint =
+    "\nIf this change is intentional, regenerate with scripts/make_golden.sh "
+    "(or CROWDLEARN_REGEN_GOLDEN=1) and review the diff before committing.";
+
+TEST(GoldenTrace, CycleLogMatchesCommittedGolden) {
+  const GoldenRun run = run_golden_scenario();
+  const std::string path = golden_path("golden_trace.csv");
+  if (regen_requested()) {
+    write_file(path, run.csv);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = read_or_empty(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path
+                                 << " — run scripts/make_golden.sh";
+  EXPECT_EQ(expected, run.csv) << "cycle-log trace diverged from " << path
+                               << kRegenHint;
+}
+
+TEST(GoldenTrace, MetricsJsonMatchesCommittedGolden) {
+  const GoldenRun run = run_golden_scenario();
+  const std::string path = golden_path("golden_metrics.json");
+  if (regen_requested()) {
+    write_file(path, run.metrics_json);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = read_or_empty(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path
+                                 << " — run scripts/make_golden.sh";
+  EXPECT_EQ(expected, run.metrics_json)
+      << "deterministic metrics diverged from " << path << kRegenHint;
+}
+
+// The deterministic exports themselves must not depend on the thread count,
+// or the committed goldens would only hold on machines matching the pinned
+// concurrency. Pin that property right next to the golden comparison.
+TEST(GoldenTrace, TraceIsThreadCountInvariant) {
+  const GoldenRun at_pinned = run_golden_scenario();
+  // Same scenario, serial execution.
+  const core::ExperimentSetup& setup = golden_setup();
+  experts::BovwConfig fast;
+  fast.train.epochs = 10;
+  fast.train.learning_rate = 0.05;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+  roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+  core::CrowdLearnConfig cfg =
+      core::default_crowdlearn_config(setup, /*queries_per_cycle=*/2, 500.0);
+  cfg.num_threads = 1;
+  cfg.observability.enabled = true;
+  core::CrowdLearnSystem serial(experts::ExpertCommittee(std::move(roster)), cfg);
+  serial.initialize(setup.data, setup.pilot);
+
+  crowd::PlatformConfig pcfg = setup.platform_cfg;
+  pcfg.seed = setup.seed + 17;
+  pcfg.faults.straggler_prob = 0.10;
+  pcfg.faults.duplicate_prob = 0.05;
+  crowd::CrowdPlatform platform(&setup.data, pcfg);
+
+  const dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+  std::vector<core::CycleOutcome> outcomes;
+  for (const dataset::SensingCycle& cycle : stream.cycles())
+    outcomes.push_back(serial.run_cycle(setup.data, platform, cycle));
+
+  core::CycleLogOptions opts;
+  opts.include_wall_clock = false;
+  std::ostringstream csv;
+  core::write_cycle_log(setup.data, outcomes, csv, opts);
+  EXPECT_EQ(at_pinned.csv, csv.str());
+
+  std::ostringstream metrics;
+  core::write_metrics_json_deterministic(serial.observability(), metrics);
+  EXPECT_EQ(at_pinned.metrics_json, metrics.str());
+}
+
+}  // namespace
+}  // namespace crowdlearn

@@ -1,0 +1,251 @@
+// Coverage for the executable-facing plumbing: util::run_guarded (the
+// top-level exception guard every example/bench wraps main in) and the
+// recorder's observability dump helpers (Prometheus text, JSON, Chrome
+// trace, and the deterministic JSON used by golden traces and
+// checkpoint-resume comparisons).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/recorder.hpp"
+#include "obs/observability.hpp"
+#include "util/guard.hpp"
+
+namespace crowdlearn {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string slurp() const {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// util::run_guarded
+// ---------------------------------------------------------------------------
+
+TEST(RunGuarded, PassesThroughReturnValueAndArguments) {
+  EXPECT_EQ(util::run_guarded([] { return 0; }), 0);
+  EXPECT_EQ(util::run_guarded([] { return 7; }), 7);
+  EXPECT_EQ(util::run_guarded([](int a, int b) { return a + b; }, 2, 3), 5);
+}
+
+TEST(RunGuarded, StdExceptionIsCaughtPrintedAndMappedToOne) {
+  ::testing::internal::CaptureStderr();
+  const int rc = util::run_guarded(
+      []() -> int { throw std::runtime_error("boom at cycle 3"); });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("fatal: boom at cycle 3"), std::string::npos) << err;
+}
+
+TEST(RunGuarded, NonStdExceptionIsCaughtToo) {
+  ::testing::internal::CaptureStderr();
+  const int rc = util::run_guarded([]() -> int { throw 42; });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("fatal: unknown exception"), std::string::npos) << err;
+}
+
+TEST(RunGuarded, MutableLambdaStateSurvives) {
+  int calls = 0;
+  const int rc = util::run_guarded([&calls] {
+    ++calls;
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder observability dumps
+// ---------------------------------------------------------------------------
+
+class RecorderDumpTest : public ::testing::Test {
+ protected:
+  RecorderDumpTest() {
+    obs::ObservabilityConfig cfg;
+    cfg.enabled = true;
+    obs_ = std::make_unique<obs::Observability>(cfg);
+    obs_->metrics().counter("cl_queries_total").inc(12);
+    obs_->metrics().gauge("cl_expert_weight{expert=\"0\"}").set(0.75);
+    obs::Histogram& h = obs_->metrics().histogram(
+        "cl_crowd_delay_seconds", obs::Histogram::linear_bounds(100.0, 100.0, 3));
+    h.observe(50.0);    // first bucket (le 100)
+    h.observe(150.0);   // second bucket (le 200)
+    h.observe(1000.0);  // overflow (+Inf only)
+    obs::Histogram& wall = obs_->metrics().histogram(
+        "cl_cycle_seconds", obs::Histogram::linear_bounds(0.1, 0.1, 2));
+    wall.observe(0.05);
+    obs_->metrics().counter("crowdlearn_pool_tasks_total").inc(7);
+  }
+
+  std::unique_ptr<obs::Observability> obs_;
+};
+
+TEST_F(RecorderDumpTest, PrometheusTextHasCumulativeBucketsSumAndCount) {
+  std::ostringstream os;
+  core::write_metrics_text(obs_.get(), os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("cl_queries_total 12"), std::string::npos) << text;
+  // Histogram buckets are CUMULATIVE and end with +Inf == count.
+  EXPECT_NE(text.find("cl_crowd_delay_seconds_bucket{le=\"100\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cl_crowd_delay_seconds_bucket{le=\"200\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cl_crowd_delay_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cl_crowd_delay_seconds_count 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cl_crowd_delay_seconds_sum 1200"), std::string::npos)
+      << text;
+}
+
+TEST_F(RecorderDumpTest, JsonRoundTripsAllSeriesAndEscapesNames) {
+  std::ostringstream os;
+  core::write_metrics_json(obs_.get(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cl_queries_total\":12"), std::string::npos) << json;
+  // The labeled gauge name contains quotes, which must arrive escaped.
+  EXPECT_NE(json.find("cl_expert_weight{expert=\\\"0\\\"}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(RecorderDumpTest, DeterministicJsonDropsWallClockKeepsCrowdDelay) {
+  std::ostringstream os;
+  core::write_metrics_json_deterministic(obs_.get(), os);
+  const std::string json = os.str();
+  // Simulated crowd delay stays — it is a pure function of the run...
+  EXPECT_NE(json.find("cl_crowd_delay_seconds"), std::string::npos) << json;
+  // ...while host wall-clock series are dropped...
+  EXPECT_EQ(json.find("cl_cycle_seconds"), std::string::npos) << json;
+  // ...and so are thread-pool scheduling series (they scale with
+  // num_threads, which deterministic comparisons vary).
+  EXPECT_EQ(json.find("crowdlearn_pool_tasks_total"), std::string::npos) << json;
+}
+
+TEST_F(RecorderDumpTest, IsWallClockMetricClassifiesByNameAndType) {
+  obs::MetricSample s;
+  s.type = obs::MetricType::kHistogram;
+  s.name = "cl_cycle_seconds";
+  EXPECT_TRUE(core::is_wall_clock_metric(s));
+  s.name = "cl_crowd_delay_seconds";  // simulated, deterministic
+  EXPECT_FALSE(core::is_wall_clock_metric(s));
+  s.name = "cl_queries_total";
+  EXPECT_FALSE(core::is_wall_clock_metric(s));
+  s.name = "cl_cycle_seconds";
+  s.type = obs::MetricType::kCounter;  // only histograms measure wall time
+  EXPECT_FALSE(core::is_wall_clock_metric(s));
+}
+
+TEST_F(RecorderDumpTest, IsHostExecutionMetricAddsPoolSeries) {
+  obs::MetricSample s;
+  s.type = obs::MetricType::kCounter;
+  s.name = "crowdlearn_pool_tasks_total";
+  EXPECT_TRUE(core::is_host_execution_metric(s));
+  s.name = "crowdlearn_queries_total";
+  EXPECT_FALSE(core::is_host_execution_metric(s));
+  s.type = obs::MetricType::kHistogram;
+  s.name = "cl_cycle_seconds";  // wall-clock series are included too
+  EXPECT_TRUE(core::is_host_execution_metric(s));
+}
+
+TEST_F(RecorderDumpTest, FileHelpersWriteIdenticalBytes) {
+  TempFile text("rec_metrics.txt"), json("rec_metrics.json");
+  TempFile det("rec_metrics_det.json"), trace("rec_trace.json");
+  core::write_metrics_text_file(obs_.get(), text.path);
+  core::write_metrics_json_file(obs_.get(), json.path);
+  core::write_metrics_json_deterministic_file(obs_.get(), det.path);
+
+  std::ostringstream t, j, d;
+  core::write_metrics_text(obs_.get(), t);
+  core::write_metrics_json(obs_.get(), j);
+  core::write_metrics_json_deterministic(obs_.get(), d);
+  EXPECT_EQ(text.slurp(), t.str());
+  EXPECT_EQ(json.slurp(), j.str());
+  EXPECT_EQ(det.slurp(), d.str());
+
+  obs_->tracer().instant("checkpoint_saved");
+  core::write_trace_file(obs_.get(), trace.path);
+  const std::string tr = trace.slurp();
+  EXPECT_NE(tr.find("\"traceEvents\""), std::string::npos) << tr;
+  EXPECT_NE(tr.find("checkpoint_saved"), std::string::npos) << tr;
+}
+
+TEST_F(RecorderDumpTest, NullObservabilityIsInvalidArgument) {
+  std::ostringstream os;
+  EXPECT_THROW(core::write_metrics_text(nullptr, os), std::invalid_argument);
+  EXPECT_THROW(core::write_metrics_json(nullptr, os), std::invalid_argument);
+  EXPECT_THROW(core::write_metrics_json_deterministic(nullptr, os),
+               std::invalid_argument);
+  EXPECT_THROW(core::write_trace_file(nullptr, "x.json"), std::invalid_argument);
+}
+
+TEST_F(RecorderDumpTest, UnwritablePathIsRuntimeError) {
+  const std::string bad = "/nonexistent-dir/metrics.txt";
+  EXPECT_THROW(core::write_metrics_text_file(obs_.get(), bad), std::runtime_error);
+  EXPECT_THROW(core::write_metrics_json_file(obs_.get(), bad), std::runtime_error);
+  EXPECT_THROW(core::write_metrics_json_deterministic_file(obs_.get(), bad),
+               std::runtime_error);
+  EXPECT_THROW(core::write_trace_file(obs_.get(), bad), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-log options
+// ---------------------------------------------------------------------------
+
+TEST(CycleLogOptionsTest, HeaderAndWallClockKnobsShapeTheCsv) {
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 40;
+  dcfg.train_images = 25;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+
+  core::CycleOutcome outcome;
+  outcome.cycle_index = 0;
+  outcome.image_ids = {data.test_indices.at(0), data.test_indices.at(1)};
+  outcome.probabilities = {{0.7, 0.2, 0.1}, {0.1, 0.8, 0.1}};
+  outcome.predictions = {0, 1};
+  outcome.expert_weights = {0.5, 0.5};
+  outcome.algorithm_delay_seconds = 0.123;
+  const std::vector<core::CycleOutcome> outcomes{outcome};
+
+  std::ostringstream full, headless, deterministic;
+  core::write_cycle_log(data, outcomes, full);
+  core::CycleLogOptions no_header;
+  no_header.include_header = false;
+  core::write_cycle_log(data, outcomes, headless, no_header);
+  core::CycleLogOptions det;
+  det.include_wall_clock = false;
+  core::write_cycle_log(data, outcomes, deterministic, det);
+
+  // Default: header present, wall-clock column present.
+  EXPECT_NE(full.str().find("algorithm_delay_s"), std::string::npos);
+  EXPECT_NE(full.str().find("cycle,"), std::string::npos);
+  // include_header=false: the body is the full output minus its first line.
+  const std::string full_str = full.str();
+  const std::string body = full_str.substr(full_str.find('\n') + 1);
+  EXPECT_EQ(headless.str(), body);
+  // include_wall_clock=false: the column and its values disappear.
+  EXPECT_EQ(deterministic.str().find("algorithm_delay_s"), std::string::npos);
+  EXPECT_EQ(deterministic.str().find("0.123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdlearn
