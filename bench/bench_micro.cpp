@@ -34,20 +34,132 @@ void BM_MatrixMatmul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatrixMatmul)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_Conv2DForward(benchmark::State& state) {
+// --- im2col+GEMM vs naive convolution (docs/PERFORMANCE.md) ---
+//
+// Args = {batch, layer}: layer 0 is the VGG16-like first conv
+// ({1,16,16} -> 8ch, 3x3), layer 1 the second ({8,8,8} -> 16ch, 3x3).
+// The *Naive variants run the retained reference kernels on the same
+// shapes; the perf-regression gate is time(naive) / time(im2col) >= 3 at
+// these shapes (scripts/bench_json.sh records both in BENCH_micro.json).
+// Both paths produce byte-identical outputs (tests/test_nn_kernels.cpp).
+
+nn::Shape3 conv_bench_shape(int layer) {
+  return layer == 0 ? nn::Shape3{1, 16, 16} : nn::Shape3{8, 8, 8};
+}
+
+std::size_t conv_bench_channels(int layer) { return layer == 0 ? 8 : 16; }
+
+void conv_forward_bench(benchmark::State& state, nn::ConvKernelMode mode) {
   const auto batch = static_cast<std::size_t>(state.range(0));
+  const int layer = static_cast<int>(state.range(1));
+  const nn::Shape3 in = conv_bench_shape(layer);
   Rng rng(2);
-  nn::Conv2D conv({1, 16, 16}, 8, 3, rng);
-  nn::Matrix x(batch, 256);
+  nn::Conv2D conv(in, conv_bench_channels(layer), 3, rng);
+  nn::Matrix x(batch, in.size());
   for (double& v : x.data()) v = rng.uniform(0, 1);
+  nn::Conv2D::set_kernel_mode(mode);
+  nn::Matrix y;
+  conv.forward_into(x, y, false);  // warm-up sizes the workspace once
   for (auto _ : state) {
-    nn::Matrix y = conv.forward(x, false);
+    conv.forward_into(x, y, false);
     benchmark::DoNotOptimize(y.data().data());
   }
+  nn::Conv2D::set_kernel_mode(nn::ConvKernelMode::kIm2col);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_Conv2DForward)->Arg(1)->Arg(32);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  conv_forward_bench(state, nn::ConvKernelMode::kIm2col);
+}
+BENCHMARK(BM_Conv2DForward)->Args({1, 0})->Args({32, 0})->Args({32, 1});
+
+void BM_Conv2DForwardNaive(benchmark::State& state) {
+  conv_forward_bench(state, nn::ConvKernelMode::kNaiveReference);
+}
+BENCHMARK(BM_Conv2DForwardNaive)->Args({1, 0})->Args({32, 0})->Args({32, 1});
+
+void conv_backward_bench(benchmark::State& state, nn::ConvKernelMode mode) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const int layer = static_cast<int>(state.range(1));
+  const nn::Shape3 in = conv_bench_shape(layer);
+  Rng rng(2);
+  nn::Conv2D conv(in, conv_bench_channels(layer), 3, rng);
+  nn::Matrix x(batch, in.size());
+  for (double& v : x.data()) v = rng.uniform(0, 1);
+  nn::Matrix g(batch, conv.output_size());
+  for (double& v : g.data()) v = rng.uniform(-1, 1);
+  nn::Conv2D::set_kernel_mode(mode);
+  conv.forward(x, true);
+  for (auto _ : state) {
+    nn::Matrix gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data().data());
+  }
+  nn::Conv2D::set_kernel_mode(nn::ConvKernelMode::kIm2col);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  conv_backward_bench(state, nn::ConvKernelMode::kIm2col);
+}
+BENCHMARK(BM_Conv2DBackward)->Args({32, 0})->Args({32, 1});
+
+void BM_Conv2DBackwardNaive(benchmark::State& state) {
+  conv_backward_bench(state, nn::ConvKernelMode::kNaiveReference);
+}
+BENCHMARK(BM_Conv2DBackwardNaive)->Args({32, 0})->Args({32, 1});
+
+// One SGD minibatch step (forward + backward + update) through the whole
+// VGG16-like stack on 16x16 inputs — the inner loop of expert (re)training.
+nn::Sequential vgg16_like_bench_model(Rng& rng) {
+  const nn::Shape3 in{1, 16, 16};
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Conv2D>(in, 8, 3, rng));
+  model.add(std::make_unique<nn::ReLU>(nn::Shape3{8, 16, 16}.size()));
+  model.add(std::make_unique<nn::MaxPool2D>(nn::Shape3{8, 16, 16}));
+  model.add(std::make_unique<nn::Conv2D>(nn::Shape3{8, 8, 8}, 16, 3, rng));
+  model.add(std::make_unique<nn::ReLU>(nn::Shape3{16, 8, 8}.size()));
+  model.add(std::make_unique<nn::MaxPool2D>(nn::Shape3{16, 8, 8}));
+  model.add(std::make_unique<nn::Dense>(nn::Shape3{16, 4, 4}.size(), 48, rng));
+  model.add(std::make_unique<nn::ReLU>(48));
+  model.add(std::make_unique<nn::Dense>(48, 3, rng));
+  return model;
+}
+
+void sequential_train_step_bench(benchmark::State& state, nn::ConvKernelMode mode) {
+  Rng rng(5);
+  nn::Sequential model = vgg16_like_bench_model(rng);
+  const std::size_t batch = 32;
+  nn::Matrix x(batch, model.input_size());
+  for (double& v : x.data()) v = rng.uniform(0, 1);
+  std::vector<std::size_t> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = i % 3;
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = batch;
+  cfg.shuffle = false;
+  nn::Conv2D::set_kernel_mode(mode);
+  Rng fit_rng(9);
+  model.fit(x, y, cfg, fit_rng);  // warm-up sizes the workspace once
+  for (auto _ : state) {
+    const auto stats = model.fit(x, y, cfg, fit_rng);
+    benchmark::DoNotOptimize(stats.data());
+  }
+  nn::Conv2D::set_kernel_mode(nn::ConvKernelMode::kIm2col);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void BM_SequentialTrainStep(benchmark::State& state) {
+  sequential_train_step_bench(state, nn::ConvKernelMode::kIm2col);
+}
+BENCHMARK(BM_SequentialTrainStep);
+
+void BM_SequentialTrainStepNaive(benchmark::State& state) {
+  sequential_train_step_bench(state, nn::ConvKernelMode::kNaiveReference);
+}
+BENCHMARK(BM_SequentialTrainStepNaive);
 
 void BM_GbdtFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -119,25 +231,48 @@ void BM_CommitteeVote(benchmark::State& state) {
 }
 BENCHMARK(BM_CommitteeVote);
 
+// Shared pretrained roster for the committee-inference benchmarks: training
+// the full VGG/BoVW/DDM committee is expensive, so it happens exactly once.
+struct CommitteeFixture {
+  dataset::Dataset data;
+  experts::ExpertCommittee committee = experts::make_default_committee();
+  CommitteeFixture() {
+    dataset::DatasetConfig dcfg;
+    dcfg.total_images = 96;
+    dcfg.train_images = 64;
+    data = dataset::generate_dataset(dcfg);
+    Rng rng(7);
+    committee.train_all(data, data.train_indices, rng);
+  }
+  static CommitteeFixture& instance() {
+    static CommitteeFixture fixture;
+    return fixture;
+  }
+};
+
+// Single-image committee inference (every expert votes, weighted vote
+// normalized) — the per-image latency of the deployed system's hot path,
+// dominated by the CNN experts' conv forwards.
+void BM_CommitteeInference(benchmark::State& state) {
+  CommitteeFixture& fx = CommitteeFixture::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::vector<double> vote =
+        fx.committee.committee_vote(fx.data.image(fx.data.test_indices[i % fx.data.test_indices.size()]));
+    benchmark::DoNotOptimize(vote.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CommitteeInference);
+
 // Parallel-vs-serial committee inference: the per-cycle hot path (expert
 // votes for every sensing-cycle image). Arg = thread count; Arg(1) is the
 // serial baseline, so the speedup at T threads is time(1) / time(T).
 // Outputs are byte-identical across thread counts (see test_determinism).
 void BM_CommitteeBatchInference(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  struct Fixture {
-    dataset::Dataset data;
-    experts::ExpertCommittee committee = experts::make_default_committee();
-    Fixture() {
-      dataset::DatasetConfig dcfg;
-      dcfg.total_images = 96;
-      dcfg.train_images = 64;
-      data = dataset::generate_dataset(dcfg);
-      Rng rng(7);
-      committee.train_all(data, data.train_indices, rng);
-    }
-  };
-  static Fixture fixture;  // train the full VGG/BoVW/DDM roster exactly once
+  CommitteeFixture& fixture = CommitteeFixture::instance();
 
   util::ThreadPool pool(threads);
   fixture.committee.set_thread_pool(threads > 1 ? &pool : nullptr);

@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Perf-regression harness: run the bench_micro perf-gate benchmarks with
+# google-benchmark's JSON reporter and record the result (the committed
+# snapshot lives at BENCH_micro.json in the repo root).
+#
+# Usage: scripts/bench_json.sh [--quick] [--build-dir DIR] [--out FILE]
+#
+# Default (full) mode runs the NN compute-path set — conv forward/backward in
+# both kernel modes, the VGG16-like Sequential train step, and committee
+# inference — then prints every im2col-over-naive speedup and FAILS if the
+# BM_Conv2DForward or BM_SequentialTrainStep speedup drops below the 3x
+# regression gate (docs/PERFORMANCE.md).
+#
+# --quick is the CI smoke mode: the cheap conv benchmarks only, a short
+# min_time, no speedup gate (shared runners make timing ratios meaningless),
+# and a separate default output file so the committed snapshot is not
+# clobbered by throwaway numbers.
+#
+# POSIX sh + awk only — no bash-isms, no external deps.
+
+set -u
+
+BUILD_DIR=build
+OUT=""
+QUICK=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --build-dir)
+      [ $# -ge 2 ] || { echo "bench_json.sh: --build-dir needs a value" >&2; exit 2; }
+      shift; BUILD_DIR=$1 ;;
+    --out)
+      [ $# -ge 2 ] || { echo "bench_json.sh: --out needs a value" >&2; exit 2; }
+      shift; OUT=$1 ;;
+    -h|--help)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "bench_json.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BIN="$BUILD_DIR/bench/bench_micro"
+if [ ! -x "$BIN" ]; then
+  echo "bench_json.sh: $BIN not found or not executable — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_micro" >&2
+  exit 1
+fi
+
+if [ "$QUICK" -eq 1 ]; then
+  [ -n "$OUT" ] || OUT=BENCH_micro.quick.json
+  FILTER='BM_Conv2DForward|BM_Conv2DForwardNaive'
+  MIN_TIME=--benchmark_min_time=0.02s
+else
+  [ -n "$OUT" ] || OUT=BENCH_micro.json
+  FILTER='BM_Conv2D|BM_SequentialTrainStep|BM_CommitteeInference'
+  MIN_TIME=--benchmark_min_time=0.10s
+fi
+
+echo "bench_json.sh: running $BIN (filter: $FILTER) -> $OUT"
+"$BIN" "--benchmark_filter=$FILTER" "$MIN_TIME" \
+       "--benchmark_out=$OUT" --benchmark_out_format=json \
+  || { echo "bench_json.sh: benchmark run failed" >&2; exit 1; }
+
+[ -s "$OUT" ] || { echo "bench_json.sh: $OUT was not written" >&2; exit 1; }
+
+# --- speedup report (and, in full mode, the 3x regression gate) -------------
+# For every BM_<X>Naive/<args> with a BM_<X>/<args> sibling, speedup =
+# cpu_time(naive) / cpu_time(im2col). Gate benchmarks must stay >= 3x.
+awk -v quick="$QUICK" '
+  /"name":/ {
+    line = $0
+    sub(/^[^:]*: *"/, "", line); sub(/".*$/, "", line)
+    name = line
+  }
+  /"cpu_time":/ {
+    line = $0
+    sub(/^[^:]*: */, "", line); sub(/,.*$/, "", line)
+    if (name != "" && !(name in t)) t[name] = line + 0
+  }
+  END {
+    status = 0
+    for (n in t) {
+      if (n !~ /Naive/) continue
+      base = n
+      sub(/Naive/, "", base)
+      if (!(base in t) || t[base] <= 0) continue
+      speedup = t[n] / t[base]
+      printf "  %-34s %8.2fx over naive\n", base, speedup
+      if (quick == 0 && speedup < 3.0 &&
+          (base ~ /^BM_Conv2DForward\// || base ~ /^BM_SequentialTrainStep/)) {
+        printf "bench_json.sh: GATE FAILED: %s is only %.2fx over naive (< 3x)\n", \
+               base, speedup > "/dev/stderr"
+        status = 1
+      }
+    }
+    exit status
+  }
+' "$OUT"
+gate=$?
+
+if [ "$gate" -ne 0 ]; then
+  echo "bench_json.sh: perf regression gate FAILED" >&2
+  exit 1
+fi
+echo "bench_json.sh: OK ($OUT)"
+exit 0

@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -71,7 +71,7 @@ for doc in EXPERIMENTS.md README.md; do
   [ -f "$doc" ] || continue
   for b in $(grep -o 'bench_[a-z0-9_]*[a-z0-9]' "$doc" | sort -u); do
     case "$b" in
-      bench_output|bench_common) continue ;;  # not binaries: the log + shared header
+      bench_output|bench_common|bench_json) continue ;;  # not binaries: log, shared header, script
     esac
     echo "$bench_targets" | grep -qx "$b" \
       || err "$doc names $b, which is not a target in bench/CMakeLists.txt"
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden; do
+for label in concurrency faults ckpt golden perf; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -104,6 +104,21 @@ done
 for g in tests/golden/golden_trace.csv tests/golden/golden_metrics.json; do
   [ -f "$g" ] || err "missing committed golden file: $g (run scripts/make_golden.sh)"
 done
+
+# --- 6. perf harness artifacts stay in sync ---------------------------------
+# docs/PERFORMANCE.md documents scripts/bench_json.sh and the committed
+# BENCH_micro.json snapshot; both must exist, the script must be executable,
+# and the snapshot must actually contain the gated benchmarks.
+[ -f scripts/bench_json.sh ] || err "missing scripts/bench_json.sh (docs/PERFORMANCE.md documents it)"
+[ -x scripts/bench_json.sh ] || err "scripts/bench_json.sh is not executable"
+if [ -f BENCH_micro.json ]; then
+  for b in BM_Conv2DForward BM_SequentialTrainStep; do
+    grep -q "\"name\": \"$b" BENCH_micro.json \
+      || err "BENCH_micro.json does not record $b (rerun scripts/bench_json.sh)"
+  done
+else
+  err "missing committed BENCH_micro.json (run scripts/bench_json.sh)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2

@@ -23,6 +23,11 @@ ExpertCommittee::ExpertCommittee(std::vector<std::unique_ptr<DdaAlgorithm>> expe
   quarantined_.assign(experts_.size(), 0);
 }
 
+void ExpertCommittee::set_thread_pool(util::ThreadPool* pool) {
+  pool_ = pool;
+  for (const auto& e : experts_) e->set_thread_pool(pool);
+}
+
 void ExpertCommittee::set_weights(std::vector<double> w) {
   if (w.size() != experts_.size())
     throw std::invalid_argument("ExpertCommittee::set_weights: size mismatch");
@@ -118,7 +123,7 @@ ExpertCommittee ExpertCommittee::clone() const {
   ExpertCommittee copy(std::move(experts));
   copy.weights_ = weights_;
   copy.quarantined_ = quarantined_;
-  copy.pool_ = pool_;
+  copy.set_thread_pool(pool_);  // expert clones drop the pool; re-propagate
   copy.set_observability(obs_);
   return copy;
 }

@@ -31,8 +31,12 @@ class ExpertCommittee {
   /// serial). The pool must outlive the committee. Parallel and serial
   /// execution produce byte-identical results: chunking is static, results
   /// land in preallocated per-index slots, and training RNG streams are
-  /// forked from the master seed before dispatch.
-  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  /// forked from the master seed before dispatch. The pool is also forwarded
+  /// to every expert so their im2col/GEMM kernels can chunk batch work when
+  /// the committee-level loops run serially; nested parallel sections run
+  /// inline on the worker (ThreadPool nesting rule), so the determinism
+  /// contract holds at every level.
+  void set_thread_pool(util::ThreadPool* pool);
   util::ThreadPool* thread_pool() const { return pool_; }
 
   /// Wire committee metrics (per-expert weight gauges, quarantine counters,

@@ -49,6 +49,11 @@ double DdaAlgorithm::accuracy(const dataset::Dataset& data,
   return static_cast<double>(correct) / static_cast<double>(ids.size());
 }
 
+void NeuralDdaAlgorithm::set_thread_pool(util::ThreadPool* pool) {
+  pool_ = pool;
+  model_.set_thread_pool(pool_);
+}
+
 void NeuralDdaAlgorithm::save_model(std::ostream& os) const {
   if (!trained_) throw std::logic_error("NeuralDdaAlgorithm::save_model before train");
   nn::save_model(model_, os);
@@ -56,6 +61,7 @@ void NeuralDdaAlgorithm::save_model(std::ostream& os) const {
 
 void NeuralDdaAlgorithm::load_model(std::istream& is) {
   model_ = nn::load_model(is);
+  model_.set_thread_pool(pool_);
   trained_ = true;
   base_training_ids_.clear();
   on_model_loaded();
@@ -100,6 +106,7 @@ void NeuralDdaAlgorithm::load_state(ckpt::Reader& r) {
     }
   }
   model_ = std::move(model);
+  model_.set_thread_pool(pool_);
   trained_ = trained;
   base_training_ids_ = std::move(base_ids);
   replay_per_new_label_ = replay;
@@ -108,6 +115,7 @@ void NeuralDdaAlgorithm::load_state(ckpt::Reader& r) {
 
 void NeuralDdaAlgorithm::copy_neural_state(const NeuralDdaAlgorithm& src) {
   model_ = src.model_.clone();
+  model_.set_thread_pool(pool_);  // each clone keeps its own pool, not src's
   trained_ = src.trained_;
   base_training_ids_ = src.base_training_ids_;
   replay_per_new_label_ = src.replay_per_new_label_;
@@ -127,6 +135,7 @@ void NeuralDdaAlgorithm::train(const dataset::Dataset& data,
                                const std::vector<std::size_t>& image_ids, Rng& rng) {
   if (image_ids.empty()) throw std::invalid_argument("NeuralDdaAlgorithm::train: empty set");
   model_ = build_model(rng);
+  model_.set_thread_pool(pool_);
 
   // Expand each image into its augmented variants.
   std::vector<std::vector<double>> rows;

@@ -17,6 +17,10 @@ class Writer;
 class Reader;
 }
 
+namespace crowdlearn::util {
+class ThreadPool;
+}
+
 namespace crowdlearn::experts {
 
 class DdaAlgorithm {
@@ -44,6 +48,12 @@ class DdaAlgorithm {
 
   /// Whether train() has completed on this instance.
   virtual bool is_trained() const = 0;
+
+  /// Attach a thread pool the expert's internal kernels may chunk work over
+  /// (nullptr = serial). The default is a no-op — non-neural experts have no
+  /// parallel kernels. The pool must outlive the expert's use of it; outputs
+  /// are byte-identical at any thread count (util::ThreadPool contract).
+  virtual void set_thread_pool(util::ThreadPool* /*pool*/) {}
 
   /// Checkpoint hooks (src/ckpt): persist / restore the expert's full
   /// mutable state (trained parameters AND retrain bookkeeping — unlike the
@@ -77,6 +87,11 @@ class NeuralDdaAlgorithm : public DdaAlgorithm {
   bool trained() const { return trained_; }
   bool is_trained() const override { return trained_; }
   nn::Sequential& model() { return model_; }
+
+  /// Forward the pool to the owned Sequential. Re-applied whenever the
+  /// model is rebuilt (train / load_model / load_state), and intentionally
+  /// NOT copied by copy_neural_state — each clone wires its own pool.
+  void set_thread_pool(util::ThreadPool* pool) override;
 
   /// Persist / restore the trained network (see nn/serialize.hpp). Loading
   /// marks the expert trained; the golden replay set is not persisted, so a
@@ -123,6 +138,7 @@ class NeuralDdaAlgorithm : public DdaAlgorithm {
   virtual void on_model_loaded() {}
 
   nn::Sequential model_;
+  util::ThreadPool* pool_ = nullptr;
   bool trained_ = false;
   /// Golden training set remembered for replay during retrain(): fine-tuning
   /// on a handful of (possibly noisy) crowd labels alone would catastrophically

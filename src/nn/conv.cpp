@@ -1,10 +1,41 @@
 #include "nn/conv.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "nn/workspace.hpp"
+#include "util/thread_pool.hpp"
+
 namespace crowdlearn::nn {
+
+namespace {
+
+std::atomic<ConvKernelMode> g_kernel_mode{ConvKernelMode::kIm2col};
+
+/// Static-chunk [0, n) over the pool (serial when null/single-threaded).
+/// Every chunked loop below writes disjoint preallocated slots and keeps
+/// each accumulator's term order independent of the partition, so the bits
+/// match the serial path at any thread count (PR 1's pool contract).
+template <typename ChunkFn>
+void run_chunks(util::ThreadPool* pool, std::size_t n, std::size_t min_grain, ChunkFn&& fn) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_chunks_grained(n, min_grain, fn);
+  } else if (n > 0) {
+    fn(std::size_t{0}, n);
+  }
+}
+
+}  // namespace
+
+void Conv2D::set_kernel_mode(ConvKernelMode m) {
+  g_kernel_mode.store(m, std::memory_order_relaxed);
+}
+
+ConvKernelMode Conv2D::kernel_mode() {
+  return g_kernel_mode.load(std::memory_order_relaxed);
+}
 
 Conv2D::Conv2D(Shape3 input_shape, std::size_t out_channels, std::size_t kernel, Rng& rng)
     : in_shape_(input_shape),
@@ -25,79 +56,174 @@ Conv2D::Conv2D(Shape3 input_shape, std::size_t out_channels, std::size_t kernel,
     for (std::size_t c = 0; c < w_.cols(); ++c) w_(r, c) = rng.uniform(-limit, limit);
 }
 
-double Conv2D::input_at(const Matrix& batch, std::size_t sample, std::size_t c, long y,
-                        long x) const {
-  if (y < 0 || x < 0 || y >= static_cast<long>(in_shape_.height) ||
-      x >= static_cast<long>(in_shape_.width))
-    return 0.0;  // zero padding
-  const std::size_t flat = in_shape_.flat(c, static_cast<std::size_t>(y),
-                                          static_cast<std::size_t>(x));
-  return batch(sample, flat);
+Conv2D::Conv2D(const Conv2D& o)
+    : in_shape_(o.in_shape_),
+      out_shape_(o.out_shape_),
+      k_(o.k_),
+      pad_(o.pad_),
+      w_(o.w_),
+      b_(o.b_),
+      dw_(o.dw_),
+      db_(o.db_),
+      cached_input_(o.cached_input_),
+      cached_output_(o.cached_output_),
+      last_mode_(o.last_mode_) {}
+
+Conv2D::~Conv2D() = default;
+
+void Conv2D::bind_workspace(Workspace* ws, std::size_t layer_id) {
+  ws_ = ws;
+  layer_id_ = layer_id;
+  own_ws_.reset();
+  have_fwd_state_ = false;  // any retained im2col scratch lived elsewhere
 }
 
-Matrix Conv2D::forward(const Matrix& input, bool /*training*/) {
-  if (input.cols() != in_shape_.size())
-    throw std::invalid_argument("Conv2D::forward: input width mismatch");
-  cached_input_ = input;
-  const std::size_t batch = input.rows();
-  Matrix out(batch, out_shape_.size());
+Workspace& Conv2D::scratch() {
+  if (ws_ != nullptr) return *ws_;
+  if (!own_ws_) own_ws_ = std::make_unique<Workspace>();
+  return *own_ws_;
+}
 
-  for (std::size_t s = 0; s < batch; ++s) {
-    for (std::size_t oc = 0; oc < out_shape_.channels; ++oc) {
-      for (std::size_t y = 0; y < out_shape_.height; ++y) {
-        for (std::size_t x = 0; x < out_shape_.width; ++x) {
-          double acc = b_(0, oc);
-          for (std::size_t ic = 0; ic < in_shape_.channels; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const long iy = static_cast<long>(y + ky) - static_cast<long>(pad_);
-                const long ix = static_cast<long>(x + kx) - static_cast<long>(pad_);
-                const double v = input_at(input, s, ic, iy, ix);
-                if (v != 0.0) acc += v * w_(oc, (ic * k_ + ky) * k_ + kx);
-              }
-            }
-          }
-          out(s, out_shape_.flat(oc, y, x)) = acc;
-        }
-      }
-    }
-  }
-  cached_output_ = out;
+Matrix Conv2D::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
   return out;
 }
 
+void Conv2D::forward_into(const Matrix& input, Matrix& out, bool training) {
+  if (input.cols() != in_shape_.size())
+    throw std::invalid_argument("Conv2D::forward: input width mismatch");
+#ifndef NDEBUG
+  // The zero-skips in both kernel flavors drop 0*inf = NaN terms, which is
+  // only sound when inputs and parameters are finite (see docs/PERFORMANCE.md
+  // and tests/test_nn_kernels.cpp, which pin these semantics).
+  input.debug_check_finite("Conv2D input");
+  w_.debug_check_finite("Conv2D weights");
+  b_.debug_check_finite("Conv2D bias");
+#endif
+  const ConvKernelMode mode = kernel_mode();
+  last_mode_ = mode;
+  if (mode == ConvKernelMode::kNaiveReference) {
+    // The training flag gates the backward state: inference forwards skip
+    // the full input copy the original implementation always paid.
+    cached_input_ = training ? input : Matrix();
+    have_fwd_state_ = false;
+    out.reshape(input.rows(), out_shape_.size());
+    kernels::naive_conv2d_forward(geometry(), w_, b_, input, out);
+  } else {
+    forward_im2col(input, out, training);
+  }
+  cached_output_ = out;  // Grad-CAM reads this even at inference
+}
+
+void Conv2D::forward_im2col(const Matrix& input, Matrix& out, bool training) {
+  Workspace& ws = scratch();
+  util::ThreadPool* pool = ws.pool();
+  const std::size_t batch = input.rows();
+  const std::size_t hw = out_shape_.height * out_shape_.width;
+  const std::size_t ckk = w_.cols();
+  const std::size_t oc_n = out_shape_.channels;
+
+  Matrix& cols = ws.buffer(layer_id_, 0, batch * hw, ckk);
+  Matrix& wt = ws.buffer(layer_id_, 1, ckk, oc_n);
+  Matrix& om = ws.buffer(layer_id_, 2, batch * hw, oc_n);
+
+  run_chunks(pool, batch, /*min_grain=*/1, [&](std::size_t sb, std::size_t se) {
+    kernels::im2col_rows(input, in_shape_, k_, pad_, cols, sb, se);
+  });
+  kernels::transpose_weights(w_, wt);
+  // Per output element this accumulates bias + ascending-(ic,ky,kx) products
+  // with the `a == 0.0` skip on the im2col value — exactly the term sequence
+  // (and skip set: padding and in-bounds zeros alike) of the naive kernel,
+  // so the doubles are byte-identical. Rows are independent, hence chunkable.
+  run_chunks(pool, batch * hw, /*min_grain=*/32, [&](std::size_t rb, std::size_t re) {
+    kernels::fill_bias_rows(b_, om, rb, re);
+    cols.matmul_rows_accumulate(wt, om, rb, re);
+  });
+  out.reshape(batch, out_shape_.size());
+  run_chunks(pool, batch, /*min_grain=*/1, [&](std::size_t sb, std::size_t se) {
+    kernels::scatter_channel_major(om, out, oc_n, hw, sb, se);
+  });
+
+  // Training retains the im2col buffer (slot 0) — it is exactly the cached
+  // input the weight gradient needs, so no separate input copy is kept.
+  have_fwd_state_ = training;
+  fwd_batch_ = batch;
+  cached_input_ = Matrix();
+}
+
 Matrix Conv2D::backward(const Matrix& grad_output) {
-  if (cached_input_.empty()) throw std::logic_error("Conv2D::backward before forward");
-  const std::size_t batch = cached_input_.rows();
+  if (last_mode_ == ConvKernelMode::kNaiveReference) {
+    if (cached_input_.empty()) throw std::logic_error("Conv2D::backward before forward");
+    Matrix grad_input(cached_input_.rows(), in_shape_.size());
+    kernels::naive_conv2d_backward(geometry(), w_, cached_input_, grad_output, grad_input,
+                                   dw_, db_);
+    return grad_input;
+  }
+  return backward_im2col(grad_output);
+}
+
+Matrix Conv2D::backward_im2col(const Matrix& grad_output) {
+  if (!have_fwd_state_)
+    throw std::logic_error("Conv2D::backward before forward (training pass required)");
+  if (grad_output.rows() != fwd_batch_ || grad_output.cols() != out_shape_.size())
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
+  Workspace& ws = scratch();
+  util::ThreadPool* pool = ws.pool();
+  const std::size_t batch = fwd_batch_;
+  const std::size_t hw = out_shape_.height * out_shape_.width;
+  const std::size_t ic_n = in_shape_.channels;
+  const std::size_t oc_n = out_shape_.channels;
+  const std::size_t k2 = k_ * k_;
+  const kernels::ConvGeometry g = geometry();
+
+  Matrix& cols = ws.buffer(layer_id_, 0, batch * hw, w_.cols());  // retained from forward
+
+  // Weight/bias gradient: output channels own disjoint dw rows / db slots,
+  // and within a channel the kernel visits samples-then-positions ascending
+  // (the naive order), so chunking over channels is bit-stable.
+  run_chunks(pool, oc_n, /*min_grain=*/1, [&](std::size_t ob, std::size_t oe) {
+    kernels::conv2d_weight_grad(g, cols, grad_output, dw_, db_, ob, oe);
+  });
+
   Matrix grad_input(batch, in_shape_.size());
 
-  for (std::size_t s = 0; s < batch; ++s) {
-    for (std::size_t oc = 0; oc < out_shape_.channels; ++oc) {
-      for (std::size_t y = 0; y < out_shape_.height; ++y) {
-        for (std::size_t x = 0; x < out_shape_.width; ++x) {
-          const double g = grad_output(s, out_shape_.flat(oc, y, x));
-          if (g == 0.0) continue;
-          db_(0, oc) += g;
-          for (std::size_t ic = 0; ic < in_shape_.channels; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const long iy = static_cast<long>(y + ky) - static_cast<long>(pad_);
-                const long ix = static_cast<long>(x + kx) - static_cast<long>(pad_);
-                if (iy < 0 || ix < 0 || iy >= static_cast<long>(in_shape_.height) ||
-                    ix >= static_cast<long>(in_shape_.width))
-                  continue;
-                const std::size_t in_flat = in_shape_.flat(
-                    ic, static_cast<std::size_t>(iy), static_cast<std::size_t>(ix));
-                const std::size_t w_col = (ic * k_ + ky) * k_ + kx;
-                dw_(oc, w_col) += g * cached_input_(s, in_flat);
-                grad_input(s, in_flat) += g * w_(oc, w_col);
-              }
-            }
-          }
-        }
-      }
-    }
+  // Input gradient: both routes below produce byte-identical doubles — per
+  // target element the terms arrive (oc, source y, source x) ascending with
+  // the same zero-grad skip set — so the choice is pure performance. Training
+  // gradients behind a ReLU/MaxPool are mostly zeros, where the scatter
+  // kernel's `grad == 0.0` skip beats materializing the gradient im2col
+  // panel; dense gradients amortize better through the GEMM. The density is
+  // a pure function of the data, so the route (and the bits) never depend on
+  // thread count.
+  std::size_t nonzero = 0;
+  for (double v : grad_output.data()) nonzero += (v != 0.0) ? 1 : 0;
+  const bool sparse = nonzero * 4 < grad_output.data().size();  // < 25 % nonzero
+  if (sparse) {
+    run_chunks(pool, batch, /*min_grain=*/1, [&](std::size_t sb, std::size_t se) {
+      kernels::conv2d_grad_input_scatter(g, w_, grad_output, grad_input, sb, se);
+    });
+    return grad_input;
   }
+
+  // Dense route — a transposed convolution: im2col the *gradient* over the
+  // output geometry, multiply by the flipped-kernel weight layout. The GEMM
+  // reduction ascends (oc, ky, kx) = (oc, source y, source x), and the
+  // `a == 0.0` skip covers both the naive `g == 0.0` skip and its bounds
+  // `continue`.
+  Matrix& gcols = ws.buffer(layer_id_, 3, batch * hw, oc_n * k2);
+  Matrix& w2 = ws.buffer(layer_id_, 4, oc_n * k2, ic_n);
+  Matrix& gim = ws.buffer(layer_id_, 5, batch * hw, ic_n);
+  run_chunks(pool, batch, /*min_grain=*/1, [&](std::size_t sb, std::size_t se) {
+    kernels::im2col_rows(grad_output, out_shape_, k_, pad_, gcols, sb, se);
+  });
+  kernels::flipped_weights(g, w_, w2);
+  run_chunks(pool, batch * hw, /*min_grain=*/32, [&](std::size_t rb, std::size_t re) {
+    gcols.matmul_rows_into(w2, gim, rb, re);
+  });
+  run_chunks(pool, batch, /*min_grain=*/1, [&](std::size_t sb, std::size_t se) {
+    kernels::scatter_channel_major(gim, grad_input, ic_n, hw, sb, se);
+  });
   return grad_input;
 }
 
@@ -119,12 +245,20 @@ MaxPool2D::MaxPool2D(Shape3 input_shape)
   if (out_shape_.size() == 0) throw std::invalid_argument("MaxPool2D: degenerate shape");
 }
 
-Matrix MaxPool2D::forward(const Matrix& input, bool /*training*/) {
+Matrix MaxPool2D::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
+  return out;
+}
+
+void MaxPool2D::forward_into(const Matrix& input, Matrix& out, bool /*training*/) {
   if (input.cols() != in_shape_.size())
     throw std::invalid_argument("MaxPool2D::forward: input width mismatch");
   const std::size_t batch = input.rows();
-  Matrix out(batch, out_shape_.size());
-  argmax_.assign(batch, std::vector<std::size_t>(out_shape_.size(), 0));
+  const std::size_t out_size = out_shape_.size();
+  out.reshape(batch, out_size);
+  argmax_.resize(batch * out_size);  // capacity reused; every entry rewritten
+  argmax_batch_ = batch;
 
   for (std::size_t s = 0; s < batch; ++s) {
     for (std::size_t c = 0; c < out_shape_.channels; ++c) {
@@ -144,21 +278,21 @@ Matrix MaxPool2D::forward(const Matrix& input, bool /*training*/) {
           }
           const std::size_t out_flat = out_shape_.flat(c, y, x);
           out(s, out_flat) = best;
-          argmax_[s][out_flat] = best_flat;
+          argmax_[s * out_size + out_flat] = best_flat;
         }
       }
     }
   }
-  return out;
 }
 
 Matrix MaxPool2D::backward(const Matrix& grad_output) {
-  if (argmax_.empty()) throw std::logic_error("MaxPool2D::backward before forward");
+  if (argmax_batch_ == 0) throw std::logic_error("MaxPool2D::backward before forward");
   const std::size_t batch = grad_output.rows();
+  const std::size_t out_size = out_shape_.size();
   Matrix grad_input(batch, in_shape_.size());
   for (std::size_t s = 0; s < batch; ++s)
-    for (std::size_t o = 0; o < out_shape_.size(); ++o)
-      grad_input(s, argmax_[s][o]) += grad_output(s, o);
+    for (std::size_t o = 0; o < out_size; ++o)
+      grad_input(s, argmax_[s * out_size + o]) += grad_output(s, o);
   return grad_input;
 }
 
@@ -166,11 +300,17 @@ GlobalAvgPool::GlobalAvgPool(Shape3 input_shape) : in_shape_(input_shape) {
   if (input_shape.size() == 0) throw std::invalid_argument("GlobalAvgPool: degenerate shape");
 }
 
-Matrix GlobalAvgPool::forward(const Matrix& input, bool /*training*/) {
+Matrix GlobalAvgPool::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
+  return out;
+}
+
+void GlobalAvgPool::forward_into(const Matrix& input, Matrix& out, bool /*training*/) {
   if (input.cols() != in_shape_.size())
     throw std::invalid_argument("GlobalAvgPool::forward: input width mismatch");
   const std::size_t hw = in_shape_.height * in_shape_.width;
-  Matrix out(input.rows(), in_shape_.channels);
+  out.reshape(input.rows(), in_shape_.channels);
   for (std::size_t s = 0; s < input.rows(); ++s) {
     for (std::size_t c = 0; c < in_shape_.channels; ++c) {
       double acc = 0.0;
@@ -178,7 +318,6 @@ Matrix GlobalAvgPool::forward(const Matrix& input, bool /*training*/) {
       out(s, c) = acc / static_cast<double>(hw);
     }
   }
-  return out;
 }
 
 Matrix GlobalAvgPool::backward(const Matrix& grad_output) {

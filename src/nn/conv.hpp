@@ -3,20 +3,44 @@
 // pooling. Samples are flattened channel-major (C, H, W) rows of a batch
 // Matrix; each layer carries its input geometry in a Shape3.
 
+#include <memory>
+
+#include "nn/conv_kernels.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor3.hpp"
 
 namespace crowdlearn::nn {
 
+class Workspace;
+
+/// Which convolution kernels Conv2D routes through. kIm2col (the default)
+/// lowers to order-preserving GEMM calls over workspace buffers;
+/// kNaiveReference is the original 7-deep loop, retained for the
+/// equivalence tests and the perf-regression baseline benchmarks. The two
+/// produce byte-identical outputs (tests/test_nn_kernels.cpp).
+enum class ConvKernelMode { kIm2col, kNaiveReference };
+
 /// 2-D convolution with square kernels, stride 1 and zero "same" padding so
-/// the spatial dimensions are preserved. Direct (non-im2col) implementation;
-/// fine for the 16x16 inputs used in this reproduction.
+/// the spatial dimensions are preserved. The compute path is im2col + GEMM
+/// over reusable workspace buffers (see docs/PERFORMANCE.md); the original
+/// naive kernels survive behind ConvKernelMode::kNaiveReference.
 class Conv2D : public Layer {
  public:
   Conv2D(Shape3 input_shape, std::size_t out_channels, std::size_t kernel, Rng& rng);
+  /// Copies learned state and the Grad-CAM activation cache; the workspace
+  /// binding and retained backward scratch stay with the original
+  /// (Sequential::clone rebinds its copies; backward on a fresh copy
+  /// requires a fresh forward(training=true)).
+  Conv2D(const Conv2D& o);
+  Conv2D& operator=(const Conv2D&) = delete;
+  // Out-of-line so unique_ptr<Workspace> can be destroyed where Workspace
+  // is complete (conv.cpp), keeping this header light.
+  ~Conv2D() override;
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
+  void bind_workspace(Workspace* ws, std::size_t layer_id) override;
   std::vector<Param> params() override;
 
   std::size_t input_size() const override { return in_shape_.size(); }
@@ -34,8 +58,14 @@ class Conv2D : public Layer {
   Matrix& bias() { return b_; }
 
   /// Activation map of one sample from the most recent forward pass, as a
-  /// Tensor3 — used by the DDM expert's CAM-style heatmap.
+  /// Tensor3 — used by the DDM expert's CAM-style heatmap (so it is kept at
+  /// inference too, unlike the backward scratch).
   Tensor3 last_activation(std::size_t sample) const;
+
+  /// Process-wide kernel selector for tests and benchmarks. Not for use
+  /// while forward/backward passes are in flight on other threads.
+  static void set_kernel_mode(ConvKernelMode m);
+  static ConvKernelMode kernel_mode();
 
  private:
   Shape3 in_shape_, out_shape_;
@@ -44,10 +74,19 @@ class Conv2D : public Layer {
   Matrix w_;         // (out_c, in_c * k * k)
   Matrix b_;         // (1, out_c)
   Matrix dw_, db_;
-  Matrix cached_input_;
-  Matrix cached_output_;
+  Matrix cached_input_;   // naive mode only, and only when training
+  Matrix cached_output_;  // Grad-CAM source; kept in every mode
+  Workspace* ws_ = nullptr;            ///< not owned; bound by Sequential
+  std::unique_ptr<Workspace> own_ws_;  ///< lazy fallback for standalone use
+  std::size_t layer_id_ = 0;
+  bool have_fwd_state_ = false;  ///< im2col cols retained for backward?
+  std::size_t fwd_batch_ = 0;
+  ConvKernelMode last_mode_ = ConvKernelMode::kIm2col;  ///< mode of last forward
 
-  double input_at(const Matrix& batch, std::size_t sample, std::size_t c, long y, long x) const;
+  kernels::ConvGeometry geometry() const { return {in_shape_, out_shape_, k_, pad_}; }
+  Workspace& scratch();
+  void forward_im2col(const Matrix& input, Matrix& out, bool training);
+  Matrix backward_im2col(const Matrix& grad_output);
 };
 
 /// 2x2 max pooling with stride 2. Requires even spatial dimensions.
@@ -56,6 +95,7 @@ class MaxPool2D : public Layer {
   explicit MaxPool2D(Shape3 input_shape);
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
 
   std::size_t input_size() const override { return in_shape_.size(); }
@@ -68,8 +108,10 @@ class MaxPool2D : public Layer {
 
  private:
   Shape3 in_shape_, out_shape_;
-  // Flat input index chosen as the max for each output element, per sample.
-  std::vector<std::vector<std::size_t>> argmax_;
+  // Flat input index chosen as the max for each output element; one flat
+  // vector (batch * out size) so steady-state forwards never allocate.
+  std::vector<std::size_t> argmax_;
+  std::size_t argmax_batch_ = 0;
 };
 
 /// Global average pooling: each channel collapses to its spatial mean.
@@ -79,6 +121,7 @@ class GlobalAvgPool : public Layer {
   explicit GlobalAvgPool(Shape3 input_shape);
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
 
   const Shape3& in_shape() const { return in_shape_; }

@@ -3,7 +3,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/workspace.hpp"
+#include "util/thread_pool.hpp"
+
 namespace crowdlearn::nn {
+
+namespace {
+
+/// Static-chunk the row range [0, n) over the workspace pool (serial when
+/// unbound or single-threaded). Rows are independent targets, so any chunk
+/// partition yields the bits the serial loop would.
+template <typename ChunkFn>
+void run_row_chunks(Workspace* ws, std::size_t n, std::size_t min_grain, ChunkFn&& fn) {
+  util::ThreadPool* pool = ws != nullptr ? ws->pool() : nullptr;
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_chunks_grained(n, min_grain, fn);
+  } else if (n > 0) {
+    fn(std::size_t{0}, n);
+  }
+}
+
+}  // namespace
 
 Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
     : in_(in), out_(out), w_(in, out), b_(1, out), dw_(in, out), db_(1, out) {
@@ -14,11 +34,24 @@ Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
     for (std::size_t c = 0; c < out; ++c) w_(r, c) = rng.uniform(-limit, limit);
 }
 
-Matrix Dense::forward(const Matrix& input, bool /*training*/) {
-  cached_input_ = input;
-  Matrix out = input.matmul(w_);
-  out.add_row_broadcast(b_);
+Matrix Dense::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
   return out;
+}
+
+void Dense::forward_into(const Matrix& input, Matrix& out, bool /*training*/) {
+  if (input.cols() != in_) throw std::invalid_argument("Dense::forward: input width mismatch");
+  cached_input_ = input;
+  out.reshape(input.rows(), out_);
+  // Row-parallel GEMM: each output row's dot products are computed whole on
+  // one thread, so the sum order (and therefore every bit) matches the
+  // serial input.matmul(w_). Bias is added after, as it always was.
+  run_row_chunks(ws_, input.rows(), /*min_grain=*/8,
+                 [&](std::size_t begin, std::size_t end) {
+                   input.matmul_rows_into(w_, out, begin, end);
+                 });
+  out.add_row_broadcast(b_);
 }
 
 Matrix Dense::backward(const Matrix& grad_output) {
@@ -32,9 +65,19 @@ std::vector<Param> Dense::params() {
   return {{&w_, &dw_, "Dense.W"}, {&b_, &db_, "Dense.b"}};
 }
 
-Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
+Matrix ReLU::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
+  return out;
+}
+
+void ReLU::forward_into(const Matrix& input, Matrix& out, bool /*training*/) {
   cached_input_ = input;
-  return input.map([](double v) { return v > 0.0 ? v : 0.0; });
+  out.reshape(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.data().size(); ++i) {
+    const double v = input.data()[i];
+    out.data()[i] = v > 0.0 ? v : 0.0;
+  }
 }
 
 Matrix ReLU::backward(const Matrix& grad_output) {
@@ -45,9 +88,17 @@ Matrix ReLU::backward(const Matrix& grad_output) {
   return grad;
 }
 
-Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
-  cached_output_ = input.map([](double v) { return std::tanh(v); });
-  return cached_output_;
+Matrix Tanh::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
+  return out;
+}
+
+void Tanh::forward_into(const Matrix& input, Matrix& out, bool /*training*/) {
+  out.reshape(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.data().size(); ++i)
+    out.data()[i] = std::tanh(input.data()[i]);
+  cached_output_ = out;
 }
 
 Matrix Tanh::backward(const Matrix& grad_output) {
@@ -66,17 +117,27 @@ Dropout::Dropout(std::size_t size, double rate, Rng& rng)
 }
 
 Matrix Dropout::forward(const Matrix& input, bool training) {
+  Matrix out;
+  forward_into(input, out, training);
+  return out;
+}
+
+void Dropout::forward_into(const Matrix& input, Matrix& out, bool training) {
   last_training_ = training;
-  if (!training || rate_ == 0.0) return input;
-  mask_ = Matrix(input.rows(), input.cols());
+  if (!training || rate_ == 0.0) {
+    out = input;
+    return;
+  }
+  // mask_ is reshaped (not reallocated) and fully overwritten below, and the
+  // RNG draw order per element is unchanged — bit-identical to the original.
+  mask_.reshape(input.rows(), input.cols());
+  out.reshape(input.rows(), input.cols());
   const double keep = 1.0 - rate_;
-  Matrix out = input;
-  for (std::size_t i = 0; i < out.data().size(); ++i) {
+  for (std::size_t i = 0; i < input.data().size(); ++i) {
     const bool kept = rng_.bernoulli(keep);
     mask_.data()[i] = kept ? 1.0 / keep : 0.0;
-    out.data()[i] *= mask_.data()[i];
+    out.data()[i] = input.data()[i] * mask_.data()[i];
   }
-  return out;
 }
 
 Matrix Dropout::backward(const Matrix& grad_output) {

@@ -14,6 +14,8 @@
 
 namespace crowdlearn::nn {
 
+class Workspace;
+
 /// A learnable parameter: value and accumulated gradient, exposed to the
 /// optimizer by non-owning pointer (the layer owns the storage).
 struct Param {
@@ -30,6 +32,22 @@ class Layer {
 
   /// Compute outputs for a batch. `training` toggles dropout-style behavior.
   virtual Matrix forward(const Matrix& input, bool training) = 0;
+
+  /// Allocation-free forward: write the batch output into `out`, reshaping
+  /// it (capacity is reused across calls). `out` must not alias `input`.
+  /// The default wraps forward(); the hot layers override it to write into
+  /// reusable storage directly. Semantics and bit patterns are identical to
+  /// forward() either way.
+  virtual void forward_into(const Matrix& input, Matrix& out, bool training) {
+    out = forward(input, training);
+  }
+
+  /// Attach shared scratch storage (and through it the thread pool the
+  /// kernels chunk over). `layer_id` namespaces this layer's buffers inside
+  /// the workspace. Sequential binds every layer it owns; the default is a
+  /// no-op for layers that need no scratch. The workspace must outlive the
+  /// layer's use of it; passing nullptr detaches.
+  virtual void bind_workspace(Workspace* /*ws*/, std::size_t /*layer_id*/) {}
 
   /// Backpropagate: given dL/d(output), accumulate parameter gradients and
   /// return dL/d(input).
@@ -51,8 +69,15 @@ class Layer {
 class Dense : public Layer {
  public:
   Dense(std::size_t in, std::size_t out, Rng& rng);
+  /// Copies learned state; the workspace binding stays with the original
+  /// (Sequential::clone rebinds its copies to the clone's workspace).
+  Dense(const Dense& o)
+      : in_(o.in_), out_(o.out_), w_(o.w_), b_(o.b_), dw_(o.dw_), db_(o.db_),
+        cached_input_(o.cached_input_) {}
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
+  void bind_workspace(Workspace* ws, std::size_t /*layer_id*/) override { ws_ = ws; }
   Matrix backward(const Matrix& grad_output) override;
   std::vector<Param> params() override;
   std::size_t input_size() const override { return in_; }
@@ -70,6 +95,7 @@ class Dense : public Layer {
   Matrix w_, b_;
   Matrix dw_, db_;
   Matrix cached_input_;
+  Workspace* ws_ = nullptr;  ///< not owned; only consulted for the pool
 };
 
 /// Rectified linear unit.
@@ -78,6 +104,7 @@ class ReLU : public Layer {
   explicit ReLU(std::size_t size) : size_(size) {}
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
   std::size_t input_size() const override { return size_; }
   std::size_t output_size() const override { return size_; }
@@ -95,6 +122,7 @@ class Tanh : public Layer {
   explicit Tanh(std::size_t size) : size_(size) {}
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
   std::size_t input_size() const override { return size_; }
   std::size_t output_size() const override { return size_; }
@@ -113,6 +141,7 @@ class Dropout : public Layer {
   Dropout(std::size_t size, double rate, Rng& rng);
 
   Matrix forward(const Matrix& input, bool training) override;
+  void forward_into(const Matrix& input, Matrix& out, bool training) override;
   Matrix backward(const Matrix& grad_output) override;
   std::size_t input_size() const override { return size_; }
   std::size_t output_size() const override { return size_; }

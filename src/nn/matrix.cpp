@@ -1,5 +1,7 @@
 #include "nn/matrix.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -57,13 +59,65 @@ Matrix Matrix::transpose() const {
 }
 
 Matrix Matrix::matmul(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  // A fresh Matrix is zero-filled, so accumulating over every row is exactly
+  // the historical matmul — one shared kernel keeps the bit patterns aligned.
+  matmul_rows_accumulate(other, out, 0, rows_);
+  return out;
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);  // vector never shrinks capacity on resize
+}
+
+void Matrix::matmul_rows_into(const Matrix& other, Matrix& out, std::size_t row_begin,
+                              std::size_t row_end) const {
+  std::fill(out.data_.begin() + static_cast<std::ptrdiff_t>(row_begin * out.cols_),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(row_end * out.cols_), 0.0);
+  matmul_rows_accumulate(other, out, row_begin, row_end);
+}
+
+void Matrix::matmul_rows_accumulate(const Matrix& other, Matrix& out, std::size_t row_begin,
+                                    std::size_t row_end) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("Matrix::matmul: inner dimension mismatch (" +
                                 std::to_string(cols_) + " vs " + std::to_string(other.rows_) +
                                 ")");
-  Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop stride-1 over both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
+  if (out.rows_ != rows_ || out.cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::matmul: output shape mismatch");
+  if (row_end > rows_ || row_begin > row_end)
+    throw std::out_of_range("Matrix::matmul: row range out of range");
+#ifndef NDEBUG
+  debug_check_finite("matmul left operand");
+  other.debug_check_finite("matmul right operand");
+#endif
+  // i-k-j loop order keeps the inner loop stride-1 over both operands. The
+  // `a == 0.0` skip is load-bearing twice over: it is the perf win on sparse
+  // (post-ReLU / zero-padded im2col) left operands, and the convolution
+  // kernels rely on it matching the naive kernels' `v != 0.0` / `g == 0.0`
+  // skips term-for-term. It silently drops 0*inf = NaN, hence the finite-
+  // input contract asserted above in debug builds.
+  if (other.cols_ == 1) {
+    // Single-column fast path (e.g. the transposed-conv GEMM of a 1-channel
+    // input layer): each out(i,0) still accumulates ascending-k with the same
+    // zero-skip, so the bit pattern is unchanged — a register accumulator just
+    // removes the per-term store/reload that dominates when the j loop is
+    // one iteration long.
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = &data_[i * cols_];
+      double acc = out.data_[i];
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = arow[k];
+        if (a == 0.0) continue;
+        acc += a * other.data_[k];
+      }
+      out.data_[i] = acc;
+    }
+    return;
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = data_[i * cols_ + k];
       if (a == 0.0) continue;
@@ -72,7 +126,14 @@ Matrix Matrix::matmul(const Matrix& other) const {
       for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
     }
   }
-  return out;
+}
+
+void Matrix::debug_check_finite(const char* what) const {
+  for (double v : data_) {
+    if (!std::isfinite(v))
+      throw std::domain_error(std::string("Matrix: non-finite value in ") + what +
+                              " violates the finite-input contract");
+  }
 }
 
 void Matrix::check_same_shape(const Matrix& other, const char* op) const {

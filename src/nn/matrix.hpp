@@ -38,6 +38,33 @@ class Matrix {
   /// Matrix product: (m x n) * (n x p) -> (m x p).
   Matrix matmul(const Matrix& other) const;
 
+  /// Reshape in place to rows x cols, reusing the existing allocation
+  /// whenever the new element count fits the current capacity. Element
+  /// contents after the call are unspecified (callers overwrite); the
+  /// workspace buffers rely on this never shrinking capacity.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Partial matmul: zero-fill rows [row_begin, row_end) of `out`, then
+  /// accumulate out.row(i) += sum_k (*this)(i,k) * other.row(k) in ascending
+  /// k with the same `a == 0.0` left-operand skip as matmul(). `out` must be
+  /// pre-shaped to rows() x other.cols(). Calling this over a partition of
+  /// [0, rows()) — in any order, from any thread — produces exactly the bits
+  /// matmul() would: each output row's term sequence is self-contained.
+  void matmul_rows_into(const Matrix& other, Matrix& out, std::size_t row_begin,
+                        std::size_t row_end) const;
+
+  /// Like matmul_rows_into but accumulates into `out`'s existing contents —
+  /// callers pre-seed bias terms so the per-element accumulation order is
+  /// bias first, then ascending-k products (the naive convolution order).
+  void matmul_rows_accumulate(const Matrix& other, Matrix& out, std::size_t row_begin,
+                              std::size_t row_end) const;
+
+  /// Throw std::domain_error if any entry is non-finite. The matmul kernels
+  /// skip zero left operands, which silently drops 0*inf = NaN propagation —
+  /// that shortcut is only sound under a finite-input contract, checked here
+  /// in debug builds (and callable directly from tests in any build).
+  void debug_check_finite(const char* what) const;
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double s);

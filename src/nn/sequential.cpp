@@ -7,11 +7,14 @@
 
 namespace crowdlearn::nn {
 
+Sequential::Sequential() : ws_(std::make_unique<Workspace>()) {}
+
 void Sequential::add(std::unique_ptr<Layer> layer) {
   if (!layer) throw std::invalid_argument("Sequential::add: null layer");
   if (!layers_.empty() && layers_.back()->output_size() != layer->input_size())
     throw std::invalid_argument("Sequential::add: size mismatch between " +
                                 layers_.back()->name() + " and " + layer->name());
+  layer->bind_workspace(ws_.get(), layers_.size());
   layers_.push_back(std::move(layer));
 }
 
@@ -26,13 +29,23 @@ std::size_t Sequential::output_size() const {
 }
 
 Matrix Sequential::forward(const Matrix& input, bool training) {
-  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
-  Matrix cur = input;
-  for (auto& layer : layers_) cur = layer->forward(cur, training);
-  return cur;
+  return forward_ws(input, training);
 }
 
-Matrix Sequential::predict_proba(const Matrix& input) { return softmax(forward(input, false)); }
+const Matrix& Sequential::forward_ws(const Matrix& input, bool training) {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+  const Matrix* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& out = ws_->activation(i % 2);
+    layers_[i]->forward_into(*cur, out, training);
+    cur = &out;
+  }
+  return *cur;
+}
+
+Matrix Sequential::predict_proba(const Matrix& input) {
+  return softmax(forward_ws(input, /*training=*/false));
+}
 
 std::vector<std::size_t> Sequential::predict(const Matrix& input) {
   const Matrix probs = predict_proba(input);
@@ -44,7 +57,11 @@ std::vector<std::size_t> Sequential::predict(const Matrix& input) {
 
 Sequential Sequential::clone() const {
   Sequential copy;
-  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  for (const auto& layer : layers_) {
+    auto cloned = layer->clone();
+    cloned->bind_workspace(copy.ws_.get(), copy.layers_.size());
+    copy.layers_.push_back(std::move(cloned));
+  }
   return copy;
 }
 
@@ -95,7 +112,7 @@ std::vector<EpochStats> Sequential::fit_impl(const Matrix& x, std::size_t n,
         xb.set_row(i, x.row(order[start + i]));
       }
 
-      const Matrix logits = forward(xb, /*training=*/true);
+      const Matrix& logits = forward_ws(xb, /*training=*/true);
       // make_loss returns (LossResult, vector of hard labels for accuracy).
       auto [loss, hard] = make_loss(logits, batch_indices);
       loss_sum += loss.loss;

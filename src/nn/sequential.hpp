@@ -8,7 +8,12 @@
 #include "nn/layers.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
+
+namespace crowdlearn::util {
+class ThreadPool;
+}
 
 namespace crowdlearn::nn {
 
@@ -29,13 +34,16 @@ struct EpochStats {
   double accuracy = 0.0;
 };
 
-/// Feed-forward stack of layers. Owns the layers; exposes forward inference,
+/// Feed-forward stack of layers. Owns the layers plus a shared nn::Workspace
+/// of reusable scratch/activation buffers (sized on first use, reused across
+/// forward/backward and across sensing cycles); exposes forward inference,
 /// and hard-label / soft-label training.
 class Sequential {
  public:
-  Sequential() = default;
+  Sequential();
 
-  /// Append a layer. Adjacent layer sizes must be compatible.
+  /// Append a layer (it is bound to the model's workspace). Adjacent layer
+  /// sizes must be compatible.
   void add(std::unique_ptr<Layer> layer);
 
   std::size_t num_layers() const { return layers_.size(); }
@@ -47,6 +55,22 @@ class Sequential {
 
   /// Forward pass producing raw logits (one row per sample).
   Matrix forward(const Matrix& input, bool training = false);
+
+  /// Allocation-free forward: chains forward_into through the workspace's
+  /// ping-pong activation buffers and returns a reference to the final one.
+  /// The reference is valid until the next forward_ws/forward call on this
+  /// model. Bit-identical to forward().
+  const Matrix& forward_ws(const Matrix& input, bool training);
+
+  /// Attach a thread pool (nullptr = serial) that the layer kernels chunk
+  /// their batch loops over, under the util::ThreadPool determinism
+  /// contract — outputs are byte-identical at any thread count. The pool
+  /// must outlive this model's use of it. Not copied by clone().
+  void set_thread_pool(util::ThreadPool* pool) { ws_->set_pool(pool); }
+  util::ThreadPool* thread_pool() const { return ws_->pool(); }
+
+  /// The model's scratch workspace (tests assert on its grow_count()).
+  const Workspace& workspace() const { return *ws_; }
 
   /// Softmax class probabilities.
   Matrix predict_proba(const Matrix& input);
@@ -72,6 +96,9 @@ class Sequential {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Heap-anchored so the pointer bound into layers survives moves of the
+  // Sequential itself (experts move their models around freely).
+  std::unique_ptr<Workspace> ws_;
 
   template <typename MakeLoss>
   std::vector<EpochStats> fit_impl(const Matrix& x, std::size_t n, const TrainConfig& cfg,

@@ -1,0 +1,29 @@
+#include "nn/workspace.hpp"
+
+#include <stdexcept>
+
+namespace crowdlearn::nn {
+
+Matrix& Workspace::buffer(std::size_t layer_id, std::size_t slot, std::size_t rows,
+                          std::size_t cols) {
+  if (slot >= 256) throw std::invalid_argument("Workspace::buffer: slot out of range");
+  const std::uint64_t key = (static_cast<std::uint64_t>(layer_id) << 8) | slot;
+  for (auto& [k, m] : buffers_) {
+    if (k == key) {
+      const std::size_t cap = m->data().capacity();
+      m->reshape(rows, cols);
+      if (m->data().capacity() != cap) ++grow_count_;
+      return *m;
+    }
+  }
+  ++grow_count_;
+  buffers_.emplace_back(key, std::make_unique<Matrix>(rows, cols));
+  return *buffers_.back().second;
+}
+
+Matrix& Workspace::activation(std::size_t slot) {
+  if (slot >= 2) throw std::invalid_argument("Workspace::activation: slot out of range");
+  return activations_[slot];
+}
+
+}  // namespace crowdlearn::nn

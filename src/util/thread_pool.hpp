@@ -13,6 +13,7 @@
 // Under those rules the outputs are byte-identical for any thread count,
 // which tests/test_determinism.cpp locks in.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -94,8 +95,19 @@ class ThreadPool {
   /// in chunk order. Chunk boundaries depend only on n and size().
   template <typename ChunkFn>
   void parallel_chunks(std::size_t n, ChunkFn&& fn) {
+    parallel_chunks_grained(n, 1, std::forward<ChunkFn>(fn));
+  }
+
+  /// parallel_chunks with a minimum grain: the chunk count is additionally
+  /// capped at n / min_grain, so no chunk is smaller than min_grain items
+  /// (tiny workloads run inline instead of paying dispatch overhead). Chunk
+  /// boundaries depend only on n, size() and min_grain — never on timing —
+  /// so the determinism contract above is unchanged.
+  template <typename ChunkFn>
+  void parallel_chunks_grained(std::size_t n, std::size_t min_grain, ChunkFn&& fn) {
     if (n == 0) return;
-    const std::size_t chunks = std::min(size(), n);
+    if (min_grain == 0) min_grain = 1;
+    const std::size_t chunks = std::min({size(), n, std::max<std::size_t>(1, n / min_grain)});
     if (chunks <= 1 || current_pool() == this) {
       fn(std::size_t{0}, n);
       return;

@@ -12,13 +12,14 @@ Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
 }
 
 /// Same numeric gradient checker as in test_layers, duplicated locally to
-/// keep each test binary self-contained.
+/// keep each test binary self-contained. Backward requires a training
+/// forward — inference passes no longer retain the backward scratch.
 void check_gradients(Layer& layer, Matrix input, double tol = 1e-4) {
   const double eps = 1e-6;
   auto loss_of = [&](const Matrix& x) {
     return 0.5 * layer.forward(x, false).squared_norm();
   };
-  Matrix out = layer.forward(input, false);
+  Matrix out = layer.forward(input, true);
   for (Param p : layer.params()) p.grad->fill(0.0);
   const Matrix grad_in = layer.backward(out);
 
@@ -31,9 +32,9 @@ void check_gradients(Layer& layer, Matrix input, double tol = 1e-4) {
     input.data()[i] = orig;
     EXPECT_NEAR(grad_in.data()[i], (up - down) / (2 * eps), tol);
   }
-  layer.forward(input, false);
+  layer.forward(input, true);
   for (Param p : layer.params()) p.grad->fill(0.0);
-  layer.backward(layer.forward(input, false));
+  layer.backward(layer.forward(input, true));
   for (Param p : layer.params()) {
     for (std::size_t i = 0; i < p.value->data().size(); ++i) {
       const double orig = p.value->data()[i];
@@ -97,6 +98,17 @@ TEST(Conv2D, GradientCheck) {
   Rng rng(3);
   Conv2D conv({2, 4, 4}, 3, 3, rng);
   check_gradients(conv, random_matrix(2, 32, rng));
+}
+
+TEST(Conv2D, BackwardAfterInferenceForwardThrows) {
+  Rng rng(7);
+  Conv2D conv({2, 4, 4}, 3, 3, rng);
+  const Matrix x = random_matrix(2, 32, rng);
+  const Matrix y = conv.forward(x, /*training=*/false);
+  EXPECT_THROW(conv.backward(y), std::logic_error);
+  // A training forward re-arms backward.
+  const Matrix yt = conv.forward(x, /*training=*/true);
+  EXPECT_NO_THROW(conv.backward(yt));
 }
 
 TEST(Conv2D, LastActivationExposesForwardOutput) {

@@ -2,6 +2,8 @@
 
 #include "core/experiment.hpp"
 #include "experts/bovw.hpp"
+#include "experts/vgg16_like.hpp"
+#include "util/thread_pool.hpp"
 
 // Determinism contract of the parallel execution layer: running the full
 // CrowdLearn closed loop with the same seed must produce byte-identical
@@ -71,6 +73,49 @@ void expect_identical(const std::vector<CycleOutcome>& a, const std::vector<Cycl
     EXPECT_EQ(a[c].query_retries, b[c].query_retries);
     EXPECT_EQ(a[c].partial_queries, b[c].partial_queries);
     EXPECT_EQ(a[c].failed_queries, b[c].failed_queries);
+  }
+}
+
+TEST(Determinism, CnnCommitteeTrainingIsByteIdenticalAcrossThreadCounts) {
+  // The im2col+GEMM convolution path chunks its batch loops over the same
+  // pool as the committee, so a CNN expert exercises pool nesting: the
+  // committee parallelizes over experts/images and the conv kernels then run
+  // inline on the workers. Training + batch inference must still be
+  // byte-identical at any thread count.
+  auto run = [](std::size_t threads) {
+    dataset::DatasetConfig gen_cfg;
+    gen_cfg.total_images = 60;
+    gen_cfg.train_images = 40;
+    gen_cfg.seed = 51;
+    const dataset::Dataset data = dataset::generate_dataset(gen_cfg);
+
+    experts::Vgg16Config tiny;
+    tiny.conv1_channels = 4;
+    tiny.conv2_channels = 6;
+    tiny.hidden = 16;
+    tiny.train.epochs = 2;
+    std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+    roster.push_back(std::make_unique<experts::Vgg16Like>(tiny));
+    roster.push_back(std::make_unique<experts::Vgg16Like>(tiny));
+    experts::ExpertCommittee committee(std::move(roster));
+
+    util::ThreadPool pool(threads);
+    committee.set_thread_pool(&pool);
+    std::vector<std::size_t> train_ids, eval_ids;
+    for (std::size_t i = 0; i < 40; ++i) train_ids.push_back(i);
+    for (std::size_t i = 40; i < 60; ++i) eval_ids.push_back(i);
+    Rng rng(53);
+    committee.train_all(data, train_ids, rng);
+    return committee.expert_votes_batch(data, eval_ids);
+  };
+  const auto serial = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(serial.size(), two.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], two[i]) << "CNN votes, 1 vs 2 threads, image " << i;
+    EXPECT_EQ(serial[i], eight[i]) << "CNN votes, 1 vs 8 threads, image " << i;
   }
 }
 
