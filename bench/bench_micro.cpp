@@ -12,6 +12,7 @@
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
 #include "obs/observability.hpp"
+#include "truth/cqc.hpp"
 #include "util/thread_pool.hpp"
 #include "util/guard.hpp"
 
@@ -180,6 +181,59 @@ void BM_GbdtFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbdtFit)->Arg(200)->Arg(560);
+
+// --- CQC retrain: histogram vs exact split engine (docs/GBDT.md) ---
+//
+// Arg = corpus-scale multiplier: 56 labeled queries at 1x, 5600 at 100x,
+// bracketing a real deployment's every-cycle retrain as the labeled pool
+// accumulates. BM_CqcRetrainExact runs the retained exact reference engine
+// on the same corpus; the perf-regression gate is
+// time(exact) / time(hist) >= 3 at the 100x scale (scripts/bench_json.sh
+// records both in BENCH_micro.json). The engines agree on accuracy
+// (tests/test_gbdt_hist.cpp).
+
+std::vector<truth::LabeledQuery> cqc_bench_corpus(std::size_t n, Rng& rng) {
+  std::vector<truth::LabeledQuery> corpus(n);
+  for (truth::LabeledQuery& q : corpus) {
+    q.true_label = rng.index(3);
+    q.response.answers.resize(3 + rng.index(4));
+    for (crowd::WorkerAnswer& a : q.response.answers) {
+      a.worker_id = rng.index(40);
+      a.label = rng.bernoulli(0.7) ? q.true_label : rng.index(3);
+      a.questionnaire.resize(dataset::Questionnaire::kDims);
+      for (double& v : a.questionnaire)
+        v = rng.bernoulli(q.true_label == 2 ? 0.8 : 0.2) ? 1.0 : 0.0;
+      a.delay_seconds = rng.uniform(20, 400);
+    }
+  }
+  return corpus;
+}
+
+void cqc_retrain_bench(benchmark::State& state, gbdt::SplitEngine engine) {
+  const auto scale = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const std::vector<truth::LabeledQuery> corpus = cqc_bench_corpus(56 * scale, rng);
+  truth::CqcConfig cfg;
+  cfg.gbdt.engine = engine;
+  cfg.gbdt.num_rounds = 8;
+  for (auto _ : state) {
+    truth::CqcAggregator cqc(cfg);
+    cqc.fit(corpus);
+    benchmark::DoNotOptimize(cqc.trained());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+
+void BM_CqcRetrainHist(benchmark::State& state) {
+  cqc_retrain_bench(state, gbdt::SplitEngine::kHistogram);
+}
+BENCHMARK(BM_CqcRetrainHist)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_CqcRetrainExact(benchmark::State& state) {
+  cqc_retrain_bench(state, gbdt::SplitEngine::kExactReference);
+}
+BENCHMARK(BM_CqcRetrainExact)->Arg(1)->Arg(10)->Arg(100);
 
 void BM_AlpSolve(benchmark::State& state) {
   Rng rng(4);

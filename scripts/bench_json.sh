@@ -5,11 +5,12 @@
 #
 # Usage: scripts/bench_json.sh [--quick] [--build-dir DIR] [--out FILE]
 #
-# Default (full) mode runs the NN compute-path set — conv forward/backward in
-# both kernel modes, the VGG16-like Sequential train step, and committee
-# inference — then prints every im2col-over-naive speedup and FAILS if the
-# BM_Conv2DForward or BM_SequentialTrainStep speedup drops below the 3x
-# regression gate (docs/PERFORMANCE.md).
+# Default (full) mode runs the perf-gate set — conv forward/backward in both
+# kernel modes, the VGG16-like Sequential train step, committee inference,
+# and the CQC retrain in both GBDT split engines — then prints every
+# optimized-over-reference speedup and FAILS if the BM_Conv2DForward,
+# BM_SequentialTrainStep, or BM_CqcRetrainHist/100 speedup drops below the
+# 3x regression gate (docs/PERFORMANCE.md, docs/GBDT.md).
 #
 # --quick is the CI smoke mode: the cheap conv benchmarks only, a short
 # min_time, no speedup gate (shared runners make timing ratios meaningless),
@@ -52,7 +53,7 @@ if [ "$QUICK" -eq 1 ]; then
   MIN_TIME=--benchmark_min_time=0.02s
 else
   [ -n "$OUT" ] || OUT=BENCH_micro.json
-  FILTER='BM_Conv2D|BM_SequentialTrainStep|BM_CommitteeInference'
+  FILTER='BM_Conv2D|BM_SequentialTrainStep|BM_CommitteeInference|BM_CqcRetrain'
   MIN_TIME=--benchmark_min_time=0.10s
 fi
 
@@ -64,8 +65,11 @@ echo "bench_json.sh: running $BIN (filter: $FILTER) -> $OUT"
 [ -s "$OUT" ] || { echo "bench_json.sh: $OUT was not written" >&2; exit 1; }
 
 # --- speedup report (and, in full mode, the 3x regression gate) -------------
-# For every BM_<X>Naive/<args> with a BM_<X>/<args> sibling, speedup =
-# cpu_time(naive) / cpu_time(im2col). Gate benchmarks must stay >= 3x.
+# Two reference pairings: every BM_<X>Naive/<args> with a BM_<X>/<args>
+# sibling (naive kernel over im2col), and every BM_CqcRetrainExact/<args>
+# with its BM_CqcRetrainHist/<args> sibling (exact split engine over the
+# histogram engine). Speedup = cpu_time(reference) / cpu_time(optimized);
+# gate benchmarks must stay >= 3x.
 awk -v quick="$QUICK" '
   /"name":/ {
     line = $0
@@ -80,16 +84,19 @@ awk -v quick="$QUICK" '
   END {
     status = 0
     for (n in t) {
-      if (n !~ /Naive/) continue
-      base = n
-      sub(/Naive/, "", base)
+      if (n ~ /Naive/) {
+        base = n; sub(/Naive/, "", base); ref = "naive"
+      } else if (n ~ /^BM_CqcRetrainExact\//) {
+        base = n; sub(/Exact/, "Hist", base); ref = "exact"
+      } else continue
       if (!(base in t) || t[base] <= 0) continue
       speedup = t[n] / t[base]
-      printf "  %-34s %8.2fx over naive\n", base, speedup
+      printf "  %-34s %8.2fx over %s\n", base, speedup, ref
       if (quick == 0 && speedup < 3.0 &&
-          (base ~ /^BM_Conv2DForward\// || base ~ /^BM_SequentialTrainStep/)) {
-        printf "bench_json.sh: GATE FAILED: %s is only %.2fx over naive (< 3x)\n", \
-               base, speedup > "/dev/stderr"
+          (base ~ /^BM_Conv2DForward\// || base ~ /^BM_SequentialTrainStep/ ||
+           base ~ /^BM_CqcRetrainHist\/100$/)) {
+        printf "bench_json.sh: GATE FAILED: %s is only %.2fx over %s (< 3x)\n", \
+               base, speedup, ref > "/dev/stderr"
         status = 1
       }
     }

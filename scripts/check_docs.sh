@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden perf; do
+for label in concurrency faults ckpt golden perf gbdt; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -112,7 +112,7 @@ done
 [ -f scripts/bench_json.sh ] || err "missing scripts/bench_json.sh (docs/PERFORMANCE.md documents it)"
 [ -x scripts/bench_json.sh ] || err "scripts/bench_json.sh is not executable"
 if [ -f BENCH_micro.json ]; then
-  for b in BM_Conv2DForward BM_SequentialTrainStep; do
+  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact; do
     grep -q "\"name\": \"$b" BENCH_micro.json \
       || err "BENCH_micro.json does not record $b (rerun scripts/bench_json.sh)"
   done

@@ -23,6 +23,22 @@ void softmax_rows(std::vector<double>& scores, std::size_t n, std::size_t k) {
   }
 }
 
+/// Row subsample for one boosting round, shared across the round's K trees.
+/// Both engines draw through this helper in the same fit-loop position, so
+/// the RNG stream — and therefore the chosen rows — is engine-independent.
+std::vector<std::size_t> round_subsample(std::size_t n, double subsample, Rng& rng) {
+  std::vector<std::size_t> rows;
+  if (subsample < 1.0) {
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(subsample * static_cast<double>(n))));
+    rows = rng.sample_without_replacement(n, keep);
+  } else {
+    rows.resize(n);
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+  }
+  return rows;
+}
+
 }  // namespace
 
 void Gbdt::fit(const FeatureMatrix& x, const std::vector<std::size_t>& y,
@@ -38,29 +54,30 @@ void Gbdt::fit(const FeatureMatrix& x, const std::vector<std::size_t>& y,
   k_ = num_classes;
   base_score_ = 0.0;
   lr_ = cfg.learning_rate;
+  engine_ = cfg.engine;
+  max_bins_ = cfg.max_bins;
+  bounds_ = BinBoundaries{};
   trees_.clear();
   trees_.reserve(cfg.num_rounds * k_);
 
   Rng rng(cfg.seed);
+  if (cfg.engine == SplitEngine::kHistogram)
+    fit_histogram(x, y, cfg, rng);
+  else
+    fit_exact(x, y, cfg, rng);
+}
+
+void Gbdt::fit_exact(const FeatureMatrix& x, const std::vector<std::size_t>& y,
+                     const GbdtConfig& cfg, Rng& rng) {
   const std::size_t n = x.rows;
   std::vector<double> scores(n * k_, base_score_);
   std::vector<double> probs(n * k_);
-  std::vector<double> grad(n), hess(n);
 
   for (std::size_t round = 0; round < cfg.num_rounds; ++round) {
     probs = scores;
     softmax_rows(probs, n, k_);
 
-    // Row subsample shared across the round's K trees.
-    std::vector<std::size_t> rows;
-    if (cfg.subsample < 1.0) {
-      const auto keep = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::llround(cfg.subsample * static_cast<double>(n))));
-      rows = rng.sample_without_replacement(n, keep);
-    } else {
-      rows.resize(n);
-      std::iota(rows.begin(), rows.end(), std::size_t{0});
-    }
+    const std::vector<std::size_t> rows = round_subsample(n, cfg.subsample, rng);
 
     // Build the subsampled feature matrix once per round.
     FeatureMatrix xs;
@@ -81,6 +98,42 @@ void Gbdt::fit(const FeatureMatrix& x, const std::vector<std::size_t>& y,
       RegressionTree tree;
       tree.fit(xs, g, h, cfg.tree, rng);
       // Update the full score table with the shrunken tree output.
+      for (std::size_t i = 0; i < n; ++i)
+        scores[i * k_ + cls] += cfg.learning_rate * tree.predict_row(x, i);
+      trees_.push_back(std::move(tree));
+    }
+  }
+}
+
+void Gbdt::fit_histogram(const FeatureMatrix& x, const std::vector<std::size_t>& y,
+                         const GbdtConfig& cfg, Rng& rng) {
+  const std::size_t n = x.rows;
+  // Quantize once per retrain: column build + boundary computation + bin
+  // codes. Every round then reuses the codes; no per-node sorting remains.
+  const HistTrainSet ts(x, cfg.max_bins);
+  bounds_ = ts.bounds();
+
+  std::vector<double> scores(n * k_, base_score_);
+  std::vector<double> probs(n * k_);
+  std::vector<double> g(n), h(n);
+
+  for (std::size_t round = 0; round < cfg.num_rounds; ++round) {
+    probs = scores;
+    softmax_rows(probs, n, k_);
+
+    // Same draw, in the same stream position, as the exact engine.
+    const std::vector<std::size_t> rows = round_subsample(n, cfg.subsample, rng);
+
+    for (std::size_t cls = 0; cls < k_; ++cls) {
+      // Gradients indexed by absolute row; fit_hist only touches `rows`.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = probs[i * k_ + cls];
+        const double target = (y[i] == cls) ? 1.0 : 0.0;
+        g[i] = p - target;
+        h[i] = std::max(p * (1.0 - p), 1e-6);
+      }
+      RegressionTree tree;
+      tree.fit_hist(ts, rows, g, h, cfg.tree, rng);
       for (std::size_t i = 0; i < n; ++i)
         scores[i * k_ + cls] += cfg.learning_rate * tree.predict_row(x, i);
       trees_.push_back(std::move(tree));

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "gbdt/hist.hpp"
 #include "gbdt/tree.hpp"
 #include "util/rng.hpp"
 
@@ -15,6 +16,10 @@ struct GbdtConfig {
   std::size_t num_rounds = 60;     ///< boosting rounds (trees per class)
   double learning_rate = 0.15;     ///< shrinkage
   double subsample = 0.8;          ///< row subsampling per round
+  /// Split engine (docs/GBDT.md): histogram is the production default; the
+  /// exact engine is the differential-testing reference.
+  SplitEngine engine = SplitEngine::kHistogram;
+  std::size_t max_bins = 64;       ///< histogram engine: max quantile bins per feature
   TreeConfig tree;                 ///< per-tree configuration
   std::uint64_t seed = 1;
 };
@@ -38,6 +43,13 @@ class Gbdt {
   std::size_t num_rounds() const { return k_ == 0 ? 0 : trees_.size() / k_; }
   bool trained() const { return !trees_.empty(); }
 
+  /// Engine the model was fit (or loaded) with.
+  SplitEngine engine() const { return engine_; }
+  std::size_t max_bins() const { return max_bins_; }
+  /// Bin boundaries of the last histogram fit (empty for the exact engine).
+  /// Serialized with the model so a resumed CQC re-serializes byte-identically.
+  const BinBoundaries& bin_bounds() const { return bounds_; }
+
   /// Checkpoint hooks (src/ckpt, gbdt/serialize.cpp): persist / restore the
   /// fitted ensemble bit-exactly, including shrinkage and base score.
   void save_state(ckpt::Writer& w) const;
@@ -47,8 +59,15 @@ class Gbdt {
   std::size_t k_ = 0;
   double base_score_ = 0.0;
   double lr_ = 0.1;  ///< shrinkage captured from the fit config
+  SplitEngine engine_ = SplitEngine::kHistogram;
+  std::size_t max_bins_ = 64;
+  BinBoundaries bounds_;               // histogram engine only; else empty
   std::vector<RegressionTree> trees_;  // round-major: trees_[round * k_ + class]
 
+  void fit_exact(const FeatureMatrix& x, const std::vector<std::size_t>& y,
+                 const GbdtConfig& cfg, Rng& rng);
+  void fit_histogram(const FeatureMatrix& x, const std::vector<std::size_t>& y,
+                     const GbdtConfig& cfg, Rng& rng);
   std::vector<double> raw_scores(const std::vector<double>& features) const;
 };
 

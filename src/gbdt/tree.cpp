@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "gbdt/split.hpp"
 #include "util/thread_pool.hpp"
 
 namespace crowdlearn::gbdt {
@@ -23,60 +24,9 @@ FeatureMatrix FeatureMatrix::from_rows(const std::vector<std::vector<double>>& r
   return m;
 }
 
-namespace {
-
-/// Candidate feature subset for a split (column subsampling).
-std::vector<std::size_t> feature_subset(std::size_t cols, double colsample, Rng& rng) {
-  std::vector<std::size_t> feats(cols);
-  std::iota(feats.begin(), feats.end(), std::size_t{0});
-  if (colsample >= 1.0) return feats;
-  const auto keep = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(colsample * static_cast<double>(cols))));
-  rng.shuffle(feats);
-  feats.resize(keep);
-  return feats;
-}
-
-/// Best split found while scanning one feature.
-struct SplitCandidate {
-  bool valid = false;
-  double gain = -std::numeric_limits<double>::infinity();
-  std::size_t feature = 0;
-  double threshold = 0.0;
-};
-
-/// Deterministic total preference order over candidates: higher gain wins;
-/// exact gain ties go to the lower feature index, then the lower threshold.
-/// Because the reduction visits candidates in a fixed order and this
-/// predicate depends only on candidate values, the chosen split is identical
-/// no matter how many threads scanned the features.
-bool improves(const SplitCandidate& cand, const SplitCandidate& best) {
-  if (!cand.valid) return false;
-  if (!best.valid) return true;
-  if (cand.gain != best.gain) return cand.gain > best.gain;
-  if (cand.feature != best.feature) return cand.feature < best.feature;
-  return cand.threshold < best.threshold;
-}
-
-/// Scan every candidate feature (parallel when cfg.pool allows) and reduce
-/// to the single best split on the calling thread, in subset order.
-template <typename ScanFeature>
-SplitCandidate best_split(const std::vector<std::size_t>& feats, const TreeConfig& cfg,
-                          ScanFeature&& scan) {
-  std::vector<SplitCandidate> candidates(feats.size());
-  auto scan_one = [&](std::size_t fi) { candidates[fi] = scan(feats[fi]); };
-  if (cfg.pool != nullptr && cfg.pool->size() > 1 && feats.size() > 1) {
-    cfg.pool->parallel_for(feats.size(), scan_one);
-  } else {
-    for (std::size_t fi = 0; fi < feats.size(); ++fi) scan_one(fi);
-  }
-  SplitCandidate best;
-  for (const SplitCandidate& cand : candidates)
-    if (improves(cand, best)) best = cand;
-  return best;
-}
-
-}  // namespace
+// Split-search helpers (feature_subset, SplitCandidate, improves, best_split)
+// live in gbdt/split.hpp, shared with the histogram engine in gbdt/hist.cpp.
+using detail::SplitCandidate;
 
 // ---------------------------------------------------------------------------
 // RegressionTree
@@ -118,8 +68,8 @@ std::int32_t RegressionTree::build(const FeatureMatrix& x, const std::vector<dou
 
   // The subset is drawn (and the RNG advanced) before any parallel work; each
   // feature scan then only reads shared state and writes its own candidate.
-  const std::vector<std::size_t> feats = feature_subset(x.cols, cfg.colsample, rng);
-  const SplitCandidate best = best_split(feats, cfg, [&](std::size_t f) {
+  const std::vector<std::size_t> feats = detail::feature_subset(x.cols, cfg.colsample, rng);
+  const SplitCandidate best = detail::best_split(feats, cfg.pool, [&](std::size_t f) {
     // Sort indices by feature value and scan split points.
     SplitCandidate cand;
     cand.feature = f;
@@ -269,8 +219,8 @@ std::int32_t DecisionTreeClassifier::build(const FeatureMatrix& x,
       parent_gini <= 1e-12)
     return make_leaf();
 
-  const std::vector<std::size_t> feats = feature_subset(x.cols, cfg.colsample, rng);
-  const SplitCandidate best = best_split(feats, cfg, [&](std::size_t f) {
+  const std::vector<std::size_t> feats = detail::feature_subset(x.cols, cfg.colsample, rng);
+  const SplitCandidate best = detail::best_split(feats, cfg.pool, [&](std::size_t f) {
     SplitCandidate cand;
     cand.feature = f;
     std::vector<std::size_t> sorted = indices;

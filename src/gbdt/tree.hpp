@@ -20,6 +20,8 @@ class Reader;
 
 namespace crowdlearn::gbdt {
 
+class HistTrainSet;  // gbdt/hist.hpp — quantized training set for fit_hist
+
 /// Dataset view: row-major feature matrix.
 struct FeatureMatrix {
   std::size_t rows = 0;
@@ -53,6 +55,14 @@ class RegressionTree {
   void fit(const FeatureMatrix& x, const std::vector<double>& grad,
            const std::vector<double>& hess, const TreeConfig& cfg, Rng& rng);
 
+  /// Histogram-engine fit (gbdt/hist.cpp): same objective, leaf values and
+  /// tie-break as fit(), but split candidates come from the fixed bin
+  /// boundaries in `ts` and `rows` selects the (absolute) training rows this
+  /// tree sees; grad/hess are indexed by absolute row and must span ts.rows().
+  void fit_hist(const HistTrainSet& ts, const std::vector<std::size_t>& rows,
+                const std::vector<double>& grad, const std::vector<double>& hess,
+                const TreeConfig& cfg, Rng& rng);
+
   double predict_row(const FeatureMatrix& x, std::size_t row) const;
   double predict(const std::vector<double>& features) const;
 
@@ -84,6 +94,11 @@ class RegressionTree {
   std::int32_t build(const FeatureMatrix& x, const std::vector<double>& grad,
                      const std::vector<double>& hess, std::vector<std::size_t>& indices,
                      std::size_t depth, const TreeConfig& cfg, Rng& rng);
+
+  std::int32_t build_hist(const HistTrainSet& ts, const std::vector<double>& grad,
+                          const std::vector<double>& hess,
+                          std::vector<std::size_t>& indices, std::size_t depth,
+                          const TreeConfig& cfg, Rng& rng);
 
   template <typename Row>
   double predict_impl(Row&& feature_at) const;

@@ -22,6 +22,11 @@ std::vector<double> cqc_features(const QueryResponse& response, double delay_sca
 inline constexpr std::size_t kCqcFeatureDims = 6 + dataset::Questionnaire::kDims;
 
 struct CqcConfig {
+  /// The GBDT behind CQC. `gbdt.engine` selects the split engine
+  /// (docs/GBDT.md): the histogram engine is the production default for
+  /// every-cycle retrains at scale; gbdt::SplitEngine::kExactReference keeps
+  /// the exact per-node sort search for differential testing. The engine
+  /// choice and fitted bin boundaries travel with checkpoints.
   gbdt::GbdtConfig gbdt{
       .num_rounds = 40,
       .learning_rate = 0.15,
@@ -46,6 +51,7 @@ class CqcAggregator : public Aggregator {
 
   bool trained() const { return model_.trained(); }
   const gbdt::Gbdt& model() const { return model_; }
+  const CqcConfig& config() const { return cfg_; }
 
   /// Route the GBDT's split search through a thread pool (nullptr = serial).
   /// The pool must outlive the aggregator. Fitted models are byte-identical

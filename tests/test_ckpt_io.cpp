@@ -14,6 +14,8 @@
 
 #include "ckpt/io.hpp"
 #include "ckpt/state.hpp"
+#include "gbdt/gbdt.hpp"
+#include "gbdt/hist.hpp"
 #include "util/rng.hpp"
 
 namespace crowdlearn::ckpt {
@@ -381,6 +383,113 @@ TEST(CkptState, TableRoundTripAndDimChecks) {
     Reader r(w.payload());
     std::vector<std::vector<double>> back;
     EXPECT_THROW(load_f64_table(r, back, 3, 3), CkptError);  // column count mismatch
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forest (GBT2) section corruption battery
+// ---------------------------------------------------------------------------
+
+/// A small histogram-engine forest checkpoint: engine byte, max_bins, bin
+/// boundaries (BIN1 section) and trees, all inside the standard container.
+std::string forest_image(gbdt::Gbdt& model) {
+  Rng rng(41);
+  std::vector<std::vector<double>> rows(60, std::vector<double>(4));
+  for (auto& row : rows)
+    for (double& v : row) v = rng.uniform(0, 1);
+  std::vector<std::size_t> y(rows.size());
+  for (auto& v : y) v = rng.index(3);
+  gbdt::GbdtConfig cfg;
+  cfg.num_rounds = 3;
+  cfg.max_bins = 16;
+  model.fit(gbdt::FeatureMatrix::from_rows(rows), y, 3, cfg);
+
+  Writer w;
+  model.save_state(w);
+  return file_image(w);
+}
+
+TEST(CkptForestSection, TruncationAtEveryLengthIsTyped) {
+  gbdt::Gbdt model;
+  const std::string image = forest_image(model);
+  for (std::size_t len = 0; len < image.size(); len += 3) {
+    EXPECT_EQ(code_of(image.substr(0, len)), CkptErrc::kTruncated)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CkptForestSection, BitFlippedForestBytesAreTyped) {
+  // Any flip inside the serialized forest — engine byte, boundary doubles,
+  // node tables — lands in the payload region, so the CRC gate must reject
+  // it before load_state ever runs.
+  gbdt::Gbdt model;
+  const std::string image = forest_image(model);
+  for (std::size_t pos = 20; pos < image.size(); ++pos) {
+    std::string mutant = image;
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x40);
+    EXPECT_EQ(code_of(mutant), CkptErrc::kCrcMismatch) << "byte " << pos;
+  }
+}
+
+TEST(CkptForestSection, TruncatedForestPayloadIsMalformedAndLeavesModelUntouched) {
+  // Structural damage BEHIND a valid CRC (an attacker or a buggy writer, not
+  // bit rot): every truncation of the raw forest payload must surface as
+  // kMalformed from load_state, and the target model must keep serving its
+  // previous forest bit-for-bit.
+  gbdt::Gbdt model;
+  (void)forest_image(model);
+  Writer w;
+  model.save_state(w);
+  const std::string payload = w.payload();
+
+  Writer before;
+  model.save_state(before);
+  for (std::size_t len = 0; len < payload.size(); len += 17) {
+    Reader r(payload.substr(0, len));
+    try {
+      model.load_state(r);
+      ADD_FAILURE() << "expected CkptError at truncation length " << len;
+    } catch (const CkptError& e) {
+      EXPECT_EQ(e.code(), CkptErrc::kMalformed) << "length " << len;
+    }
+  }
+  Writer after;
+  model.save_state(after);
+  EXPECT_EQ(before.payload(), after.payload());
+}
+
+TEST(CkptForestSection, OutOfRangeEngineByteIsMalformed) {
+  gbdt::Gbdt model;
+  (void)forest_image(model);
+  Writer w;
+  model.save_state(w);
+  std::string payload = w.payload();
+  // The engine byte is the first payload byte after the 4-char section tag.
+  payload[4] = static_cast<char>(7);
+  gbdt::Gbdt other;
+  Reader r(payload);
+  try {
+    other.load_state(r);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.code(), CkptErrc::kMalformed);
+  }
+}
+
+TEST(CkptForestSection, NonMonotoneBinBoundariesAreMalformed) {
+  // Decreasing cuts behind a valid container: BinBoundaries::load_state must
+  // reject them (a non-monotone cut table would silently mis-route rows).
+  Writer w;
+  w.begin_section("BIN1");
+  w.u64(1);
+  w.vec_f64({2.0, 1.0});
+  gbdt::BinBoundaries bounds;
+  Reader r(w.payload());
+  try {
+    bounds.load_state(r);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.code(), CkptErrc::kMalformed);
   }
 }
 

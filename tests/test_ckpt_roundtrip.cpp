@@ -20,6 +20,8 @@
 #include "experts/bovw.hpp"
 #include "gbdt/adaboost.hpp"
 #include "gbdt/gbdt.hpp"
+#include "gbdt/hist.hpp"
+#include "truth/cqc.hpp"
 #include "truth/td_em.hpp"
 
 namespace crowdlearn {
@@ -99,6 +101,97 @@ TEST(CkptModuleRoundTrip, GbdtMalformedPayloadLeavesModelUntouched) {
   ckpt::Writer after;
   model.save_state(after);
   EXPECT_EQ(before.payload(), after.payload());
+}
+
+/// Synthetic labeled crowd queries with valid questionnaires, enough signal
+/// for a CQC retrain without standing up a dataset + platform.
+std::vector<truth::LabeledQuery> synth_labeled_queries(std::size_t n, Rng& rng) {
+  std::vector<truth::LabeledQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth::LabeledQuery lq;
+    lq.true_label = rng.index(dataset::kNumSeverityClasses);
+    const std::size_t answers = 3 + rng.index(4);
+    for (std::size_t wid = 0; wid < answers; ++wid) {
+      crowd::WorkerAnswer a;
+      a.worker_id = wid;
+      a.label = rng.uniform(0, 1) < 0.7 ? lq.true_label
+                                        : rng.index(dataset::kNumSeverityClasses);
+      a.questionnaire.resize(dataset::Questionnaire::kDims);
+      for (double& q : a.questionnaire)
+        q = rng.uniform(0, 1) < 0.5 + 0.1 * static_cast<double>(lq.true_label) ? 1.0 : 0.0;
+      a.delay_seconds = rng.uniform(20.0, 400.0);
+      lq.response.answers.push_back(std::move(a));
+    }
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+TEST(CkptModuleRoundTrip, HistogramCqcMidTrainingResumeIsByteIdentical) {
+  // CQC retrains every cycle; a checkpoint lands between two retrains. The
+  // histogram-engine model (the CQC default, docs/GBDT.md) must resume
+  // byte-identically — including the serialized bin boundaries — and the
+  // resumed aggregator's next retrain must match the uninterrupted one.
+  Rng rng(31);
+  const auto first_batch = synth_labeled_queries(120, rng);
+  const auto second_batch = synth_labeled_queries(180, rng);
+
+  truth::CqcAggregator cqc;
+  ASSERT_EQ(cqc.config().gbdt.engine, gbdt::SplitEngine::kHistogram);
+  cqc.fit(first_batch);
+  ASSERT_FALSE(cqc.model().bin_bounds().empty());
+
+  // Checkpoint mid-training (after retrain #1, before retrain #2).
+  ckpt::Writer w;
+  cqc.save_state(w);
+  truth::CqcAggregator resumed;
+  ckpt::Reader r(w.payload());
+  resumed.load_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  // The restored model carries the engine choice and the exact boundaries.
+  EXPECT_EQ(resumed.model().engine(), gbdt::SplitEngine::kHistogram);
+  EXPECT_TRUE(resumed.model().bin_bounds() == cqc.model().bin_bounds());
+  ckpt::Writer w2;
+  resumed.save_state(w2);
+  EXPECT_EQ(w.payload(), w2.payload());
+
+  // Aggregations agree exactly before the next retrain...
+  std::vector<crowd::QueryResponse> eval;
+  for (const auto& lq : second_batch) eval.push_back(lq.response);
+  EXPECT_EQ(cqc.aggregate(eval), resumed.aggregate(eval));
+
+  // ...and after it: resume-then-retrain == never-interrupted retrain.
+  cqc.fit(second_batch);
+  resumed.fit(second_batch);
+  ckpt::Writer wa, wb;
+  cqc.save_state(wa);
+  resumed.save_state(wb);
+  EXPECT_EQ(wa.payload(), wb.payload());
+}
+
+TEST(CkptModuleRoundTrip, ExactEngineCqcAlsoRoundTrips) {
+  // The exact reference engine stays selectable through CqcConfig and its
+  // checkpoints interoperate with the same container.
+  Rng rng(32);
+  truth::CqcConfig cfg;
+  cfg.gbdt.engine = gbdt::SplitEngine::kExactReference;
+  truth::CqcAggregator cqc(cfg);
+  cqc.fit(synth_labeled_queries(100, rng));
+  EXPECT_TRUE(cqc.model().bin_bounds().empty());
+
+  ckpt::Writer w;
+  cqc.save_state(w);
+  truth::CqcAggregator restored;  // default (histogram) config...
+  ckpt::Reader r(w.payload());
+  restored.load_state(r);
+  // ...but the loaded model is what the checkpoint says it is.
+  EXPECT_EQ(restored.model().engine(), gbdt::SplitEngine::kExactReference);
+  const auto eval = synth_labeled_queries(20, rng);
+  std::vector<crowd::QueryResponse> batch;
+  for (const auto& lq : eval) batch.push_back(lq.response);
+  EXPECT_EQ(cqc.aggregate(batch), restored.aggregate(batch));
 }
 
 TEST(CkptModuleRoundTrip, AdaBoostPredictionsAreBitExact) {

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "gbdt/gbdt.hpp"
+#include "gbdt/hist.hpp"
 #include "util/thread_pool.hpp"
 
 namespace crowdlearn::gbdt {
@@ -208,6 +209,44 @@ TEST(RegressionTreeSplit, EqualGainTieBreaksToLowestFeatureAtAnyThreadCount) {
   parallel_tree.fit(x, grad, hess, cfg, rng);
   EXPECT_EQ(parallel_tree.split_features(), serial_tree.split_features());
   EXPECT_EQ(parallel_tree.num_nodes(), serial_tree.num_nodes());
+}
+
+TEST(RegressionTreeSplit, TwoFeatureGainTiePicksDocumentedWinnerOnBothEngines) {
+  // Feature 1 is an exact duplicate of feature 0, so at every node both
+  // features offer the same best gain. The documented order — higher gain,
+  // then LOWER FEATURE INDEX, then lower threshold — makes feature 0 the
+  // only legal winner, and both split engines must honor it.
+  Rng rng(12);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> grad, hess;
+  for (int i = 0; i < 48; ++i) {
+    const double v = rng.uniform(-2.0, 2.0);
+    rows.push_back({v, v});
+    grad.push_back(v > 0.0 ? 1.0 + rng.normal(0.0, 0.05) : -1.0 + rng.normal(0.0, 0.05));
+    hess.push_back(1.0);
+  }
+  const FeatureMatrix x = FeatureMatrix::from_rows(rows);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  Rng fit_rng(1);
+
+  RegressionTree exact_tree;
+  exact_tree.fit(x, grad, hess, cfg, fit_rng);
+  ASSERT_FALSE(exact_tree.split_features().empty());
+  for (std::size_t f : exact_tree.split_features()) EXPECT_EQ(f, 0u);
+
+  const HistTrainSet ts(x, 64);  // 48 distinct values < 64 bins: exact regime
+  std::vector<std::size_t> all_rows(x.rows);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+  RegressionTree hist_tree;
+  hist_tree.fit_hist(ts, all_rows, grad, hess, cfg, fit_rng);
+  ASSERT_FALSE(hist_tree.split_features().empty());
+  for (std::size_t f : hist_tree.split_features()) EXPECT_EQ(f, 0u);
+
+  // Same exact-gain tie, same winner, same structure: in the exact-bins
+  // regime the two engines resolve the tie to the identical tree.
+  EXPECT_EQ(hist_tree.split_features(), exact_tree.split_features());
+  EXPECT_EQ(hist_tree.num_nodes(), exact_tree.num_nodes());
 }
 
 TEST(DecisionTreeSplit, ParallelFitMatchesSerialIncludingTies) {
