@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden perf gbdt; do
+for label in concurrency faults ckpt golden perf gbdt recovery; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -119,6 +119,14 @@ if [ -f BENCH_micro.json ]; then
 else
   err "missing committed BENCH_micro.json (run scripts/bench_json.sh)"
 fi
+
+# --- 7. recovery drill artifacts stay in sync -------------------------------
+# docs/RECOVERY.md documents scripts/crash_drill.sh and the crash_drill ctest;
+# the script must exist, be executable, and be wired in the root CMakeLists.
+[ -f scripts/crash_drill.sh ] || err "missing scripts/crash_drill.sh (docs/RECOVERY.md documents it)"
+[ -x scripts/crash_drill.sh ] || err "scripts/crash_drill.sh is not executable"
+grep -q "crash_drill" CMakeLists.txt \
+  || err "crash_drill is not wired as a ctest in the root CMakeLists.txt"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2

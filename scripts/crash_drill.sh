@@ -1,0 +1,109 @@
+#!/usr/bin/env sh
+# Crash drill: hard-kill the supervised quickstart at every stage boundary and
+# every checkpoint-write offset class, restart with --resume, and require the
+# recovered run to be byte-identical to an unfaulted run — cycle-log CSV,
+# deterministic metrics JSON, and final expert weights (docs/RECOVERY.md).
+#
+# Unlike tests/test_supervisor.cpp (which simulates crashes in-process with a
+# catchable sentinel), this drill uses the real thing: the injector calls
+# _Exit(70), so unflushed buffers are genuinely lost and the restarted process
+# sees exactly what survived on disk.
+#
+# Usage: scripts/crash_drill.sh <quickstart-binary> [seed]
+# Wired as the tier-1 `crash_drill` ctest (root CMakeLists.txt, label
+# `recovery`); runs under both sanitizer flavors, see docs/RECOVERY.md.
+#
+# POSIX sh only — no bash-isms, no external deps beyond cmp/grep.
+
+set -u
+
+QS=${1:?usage: crash_drill.sh <quickstart-binary> [seed]}
+SEED=${2:-42}
+
+[ -x "$QS" ] || { echo "crash_drill: $QS is not executable" >&2; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/crash_drill.XXXXXX") || exit 1
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail=0
+err() {
+  echo "crash_drill: $1" >&2
+  fail=1
+}
+
+# Small but non-trivial scenario: 6 cycles, checkpoints every 2, so crashes
+# land both before and after covered generations.
+SCENARIO="--fast-committee --images 150 --train 90 --cycles 6 --ckpt-every 2"
+
+run_qs() {
+  # $1 = ring dir, $2 = output prefix, rest = extra flags
+  ring=$1
+  prefix=$2
+  shift 2
+  "$QS" "$SEED" $SCENARIO --supervise "$ring" \
+    --cycle-log "$prefix.csv" --metrics-json "$prefix.json" \
+    --weights-out "$prefix.weights" "$@" > "$prefix.out" 2>&1
+}
+
+# --- 1. unfaulted reference run ---------------------------------------------
+run_qs "$WORK/golden_ring" "$WORK/golden" \
+  || { echo "crash_drill: unfaulted reference run failed:" >&2
+       cat "$WORK/golden.out" >&2; exit 1; }
+for f in csv json weights; do
+  [ -s "$WORK/golden.$f" ] || { echo "crash_drill: reference produced no .$f" >&2; exit 1; }
+done
+
+# --- 2. crash + resume at every site ----------------------------------------
+# stage:* crashes skip 3 passes so the process dies mid-run with generations
+# on disk; ckpt:* crashes skip the gen-0 write and kill the second one, hitting
+# each atomic-write offset class (pre-temp, mid-write, pre-rename, post-rename).
+SITES="\
+stage:ingest:crash:1:3 \
+stage:committee:crash:1:3 \
+stage:qss:crash:1:3 \
+stage:crowd:crash:1:3 \
+stage:cqc:crash:1:3 \
+stage:mic:crash:1:3 \
+stage:record:crash:1:3 \
+ckpt:pre-temp:crash:1:1 \
+ckpt:mid-write:crash:1:1 \
+ckpt:pre-rename:crash:1:1 \
+ckpt:post-rename:crash:1:1 \
+stage:committee:crash:1:0"
+# The final entry crashes before the first cycle ever completes: recovery must
+# also work from the gen-0 (post-initialize) checkpoint alone.
+
+for spec in $SITES; do
+  tag=$(echo "$spec" | tr ':' '_')
+  ring="$WORK/ring_$tag"
+
+  run_qs "$ring" "$WORK/$tag" --fault "$spec"
+  status=$?
+  if [ "$status" -ne 70 ]; then
+    err "$spec: expected crash exit 70, got $status"
+    cat "$WORK/$tag.out" >&2
+    continue
+  fi
+
+  run_qs "$ring" "$WORK/$tag" --resume
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    err "$spec: resume failed with exit $status"
+    cat "$WORK/$tag.out" >&2
+    continue
+  fi
+  grep -q "resumed from generation" "$WORK/$tag.out" \
+    || err "$spec: resume output does not report a restored generation"
+
+  for f in csv json weights; do
+    cmp -s "$WORK/golden.$f" "$WORK/$tag.$f" \
+      || err "$spec: recovered .$f differs from the unfaulted run"
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "crash_drill: FAILED" >&2
+  exit 1
+fi
+echo "crash_drill: OK (12 crash/resume pairs byte-identical)"
+exit 0

@@ -1,0 +1,107 @@
+#include "ckpt/generations.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace crowdlearn::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "gen-";
+constexpr const char* kSuffix = ".ckpt";
+constexpr std::size_t kDigits = 10;
+
+/// Parse "gen-0000000004.ckpt" -> 4; nullopt for anything else.
+std::optional<std::uint64_t> parse_generation(const std::string& name) {
+  const std::size_t prefix_len = 4, suffix_len = 5;
+  if (name.size() != prefix_len + kDigits + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return std::nullopt;
+  if (name.compare(prefix_len + kDigits, suffix_len, kSuffix) != 0) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < kDigits; ++i) {
+    const char c = name[prefix_len + i];
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+GenerationRing::GenerationRing(GenerationRingConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty())
+    throw std::invalid_argument("GenerationRing: checkpoint directory is empty");
+  if (cfg_.max_generations == 0)
+    throw std::invalid_argument("GenerationRing: max_generations must be >= 1");
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec || !fs::is_directory(cfg_.dir))
+    throw CkptError(CkptErrc::kIo, "cannot create checkpoint directory " + cfg_.dir);
+}
+
+std::string GenerationRing::path_for(std::uint64_t generation) const {
+  std::string digits = std::to_string(generation);
+  if (digits.size() > kDigits)
+    throw std::invalid_argument("GenerationRing: generation number too large");
+  digits.insert(0, kDigits - digits.size(), '0');
+  return cfg_.dir + "/" + kPrefix + digits + kSuffix;
+}
+
+std::vector<std::uint64_t> GenerationRing::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (auto gen = parse_generation(entry.path().filename().string())) gens.push_back(*gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::string GenerationRing::save(const std::string& image, std::uint64_t generation,
+                                 const WriteHooks* hooks) {
+  const std::string path = path_for(generation);
+  atomic_write_file(image, path, hooks);
+  prune();
+  return path;
+}
+
+GenerationRing::LoadResult GenerationRing::load_newest() const {
+  LoadResult result;
+  std::vector<std::uint64_t> gens = generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = path_for(*it);
+    try {
+      result.image = read_image(path);
+      result.generation = *it;
+      result.path = path;
+      result.found = true;
+      return result;
+    } catch (const CkptError& e) {
+      result.rejected.push_back({path, e.code()});
+    }
+  }
+  return result;
+}
+
+std::size_t GenerationRing::prune() const {
+  std::size_t removed = 0;
+  std::error_code ec;
+  // Stale temp files are torn writes from a crash; the rename never happened,
+  // so they shadow nothing and carry nothing a valid generation doesn't.
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp")
+      if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  std::vector<std::uint64_t> gens = generations();
+  while (gens.size() > cfg_.max_generations) {
+    if (fs::remove(path_for(gens.front()), ec)) ++removed;
+    gens.erase(gens.begin());
+  }
+  return removed;
+}
+
+}  // namespace crowdlearn::ckpt

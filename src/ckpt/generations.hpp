@@ -1,0 +1,78 @@
+#pragma once
+// Crash-safe checkpoint generations (docs/RECOVERY.md): a bounded ring of
+// checkpoint files in one directory, each written through atomic_write_file
+// and named by the cycle count it captures:
+//
+//   <dir>/gen-0000000004.ckpt      state after cycle 4 completed
+//
+// save() writes a new generation and prunes the ring down to
+// `max_generations` files (newest kept) plus any stale "*.tmp" left by a
+// crash mid-write. load_newest() walks generations newest-first, validates
+// each container fully (magic/version/size/CRC), and falls back to the
+// previous generation when one is corrupt — every rejection is reported with
+// its typed CkptErrc so callers can surface what was skipped. A ring never
+// returns an image that failed container validation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/io.hpp"
+
+namespace crowdlearn::ckpt {
+
+struct GenerationRingConfig {
+  std::string dir;                  ///< created on construction if absent
+  std::size_t max_generations = 3;  ///< files kept after each save (>= 1)
+};
+
+class GenerationRing {
+ public:
+  /// Creates `cfg.dir` (and parents) when missing. Throws
+  /// std::invalid_argument on an empty dir / zero max_generations and
+  /// CkptError(kIo) when the directory cannot be created.
+  explicit GenerationRing(GenerationRingConfig cfg);
+
+  /// One generation skipped by load_newest(), with why.
+  struct Rejected {
+    std::string path;
+    CkptErrc code = CkptErrc::kIo;
+  };
+
+  /// Result of load_newest(): the newest valid generation (if any) plus
+  /// every newer generation that had to be skipped.
+  struct LoadResult {
+    bool found = false;
+    std::string image;  ///< full validated file image (header + payload)
+    std::uint64_t generation = 0;
+    std::string path;
+    std::vector<Rejected> rejected;  ///< newest-first, all invalid
+  };
+
+  /// Atomically write `image` as generation `generation`, then prune the
+  /// ring. Throws CkptError(kIo) on write failure (the previous generation
+  /// files are untouched then). `hooks` instruments the write's offset
+  /// classes (fault injection).
+  std::string save(const std::string& image, std::uint64_t generation,
+                   const WriteHooks* hooks = nullptr);
+
+  /// Newest fully-valid generation, falling back past corrupt/unreadable
+  /// ones. Never throws on corruption — bad generations land in `rejected`.
+  LoadResult load_newest() const;
+
+  /// Generation numbers currently on disk, ascending.
+  std::vector<std::uint64_t> generations() const;
+
+  /// Delete oldest generations beyond max_generations and any stale "*.tmp"
+  /// files a crash left behind. Returns the number of files removed.
+  std::size_t prune() const;
+
+  std::string path_for(std::uint64_t generation) const;
+  const GenerationRingConfig& config() const { return cfg_; }
+
+ private:
+  GenerationRingConfig cfg_;
+};
+
+}  // namespace crowdlearn::ckpt

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -95,12 +96,53 @@ std::string file_image(const Writer& w) {
 }
 
 void Writer::write_file(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw CkptError(CkptErrc::kIo, "cannot open " + path + " for writing");
-  const std::string image = file_image(*this);
-  os.write(image.data(), static_cast<std::streamsize>(image.size()));
-  os.flush();
-  if (!os) throw CkptError(CkptErrc::kIo, "write failure on " + path);
+  atomic_write_file(file_image(*this), path);
+}
+
+const char* write_point_name(WritePoint point) {
+  switch (point) {
+    case WritePoint::kPreTemp: return "pre-temp";
+    case WritePoint::kMidWrite: return "mid-write";
+    case WritePoint::kPreRename: return "pre-rename";
+    case WritePoint::kPostRename: return "post-rename";
+  }
+  return "unknown";
+}
+
+void atomic_write_file(const std::string& image, const std::string& path,
+                       const WriteHooks* hooks) {
+  const std::string tmp = path + ".tmp";
+  auto fire = [&](WritePoint p) {
+    if (hooks != nullptr && hooks->at) hooks->at(p);
+  };
+  fire(WritePoint::kPreTemp);
+  bool tmp_created = false;
+  try {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw CkptError(CkptErrc::kIo, "cannot open " + tmp + " for writing");
+    tmp_created = true;
+    // Two half-writes bracket the kMidWrite point so an injected fault (or
+    // crash) there leaves a genuinely torn TEMP file — the target is only
+    // ever replaced by the atomic rename below.
+    const std::size_t half = image.size() / 2;
+    os.write(image.data(), static_cast<std::streamsize>(half));
+    if (!os) throw CkptError(CkptErrc::kIo, "write failure on " + tmp);
+    fire(WritePoint::kMidWrite);
+    os.write(image.data() + half, static_cast<std::streamsize>(image.size() - half));
+    os.flush();
+    if (!os) throw CkptError(CkptErrc::kIo, "write failure on " + tmp);
+    os.close();
+    if (os.fail()) throw CkptError(CkptErrc::kIo, "close failure on " + tmp);
+    fire(WritePoint::kPreRename);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+      throw CkptError(CkptErrc::kIo, "cannot rename " + tmp + " onto " + path);
+  } catch (...) {
+    // In-process failure: drop the temp so it cannot shadow anything. A hard
+    // crash skips this — the stale .tmp is swept by GenerationRing::prune().
+    if (tmp_created) std::remove(tmp.c_str());
+    throw;
+  }
+  fire(WritePoint::kPostRename);
 }
 
 // ---------------------------------------------------------------------------
@@ -186,11 +228,16 @@ std::string validate_image(const std::string& image) {
 }
 
 std::string read_file(const std::string& path) {
+  return validate_image(read_image(path));
+}
+
+std::string read_image(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw CkptError(CkptErrc::kIo, "cannot open " + path);
   std::string image((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
   if (is.bad()) throw CkptError(CkptErrc::kIo, "read failure on " + path);
-  return validate_image(image);
+  validate_image(image);
+  return image;
 }
 
 }  // namespace crowdlearn::ckpt

@@ -29,6 +29,7 @@
 // fail container-level validation halfway through.
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -86,7 +87,9 @@ class Writer {
 
   const std::string& payload() const { return payload_; }
 
-  /// Write header + payload to `path`. Throws CkptError(kIo) on failure.
+  /// Write header + payload to `path` through atomic_write_file (temp +
+  /// flush + rename), so a crash mid-write can never leave a torn file
+  /// shadowing a previous good checkpoint. Throws CkptError(kIo) on failure.
   void write_file(const std::string& path) const;
 
  private:
@@ -130,6 +133,40 @@ class Reader {
 /// payload. Throws the corresponding typed CkptError; never returns a
 /// payload that failed container validation.
 std::string read_file(const std::string& path);
+
+/// Read `path` raw and validate it, but return the full file image
+/// (header + payload) instead of the payload. Same typed failures as
+/// read_file; used by the generation ring, whose callers re-validate.
+std::string read_image(const std::string& path);
+
+/// Offset classes inside one atomic checkpoint write, in order. A fault
+/// (exception or process death) at each class leaves a characteristic
+/// on-disk state, all of which recovery must survive (docs/RECOVERY.md):
+///   kPreTemp     nothing written yet — previous target intact
+///   kMidWrite    torn temp file — previous target intact
+///   kPreRename   complete temp, not yet renamed — previous target intact
+///   kPostRename  rename done — NEW target fully in place
+enum class WritePoint { kPreTemp, kMidWrite, kPreRename, kPostRename };
+
+const char* write_point_name(WritePoint point);
+
+/// Optional instrumentation of atomic_write_file, called at each offset
+/// class. The callback may throw (the write is abandoned, the temp file is
+/// cleaned up in-process, and the target is left as it was) or terminate the
+/// process (emulating a crash: the temp may be left torn on disk, but the
+/// target is never half-written). Used by runtime::FaultInjector.
+struct WriteHooks {
+  std::function<void(WritePoint)> at;
+};
+
+/// Crash-safe file update: write `image` to `path + ".tmp"`, flush, then
+/// atomically rename over `path`. A crash or I/O failure at any point leaves
+/// either the previous file content or the complete new content — never a
+/// torn target. Throws CkptError(kIo) on any filesystem failure (open,
+/// short write, flush, rename); on an in-process failure the temp file is
+/// removed before the error propagates.
+void atomic_write_file(const std::string& image, const std::string& path,
+                       const WriteHooks* hooks = nullptr);
 
 /// Validate an in-memory file image (same checks as read_file).
 std::string validate_image(const std::string& image);

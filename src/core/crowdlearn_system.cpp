@@ -7,6 +7,19 @@
 
 namespace crowdlearn::core {
 
+const char* cycle_stage_name(CycleStage stage) {
+  switch (stage) {
+    case CycleStage::kIngest: return "ingest";
+    case CycleStage::kCommittee: return "committee";
+    case CycleStage::kQss: return "qss";
+    case CycleStage::kCrowd: return "crowd";
+    case CycleStage::kCqc: return "cqc";
+    case CycleStage::kMic: return "mic";
+    case CycleStage::kRecord: return "record";
+  }
+  return "unknown";
+}
+
 CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
                                    const CrowdLearnConfig& cfg)
     : cfg_(cfg),
@@ -58,9 +71,17 @@ void CrowdLearnSystem::initialize(const dataset::Dataset& data,
 CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
                                          crowd::CrowdPlatform& platform,
                                          const dataset::SensingCycle& cycle) {
+  return run_cycle(data, platform, cycle, CycleRunOptions{});
+}
+
+CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
+                                         crowd::CrowdPlatform& platform,
+                                         const dataset::SensingCycle& cycle,
+                                         const CycleRunOptions& opts) {
   if (!initialized_) throw std::logic_error("CrowdLearnSystem: run_cycle before initialize");
   if (cycle.image_ids.empty())
     throw std::invalid_argument("CrowdLearnSystem: empty sensing cycle");
+  stage(CycleStage::kIngest);
 
   obs::SpanScope cycle_span(obs::tracer_of(obs_.get()), "cycle", "core");
   cycle_span.arg("cycle_index", static_cast<double>(cycle.index));
@@ -81,9 +102,31 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   // expert output (NaN / zero-mass votes) is quarantined before anything
   // downstream consumes the batch — the scan runs on this thread, in index
   // order, so parallel inference cannot perturb it.
+  stage(CycleStage::kCommittee);
   const std::size_t query_count = std::min(cfg_.queries_per_cycle, cycle.image_ids.size());
   auto votes_batch = committee_.expert_votes_batch(data, cycle.image_ids);
   committee_.quarantine_degenerate_votes(votes_batch);
+
+  if (opts.degraded) {
+    // Degraded mode: the committee answers everything; the crowd-facing
+    // stages (QSS/IPD/broker/CQC/MIC) are skipped entirely — no crowd
+    // randomness or spend is consumed and the trained state is untouched.
+    for (std::size_t pos = 0; pos < cycle.image_ids.size(); ++pos) {
+      out.probabilities[pos] = committee_.committee_vote(votes_batch[pos]);
+      out.predictions[pos] = stats::argmax(out.probabilities[pos]);
+    }
+    out.expert_weights = committee_.weights();
+    stage(CycleStage::kRecord);
+    out.algorithm_delay_seconds = ai_clock.elapsed_seconds();
+    if (obs::active(obs_.get())) {
+      obs_cycles_->inc();
+      obs_algo_seconds_->observe(out.algorithm_delay_seconds);
+    }
+    ++cycles_run_;
+    return out;
+  }
+
+  stage(CycleStage::kQss);
   QssSelection sel = qss_.select(committee_, cycle.image_ids, std::move(votes_batch),
                                  query_count);
   out.queried_ids = sel.queried_ids;
@@ -92,6 +135,7 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   // full resilient lifecycle (deadline, dedup, retries, escalation bounded
   // by IPD's remaining budget). The platform's simulated crowd delay is not
   // part of the AI-side wall clock.
+  stage(CycleStage::kCrowd);
   const double ai_before_crowd = ai_clock.elapsed_seconds();
   std::vector<crowd::QueryResult> results;
   results.reserve(sel.queried_ids.size());
@@ -121,6 +165,7 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
 
   // Partition brokered outcomes: usable responses feed CQC/MIC; failed
   // queries degrade gracefully to the committee's own prediction below.
+  stage(CycleStage::kCqc);
   std::vector<crowd::QueryResponse> responses;  // ok subset, queried order
   std::vector<std::size_t> ok_query_index(results.size(), results.size());
   std::vector<std::size_t> ok_ids;
@@ -157,6 +202,7 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   }
   out.expert_weights = committee_.weights();
 
+  stage(CycleStage::kMic);
   // Final labels: crowd offloading for successfully queried images,
   // reweighted committee vote (cached expert votes, new weights) for the
   // rest — including failed queries, which fall back to the committee.
@@ -186,6 +232,7 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
     mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
   }
 
+  stage(CycleStage::kRecord);
   out.algorithm_delay_seconds = ai_clock.elapsed_seconds();
   (void)ai_before_crowd;  // platform calls are simulated and effectively instant
   out.spent_cents = platform.total_spent_cents() - spent_before;
@@ -283,21 +330,22 @@ void CrowdLearnSystem::apply_state(ckpt::Reader& r, crowd::CrowdPlatform* platfo
   r.expect_end();
 }
 
-void CrowdLearnSystem::save_checkpoint(const std::string& path,
-                                       const crowd::CrowdPlatform* platform) const {
+std::string CrowdLearnSystem::state_image(const crowd::CrowdPlatform* platform) const {
   if (!initialized_)
-    throw std::logic_error("CrowdLearnSystem: save_checkpoint before initialize");
+    throw std::logic_error("CrowdLearnSystem: state_image before initialize");
   ckpt::Writer w;
   serialize_state(w, platform);
-  w.write_file(path);
+  return ckpt::file_image(w);
 }
 
-void CrowdLearnSystem::resume_from(const std::string& path,
-                                   crowd::CrowdPlatform* platform) {
-  // Validate the whole container (magic, version, size, CRC) before touching
-  // any state.
-  std::string payload = ckpt::read_file(path);
+void CrowdLearnSystem::save_checkpoint(const std::string& path,
+                                       const crowd::CrowdPlatform* platform) const {
+  // Atomic temp+rename write: a crash mid-save leaves the previous
+  // checkpoint at `path` intact, never a torn file shadowing it.
+  ckpt::atomic_write_file(state_image(platform), path);
+}
 
+void CrowdLearnSystem::apply_payload(std::string payload, crowd::CrowdPlatform* platform) {
   // Snapshot the current state so a payload that fails mid-apply (malformed
   // content behind a valid CRC, config mismatch discovered late) rolls back
   // instead of leaving the system half-mutated.
@@ -313,6 +361,18 @@ void CrowdLearnSystem::resume_from(const std::string& path,
     throw;
   }
   initialized_ = true;
+}
+
+void CrowdLearnSystem::load_state_image(const std::string& image,
+                                        crowd::CrowdPlatform* platform) {
+  apply_payload(ckpt::validate_image(image), platform);
+}
+
+void CrowdLearnSystem::resume_from(const std::string& path,
+                                   crowd::CrowdPlatform* platform) {
+  // Validate the whole container (magic, version, size, CRC) before touching
+  // any state.
+  apply_payload(ckpt::read_file(path), platform);
 }
 
 std::vector<CycleOutcome> CrowdLearnSystem::run_stream(

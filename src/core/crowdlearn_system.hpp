@@ -6,6 +6,7 @@
 //   (4) MIC calibrates the committee — weight update, retraining, and crowd
 //       offloading of the queried images' labels.
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -69,6 +70,33 @@ struct CycleOutcome {
   std::size_t failed_queries = 0;   ///< no usable crowd answer at all
 };
 
+/// Named boundaries of run_cycle, in execution order (docs/RECOVERY.md).
+/// The runtime Supervisor arms fault points and retries/rolls back at these
+/// granularities; the names are part of the fault-site grammar
+/// ("stage:<name>").
+enum class CycleStage {
+  kIngest = 0,  ///< cycle validated, nothing consumed yet
+  kCommittee,   ///< expert inference over the cycle's images
+  kQss,         ///< query-set selection
+  kCrowd,       ///< IPD incentives + brokered crowd queries
+  kCqc,         ///< crowd-answer refinement + MIC weight update
+  kMic,         ///< final labels + committee retraining
+  kRecord,      ///< outcome/metrics finalization
+};
+inline constexpr std::size_t kNumCycleStages = 7;
+const char* cycle_stage_name(CycleStage stage);
+
+/// Per-call knobs for run_cycle.
+struct CycleRunOptions {
+  /// Degraded mode (docs/RECOVERY.md): answer every image from the committee
+  /// alone — no QSS query set, no crowd spend, no CQC refinement, no MIC
+  /// weight update or retrain (the last trained forest and experts are
+  /// reused as-is) — so a cycle still completes when the crowd-facing
+  /// stages keep failing. Only the kIngest, kCommittee and kRecord stage
+  /// boundaries are crossed.
+  bool degraded = false;
+};
+
 class CrowdLearnSystem {
  public:
   CrowdLearnSystem(experts::ExpertCommittee committee, const CrowdLearnConfig& cfg);
@@ -80,6 +108,16 @@ class CrowdLearnSystem {
   /// Execute one sensing cycle against the (black-box) platform.
   CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
                          const dataset::SensingCycle& cycle);
+  CycleOutcome run_cycle(const dataset::Dataset& data, crowd::CrowdPlatform& platform,
+                         const dataset::SensingCycle& cycle, const CycleRunOptions& opts);
+
+  /// Observer invoked at the entry of every stage boundary inside run_cycle.
+  /// The hook may throw — run_cycle propagates the exception, leaving the
+  /// system mid-cycle; supervised callers restore a pre-cycle snapshot
+  /// before retrying (docs/RECOVERY.md). A default (empty) hook costs one
+  /// branch per stage, draws no randomness and cannot perturb outputs.
+  using StageHook = std::function<void(CycleStage)>;
+  void set_stage_hook(StageHook hook) { stage_hook_ = std::move(hook); }
 
   /// Run every cycle of a stream in order.
   std::vector<CycleOutcome> run_stream(const dataset::Dataset& data,
@@ -104,6 +142,17 @@ class CrowdLearnSystem {
   /// `platform` argument the checkpoint was saved with (state presence is
   /// checked both ways). Marks the system initialized on success.
   void resume_from(const std::string& path, crowd::CrowdPlatform* platform = nullptr);
+
+  /// The full checkpoint file image (header + payload) of the current state
+  /// — exactly the bytes save_checkpoint writes, without touching disk. The
+  /// Supervisor captures one before every cycle as its retry snapshot.
+  /// Requires initialize() to have run.
+  std::string state_image(const crowd::CrowdPlatform* platform = nullptr) const;
+
+  /// Restore from an in-memory file image (the resume_from body without the
+  /// file read): validates the whole container first, applies with rollback
+  /// on any typed failure, marks the system initialized on success.
+  void load_state_image(const std::string& image, crowd::CrowdPlatform* platform = nullptr);
 
   /// Number of run_cycle calls completed (checkpoint cursor: a resumed
   /// caller skips stream cycles with index < cycles_run()).
@@ -144,11 +193,19 @@ class CrowdLearnSystem {
   Rng rng_;
   bool initialized_ = false;
   std::size_t cycles_run_ = 0;
+  StageHook stage_hook_;
+
+  void stage(CycleStage s) {
+    if (stage_hook_) stage_hook_(s);
+  }
 
   /// Serialize / apply the full system state (shared by save_checkpoint,
   /// resume_from and its rollback buffer).
   void serialize_state(ckpt::Writer& w, const crowd::CrowdPlatform* platform) const;
   void apply_state(ckpt::Reader& r, crowd::CrowdPlatform* platform);
+  /// Validated-payload apply with rollback (shared by resume_from and
+  /// load_state_image).
+  void apply_payload(std::string payload, crowd::CrowdPlatform* platform);
 
   /// System-level handles cached by enable_observability().
   obs::Counter* obs_cycles_ = nullptr;

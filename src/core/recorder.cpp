@@ -151,7 +151,12 @@ bool is_host_execution_metric(const obs::MetricSample& sample) {
   // scheduled on THIS host — they scale with num_threads even though the
   // simulated results do not, so they cannot appear in an export compared
   // across thread counts.
-  return sample.name.rfind("crowdlearn_pool", 0) == 0;
+  if (sample.name.rfind("crowdlearn_pool", 0) == 0) return true;
+  // Recovery series count retries/rollbacks/degraded cycles — how THIS
+  // process survived its faults, not what the simulated run computed. A
+  // faulted-but-recovered run must still match the unfaulted deterministic
+  // snapshot (docs/RECOVERY.md).
+  return sample.name.rfind("crowdlearn_recovery", 0) == 0;
 }
 
 void write_metrics_json_deterministic(const obs::Observability* o, std::ostream& os) {

@@ -67,8 +67,9 @@ void write_trace_file(const obs::Observability* o, const std::string& path);
 bool is_wall_clock_metric(const obs::MetricSample& sample);
 
 /// True for series that describe host execution rather than the simulated
-/// run: wall-clock series plus thread-pool scheduling series
-/// (`crowdlearn_pool_*`), whose values scale with num_threads.
+/// run: wall-clock series, thread-pool scheduling series
+/// (`crowdlearn_pool_*`, values scale with num_threads) and recovery
+/// series (`crowdlearn_recovery_*`, values depend on which faults fired).
 bool is_host_execution_metric(const obs::MetricSample& sample);
 
 /// Metrics JSON with every host-execution series dropped, so two runs with

@@ -1,0 +1,39 @@
+#include "runtime/exit.hpp"
+
+#include <cstdio>
+
+#include "ckpt/io.hpp"
+#include "runtime/fault_injector.hpp"
+
+namespace crowdlearn::runtime {
+
+ExitCode classify_current_exception() {
+  try {
+    throw;
+  } catch (const CheckpointMissing& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return ExitCode::kCkptMissing;
+  } catch (const ckpt::CkptError& e) {
+    // what() already leads with the errc name ("kCrcMismatch: ...").
+    std::fprintf(stderr, "fatal: checkpoint error %s\n", e.what());
+    return e.code() == ckpt::CkptErrc::kConfigMismatch ? ExitCode::kConfig
+                                                       : ExitCode::kCkptCorrupt;
+  } catch (const BudgetExhausted& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return ExitCode::kBudgetRefused;
+  } catch (const InjectedFault& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return ExitCode::kInternalFault;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return ExitCode::kConfig;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return ExitCode::kFailure;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception\n");
+    return ExitCode::kFailure;
+  }
+}
+
+}  // namespace crowdlearn::runtime

@@ -1,0 +1,68 @@
+#pragma once
+// Typed exit-code taxonomy for supervised CLI binaries (docs/RECOVERY.md).
+// util::run_guarded collapses every failure to 1; crash drills and operators
+// need to tell "the checkpoint is corrupt" from "you passed a bad flag" from
+// "the budget ran out" without parsing stderr, so run_guarded_typed maps the
+// runtime's exception types onto stable process exit codes.
+
+#include <stdexcept>
+#include <string>
+
+namespace crowdlearn::runtime {
+
+/// Process exit codes of supervised binaries. Stable: scripts assert them.
+enum class ExitCode : int {
+  kOk = 0,
+  kFailure = 1,        ///< any unclassified exception (run_guarded parity)
+  kConfig = 2,         ///< bad CLI flag / config, incl. ckpt config mismatch
+  kCkptMissing = 3,    ///< --resume demanded but no loadable generation
+  kCkptCorrupt = 4,    ///< checkpoint exists but failed typed validation
+  kBudgetRefused = 5,  ///< --strict-budget and the crowd budget is exhausted
+  kInternalFault = 6,  ///< an InjectedFault escaped recovery
+};
+
+/// Raised by Supervisor::start when resume is required (require_resume) but
+/// the generation ring holds no loadable checkpoint. `rejected` counts
+/// generations that existed but failed validation (0 = empty ring).
+class CheckpointMissing : public std::runtime_error {
+ public:
+  CheckpointMissing(const std::string& dir, std::size_t rejected)
+      : std::runtime_error(rejected == 0
+                               ? "no checkpoint generation in " + dir
+                               : "no loadable checkpoint generation in " + dir + " (" +
+                                     std::to_string(rejected) + " rejected as corrupt)"),
+        rejected_(rejected) {}
+  std::size_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t rejected_;
+};
+
+/// Raised by Supervisor::run when fail_on_budget_exhausted is set and the
+/// IPD budget reaches zero with cycles still pending.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  explicit BudgetExhausted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Classify an in-flight exception (called from a catch block) into an
+/// ExitCode, printing "fatal: ..." diagnostics to stderr — for CkptError the
+/// message already carries the errc name (CkptError prefixes its what()).
+ExitCode classify_current_exception();
+
+/// run_guarded with the typed taxonomy: returns the body's own exit code on
+/// success, else the classified code. SimulatedCrash (not a std::exception)
+/// is NOT caught — a simulated crash must kill the process, not map to an
+/// exit code here.
+template <typename F, typename... Args>
+int run_guarded_typed(F&& body, Args&&... args) {
+  try {
+    return static_cast<F&&>(body)(static_cast<Args&&>(args)...);
+  } catch (const std::exception&) {
+    // Only std::exception-derived failures are mapped; SimulatedCrash (a bare
+    // struct by design) propagates and terminates like a real crash.
+    return static_cast<int>(classify_current_exception());
+  }
+}
+
+}  // namespace crowdlearn::runtime

@@ -1,0 +1,177 @@
+#include "runtime/fault_injector.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "core/crowdlearn_system.hpp"
+
+namespace crowdlearn::runtime {
+
+namespace {
+
+/// The only site names the grammar admits; arming anything else is a config
+/// error surfaced at parse/construction time, not a silent no-op at run time.
+bool valid_site(const std::string& site) {
+  for (std::size_t i = 0; i < core::kNumCycleStages; ++i) {
+    const std::string name = core::cycle_stage_name(static_cast<core::CycleStage>(i));
+    if (site == "stage:" + name) return true;
+  }
+  for (ckpt::WritePoint p : {ckpt::WritePoint::kPreTemp, ckpt::WritePoint::kMidWrite,
+                             ckpt::WritePoint::kPreRename, ckpt::WritePoint::kPostRename}) {
+    if (site == std::string("ckpt:") + ckpt::write_point_name(p)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_probability(const std::string& field, const std::string& spec) {
+  std::size_t consumed = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != field.size() || !(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("fault spec \"" + spec + "\": probability must be in [0,1], got \"" +
+                                field + "\"");
+  return p;
+}
+
+std::size_t parse_count(const std::string& field, const char* what, const std::string& spec) {
+  std::size_t consumed = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(field, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != field.size())
+    throw std::invalid_argument("fault spec \"" + spec + "\": " + what +
+                                " must be a non-negative integer, got \"" + field + "\"");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kIo:
+      return "io";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() < 3 || parts.size() > 6)
+    throw std::invalid_argument(
+        "fault spec \"" + spec +
+        "\": want scope:name:kind[:probability[:skip_hits[:max_fires]]]");
+  FaultSpec out;
+  out.site = parts[0] + ":" + parts[1];
+  if (parts[0] != "stage" && parts[0] != "ckpt")
+    throw std::invalid_argument("fault spec \"" + spec + "\": scope must be stage or ckpt, got \"" +
+                                parts[0] + "\"");
+  if (!valid_site(out.site))
+    throw std::invalid_argument("fault spec \"" + spec + "\": unknown site \"" + out.site + "\"");
+  if (parts[2] == "throw")
+    out.kind = FaultKind::kThrow;
+  else if (parts[2] == "io")
+    out.kind = FaultKind::kIo;
+  else if (parts[2] == "crash")
+    out.kind = FaultKind::kCrash;
+  else
+    throw std::invalid_argument("fault spec \"" + spec + "\": kind must be throw, io or crash, got \"" +
+                                parts[2] + "\"");
+  if (parts.size() >= 4) out.probability = parse_probability(parts[3], spec);
+  if (parts.size() >= 5) out.skip_hits = parse_count(parts[4], "skip_hits", spec);
+  if (parts.size() >= 6) out.max_fires = parse_count(parts[5], "max_fires", spec);
+  return out;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, std::vector<FaultSpec> plan, bool crash_via_exit)
+    : rng_(mix_seed(seed ^ kFaultSeedSalt)), crash_via_exit_(crash_via_exit) {
+  for (FaultSpec& spec : plan) {
+    if (!valid_site(spec.site))
+      throw std::invalid_argument("FaultInjector: unknown fault site \"" + spec.site + "\"");
+    if (!(spec.probability >= 0.0 && spec.probability <= 1.0))
+      throw std::invalid_argument("FaultInjector: probability out of [0,1] for " + spec.site);
+    // Later specs for the same site replace earlier ones (CLI override order).
+    const std::string site = spec.site;
+    sites_[site] = Arm{std::move(spec), 0, 0};
+  }
+}
+
+void FaultInjector::fire_point(std::string_view site) {
+  if (sites_.empty()) return;
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return;
+  Arm& arm = it->second;
+  ++arm.hits;
+  if (arm.hits <= arm.spec.skip_hits) return;
+  if (arm.fired >= arm.spec.max_fires) return;
+  if (arm.spec.probability <= 0.0) return;
+  // Draw only for genuinely probabilistic arms, so p=1 plans consume no
+  // randomness and stay reproducible regardless of pass counts.
+  if (arm.spec.probability < 1.0 && !rng_.bernoulli(arm.spec.probability)) return;
+  ++arm.fired;
+  ++total_fires_;
+  const std::string where(site);
+  switch (arm.spec.kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(where);
+    case FaultKind::kIo:
+      throw ckpt::CkptError(ckpt::CkptErrc::kIo,
+                            "injected I/O fault at " + where + " (simulated ENOSPC/short write)");
+    case FaultKind::kCrash:
+      crash(where);
+  }
+}
+
+ckpt::WriteHooks FaultInjector::ckpt_hooks() {
+  ckpt::WriteHooks hooks;
+  hooks.at = [this](ckpt::WritePoint point) {
+    fire_point(std::string("ckpt:") + ckpt::write_point_name(point));
+  };
+  return hooks;
+}
+
+std::size_t FaultInjector::hits(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::size_t FaultInjector::fires(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+void FaultInjector::crash(const std::string& site) {
+  if (crash_via_exit_) {
+    // No unwinding, no atexit, no flush beyond what already hit the kernel —
+    // the closest in-process stand-in for SIGKILL that keeps exit status
+    // observable. Buffered-but-unflushed writes are lost, as they should be.
+    std::_Exit(kCrashExitStatus);
+  }
+  throw SimulatedCrash{site};
+}
+
+}  // namespace crowdlearn::runtime

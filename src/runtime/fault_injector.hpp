@@ -1,0 +1,122 @@
+#pragma once
+// Internal fault-point registry (docs/RECOVERY.md). PR 2 made the *external*
+// crowd faulty; this layer injects faults into CrowdLearn itself: typed
+// exceptions, simulated ENOSPC/short-write checkpoint I/O errors, and hard
+// process crashes, at any run_cycle stage boundary or checkpoint-write
+// offset class.
+//
+// Site grammar (also the CLI `--fault` spec prefix):
+//   stage:<name>   name in {ingest, committee, qss, crowd, cqc, mic, record}
+//                  (core::cycle_stage_name)
+//   ckpt:<point>   point in {pre-temp, mid-write, pre-rename, post-rename}
+//                  (ckpt::write_point_name)
+//
+// Determinism contract: the injector draws from its own RNG, forked from
+// `seed ^ 0xC4A5`, and only when a site armed with 0 < probability < 1 is
+// actually passed — never from any system stream. An empty plan, a
+// zero-probability plan, and an armed-but-never-fired plan all leave every
+// byte of the run's output identical to an uninstrumented run.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/io.hpp"
+#include "util/rng.hpp"
+
+namespace crowdlearn::runtime {
+
+/// Seed-mixing constant for the injector's private stream.
+inline constexpr std::uint64_t kFaultSeedSalt = 0xC4A5;
+
+/// Process exit status of a hard-crash fault (`_exit`-style death), asserted
+/// by scripts/crash_drill.sh.
+inline constexpr int kCrashExitStatus = 70;
+
+enum class FaultKind {
+  kThrow,  ///< throw runtime::InjectedFault (retryable stage failure)
+  kIo,     ///< throw ckpt::CkptError(kIo) — simulated ENOSPC / short write
+  kCrash,  ///< hard process death (std::_Exit) or SimulatedCrash in tests
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One armed fault point.
+struct FaultSpec {
+  std::string site;          ///< "stage:qss", "ckpt:mid-write", ...
+  FaultKind kind = FaultKind::kThrow;
+  double probability = 1.0;  ///< chance of firing per eligible pass
+  std::size_t skip_hits = 0; ///< let this many passes through first
+  std::size_t max_fires = 1; ///< how many times the point may fire (0 = never)
+};
+
+/// Parse "scope:name:kind[:probability[:skip_hits[:max_fires]]]", e.g.
+///   stage:qss:crash            crash the first time QSS is entered
+///   stage:cqc:throw:0.5:0:3    50% exception per pass, at most 3 total
+///   ckpt:mid-write:io          simulated ENOSPC on the first checkpoint
+/// Throws std::invalid_argument on malformed specs (unknown scope/site name,
+/// kind, or non-numeric fields).
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// The typed exception kThrow faults raise.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Crash stand-in for in-process tests (FaultInjector with crash_via_exit
+/// false). Deliberately NOT derived from std::exception: it flies past the
+/// Supervisor's recovery and every run_guarded-style handler, exactly like a
+/// real process death would — except the test harness can catch it.
+struct SimulatedCrash {
+  std::string site;
+};
+
+class FaultInjector {
+ public:
+  /// `seed` is the owning system's seed; the private stream uses
+  /// mix_seed(seed ^ kFaultSeedSalt). With `crash_via_exit` false, kCrash
+  /// faults throw SimulatedCrash instead of killing the process.
+  FaultInjector(std::uint64_t seed, std::vector<FaultSpec> plan, bool crash_via_exit = true);
+
+  /// Register one pass over `site`; fires the armed fault when its
+  /// skip-hits, max-fires and probability all line up. Unarmed sites return
+  /// without touching the RNG.
+  void fire_point(std::string_view site);
+
+  /// Hooks for ckpt::atomic_write_file wired to the "ckpt:<point>" sites.
+  /// The returned object references this injector; keep it alive.
+  ckpt::WriteHooks ckpt_hooks();
+
+  /// Total faults fired so far, across all sites.
+  std::size_t fires() const { return total_fires_; }
+  /// Passes/fires of one site (0/0 when never passed).
+  std::size_t hits(const std::string& site) const;
+  std::size_t fires(const std::string& site) const;
+
+  bool empty() const { return sites_.empty(); }
+
+ private:
+  struct Arm {
+    FaultSpec spec;
+    std::size_t hits = 0;
+    std::size_t fired = 0;
+  };
+
+  [[noreturn]] void crash(const std::string& site);
+
+  Rng rng_;
+  std::unordered_map<std::string, Arm> sites_;
+  bool crash_via_exit_ = true;
+  std::size_t total_fires_ = 0;
+};
+
+}  // namespace crowdlearn::runtime

@@ -1,0 +1,257 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "runtime/exit.hpp"
+
+namespace crowdlearn::runtime {
+
+Supervisor::Supervisor(core::CrowdLearnSystem& system, crowd::CrowdPlatform& platform,
+                       SupervisorConfig cfg)
+    : system_(system),
+      platform_(platform),
+      cfg_(std::move(cfg)),
+      injector_(system.config().seed, cfg_.faults, cfg_.crash_via_exit) {
+  if (cfg_.checkpoint_every == 0)
+    throw std::invalid_argument("Supervisor: checkpoint_every must be >= 1");
+  if (!cfg_.checkpoint_dir.empty())
+    ring_.emplace(ckpt::GenerationRingConfig{cfg_.checkpoint_dir, cfg_.max_generations});
+  if (cfg_.require_resume && !ring_)
+    throw std::invalid_argument("Supervisor: require_resume needs a checkpoint_dir");
+  ckpt_hooks_ = injector_.ckpt_hooks();
+  system_.set_stage_hook([this](core::CycleStage s) {
+    injector_.fire_point(std::string("stage:") + core::cycle_stage_name(s));
+  });
+}
+
+Supervisor::~Supervisor() {
+  // The hook captures `this`; never leave it dangling on the system.
+  system_.set_stage_hook(nullptr);
+}
+
+StartReport Supervisor::start(const dataset::Dataset& data, const crowd::PilotResult& pilot) {
+  StartReport rep;
+  if (ring_) {
+    ckpt::GenerationRing::LoadResult loaded = ring_->load_newest();
+    rep.rejected = loaded.rejected;
+    stats_.generations_rejected += loaded.rejected.size();
+    if (loaded.found) {
+      system_.load_state_image(loaded.image, &platform_);
+      rep.resumed = true;
+      rep.generation = loaded.generation;
+      rep.path = loaded.path;
+      ++stats_.resumes;
+      sync_recovery_metrics();
+    }
+  }
+  if (!rep.resumed) {
+    if (cfg_.require_resume) throw CheckpointMissing(cfg_.checkpoint_dir, rep.rejected.size());
+    system_.initialize(data, pilot);
+    // Generation 0 (post-initialize, pre-cycle) anchors rollback: the ring is
+    // never empty once the run is underway.
+    save_generation();
+    sync_recovery_metrics();
+  }
+  rep.cycles_run = system_.cycles_run();
+  // Drop any log rows past the restored cursor (flushed by a crashed process
+  // after its last checkpoint); the replay re-appends them byte-identically.
+  reset_log_to(system_.cycles_run());
+  return rep;
+}
+
+std::vector<core::CycleOutcome> Supervisor::run(const dataset::Dataset& data,
+                                                const dataset::SensingCycleStream& stream) {
+  const std::vector<dataset::SensingCycle>& cycles = stream.cycles();
+  std::vector<core::CycleOutcome> outcomes;
+  std::size_t rollback_budget = cfg_.max_rollbacks;
+
+  std::size_t i = 0;
+  while (i < cycles.size()) {
+    const dataset::SensingCycle& cycle = cycles[i];
+    if (cycle.index < system_.cycles_run()) {
+      ++i;
+      continue;
+    }
+
+    // Retry snapshot: full system + platform state, every RNG stream
+    // included, so a re-run reproduces the failed attempt byte-for-byte.
+    const std::string snapshot = system_.state_image(&platform_);
+    std::size_t attempts = 0;
+    bool completed = false;
+    bool rolled_back = false;
+    bool degraded = false;
+
+    while (!completed && !rolled_back) {
+      try {
+        core::CycleRunOptions opts;
+        opts.degraded = degraded;
+        core::CycleOutcome out = system_.run_cycle(data, platform_, cycle, opts);
+        if (degraded) {
+          ++stats_.degraded_cycles;
+          sync_recovery_metrics();
+        }
+        append_log_row(out, data);
+        outcomes.push_back(std::move(out));
+        completed = true;
+      } catch (const std::exception&) {
+        ++stats_.stage_failures;
+        sync_recovery_metrics();
+        if (stats_.stage_failures > cfg_.max_total_failures) throw;
+
+        ++attempts;
+        if (attempts <= cfg_.max_retries) {
+          system_.load_state_image(snapshot, &platform_);
+          ++stats_.retries;
+          sync_recovery_metrics();
+          backoff(attempts);
+          continue;
+        }
+        if (rollback_budget > 0 && ring_) {
+          --rollback_budget;
+          if (rollback()) {
+            stats_.replayed_cycles += cycle.index - system_.cycles_run();
+            sync_recovery_metrics();
+            rolled_back = true;
+            continue;
+          }
+        }
+        if (cfg_.allow_degraded && !degraded) {
+          system_.load_state_image(snapshot, &platform_);
+          sync_recovery_metrics();
+          degraded = true;
+          continue;
+        }
+        throw;
+      }
+    }
+
+    if (rolled_back) {
+      // The cursor moved backwards: drop outcomes past it and rescan from the
+      // top — the skip above fast-forwards to the first cycle to replay.
+      while (!outcomes.empty() && outcomes.back().cycle_index >= system_.cycles_run())
+        outcomes.pop_back();
+      i = 0;
+      continue;
+    }
+
+    if (ring_ && system_.cycles_run() % cfg_.checkpoint_every == 0) save_generation();
+    if (cfg_.fail_on_budget_exhausted && i + 1 < cycles.size() &&
+        system_.ipd().remaining_budget_cents() <= 0.0)
+      throw BudgetExhausted("crowd budget exhausted after cycle " +
+                            std::to_string(cycle.index) + " with " +
+                            std::to_string(cycles.size() - i - 1) + " cycles pending");
+    ++i;
+  }
+  return outcomes;
+}
+
+void Supervisor::save_generation() {
+  if (!ring_) return;
+  try {
+    ring_->save(system_.state_image(&platform_), system_.cycles_run(), &ckpt_hooks_);
+    ++stats_.checkpoints_written;
+  } catch (const std::exception&) {
+    // Best-effort: a failed save (injected ENOSPC, full disk) costs rollback
+    // depth, not the run — the previous generations are untouched.
+    ++stats_.checkpoint_failures;
+  }
+  sync_recovery_metrics();
+}
+
+bool Supervisor::rollback() {
+  if (!ring_) return false;
+  ckpt::GenerationRing::LoadResult loaded = ring_->load_newest();
+  stats_.generations_rejected += loaded.rejected.size();
+  if (!loaded.found) {
+    sync_recovery_metrics();
+    return false;
+  }
+  system_.load_state_image(loaded.image, &platform_);
+  ++stats_.rollbacks;
+  sync_recovery_metrics();
+  reset_log_to(system_.cycles_run());
+  return true;
+}
+
+void Supervisor::append_log_row(const core::CycleOutcome& out, const dataset::Dataset& data) {
+  if (cfg_.cycle_log_path.empty()) return;
+  core::CycleLogOptions opts = cfg_.cycle_log;
+  opts.include_header = !log_has_header_;
+  std::ofstream os(cfg_.cycle_log_path, std::ios::app);
+  if (!os) throw std::runtime_error("Supervisor: cannot open cycle log " + cfg_.cycle_log_path);
+  const std::vector<core::CycleOutcome> one{out};
+  core::write_cycle_log(data, one, os, opts);
+  os.flush();
+  if (!os) throw std::runtime_error("Supervisor: cycle log write failed: " + cfg_.cycle_log_path);
+  log_has_header_ = true;
+  ++log_rows_;
+}
+
+void Supervisor::reset_log_to(std::size_t rows) {
+  if (cfg_.cycle_log_path.empty()) return;
+  std::ifstream is(cfg_.cycle_log_path);
+  if (!is) {
+    log_has_header_ = false;
+    log_rows_ = 0;
+    return;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(std::move(line));
+  is.close();
+
+  const std::size_t keep = std::min(lines.size(), lines.empty() ? 0 : rows + 1);
+  std::string contents;
+  for (std::size_t j = 0; j < keep; ++j) {
+    contents += lines[j];
+    contents += '\n';
+  }
+  // Same temp+rename discipline as checkpoints: a crash mid-truncation must
+  // not tear the log (the stale original is re-truncated on the next start).
+  const std::string tmp = cfg_.cycle_log_path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("Supervisor: cannot open " + tmp);
+    os << contents;
+    os.flush();
+    if (!os) throw std::runtime_error("Supervisor: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), cfg_.cycle_log_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("Supervisor: cannot rename " + tmp);
+  }
+  log_has_header_ = keep > 0;
+  log_rows_ = keep > 0 ? keep - 1 : 0;
+}
+
+void Supervisor::sync_recovery_metrics() {
+  obs::Observability* o = system_.observability();
+  if (!obs::active(o)) return;
+  obs::MetricsRegistry& reg = o->metrics();
+  // restore(), not inc(): snapshot/generation restores rewind the registry
+  // (the metrics are part of the checkpoint image), so the counters are
+  // re-synced from the supervisor-owned stats after every recovery action.
+  reg.counter("crowdlearn_recovery_stage_failures_total").restore(stats_.stage_failures);
+  reg.counter("crowdlearn_recovery_retries_total").restore(stats_.retries);
+  reg.counter("crowdlearn_recovery_rollbacks_total").restore(stats_.rollbacks);
+  reg.counter("crowdlearn_recovery_replayed_cycles_total").restore(stats_.replayed_cycles);
+  reg.counter("crowdlearn_recovery_degraded_cycles_total").restore(stats_.degraded_cycles);
+  reg.counter("crowdlearn_recovery_checkpoints_written_total").restore(stats_.checkpoints_written);
+  reg.counter("crowdlearn_recovery_checkpoint_failures_total").restore(stats_.checkpoint_failures);
+  reg.counter("crowdlearn_recovery_generations_rejected_total").restore(stats_.generations_rejected);
+  reg.counter("crowdlearn_recovery_resumes_total").restore(stats_.resumes);
+}
+
+void Supervisor::backoff(std::size_t attempt) const {
+  if (cfg_.backoff_base_ms == 0) return;
+  std::uint64_t ms = cfg_.backoff_base_ms;
+  for (std::size_t r = 1; r < attempt && ms < cfg_.backoff_cap_ms; ++r) ms <<= 1;
+  ms = std::min(ms, cfg_.backoff_cap_ms);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace crowdlearn::runtime

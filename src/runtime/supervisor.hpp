@@ -1,0 +1,156 @@
+#pragma once
+// Supervised runtime (docs/RECOVERY.md): owns one CrowdLearnSystem + platform
+// pair and drives the sensing stream with
+//   - crash-safe checkpoint generations: every K completed cycles the full
+//     loop state is written into a bounded GenerationRing via atomic
+//     temp+flush+rename, so a crash at ANY write offset leaves a loadable
+//     ring;
+//   - internal fault injection: a FaultInjector armed at run_cycle stage
+//     boundaries and checkpoint-write offset classes (zero faults = zero
+//     behavior change, byte-identical output);
+//   - automatic recovery: a failed cycle is retried from an in-memory
+//     pre-cycle snapshot (capped backoff), then rolled back to the newest
+//     valid on-disk generation and replayed, then — when allow_degraded —
+//     completed in degraded committee-only mode. Recovered runs reproduce the
+//     unfaulted run byte-for-byte (cycle log, deterministic metrics JSON,
+//     expert weights); degraded cycles are the one sanctioned divergence.
+//
+// Every recovery action is counted in RecoveryStats and mirrored into
+// crowdlearn_recovery_* metrics (docs/OBSERVABILITY.md). Those series
+// describe the host execution, not the simulated run, so the deterministic
+// metrics JSON drops them (recorder.cpp is_host_execution_metric) — a
+// faulted-but-recovered run still matches the unfaulted golden snapshot.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/generations.hpp"
+#include "core/crowdlearn_system.hpp"
+#include "core/recorder.hpp"
+#include "runtime/fault_injector.hpp"
+
+namespace crowdlearn::runtime {
+
+struct SupervisorConfig {
+  /// Generation-ring directory. Empty = no checkpointing (and rollback
+  /// recovery is unavailable; retries and degraded mode still work).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 2;  ///< cycles between generations (>= 1)
+  std::size_t max_generations = 3;   ///< ring size (docs/CHECKPOINTING.md)
+
+  /// Recovery ladder per failed cycle: `max_retries` snapshot-restore
+  /// retries, then `max_rollbacks` rollback-and-replay attempts, then one
+  /// degraded-mode completion (when allow_degraded), then the failure
+  /// propagates.
+  std::size_t max_retries = 2;
+  std::size_t max_rollbacks = 2;
+  bool allow_degraded = true;
+  /// Hard cap on stage failures across the whole run: a fault plan that
+  /// fires forever must not loop forever. Past the cap the failure
+  /// propagates no matter what the ladder has left.
+  std::size_t max_total_failures = 100;
+
+  /// Backoff before retry r sleeps min(backoff_base_ms << r, backoff_cap_ms)
+  /// milliseconds. base 0 (default) disables sleeping — tests and drills
+  /// stay fast; the schedule is still computed and capped.
+  std::uint64_t backoff_base_ms = 0;
+  std::uint64_t backoff_cap_ms = 64;
+
+  /// Throw BudgetExhausted (exit code 5) when the IPD budget hits zero with
+  /// cycles still pending, instead of letting the loop run on zero-query
+  /// cycles.
+  bool fail_on_budget_exhausted = false;
+  /// start() must find a loadable generation (CLI --resume): throw
+  /// CheckpointMissing instead of initializing from scratch.
+  bool require_resume = false;
+
+  /// Deterministic per-cycle CSV log, appended row by row and flushed as
+  /// each cycle completes; on resume/rollback the file is truncated back to
+  /// the restored cycle count, so the final file is byte-identical to an
+  /// unfaulted run's log. Empty = no log.
+  std::string cycle_log_path;
+  core::CycleLogOptions cycle_log;  ///< include_header is managed internally
+
+  /// Armed fault points (empty = none; probability-0 arms draw no RNG).
+  std::vector<FaultSpec> faults;
+  /// kCrash faults call std::_Exit(kCrashExitStatus); false makes them throw
+  /// SimulatedCrash instead (in-process crash-matrix tests).
+  bool crash_via_exit = true;
+};
+
+/// Counts of every recovery action over the Supervisor's lifetime.
+/// Mirrored into crowdlearn_recovery_* counters when observability is on.
+struct RecoveryStats {
+  std::size_t stage_failures = 0;      ///< exceptions caught from run_cycle
+  std::size_t retries = 0;             ///< snapshot-restore retries
+  std::size_t rollbacks = 0;           ///< generation rollbacks
+  std::size_t replayed_cycles = 0;     ///< cycles re-run after rollbacks
+  std::size_t degraded_cycles = 0;     ///< cycles completed committee-only
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_failures = 0; ///< best-effort saves that failed
+  std::size_t generations_rejected = 0;///< corrupt generations skipped
+  std::size_t resumes = 0;             ///< start() calls that restored state
+};
+
+/// What start() did.
+struct StartReport {
+  bool resumed = false;
+  std::uint64_t generation = 0;         ///< loaded generation (when resumed)
+  std::string path;                     ///< loaded generation file
+  std::size_t cycles_run = 0;           ///< system cursor after start()
+  std::vector<ckpt::GenerationRing::Rejected> rejected;  ///< skipped as corrupt
+};
+
+class Supervisor {
+ public:
+  /// Borrows the system and platform; both must outlive the Supervisor.
+  /// Installs the fault injector as the system's stage hook (replacing any
+  /// previous hook) and validates the config (std::invalid_argument).
+  Supervisor(core::CrowdLearnSystem& system, crowd::CrowdPlatform& platform,
+             SupervisorConfig cfg);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Bring the system to a runnable state: load the newest valid generation
+  /// from the ring when one exists (recording every corrupt generation it
+  /// fell past), otherwise initialize from scratch and write generation 0.
+  /// Throws CheckpointMissing when require_resume is set and nothing loads.
+  StartReport start(const dataset::Dataset& data, const crowd::PilotResult& pilot);
+
+  /// Run every pending cycle of the stream (cycles with index < cycles_run()
+  /// are skipped), applying the recovery ladder to each failure. Returns the
+  /// outcomes of the cycles executed by THIS call, including replays —
+  /// trailing entries always line up with the stream's tail.
+  std::vector<core::CycleOutcome> run(const dataset::Dataset& data,
+                                      const dataset::SensingCycleStream& stream);
+
+  const RecoveryStats& stats() const { return stats_; }
+  FaultInjector& injector() { return injector_; }
+  const SupervisorConfig& config() const { return cfg_; }
+  /// Null when checkpoint_dir is empty.
+  const ckpt::GenerationRing* ring() const { return ring_ ? &*ring_ : nullptr; }
+
+ private:
+  void save_generation();                 ///< best-effort checkpoint write
+  bool rollback();                        ///< restore newest valid generation
+  void append_log_row(const core::CycleOutcome& out, const dataset::Dataset& data);
+  void reset_log_to(std::size_t rows);    ///< truncate log to header + rows
+  void sync_recovery_metrics();           ///< mirror stats_ into the registry
+  void backoff(std::size_t attempt) const;
+
+  core::CrowdLearnSystem& system_;
+  crowd::CrowdPlatform& platform_;
+  SupervisorConfig cfg_;
+  FaultInjector injector_;
+  ckpt::WriteHooks ckpt_hooks_;
+  std::optional<ckpt::GenerationRing> ring_;
+  RecoveryStats stats_;
+  bool log_has_header_ = false;
+  std::size_t log_rows_ = 0;
+};
+
+}  // namespace crowdlearn::runtime

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 
@@ -213,6 +214,69 @@ TEST(CkptContainer, UnwritablePathIsIoError) {
   } catch (const CkptError& e) {
     EXPECT_EQ(e.code(), CkptErrc::kIo);
   }
+}
+
+// ---------------------------------------------------------------------------
+// kIo battery: real filesystem failures through the atomic write path
+// ---------------------------------------------------------------------------
+
+TEST(CkptAtomicWrite, NonexistentParentDirIsIoErrorAndLeavesNoDebris) {
+  const std::string target =
+      ::testing::TempDir() + "/no_such_parent_ckpt/sub/gen.ckpt";
+  try {
+    atomic_write_file("payload", target);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.code(), CkptErrc::kIo);
+  }
+  EXPECT_FALSE(std::filesystem::exists(target));
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(CkptAtomicWrite, ShortWriteFaultLeavesPreviousTargetValid) {
+  // A simulated ENOSPC mid-write (the hook throws the same typed kIo error a
+  // full disk would) must leave the previous checkpoint untouched and no temp
+  // file behind — the whole point of temp+flush+rename.
+  TempFile tmp("ckpt_short_write.bin");
+  Writer w1;
+  w1.begin_section("TST1");
+  w1.u64(1);
+  w1.write_file(tmp.path);
+  const std::string before = read_file(tmp.path);
+
+  Writer w2;
+  w2.begin_section("TST1");
+  w2.u64(2);
+  WriteHooks hooks;
+  hooks.at = [](WritePoint point) {
+    if (point == WritePoint::kMidWrite)
+      throw CkptError(CkptErrc::kIo, "simulated short write (disk full)");
+  };
+  try {
+    atomic_write_file(file_image(w2), tmp.path, &hooks);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.code(), CkptErrc::kIo);
+  }
+  EXPECT_EQ(read_file(tmp.path), before);
+  EXPECT_FALSE(std::filesystem::exists(tmp.path + ".tmp"));
+}
+
+TEST(CkptAtomicWrite, RenameTargetCollisionIsIoErrorAndCleansTemp) {
+  // A directory squatting on the target path makes std::rename fail after the
+  // temp was fully written: the error must be typed kIo and the temp removed.
+  const std::string target = ::testing::TempDir() + "/ckpt_rename_collision";
+  std::filesystem::remove_all(target);
+  std::filesystem::create_directory(target);
+  try {
+    atomic_write_file(sample_image(), target);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.code(), CkptErrc::kIo);
+  }
+  EXPECT_TRUE(std::filesystem::is_directory(target));
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+  std::filesystem::remove_all(target);
 }
 
 TEST(CkptContainer, ValidImagePasses) {

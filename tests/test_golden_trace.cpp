@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "core/experiment.hpp"
 #include "core/recorder.hpp"
 #include "experts/bovw.hpp"
+#include "runtime/supervisor.hpp"
 
 #ifndef CROWDLEARN_GOLDEN_DIR
 #error "CROWDLEARN_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
@@ -198,6 +200,63 @@ TEST(GoldenTrace, TraceIsThreadCountInvariant) {
   std::ostringstream metrics;
   core::write_metrics_json_deterministic(serial.observability(), metrics);
   EXPECT_EQ(at_pinned.metrics_json, metrics.str());
+}
+
+// The supervised runtime promises byte-identical recovery: a run that hits
+// transient faults, retries, rolls back a generation and replays must still
+// reproduce the committed goldens exactly. Pin that contract against the
+// same files the plain loop is pinned to.
+TEST(GoldenTrace, SupervisedRunWithTransientFaultsMatchesCommittedGolden) {
+  if (regen_requested()) GTEST_SKIP() << "regen handled by the plain-loop tests";
+  const std::string expected_csv = read_or_empty(golden_path("golden_trace.csv"));
+  const std::string expected_json = read_or_empty(golden_path("golden_metrics.json"));
+  ASSERT_FALSE(expected_csv.empty()) << "missing golden files — run scripts/make_golden.sh";
+  ASSERT_FALSE(expected_json.empty());
+
+  const core::ExperimentSetup& setup = golden_setup();
+  core::CrowdLearnSystem system = golden_system();
+
+  crowd::PlatformConfig pcfg = setup.platform_cfg;
+  pcfg.seed = setup.seed + 17;
+  pcfg.faults.straggler_prob = 0.10;
+  pcfg.faults.duplicate_prob = 0.05;
+  crowd::CrowdPlatform platform(&setup.data, pcfg);
+
+  const std::string dir = ::testing::TempDir() + "/golden_supervised_ring";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+
+  runtime::SupervisorConfig scfg;
+  scfg.checkpoint_dir = dir;
+  scfg.checkpoint_every = 3;
+  scfg.crash_via_exit = false;
+  // One transient throw (retried from snapshot) and one fault that outlasts
+  // the retry budget (rolled back to disk and replayed): both recovery tiers
+  // must leave the trace untouched.
+  scfg.max_retries = 1;
+  scfg.faults.push_back(runtime::parse_fault_spec("stage:committee:throw:1:2:1"));
+  scfg.faults.push_back(runtime::parse_fault_spec("stage:mic:throw:1:5:2"));
+  runtime::Supervisor supervisor(system, platform, scfg);
+  supervisor.start(setup.data, setup.pilot);
+
+  const dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+  const std::vector<core::CycleOutcome> outcomes = supervisor.run(setup.data, stream);
+
+  EXPECT_GT(supervisor.stats().retries, 0u);
+  EXPECT_GT(supervisor.stats().rollbacks, 0u);
+
+  core::CycleLogOptions opts;
+  opts.include_wall_clock = false;
+  std::ostringstream csv;
+  core::write_cycle_log(setup.data, outcomes, csv, opts);
+  EXPECT_EQ(expected_csv, csv.str())
+      << "supervised recovery diverged from the committed trace" << kRegenHint;
+
+  std::ostringstream metrics;
+  core::write_metrics_json_deterministic(system.observability(), metrics);
+  EXPECT_EQ(expected_json, metrics.str())
+      << "supervised recovery diverged from the committed metrics" << kRegenHint;
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

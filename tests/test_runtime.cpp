@@ -1,0 +1,365 @@
+// Unit tests for the runtime building blocks (src/runtime + the crash-safe
+// checkpoint primitives they ride on): fault-spec parsing and firing
+// discipline, atomic_write_file offset-class semantics, the bounded
+// generation ring's corruption fallback, and the typed exit-code taxonomy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/generations.hpp"
+#include "ckpt/io.hpp"
+#include "runtime/exit.hpp"
+#include "runtime/fault_injector.hpp"
+
+namespace crowdlearn::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII temp directory under the gtest temp root.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name) : path(::testing::TempDir() + "/" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { std::error_code ec; fs::remove_all(path, ec); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+}
+
+std::string small_image(std::uint64_t value) {
+  ckpt::Writer w;
+  w.begin_section("TST1");
+  w.u64(value);
+  return ckpt::file_image(w);
+}
+
+// ---------------------------------------------------------------------------
+// parse_fault_spec
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecParse, FullAndDefaultedFields) {
+  const FaultSpec a = parse_fault_spec("stage:qss:crash");
+  EXPECT_EQ(a.site, "stage:qss");
+  EXPECT_EQ(a.kind, FaultKind::kCrash);
+  EXPECT_EQ(a.probability, 1.0);
+  EXPECT_EQ(a.skip_hits, 0u);
+  EXPECT_EQ(a.max_fires, 1u);
+
+  const FaultSpec b = parse_fault_spec("stage:cqc:throw:0.5:3:7");
+  EXPECT_EQ(b.site, "stage:cqc");
+  EXPECT_EQ(b.kind, FaultKind::kThrow);
+  EXPECT_EQ(b.probability, 0.5);
+  EXPECT_EQ(b.skip_hits, 3u);
+  EXPECT_EQ(b.max_fires, 7u);
+
+  const FaultSpec c = parse_fault_spec("ckpt:mid-write:io");
+  EXPECT_EQ(c.site, "ckpt:mid-write");
+  EXPECT_EQ(c.kind, FaultKind::kIo);
+}
+
+TEST(FaultSpecParse, EveryStageAndWritePointSiteIsAccepted) {
+  for (const char* name : {"ingest", "committee", "qss", "crowd", "cqc", "mic", "record"})
+    EXPECT_NO_THROW(parse_fault_spec(std::string("stage:") + name + ":throw")) << name;
+  for (const char* point : {"pre-temp", "mid-write", "pre-rename", "post-rename"})
+    EXPECT_NO_THROW(parse_fault_spec(std::string("ckpt:") + point + ":crash")) << point;
+}
+
+TEST(FaultSpecParse, MalformedSpecsAreConfigErrors) {
+  for (const char* bad :
+       {"", "stage", "stage:qss", "disk:qss:throw", "stage:bogus:throw", "ckpt:qss:throw",
+        "stage:mid-write:io", "stage:qss:explode", "stage:qss:throw:1.5",
+        "stage:qss:throw:-0.1", "stage:qss:throw:x", "stage:qss:throw:1:x",
+        "stage:qss:throw:1:0:x", "stage:qss:throw:1:0:1:9"})
+    EXPECT_THROW(parse_fault_spec(bad), std::invalid_argument) << "\"" << bad << "\"";
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector firing discipline
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, UnarmedSitesNeverCountOrFire) {
+  FaultInjector fi(1, {parse_fault_spec("stage:qss:throw")});
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(fi.fire_point("stage:mic"));
+  EXPECT_EQ(fi.fires(), 0u);
+  EXPECT_EQ(fi.hits("stage:mic"), 0u);
+}
+
+TEST(FaultInjector, SkipHitsAndMaxFiresAreRespected) {
+  FaultInjector fi(1, {parse_fault_spec("stage:qss:throw:1:2:2")});
+  EXPECT_NO_THROW(fi.fire_point("stage:qss"));  // hit 1: skipped
+  EXPECT_NO_THROW(fi.fire_point("stage:qss"));  // hit 2: skipped
+  EXPECT_THROW(fi.fire_point("stage:qss"), InjectedFault);  // fire 1
+  EXPECT_THROW(fi.fire_point("stage:qss"), InjectedFault);  // fire 2
+  EXPECT_NO_THROW(fi.fire_point("stage:qss"));  // max_fires exhausted
+  EXPECT_EQ(fi.hits("stage:qss"), 5u);
+  EXPECT_EQ(fi.fires("stage:qss"), 2u);
+  EXPECT_EQ(fi.fires(), 2u);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFires) {
+  FaultInjector fi(99, {parse_fault_spec("stage:qss:throw:0:0:1000")});
+  for (int i = 0; i < 1000; ++i) EXPECT_NO_THROW(fi.fire_point("stage:qss"));
+  EXPECT_EQ(fi.fires(), 0u);
+}
+
+TEST(FaultInjector, ProbabilisticFiringIsSeedDeterministic) {
+  auto fire_pattern = [](std::uint64_t seed) {
+    FaultInjector fi(seed, {parse_fault_spec("stage:qss:throw:0.5:0:1000000")});
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        fi.fire_point("stage:qss");
+        pattern += '.';
+      } catch (const InjectedFault&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  EXPECT_EQ(fire_pattern(7), fire_pattern(7));
+  EXPECT_NE(fire_pattern(7), fire_pattern(8));  // distinct streams per seed
+  EXPECT_NE(fire_pattern(7).find('X'), std::string::npos);
+  EXPECT_NE(fire_pattern(7).find('.'), std::string::npos);
+}
+
+TEST(FaultInjector, KindsRaiseTheirTypedFault) {
+  FaultInjector fi(1,
+                   {parse_fault_spec("stage:qss:throw"), parse_fault_spec("stage:cqc:io"),
+                    parse_fault_spec("stage:mic:crash")},
+                   /*crash_via_exit=*/false);
+  try {
+    fi.fire_point("stage:qss");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "stage:qss");
+  }
+  try {
+    fi.fire_point("stage:cqc");
+    FAIL() << "expected CkptError";
+  } catch (const ckpt::CkptError& e) {
+    EXPECT_EQ(e.code(), ckpt::CkptErrc::kIo);
+  }
+  try {
+    fi.fire_point("stage:mic");
+    FAIL() << "expected SimulatedCrash";
+  } catch (const SimulatedCrash& crash) {
+    EXPECT_EQ(crash.site, "stage:mic");
+  }
+}
+
+TEST(FaultInjector, SimulatedCrashIsNotAStdException) {
+  // The whole point of SimulatedCrash: recovery handlers that catch
+  // std::exception must NOT be able to swallow it.
+  FaultInjector fi(1, {parse_fault_spec("stage:mic:crash")}, /*crash_via_exit=*/false);
+  bool crashed = false;
+  try {
+    try {
+      fi.fire_point("stage:mic");
+    } catch (const std::exception&) {
+      FAIL() << "SimulatedCrash was caught as std::exception";
+    }
+  } catch (const SimulatedCrash&) {
+    crashed = true;
+  }
+  EXPECT_TRUE(crashed);
+}
+
+TEST(FaultInjector, CkptHooksMapWritePointsToSites) {
+  FaultInjector fi(1, {parse_fault_spec("ckpt:pre-rename:throw")});
+  ckpt::WriteHooks hooks = fi.ckpt_hooks();
+  EXPECT_NO_THROW(hooks.at(ckpt::WritePoint::kPreTemp));
+  EXPECT_NO_THROW(hooks.at(ckpt::WritePoint::kMidWrite));
+  EXPECT_THROW(hooks.at(ckpt::WritePoint::kPreRename), InjectedFault);
+  EXPECT_EQ(fi.fires("ckpt:pre-rename"), 1u);
+}
+
+TEST(FaultInjector, UnknownSiteInPlanIsAConfigError) {
+  FaultSpec bogus;
+  bogus.site = "stage:warp-core";
+  EXPECT_THROW(FaultInjector(1, {bogus}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// atomic_write_file offset classes
+// ---------------------------------------------------------------------------
+
+TEST(AtomicWrite, MidWriteFaultLeavesPreviousTargetAndNoTemp) {
+  TempDir dir("atomic_midwrite");
+  const std::string path = dir.path + "/state.ckpt";
+  ckpt::atomic_write_file(small_image(1), path);
+
+  FaultInjector fi(1, {parse_fault_spec("ckpt:mid-write:io")});
+  ckpt::WriteHooks hooks = fi.ckpt_hooks();
+  EXPECT_THROW(ckpt::atomic_write_file(small_image(2), path, &hooks), ckpt::CkptError);
+  EXPECT_EQ(slurp(path), small_image(1)) << "previous target must be intact";
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "in-process failure must clean the temp";
+}
+
+TEST(AtomicWrite, PreTempAndPreRenameFaultsLeavePreviousTarget) {
+  for (const char* spec : {"ckpt:pre-temp:throw", "ckpt:pre-rename:throw"}) {
+    TempDir dir("atomic_pre");
+    const std::string path = dir.path + "/state.ckpt";
+    ckpt::atomic_write_file(small_image(1), path);
+    FaultInjector fi(1, {parse_fault_spec(spec)});
+    ckpt::WriteHooks hooks = fi.ckpt_hooks();
+    EXPECT_THROW(ckpt::atomic_write_file(small_image(2), path, &hooks), InjectedFault) << spec;
+    EXPECT_EQ(slurp(path), small_image(1)) << spec;
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << spec;
+  }
+}
+
+TEST(AtomicWrite, PostRenameFaultLeavesNewContentInPlace) {
+  TempDir dir("atomic_post");
+  const std::string path = dir.path + "/state.ckpt";
+  ckpt::atomic_write_file(small_image(1), path);
+  FaultInjector fi(1, {parse_fault_spec("ckpt:post-rename:throw")});
+  ckpt::WriteHooks hooks = fi.ckpt_hooks();
+  EXPECT_THROW(ckpt::atomic_write_file(small_image(2), path, &hooks), InjectedFault);
+  EXPECT_EQ(slurp(path), small_image(2)) << "rename already happened; new content stands";
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// GenerationRing
+// ---------------------------------------------------------------------------
+
+TEST(GenerationRing, SavePrunesToBoundAndLoadsNewest) {
+  TempDir dir("ring_bound");
+  ckpt::GenerationRing ring({dir.path + "/ring", 3});
+  for (std::uint64_t g = 0; g <= 6; g += 2) ring.save(small_image(g), g);
+
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{2, 4, 6}));
+  const auto loaded = ring.load_newest();
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 6u);
+  EXPECT_EQ(loaded.image, small_image(6));
+  EXPECT_TRUE(loaded.rejected.empty());
+  EXPECT_EQ(loaded.path, ring.path_for(6));
+}
+
+TEST(GenerationRing, CorruptNewestFallsBackWithTypedRejection) {
+  TempDir dir("ring_corrupt");
+  ckpt::GenerationRing ring({dir.path + "/ring", 4});
+  for (std::uint64_t g : {1u, 2u, 3u}) ring.save(small_image(g), g);
+
+  // Flip a payload byte of generation 3 and truncate generation 2.
+  std::string corrupt = small_image(3);
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+  std::ofstream(ring.path_for(3), std::ios::binary | std::ios::trunc) << corrupt;
+  std::ofstream(ring.path_for(2), std::ios::binary | std::ios::trunc)
+      << small_image(2).substr(0, 10);
+
+  const auto loaded = ring.load_newest();
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 1u);
+  EXPECT_EQ(loaded.image, small_image(1));
+  ASSERT_EQ(loaded.rejected.size(), 2u);
+  EXPECT_EQ(loaded.rejected[0].path, ring.path_for(3));
+  EXPECT_EQ(loaded.rejected[0].code, ckpt::CkptErrc::kCrcMismatch);
+  EXPECT_EQ(loaded.rejected[1].path, ring.path_for(2));
+  EXPECT_EQ(loaded.rejected[1].code, ckpt::CkptErrc::kTruncated);
+}
+
+TEST(GenerationRing, AllCorruptReportsNotFound) {
+  TempDir dir("ring_allbad");
+  ckpt::GenerationRing ring({dir.path + "/ring", 2});
+  ring.save(small_image(5), 5);
+  std::ofstream(ring.path_for(5), std::ios::binary | std::ios::trunc) << "garbage";
+  const auto loaded = ring.load_newest();
+  EXPECT_FALSE(loaded.found);
+  ASSERT_EQ(loaded.rejected.size(), 1u);
+  EXPECT_EQ(loaded.rejected[0].code, ckpt::CkptErrc::kTruncated);
+}
+
+TEST(GenerationRing, EmptyRingReportsNotFound) {
+  TempDir dir("ring_empty");
+  ckpt::GenerationRing ring({dir.path + "/ring", 2});
+  const auto loaded = ring.load_newest();
+  EXPECT_FALSE(loaded.found);
+  EXPECT_TRUE(loaded.rejected.empty());
+}
+
+TEST(GenerationRing, PruneSweepsStaleTempFiles) {
+  // A crash mid-write leaves gen-*.ckpt.tmp behind; the next save must sweep
+  // it (a torn temp shadows nothing and carries nothing a generation lacks).
+  TempDir dir("ring_tmp");
+  ckpt::GenerationRing ring({dir.path + "/ring", 3});
+  ring.save(small_image(1), 1);
+  std::ofstream(ring.path_for(2) + ".tmp", std::ios::binary) << "torn";
+  ASSERT_TRUE(fs::exists(ring.path_for(2) + ".tmp"));
+  ring.save(small_image(2), 2);
+  EXPECT_FALSE(fs::exists(ring.path_for(2) + ".tmp"));
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(GenerationRing, ForeignFilesAreIgnored) {
+  TempDir dir("ring_foreign");
+  ckpt::GenerationRing ring({dir.path + "/ring", 2});
+  ring.save(small_image(1), 1);
+  std::ofstream(dir.path + "/ring/notes.txt") << "hello";
+  std::ofstream(dir.path + "/ring/gen-12.ckpt") << "bad name shape";
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(ring.load_newest().found);
+  EXPECT_TRUE(fs::exists(dir.path + "/ring/notes.txt"));  // prune leaves it alone
+}
+
+TEST(GenerationRing, InvalidConfigIsRejected) {
+  EXPECT_THROW(ckpt::GenerationRing({"", 3}), std::invalid_argument);
+  TempDir dir("ring_zero");
+  EXPECT_THROW(ckpt::GenerationRing({dir.path + "/ring", 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code taxonomy
+// ---------------------------------------------------------------------------
+
+int code_for(std::exception_ptr ep) {
+  return run_guarded_typed([&] {
+    std::rethrow_exception(ep);
+    return 0;
+  });
+}
+
+TEST(ExitCodes, TaxonomyIsStable) {
+  EXPECT_EQ(run_guarded_typed([] { return 0; }), 0);
+  EXPECT_EQ(code_for(std::make_exception_ptr(CheckpointMissing("/ring", 0))),
+            static_cast<int>(ExitCode::kCkptMissing));
+  EXPECT_EQ(code_for(std::make_exception_ptr(
+                ckpt::CkptError(ckpt::CkptErrc::kCrcMismatch, "bits flipped"))),
+            static_cast<int>(ExitCode::kCkptCorrupt));
+  EXPECT_EQ(code_for(std::make_exception_ptr(
+                ckpt::CkptError(ckpt::CkptErrc::kConfigMismatch, "wrong shape"))),
+            static_cast<int>(ExitCode::kConfig));
+  EXPECT_EQ(code_for(std::make_exception_ptr(BudgetExhausted("dry"))),
+            static_cast<int>(ExitCode::kBudgetRefused));
+  EXPECT_EQ(code_for(std::make_exception_ptr(InjectedFault("stage:qss"))),
+            static_cast<int>(ExitCode::kInternalFault));
+  EXPECT_EQ(code_for(std::make_exception_ptr(std::invalid_argument("bad flag"))),
+            static_cast<int>(ExitCode::kConfig));
+  EXPECT_EQ(code_for(std::make_exception_ptr(std::runtime_error("anything else"))),
+            static_cast<int>(ExitCode::kFailure));
+}
+
+TEST(ExitCodes, SimulatedCrashIsNotMapped) {
+  // run_guarded_typed must let a simulated crash fly past it, like a real
+  // process death would fly past any exit-code mapping.
+  EXPECT_THROW(run_guarded_typed([]() -> int { throw SimulatedCrash{"stage:qss"}; }),
+               SimulatedCrash);
+}
+
+TEST(ExitCodes, CheckpointMissingMessageCountsRejections) {
+  EXPECT_NE(std::string(CheckpointMissing("/ring", 2).what()).find("2 rejected"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdlearn::runtime
