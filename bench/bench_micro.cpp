@@ -4,14 +4,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
 #include "bandit/ucb_alp.hpp"
 #include "ckpt/io.hpp"
+#include "core/experiment.hpp"
 #include "crowd/platform.hpp"
+#include "experts/bovw.hpp"
 #include "experts/committee.hpp"
 #include "gbdt/gbdt.hpp"
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
 #include "obs/observability.hpp"
+#include "service/queue.hpp"
+#include "service/tenant.hpp"
 #include "truth/cqc.hpp"
 #include "util/thread_pool.hpp"
 #include "util/guard.hpp"
@@ -493,6 +501,88 @@ void BM_CheckpointLoad(benchmark::State& state) {
                           static_cast<std::int64_t>(image.size()));
 }
 BENCHMARK(BM_CheckpointLoad);
+
+// ---- Multi-tenant service: tenant-count scaling under residency caps ------
+// Drives 8 small tenants × 3 cycles each through the ServiceQueue in
+// interleaved arrival order (docs/TENANCY.md). resident:100 keeps every
+// tenant live (no eviction — pure cross-tenant scheduling cost);
+// resident:25 caps residency at 2, so tenants continuously page out through
+// their generation rings and rehydrate — the ratio between the two is the
+// price of eviction churn, and the rss_mb counter shows the resident-memory
+// ceiling the cap buys. Not speed-gated: churn is *supposed* to be slower.
+
+/// VmRSS from /proc/self/status, in MiB (0 where unsupported).
+double resident_set_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmRSS:") {
+      double kib = 0.0;
+      status >> kib;
+      return kib / 1024.0;
+    }
+    status.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return 0.0;
+}
+
+void BM_ServiceCycles(benchmark::State& state) {
+  constexpr std::size_t kTenants = 8;
+  constexpr std::size_t kCyclesPerTenant = 3;
+  const auto resident_pct = static_cast<std::size_t>(state.range(0));
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "crowdlearn_bench_service").string();
+
+  auto spec_for = [](std::size_t i) {
+    crowdlearn::service::TenantSpec spec;
+    spec.name = "tenant" + std::to_string(i);
+    spec.experiment.dataset.total_images = 90;
+    spec.experiment.dataset.train_images = 50;
+    spec.experiment.stream.num_cycles = kCyclesPerTenant;
+    spec.experiment.stream.images_per_cycle = 4;
+    spec.experiment.stream.grouped_contexts = false;
+    spec.experiment.pilot.queries_per_cell = 4;
+    spec.experiment.seed = 7100 + i;
+    spec.queries_per_cycle = 2;
+    spec.total_budget_cents = 300.0;
+    spec.committee_factory = [] {
+      experts::BovwConfig fast;
+      fast.train.epochs = 8;
+      fast.train.learning_rate = 0.05;
+      std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      return experts::ExpertCommittee(std::move(roster));
+    };
+    return spec;
+  };
+
+  std::size_t evictions = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(root);
+    crowdlearn::service::TenantManagerConfig mcfg;
+    mcfg.root_dir = root;
+    mcfg.max_resident = std::max<std::size_t>(1, kTenants * resident_pct / 100);
+    mcfg.num_threads = 4;
+    crowdlearn::service::TenantManager mgr(mcfg);
+    for (std::size_t i = 0; i < kTenants; ++i) mgr.add_tenant(spec_for(i));
+    {
+      crowdlearn::service::ServiceQueue queue(mgr);
+      for (std::size_t c = 0; c < kCyclesPerTenant; ++c)
+        for (std::size_t i = 0; i < kTenants; ++i)
+          queue.submit_cycle("tenant" + std::to_string(i));
+      queue.drain();
+    }
+    evictions = mgr.total_evictions();
+    benchmark::DoNotOptimize(evictions);
+  }
+  state.counters["evictions"] = static_cast<double>(evictions);
+  state.counters["rss_mb"] = resident_set_mib();
+  state.counters["tenants"] = static_cast<double>(kTenants);
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_ServiceCycles)->ArgName("resident")->Arg(100)->Arg(25)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -7,15 +7,18 @@
 #
 # Default (full) mode runs the perf-gate set — conv forward/backward in both
 # kernel modes, the VGG16-like Sequential train step, committee inference,
-# and the CQC retrain in both GBDT split engines — then prints every
+# the CQC retrain in both GBDT split engines, and the multi-tenant service
+# scaling pair (BM_ServiceCycles resident:100 vs resident:25, with the
+# resident-memory readout; docs/TENANCY.md) — then prints every
 # optimized-over-reference speedup and FAILS if the BM_Conv2DForward,
 # BM_SequentialTrainStep, or BM_CqcRetrainHist/100 speedup drops below the
-# 3x regression gate (docs/PERFORMANCE.md, docs/GBDT.md).
+# 3x regression gate (docs/PERFORMANCE.md, docs/GBDT.md). The service pair
+# is recorded but never speed-gated: eviction churn is supposed to cost.
 #
-# --quick is the CI smoke mode: the cheap conv benchmarks only, a short
-# min_time, no speedup gate (shared runners make timing ratios meaningless),
-# and a separate default output file so the committed snapshot is not
-# clobbered by throwaway numbers.
+# --quick is the CI smoke mode: the cheap conv benchmarks plus the service
+# scaling pair, a short min_time, no speedup gate (shared runners make
+# timing ratios meaningless), and a separate default output file so the
+# committed snapshot is not clobbered by throwaway numbers.
 #
 # POSIX sh + awk only — no bash-isms, no external deps.
 
@@ -49,11 +52,11 @@ fi
 
 if [ "$QUICK" -eq 1 ]; then
   [ -n "$OUT" ] || OUT=BENCH_micro.quick.json
-  FILTER='BM_Conv2DForward|BM_Conv2DForwardNaive'
+  FILTER='BM_Conv2DForward|BM_Conv2DForwardNaive|BM_ServiceCycles'
   MIN_TIME=--benchmark_min_time=0.02s
 else
   [ -n "$OUT" ] || OUT=BENCH_micro.json
-  FILTER='BM_Conv2D|BM_SequentialTrainStep|BM_CommitteeInference|BM_CqcRetrain'
+  FILTER='BM_Conv2D|BM_SequentialTrainStep|BM_CommitteeInference|BM_CqcRetrain|BM_ServiceCycles'
   MIN_TIME=--benchmark_min_time=0.10s
 fi
 

@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md docs/TENANCY.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden perf gbdt recovery; do
+for label in concurrency faults ckpt golden perf gbdt recovery tenancy; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -112,7 +112,7 @@ done
 [ -f scripts/bench_json.sh ] || err "missing scripts/bench_json.sh (docs/PERFORMANCE.md documents it)"
 [ -x scripts/bench_json.sh ] || err "scripts/bench_json.sh is not executable"
 if [ -f BENCH_micro.json ]; then
-  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact; do
+  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact BM_ServiceCycles; do
     grep -q "\"name\": \"$b" BENCH_micro.json \
       || err "BENCH_micro.json does not record $b (rerun scripts/bench_json.sh)"
   done
@@ -120,7 +120,18 @@ else
   err "missing committed BENCH_micro.json (run scripts/bench_json.sh)"
 fi
 
-# --- 7. recovery drill artifacts stay in sync -------------------------------
+# --- 7. multi-tenant service docs stay wired ---------------------------------
+# docs/TENANCY.md documents the src/service layer; the README must link it so
+# readers can find the tenancy contract, and the service scaling benchmark
+# pair must be named in docs/PERFORMANCE.md next to the other bench names.
+grep -q "docs/TENANCY.md" README.md \
+  || err "README.md does not link docs/TENANCY.md"
+if [ -f docs/PERFORMANCE.md ]; then
+  grep -q "BM_ServiceCycles" docs/PERFORMANCE.md \
+    || err "docs/PERFORMANCE.md does not mention BM_ServiceCycles (service scaling pair)"
+fi
+
+# --- 8. recovery drill artifacts stay in sync -------------------------------
 # docs/RECOVERY.md documents scripts/crash_drill.sh and the crash_drill ctest;
 # the script must exist, be executable, and be wired in the root CMakeLists.
 [ -f scripts/crash_drill.sh ] || err "missing scripts/crash_drill.sh (docs/RECOVERY.md documents it)"

@@ -87,6 +87,18 @@ GenerationRing::LoadResult GenerationRing::load_newest() const {
   return result;
 }
 
+std::string GenerationRing::describe_rejections(const std::vector<Rejected>& rejected) {
+  std::string out;
+  for (const Rejected& r : rejected) {
+    if (!out.empty()) out += "; ";
+    out += r.path;
+    out += " (";
+    out += ckpt_errc_name(r.code);
+    out += ")";
+  }
+  return out;
+}
+
 std::size_t GenerationRing::prune() const {
   std::size_t removed = 0;
   std::error_code ec;

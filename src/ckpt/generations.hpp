@@ -71,6 +71,13 @@ class GenerationRing {
   std::string path_for(std::uint64_t generation) const;
   const GenerationRingConfig& config() const { return cfg_; }
 
+  /// One-line human-readable rendering of a rejection list:
+  /// "gen-...ckpt (kCrcMismatch); gen-...ckpt (kTruncated)". Empty list ->
+  /// empty string. Every consumer of `LoadResult::rejected` that folds the
+  /// skips into a diagnostic (supervisor resume errors, the multi-tenant
+  /// service's rehydrate errors, CLI output) goes through this one format.
+  static std::string describe_rejections(const std::vector<Rejected>& rejected);
+
  private:
   GenerationRingConfig cfg_;
 };

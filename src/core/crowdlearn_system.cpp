@@ -23,7 +23,10 @@ const char* cycle_stage_name(CycleStage stage) {
 CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
                                    const CrowdLearnConfig& cfg)
     : cfg_(cfg),
-      pool_(std::make_shared<util::ThreadPool>(util::resolve_thread_count(cfg.num_threads))),
+      pool_(cfg.shared_pool != nullptr
+                ? cfg.shared_pool
+                : std::make_shared<util::ThreadPool>(util::resolve_thread_count(cfg.num_threads))),
+      owns_pool_(cfg.shared_pool == nullptr),
       committee_(std::move(committee)),
       qss_(cfg.qss),
       ipd_(cfg.ipd),
@@ -41,7 +44,9 @@ void CrowdLearnSystem::enable_observability() {
   cfg_.observability.enabled = true;
   obs_ = std::make_shared<obs::Observability>(cfg_.observability);
   obs::Observability* o = obs_.get();
-  pool_->set_observability(o);
+  // A borrowed pool is shared across tenants; attaching one tenant's
+  // registry to it would cross-wire another tenant's scheduling series.
+  if (owns_pool_) pool_->set_observability(o);
   committee_.set_observability(o);
   qss_.set_observability(o);
   ipd_.set_observability(o);

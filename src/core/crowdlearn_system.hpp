@@ -44,6 +44,14 @@ struct CrowdLearnConfig {
   /// Instrumentation never draws randomness or alters control flow, so
   /// outputs are byte-identical with observability on or off.
   obs::ObservabilityConfig observability;
+  /// Borrow an existing worker pool instead of spawning one (multi-tenant
+  /// service, docs/TENANCY.md): when set, `num_threads` is ignored and the
+  /// system schedules all parallel sections on this pool. The static-chunk
+  /// contract makes outputs byte-identical either way, and the pool is
+  /// deliberately excluded from the checkpoint config fingerprint (like
+  /// num_threads). A borrowed pool never has this system's observability
+  /// attached — several tenants may share it.
+  std::shared_ptr<util::ThreadPool> shared_pool;
 };
 
 /// Everything observable about one executed sensing cycle.
@@ -184,6 +192,7 @@ class CrowdLearnSystem {
   /// Owns the worker pool the committee and CQC borrow; declared before them
   /// so it outlives every borrower.
   std::shared_ptr<util::ThreadPool> pool_;
+  bool owns_pool_ = true;  ///< false when cfg.shared_pool was borrowed
   experts::ExpertCommittee committee_;
   Qss qss_;
   Ipd ipd_;

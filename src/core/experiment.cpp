@@ -46,6 +46,14 @@ crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t r
   return crowd::CrowdPlatform(&setup.data, cfg);
 }
 
+crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t run_index,
+                                   const crowd::FaultInjectionConfig& faults) {
+  crowd::PlatformConfig cfg = setup.platform_cfg;
+  cfg.seed = mix_seed(setup.seed ^ (0xABCD + run_index));
+  cfg.faults = faults;
+  return crowd::CrowdPlatform(&setup.data, cfg);
+}
+
 FlattenedRun flatten_outcomes(const dataset::Dataset& data,
                               const std::vector<CycleOutcome>& outcomes) {
   FlattenedRun flat;

@@ -39,6 +39,14 @@ ExperimentSetup make_default_setup(std::uint64_t seed = 42);
 /// randomness of repeated runs.
 crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t run_index);
 
+/// Same platform, but with a deployment fault profile applied on top of the
+/// setup's platform config. The pilot study already ran clean inside
+/// make_setup, so faults configured here only touch the live run — this is
+/// the tenant-scoped construction hook the multi-tenant service uses to give
+/// every tenant its own fault profile (docs/TENANCY.md).
+crowd::CrowdPlatform make_platform(const ExperimentSetup& setup, std::uint64_t run_index,
+                                   const crowd::FaultInjectionConfig& faults);
+
 /// All metrics the paper reports for one scheme.
 struct SchemeEvaluation {
   std::string name;

@@ -23,14 +23,19 @@ enum class ExitCode : int {
 
 /// Raised by Supervisor::start when resume is required (require_resume) but
 /// the generation ring holds no loadable checkpoint. `rejected` counts
-/// generations that existed but failed validation (0 = empty ring).
+/// generations that existed but failed validation (0 = empty ring);
+/// `detail`, when non-empty, names each rejected generation with its typed
+/// CkptErrc (GenerationRing::describe_rejections) so the operator sees *why*
+/// nothing loaded, not just how many files were skipped.
 class CheckpointMissing : public std::runtime_error {
  public:
-  CheckpointMissing(const std::string& dir, std::size_t rejected)
+  CheckpointMissing(const std::string& dir, std::size_t rejected,
+                    const std::string& detail = std::string())
       : std::runtime_error(rejected == 0
                                ? "no checkpoint generation in " + dir
                                : "no loadable checkpoint generation in " + dir + " (" +
-                                     std::to_string(rejected) + " rejected as corrupt)"),
+                                     std::to_string(rejected) + " rejected as corrupt" +
+                                     (detail.empty() ? std::string() : ": " + detail) + ")"),
         rejected_(rejected) {}
   std::size_t rejected() const { return rejected_; }
 

@@ -49,7 +49,9 @@ StartReport Supervisor::start(const dataset::Dataset& data, const crowd::PilotRe
     }
   }
   if (!rep.resumed) {
-    if (cfg_.require_resume) throw CheckpointMissing(cfg_.checkpoint_dir, rep.rejected.size());
+    if (cfg_.require_resume)
+      throw CheckpointMissing(cfg_.checkpoint_dir, rep.rejected.size(),
+                              ckpt::GenerationRing::describe_rejections(rep.rejected));
     system_.initialize(data, pilot);
     // Generation 0 (post-initialize, pre-cycle) anchors rollback: the ring is
     // never empty once the run is underway.

@@ -1,0 +1,54 @@
+#include "service/queue.hpp"
+
+namespace crowdlearn::service {
+
+std::future<core::CycleOutcome> ServiceQueue::submit_cycle(const std::string& tenant) {
+  return enqueue(tenant, [this, tenant] { return mgr_.run_next_cycle(tenant); });
+}
+
+std::future<std::vector<std::size_t>> ServiceQueue::submit_classify(
+    const std::string& tenant, std::vector<std::size_t> image_ids) {
+  return enqueue(tenant, [this, tenant, ids = std::move(image_ids)] {
+    return mgr_.classify(tenant, ids);
+  });
+}
+
+void ServiceQueue::drain_lane(const std::string& tenant) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      Lane& lane = lanes_[tenant];
+      if (lane.fifo.empty()) {
+        // Retire the lane and wake drain() waiters in one critical section:
+        // after this notify the lane touches no member again, so a waiter
+        // (possibly the destructor) can safely tear the queue down.
+        lane.active = false;
+        if (--active_lanes_ == 0 && in_flight_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      job = std::move(lane.fifo.front());
+      lane.fifo.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the caller's future
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+void ServiceQueue::drain() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  // Both conditions matter: in_flight_ == 0 says every request completed;
+  // active_lanes_ == 0 says every drain task has retired and will touch no
+  // queue member again (so the destructor's drain() is safe).
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0 && active_lanes_ == 0; });
+}
+
+std::size_t ServiceQueue::pending() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return in_flight_;
+}
+
+}  // namespace crowdlearn::service

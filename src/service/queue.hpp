@@ -1,0 +1,94 @@
+#pragma once
+// Async front door for the multi-tenant service (docs/TENANCY.md): callers
+// enqueue cycle / inference requests per tenant and get a std::future back.
+// Requests are drained by tasks submitted to the TenantManager's shared
+// util::ThreadPool — one drain task per tenant at a time, so requests for
+// the same tenant execute strictly in submission order (a tenant's trace
+// through the queue is byte-identical to calling the manager directly),
+// while different tenants drain concurrently up to the pool's worker count.
+//
+// The pool's nesting rule keeps this safe: a cycle running inside a drain
+// task re-enters the same pool for committee inference, which executes
+// inline — deterministically identical to any other thread count under the
+// static-chunk contract.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/tenant.hpp"
+
+namespace crowdlearn::service {
+
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(TenantManager& manager) : mgr_(manager) {}
+  /// Drains every pending request before destruction.
+  ~ServiceQueue() { drain(); }
+
+  ServiceQueue(const ServiceQueue&) = delete;
+  ServiceQueue& operator=(const ServiceQueue&) = delete;
+
+  /// Enqueue "run the tenant's next sensing cycle". Errors (unknown tenant,
+  /// exhausted stream, rehydrate failure) surface through the future.
+  std::future<core::CycleOutcome> submit_cycle(const std::string& tenant);
+
+  /// Enqueue a committee-only inference request (TenantManager::classify).
+  std::future<std::vector<std::size_t>> submit_classify(const std::string& tenant,
+                                                        std::vector<std::size_t> image_ids);
+
+  /// Block until every request submitted so far has completed.
+  void drain();
+
+  /// Requests submitted but not yet completed (queued + running).
+  std::size_t pending() const;
+
+ private:
+  struct Lane {
+    std::deque<std::function<void()>> fifo;
+    bool active = false;  ///< a drain task for this lane is queued/running
+  };
+
+  template <typename Fn>
+  auto enqueue(const std::string& tenant, Fn fn) -> std::future<decltype(fn())>;
+  void drain_lane(const std::string& tenant);
+
+  TenantManager& mgr_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, Lane> lanes_;
+  std::size_t in_flight_ = 0;     ///< requests queued or running
+  std::size_t active_lanes_ = 0;  ///< drain tasks queued or running
+};
+
+template <typename Fn>
+auto ServiceQueue::enqueue(const std::string& tenant, Fn fn) -> std::future<decltype(fn())> {
+  using Result = decltype(fn());
+  auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+  std::future<Result> future = task->get_future();
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    Lane& lane = lanes_[tenant];
+    lane.fifo.push_back([task] { (*task)(); });
+    ++in_flight_;
+    if (!lane.active) {
+      lane.active = true;
+      ++active_lanes_;
+      schedule = true;
+    }
+  }
+  // Submit outside the lock: with a single-threaded pool submit() runs the
+  // drain inline on this thread (synchronous execution, same results), and
+  // it must not re-enter mutex_ while we hold it.
+  if (schedule) mgr_.pool().submit([this, tenant] { drain_lane(tenant); });
+  return future;
+}
+
+}  // namespace crowdlearn::service

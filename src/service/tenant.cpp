@@ -1,0 +1,286 @@
+#include "service/tenant.hpp"
+
+#include <utility>
+
+#include "experts/committee.hpp"
+#include "stats/distribution.hpp"
+
+namespace crowdlearn::service {
+
+const char* tenant_phase_name(TenantPhase phase) {
+  switch (phase) {
+    case TenantPhase::kCold: return "cold";
+    case TenantPhase::kResident: return "resident";
+    case TenantPhase::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+RehydrateError::RehydrateError(const std::string& tenant, const std::string& dir,
+                               std::vector<ckpt::GenerationRing::Rejected> rejected)
+    : std::runtime_error(
+          "tenant " + tenant + ": no loadable generation in " + dir +
+          (rejected.empty()
+               ? " (ring is empty but the tenant was paged out — files were removed externally)"
+               : " (" + ckpt::GenerationRing::describe_rejections(rejected) + ")")),
+      rejected_(std::move(rejected)) {}
+
+TenantManager::TenantManager(TenantManagerConfig cfg)
+    : cfg_(std::move(cfg)),
+      pool_(std::make_shared<util::ThreadPool>(util::resolve_thread_count(cfg_.num_threads))) {
+  if (cfg_.root_dir.empty())
+    throw std::invalid_argument("TenantManager: root_dir is empty");
+  if (cfg_.max_generations == 0)
+    throw std::invalid_argument("TenantManager: max_generations must be >= 1");
+}
+
+TenantManager::~TenantManager() = default;
+
+void TenantManager::add_tenant(TenantSpec spec) {
+  if (spec.name.empty() || spec.name.find('/') != std::string::npos ||
+      spec.name.find('\\') != std::string::npos || spec.name == "." || spec.name == "..")
+    throw std::invalid_argument("TenantManager: malformed tenant name '" + spec.name + "'");
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto tenant = std::make_unique<Tenant>();
+  tenant->dir = cfg_.root_dir + "/" + spec.name;
+  tenant->spec = std::move(spec);
+  const std::string name = tenant->spec.name;
+  if (!tenants_.emplace(name, std::move(tenant)).second)
+    throw std::invalid_argument("TenantManager: duplicate tenant '" + name + "'");
+}
+
+std::vector<std::string> TenantManager::tenant_names() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+bool TenantManager::has_tenant(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return tenants_.count(name) != 0;
+}
+
+TenantManager::Tenant& TenantManager::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end())
+    throw std::out_of_range("TenantManager: unknown tenant '" + name + "'");
+  return *it->second;
+}
+
+core::CycleOutcome TenantManager::run_next_cycle(const std::string& name) {
+  Tenant& t = find(name);
+  std::lock_guard<std::mutex> serial(t.serial);
+  ensure_resident_and_pin(t);
+  Pin pin(*this, t);
+  const std::vector<dataset::SensingCycle>& cycles = t.stream->cycles();
+  if (t.cycles_run >= cycles.size())
+    throw std::out_of_range("TenantManager: tenant '" + name + "' stream exhausted (" +
+                            std::to_string(cycles.size()) + " cycles)");
+  core::CycleOutcome out =
+      t.system->run_cycle(t.setup->data, *t.platform, cycles[t.cycles_run]);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    t.cycles_run = t.system->cycles_run();
+    t.stats.cycles_run = t.cycles_run;
+  }
+  return out;
+}
+
+std::vector<std::size_t> TenantManager::classify(const std::string& name,
+                                                 const std::vector<std::size_t>& image_ids) {
+  Tenant& t = find(name);
+  std::lock_guard<std::mutex> serial(t.serial);
+  ensure_resident_and_pin(t);
+  Pin pin(*this, t);
+  // Committee-only read path: batch inference + the weighted vote. No crowd
+  // query, no RNG draw, no quarantine scan — the next cycle's trace cannot
+  // depend on how many classify requests ran before it.
+  auto votes = t.system->committee().expert_votes_batch(t.setup->data, image_ids);
+  std::vector<std::size_t> predictions(image_ids.size());
+  for (std::size_t i = 0; i < image_ids.size(); ++i)
+    predictions[i] = stats::argmax(t.system->committee().committee_vote(votes[i]));
+  return predictions;
+}
+
+void TenantManager::with_resident(
+    const std::string& name,
+    const std::function<void(core::CrowdLearnSystem&, crowd::CrowdPlatform&,
+                             const core::ExperimentSetup&)>& fn) {
+  Tenant& t = find(name);
+  std::lock_guard<std::mutex> serial(t.serial);
+  ensure_resident_and_pin(t);
+  Pin pin(*this, t);
+  fn(*t.system, *t.platform, *t.setup);
+}
+
+void TenantManager::evict(const std::string& name) {
+  Tenant& t = find(name);
+  std::lock_guard<std::mutex> serial(t.serial);
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [&] { return !t.evicting && t.pins == 0; });
+  if (t.phase == TenantPhase::kResident) evict_locked(t, lk);
+}
+
+TenantStats TenantManager::stats(const std::string& name) const {
+  Tenant& t = find(name);
+  std::lock_guard<std::mutex> lk(mutex_);
+  TenantStats s = t.stats;
+  s.phase = t.phase;
+  s.cycles_run = t.cycles_run;
+  return s;
+}
+
+std::size_t TenantManager::resident_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return resident_;
+}
+
+std::size_t TenantManager::total_evictions() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return total_evictions_;
+}
+
+void TenantManager::touch(Tenant& t) { t.last_used = ++lru_clock_; }
+
+void TenantManager::unpin(Tenant& t) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  --t.pins;
+  touch(t);
+  cv_.notify_all();
+}
+
+TenantManager::Tenant* TenantManager::pick_victim(const Tenant* requester) {
+  Tenant* victim = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    Tenant* c = tenant.get();
+    if (c == requester || c->phase != TenantPhase::kResident) continue;
+    if (c->pins != 0 || c->evicting) continue;
+    if (victim == nullptr || c->last_used < victim->last_used) victim = c;
+  }
+  return victim;
+}
+
+void TenantManager::evict_locked(Tenant& victim, std::unique_lock<std::mutex>& lk) {
+  victim.evicting = true;
+  lk.unlock();
+  try {
+    // Page out through the tenant's private ring: the full loop state
+    // (system + platform + metrics) as one atomic generation file named by
+    // the cycle cursor, exactly like a Supervisor checkpoint.
+    ckpt::GenerationRing ring({victim.dir, cfg_.max_generations});
+    ring.save(victim.system->state_image(victim.platform.get()),
+              victim.system->cycles_run());
+  } catch (...) {
+    // Write failed (e.g. disk full): the in-memory state is untouched, so
+    // the tenant simply stays resident and the requester sees the error.
+    lk.lock();
+    victim.evicting = false;
+    cv_.notify_all();
+    throw;
+  }
+  // Teardown order matters: stream and platform point into setup.
+  victim.stream.reset();
+  victim.platform.reset();
+  victim.system.reset();
+  victim.setup.reset();
+  lk.lock();
+  victim.phase = TenantPhase::kEvicted;
+  victim.evicting = false;
+  ++victim.stats.evictions;
+  ++total_evictions_;
+  --resident_;
+  cv_.notify_all();
+}
+
+void TenantManager::build_resident(Tenant& t) {
+  t.setup = std::make_unique<core::ExperimentSetup>(core::make_setup(t.spec.experiment));
+  t.stream = std::make_unique<dataset::SensingCycleStream>(t.setup->data, t.setup->stream_cfg);
+  experts::ExpertCommittee committee = t.spec.committee_factory
+                                           ? t.spec.committee_factory()
+                                           : experts::make_default_committee();
+  core::CrowdLearnConfig cfg = core::default_crowdlearn_config(
+      *t.setup, t.spec.queries_per_cycle, t.spec.total_budget_cents);
+  cfg.observability.enabled = t.spec.observability;
+  cfg.shared_pool = pool_;
+  t.system = std::make_unique<core::CrowdLearnSystem>(std::move(committee), cfg);
+  t.platform = std::make_unique<crowd::CrowdPlatform>(
+      core::make_platform(*t.setup, /*run_index=*/0, t.spec.faults));
+
+  ckpt::GenerationRing ring({t.dir, cfg_.max_generations});
+  ckpt::GenerationRing::LoadResult loaded = ring.load_newest();
+  if (loaded.found) {
+    t.system->load_state_image(loaded.image, t.platform.get());
+    t.stats.rehydrations += 1;
+    t.stats.generations_rejected += loaded.rejected.size();
+  } else if (t.phase == TenantPhase::kEvicted) {
+    // The tenant was paged out, but nothing on disk validates: corrupt ring
+    // (or externally deleted files). Restarting from scratch would silently
+    // replay spent budget, so fail loudly with the typed rejection list.
+    t.stats.generations_rejected += loaded.rejected.size();
+    throw RehydrateError(t.spec.name, t.dir, std::move(loaded.rejected));
+  } else {
+    // Cold start: train the committee, fit CQC from the pilot, then anchor
+    // generation 0 so a later rehydrate always has something to load.
+    t.system->initialize(t.setup->data, t.setup->pilot);
+    ring.save(t.system->state_image(t.platform.get()), 0);
+    t.stats.cold_starts += 1;
+  }
+  t.cycles_run = t.system->cycles_run();
+  t.stats.cycles_run = t.cycles_run;
+}
+
+void TenantManager::ensure_resident_and_pin(Tenant& t) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    // Our own page-out still in flight (evict() from another thread):
+    // wait for it to land before rehydrating from the ring.
+    if (t.evicting) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (t.phase == TenantPhase::kResident) {
+      ++t.pins;
+      touch(t);
+      return;
+    }
+    if (cfg_.max_resident == 0 || resident_ < cfg_.max_resident) break;
+    Tenant* victim = pick_victim(&t);
+    if (victim == nullptr) {
+      // Every resident tenant is pinned by an in-flight request; one of
+      // them will unpin and notify.
+      cv_.wait(lk);
+      continue;
+    }
+    evict_locked(*victim, lk);
+  }
+  // Reserve the slot and pin before the (slow, off-lock) build so no
+  // concurrent activation overshoots the cap or evicts us mid-build. Only
+  // the t.serial holder reaches this point for a given tenant.
+  ++resident_;
+  ++t.pins;
+  lk.unlock();
+  try {
+    build_resident(t);
+  } catch (...) {
+    // Drop any partially-built state (teardown order: pointers into setup
+    // first) so a later retry starts clean.
+    t.stream.reset();
+    t.platform.reset();
+    t.system.reset();
+    t.setup.reset();
+    lk.lock();
+    --resident_;
+    --t.pins;
+    cv_.notify_all();
+    throw;
+  }
+  lk.lock();
+  t.phase = TenantPhase::kResident;
+  touch(t);
+  cv_.notify_all();
+}
+
+}  // namespace crowdlearn::service

@@ -1,0 +1,215 @@
+#pragma once
+// Multi-tenant scenario service (docs/TENANCY.md): one TenantManager owns N
+// independent CrowdLearn scenarios — each tenant is a full
+// CrowdLearnSystem + CrowdPlatform pair with its own seed, budget, fault
+// profile and cycle cursor, built deterministically from a named TenantSpec.
+//
+// Residency is bounded: at most `max_resident` tenants hold live state at
+// once. When a request lands on a non-resident tenant and the cap is full,
+// the least-recently-used unpinned tenant is paged out — its complete loop
+// state (system + platform + metrics registry) is serialized through
+// CrowdLearnSystem::state_image into the tenant's private
+// ckpt::GenerationRing directory — and the requested tenant is rehydrated
+// from its own newest generation. Because the checkpoint container restores
+// byte-identically (docs/CHECKPOINTING.md), a tenant's cycle trace through
+// any eviction schedule is byte-identical to the same tenant run standalone
+// (tests/test_service.cpp pins this at 1/2/8 threads, faults on and off).
+//
+// All tenants borrow one shared util::ThreadPool (the PR 1 static-chunk
+// contract makes per-tenant output independent of worker count), so tenant
+// count scales without multiplying thread count.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/generations.hpp"
+#include "core/crowdlearn_system.hpp"
+#include "core/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace crowdlearn::service {
+
+/// Everything needed to (re)build one tenant's scenario from scratch,
+/// deterministically. The spec never changes after add_tenant: cold start
+/// and every rehydration construct the identical system/platform shapes, so
+/// on-disk generations always match the config fingerprint.
+struct TenantSpec {
+  /// Unique tenant id; also the generation-ring subdirectory name, so it
+  /// must be non-empty and contain no path separators.
+  std::string name;
+  /// Dataset + stream + pilot + platform knobs + master seed. Each tenant
+  /// regenerates its own dataset and pilot study from this on activation.
+  core::ExperimentConfig experiment;
+  std::size_t queries_per_cycle = 5;
+  double total_budget_cents = 1600.0;
+  /// Deployment fault profile, applied on top of the setup's platform config
+  /// (the pilot study inside make_setup always runs clean).
+  crowd::FaultInjectionConfig faults;
+  /// Per-tenant metrics/tracing registry; checkpointed with the tenant, so
+  /// counters survive eviction.
+  bool observability = false;
+  /// Deterministic committee factory, invoked on every cold start and
+  /// rehydration. Must return the same roster shape every call (committee
+  /// size is part of the checkpoint config fingerprint). Null = the default
+  /// paper roster (experts::make_default_committee).
+  std::function<experts::ExpertCommittee()> committee_factory;
+};
+
+/// Tenant lifecycle (docs/TENANCY.md): cold (never activated, no state
+/// anywhere) -> resident (live in memory) -> evicted (paged out to its
+/// generation ring) -> resident again on the next request.
+enum class TenantPhase { kCold, kResident, kEvicted };
+const char* tenant_phase_name(TenantPhase phase);
+
+/// Residency bookkeeping snapshot for one tenant.
+struct TenantStats {
+  TenantPhase phase = TenantPhase::kCold;
+  std::size_t cycles_run = 0;        ///< cycle cursor (survives eviction)
+  std::size_t cold_starts = 0;       ///< activations with an empty ring
+  std::size_t rehydrations = 0;      ///< activations restored from disk
+  std::size_t evictions = 0;
+  std::size_t generations_rejected = 0;  ///< corrupt files skipped on loads
+};
+
+struct TenantManagerConfig {
+  /// Root of the per-tenant checkpoint layout: tenant "x" pages out into
+  /// <root_dir>/x/gen-*.ckpt. Must be non-empty.
+  std::string root_dir;
+  /// Residency cap; 0 = unbounded (nothing is ever paged out).
+  std::size_t max_resident = 0;
+  /// Generation-ring size per tenant (docs/CHECKPOINTING.md).
+  std::size_t max_generations = 2;
+  /// Shared worker-pool size. 0 = auto (same resolution as
+  /// CrowdLearnConfig::num_threads).
+  std::size_t num_threads = 1;
+};
+
+/// Thrown when a tenant must be rehydrated but no on-disk generation passes
+/// container validation. Carries the ring's typed rejection list; the
+/// message folds it in via GenerationRing::describe_rejections so the
+/// operator sees each skipped file and why it was skipped.
+class RehydrateError : public std::runtime_error {
+ public:
+  RehydrateError(const std::string& tenant, const std::string& dir,
+                 std::vector<ckpt::GenerationRing::Rejected> rejected);
+  const std::vector<ckpt::GenerationRing::Rejected>& rejected() const { return rejected_; }
+
+ private:
+  std::vector<ckpt::GenerationRing::Rejected> rejected_;
+};
+
+class TenantManager {
+ public:
+  explicit TenantManager(TenantManagerConfig cfg);
+  ~TenantManager();
+
+  TenantManager(const TenantManager&) = delete;
+  TenantManager& operator=(const TenantManager&) = delete;
+
+  /// Register a tenant (cold: nothing is built until its first request).
+  /// Throws std::invalid_argument on a duplicate or malformed name.
+  void add_tenant(TenantSpec spec);
+
+  std::vector<std::string> tenant_names() const;
+  bool has_tenant(const std::string& name) const;
+
+  /// Run the tenant's next sensing cycle (its cursor picks the cycle),
+  /// activating the tenant first — which may page another tenant out.
+  /// Requests for the same tenant serialize; requests for different tenants
+  /// run concurrently. Throws std::out_of_range once the tenant's stream is
+  /// exhausted (or for an unknown name) and RehydrateError when every
+  /// on-disk generation is corrupt.
+  core::CycleOutcome run_next_cycle(const std::string& name);
+
+  /// Committee-only inference over dataset images: answers from the
+  /// tenant's current trained state without touching the crowd, the budget,
+  /// the quarantine mask or any RNG stream. A pure read — interleaving
+  /// classify requests between cycles leaves the cycle trace byte-identical.
+  std::vector<std::size_t> classify(const std::string& name,
+                                    const std::vector<std::size_t>& image_ids);
+
+  /// Pin the tenant resident and run `fn` against its live state (e.g. to
+  /// export deterministic artifacts). Same activation/eviction semantics as
+  /// run_next_cycle.
+  void with_resident(const std::string& name,
+                     const std::function<void(core::CrowdLearnSystem&, crowd::CrowdPlatform&,
+                                              const core::ExperimentSetup&)>& fn);
+
+  /// Page the tenant out now (no-op unless resident). Waits for in-flight
+  /// requests on that tenant to finish first.
+  void evict(const std::string& name);
+
+  TenantStats stats(const std::string& name) const;
+  std::size_t resident_count() const;
+  std::size_t total_evictions() const;
+
+  util::ThreadPool& pool() { return *pool_; }
+  const TenantManagerConfig& config() const { return cfg_; }
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    std::string dir;  ///< <root_dir>/<name>
+    TenantPhase phase = TenantPhase::kCold;
+    /// Live state; null when not resident. `stream` and `platform` point
+    /// into `setup`, so teardown resets them first.
+    std::unique_ptr<core::ExperimentSetup> setup;
+    std::unique_ptr<dataset::SensingCycleStream> stream;
+    std::unique_ptr<core::CrowdLearnSystem> system;
+    std::unique_ptr<crowd::CrowdPlatform> platform;
+    /// Cursor + residency bookkeeping; survives eviction (mutex_ guards it).
+    std::size_t cycles_run = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick
+    std::size_t pins = 0;         ///< in-flight requests holding it resident
+    bool evicting = false;        ///< page-out I/O in progress (off-lock)
+    TenantStats stats;
+    /// Serializes requests per tenant; always acquired before mutex_.
+    std::mutex serial;
+  };
+
+  /// RAII pin: holds the tenant resident for the scope of one request.
+  class Pin {
+   public:
+    Pin(TenantManager& mgr, Tenant& t) : mgr_(mgr), t_(t) {}
+    ~Pin() { mgr_.unpin(t_); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    TenantManager& mgr_;
+    Tenant& t_;
+  };
+
+  Tenant& find(const std::string& name) const;
+  /// Make `t` resident and pin it. Caller holds t.serial; may evict other
+  /// tenants or block until a victim unpins.
+  void ensure_resident_and_pin(Tenant& t);
+  /// Build the full live state from the spec, restoring the newest on-disk
+  /// generation when one exists. Runs without mutex_ held.
+  void build_resident(Tenant& t);
+  /// Page `victim` out. Caller holds mutex_ via `lk`; unlocks around the
+  /// checkpoint write.
+  void evict_locked(Tenant& victim, std::unique_lock<std::mutex>& lk);
+  Tenant* pick_victim(const Tenant* requester);
+  void unpin(Tenant& t);
+  void touch(Tenant& t);  ///< bump LRU tick; mutex_ held
+
+  TenantManagerConfig cfg_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Stable addresses: tenants are never removed, so Tenant& stays valid.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::size_t resident_ = 0;
+  std::size_t total_evictions_ = 0;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace crowdlearn::service

@@ -12,7 +12,9 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <thread>
 
+#include "ckpt/generations.hpp"
 #include "ckpt/io.hpp"
 #include "ckpt/state.hpp"
 #include "gbdt/gbdt.hpp"
@@ -555,6 +557,69 @@ TEST(CkptForestSection, NonMonotoneBinBoundariesAreMalformed) {
   } catch (const CkptError& e) {
     EXPECT_EQ(e.code(), CkptErrc::kMalformed);
   }
+}
+
+TEST(CkptGenerations, ConcurrentSiblingRingsNeverCrossContaminate) {
+  // The multi-tenant eviction path (docs/TENANCY.md) pages tenants out
+  // through sibling per-tenant ring directories, possibly from several
+  // worker threads at once. Two rings hammered simultaneously must end with
+  // each directory holding only its own tenant's generations, every
+  // survivor validating to that tenant's payload, and no temp-file debris
+  // left on either side.
+  namespace fs = std::filesystem;
+  const std::string root = ::testing::TempDir() + "/ckpt_sibling_rings";
+  fs::remove_all(root);
+  constexpr std::size_t kWriters = 2;
+  constexpr std::size_t kSaves = 60;
+  constexpr std::size_t kKeep = 3;
+
+  auto image_for = [](std::size_t writer, std::uint64_t gen) {
+    Writer w;
+    w.begin_section("TST1");
+    w.u64(writer);
+    w.u64(gen);
+    w.str(std::string(1024, static_cast<char>('A' + writer)));
+    return file_image(w);
+  };
+
+  std::vector<std::thread> threads;
+  for (std::size_t writer = 0; writer < kWriters; ++writer) {
+    threads.emplace_back([&, writer] {
+      GenerationRing ring({root + "/tenant" + std::to_string(writer), kKeep});
+      for (std::uint64_t gen = 0; gen < kSaves; ++gen)
+        ring.save(image_for(writer, gen), gen);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t writer = 0; writer < kWriters; ++writer) {
+    const std::string dir = root + "/tenant" + std::to_string(writer);
+    // No torn-write debris and nothing but gen-*.ckpt files.
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      ++files;
+      const std::string name = entry.path().filename().string();
+      EXPECT_NE(entry.path().extension(), ".tmp") << name;
+      EXPECT_EQ(name.rfind("gen-", 0), 0u) << name;
+    }
+    GenerationRing ring({dir, kKeep});
+    const std::vector<std::uint64_t> gens = ring.generations();
+    EXPECT_EQ(gens.size(), kKeep);
+    EXPECT_EQ(files, kKeep);
+    // Every kept generation validates and carries THIS writer's payload.
+    for (std::uint64_t gen : gens) {
+      Reader r(validate_image(read_image(ring.path_for(gen))));
+      r.expect_section("TST1");
+      EXPECT_EQ(r.u64(), writer);
+      EXPECT_EQ(r.u64(), gen);
+      EXPECT_EQ(r.str(), std::string(1024, static_cast<char>('A' + writer)));
+    }
+    const GenerationRing::LoadResult newest = ring.load_newest();
+    ASSERT_TRUE(newest.found);
+    EXPECT_EQ(newest.generation, kSaves - 1);
+    EXPECT_TRUE(newest.rejected.empty());
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace
