@@ -18,6 +18,7 @@
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
 #include "obs/observability.hpp"
+#include "service/coalescer.hpp"
 #include "service/queue.hpp"
 #include "service/tenant.hpp"
 #include "truth/cqc.hpp"
@@ -42,6 +43,39 @@ void BM_MatrixMatmul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_MatrixMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+// --- Tiled vs reference GEMM (docs/PERFORMANCE.md) ---
+//
+// The cache-blocked kernel (nn/gemm_tiled.hpp) carries serving-scale
+// committee batches; the reference i-k-j loop is retained as the readable
+// spec. The perf-regression gate is time(reference) / time(tiled) >= 2 at
+// 512x512x512 (scripts/bench_json.sh). Both kernels produce byte-identical
+// outputs (tests/test_gemm_tiled.cpp). Dense operands: the zero-skip branch
+// never fires, so this measures the pure blocking/vectorization win.
+
+void gemm_bench(benchmark::State& state, nn::GemmKernel kernel) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.uniform(-1, 1);
+  for (double& v : b.data()) v = rng.uniform(-1, 1);
+  nn::Matrix::set_gemm_kernel(kernel);
+  for (auto _ : state) {
+    nn::Matrix c = a.matmul(b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  nn::Matrix::set_gemm_kernel(nn::GemmKernel::kTiled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+
+void BM_GemmTiled(benchmark::State& state) { gemm_bench(state, nn::GemmKernel::kTiled); }
+BENCHMARK(BM_GemmTiled)->Arg(128)->Arg(512);
+
+void BM_GemmReference(benchmark::State& state) {
+  gemm_bench(state, nn::GemmKernel::kRowMajorReference);
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(512);
 
 // --- im2col+GEMM vs naive convolution (docs/PERFORMANCE.md) ---
 //
@@ -582,6 +616,76 @@ void BM_ServiceCycles(benchmark::State& state) {
   std::filesystem::remove_all(root);
 }
 BENCHMARK(BM_ServiceCycles)->ArgName("resident")->Arg(100)->Arg(25)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---- Serving throughput through the batch coalescer -----------------------
+// A saturation load of single-image classify requests across 3 warm tenants,
+// driven through the BatchCoalescer front door at max_batch 1, 64 and 1024
+// (docs/SERVING.md). batch:1 is the no-coalescing baseline (one committee
+// call per request); the larger caps show how far amortizing model
+// activation and workspace reshaping over a batch takes request throughput
+// (items/s = requests/s). Not speed-gated: absolute throughput is
+// VM-sensitive — the GEMM pair above carries the gated claim.
+
+void BM_ServeThroughput(benchmark::State& state) {
+  constexpr std::size_t kTenants = 3;
+  constexpr std::size_t kRequests = 512;  // per iteration, round-robin
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "crowdlearn_bench_serve").string();
+  std::filesystem::remove_all(root);
+
+  crowdlearn::service::TenantManagerConfig mcfg;
+  mcfg.root_dir = root;
+  mcfg.num_threads = 4;
+  crowdlearn::service::TenantManager mgr(mcfg);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    crowdlearn::service::TenantSpec spec;
+    spec.name = "tenant" + std::to_string(i);
+    spec.experiment.dataset.total_images = 90;
+    spec.experiment.dataset.train_images = 50;
+    spec.experiment.stream.num_cycles = 2;
+    spec.experiment.stream.images_per_cycle = 4;
+    spec.experiment.stream.grouped_contexts = false;
+    spec.experiment.pilot.queries_per_cell = 4;
+    spec.experiment.seed = 7200 + i;
+    spec.queries_per_cycle = 2;
+    spec.total_budget_cents = 300.0;
+    spec.committee_factory = [] {
+      experts::BovwConfig fast;
+      fast.train.epochs = 8;
+      fast.train.learning_rate = 0.05;
+      std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      return experts::ExpertCommittee(std::move(roster));
+    };
+    mgr.add_tenant(spec);
+    mgr.run_next_cycle(spec.name);  // warm: committee trained, tenant resident
+    names.push_back(spec.name);
+  }
+
+  std::size_t batches = 0;
+  for (auto _ : state) {
+    crowdlearn::service::BatchCoalescerConfig ccfg;
+    ccfg.max_batch_images = max_batch;
+    ccfg.max_linger = std::chrono::milliseconds{0};  // flush-driven, no timer
+    crowdlearn::service::BatchCoalescer coalescer(mgr, ccfg);
+    std::vector<std::future<std::vector<std::size_t>>> futures;
+    futures.reserve(kRequests);
+    for (std::size_t r = 0; r < kRequests; ++r)
+      futures.push_back(coalescer.submit_classify(names[r % kTenants], {r % 90}));
+    coalescer.flush();
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    batches = coalescer.stats().batches;
+  }
+  state.counters["batches_per_iter"] = static_cast<double>(batches);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRequests));
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_ServeThroughput)->ArgName("batch")->Arg(1)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md docs/TENANCY.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md docs/TENANCY.md docs/SERVING.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden perf gbdt recovery tenancy; do
+for label in concurrency faults ckpt golden perf gbdt recovery tenancy serving; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -112,7 +112,7 @@ done
 [ -f scripts/bench_json.sh ] || err "missing scripts/bench_json.sh (docs/PERFORMANCE.md documents it)"
 [ -x scripts/bench_json.sh ] || err "scripts/bench_json.sh is not executable"
 if [ -f BENCH_micro.json ]; then
-  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact BM_ServiceCycles; do
+  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact BM_ServiceCycles BM_GemmTiled BM_GemmReference BM_ServeThroughput; do
     grep -q "\"name\": \"$b" BENCH_micro.json \
       || err "BENCH_micro.json does not record $b (rerun scripts/bench_json.sh)"
   done
@@ -131,7 +131,20 @@ if [ -f docs/PERFORMANCE.md ]; then
     || err "docs/PERFORMANCE.md does not mention BM_ServiceCycles (service scaling pair)"
 fi
 
-# --- 8. recovery drill artifacts stay in sync -------------------------------
+# --- 8. serving docs stay wired ----------------------------------------------
+# docs/SERVING.md documents the batch coalescer (src/service/coalescer.*); the
+# README must link it, and the GEMM pair plus the serving-throughput sweep
+# must be named in docs/PERFORMANCE.md next to the other bench names.
+grep -q "docs/SERVING.md" README.md \
+  || err "README.md does not link docs/SERVING.md"
+if [ -f docs/PERFORMANCE.md ]; then
+  for b in BM_GemmTiled BM_GemmReference BM_ServeThroughput; do
+    grep -q "$b" docs/PERFORMANCE.md \
+      || err "docs/PERFORMANCE.md does not mention $b (serving/GEMM pair)"
+  done
+fi
+
+# --- 9. recovery drill artifacts stay in sync -------------------------------
 # docs/RECOVERY.md documents scripts/crash_drill.sh and the crash_drill ctest;
 # the script must exist, be executable, and be wired in the root CMakeLists.
 [ -f scripts/crash_drill.sh ] || err "missing scripts/crash_drill.sh (docs/RECOVERY.md documents it)"

@@ -1,0 +1,22 @@
+// AVX-512 instantiation of the tiled GEMM body. This TU is added by
+// src/CMakeLists.txt only when the compiler accepts -mavx512f, and is
+// compiled with:
+//   -mavx512f -mprefer-vector-width=512   full-width vectors (GCC would
+//                                         otherwise stay at 256 bits)
+//   -ffp-contract=off                     NO fused multiply-add — an FMA
+//                                         rounds once, the bit-identity
+//                                         contract requires mul then add
+// Matrix dispatches here only when __builtin_cpu_supports("avx512f") says
+// the host can run it; otherwise the generic TU serves. Both produce the
+// same bits (tests/test_gemm_tiled.cpp) — this one is just wider.
+#include "nn/gemm_tiled.hpp"
+
+namespace crowdlearn::nn::detail {
+
+void gemm_tiled_rows_avx512(const double* a, const double* b, double* out,
+                            std::size_t row_begin, std::size_t row_end, std::size_t k_dim,
+                            std::size_t p) {
+  gemm_tiled_rows(a, b, out, row_begin, row_end, k_dim, p);
+}
+
+}  // namespace crowdlearn::nn::detail

@@ -1,0 +1,15 @@
+// Portable-ISA instantiation of the tiled GEMM body (see gemm_tiled.hpp for
+// why the ISA split is a TU boundary). Compiled with the project's default
+// flags only; always present, used when the AVX-512 TU is unavailable at
+// build time or unsupported by the host at run time.
+#include "nn/gemm_tiled.hpp"
+
+namespace crowdlearn::nn::detail {
+
+void gemm_tiled_rows_generic(const double* a, const double* b, double* out,
+                             std::size_t row_begin, std::size_t row_end, std::size_t k_dim,
+                             std::size_t p) {
+  gemm_tiled_rows(a, b, out, row_begin, row_end, k_dim, p);
+}
+
+}  // namespace crowdlearn::nn::detail

@@ -1,11 +1,52 @@
 #include "nn/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace crowdlearn::nn {
+
+namespace detail {
+// Two instantiations of the tiled kernel body (nn/gemm_tiled.hpp): the
+// portable one is always linked; the AVX-512 one exists only when the
+// build could compile it (CL_GEMM_AVX512, set by src/CMakeLists.txt).
+void gemm_tiled_rows_generic(const double* a, const double* b, double* out,
+                             std::size_t row_begin, std::size_t row_end, std::size_t k_dim,
+                             std::size_t p);
+#ifdef CL_GEMM_AVX512
+void gemm_tiled_rows_avx512(const double* a, const double* b, double* out,
+                            std::size_t row_begin, std::size_t row_end, std::size_t k_dim,
+                            std::size_t p);
+#endif
+}  // namespace detail
+
+namespace {
+
+std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kTiled};
+
+using GemmRowsFn = void (*)(const double*, const double*, double*, std::size_t, std::size_t,
+                            std::size_t, std::size_t);
+
+// Resolve the widest tiled instantiation this host can execute. Both
+// produce identical bits; this is a throughput choice only, made once.
+GemmRowsFn resolve_tiled_kernel() {
+#if defined(CL_GEMM_AVX512) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f")) return &detail::gemm_tiled_rows_avx512;
+#endif
+  return &detail::gemm_tiled_rows_generic;
+}
+
+const GemmRowsFn g_tiled_rows = resolve_tiled_kernel();
+
+}  // namespace
+
+void Matrix::set_gemm_kernel(GemmKernel k) {
+  g_gemm_kernel.store(k, std::memory_order_relaxed);
+}
+
+GemmKernel Matrix::gemm_kernel() { return g_gemm_kernel.load(std::memory_order_relaxed); }
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -93,8 +134,12 @@ void Matrix::matmul_rows_accumulate(const Matrix& other, Matrix& out, std::size_
   debug_check_finite("matmul left operand");
   other.debug_check_finite("matmul right operand");
 #endif
-  // i-k-j loop order keeps the inner loop stride-1 over both operands. The
-  // `a == 0.0` skip is load-bearing twice over: it is the perf win on sparse
+  // Degenerate shapes never dereference operand storage (an all-zero A row
+  // could otherwise still form &other.data_[0] on an empty vector).
+  if (row_begin == row_end || cols_ == 0 || other.cols_ == 0) return;
+  // Both kernels share the per-element contract: out(i,j) accumulates its
+  // products in ascending-k order, in place, with the `a == 0.0` left-operand
+  // skip. That skip is load-bearing twice over: it is the perf win on sparse
   // (post-ReLU / zero-padded im2col) left operands, and the convolution
   // kernels rely on it matching the naive kernels' `v != 0.0` / `g == 0.0`
   // skips term-for-term. It silently drops 0*inf = NaN, hence the finite-
@@ -117,15 +162,27 @@ void Matrix::matmul_rows_accumulate(const Matrix& other, Matrix& out, std::size_
     }
     return;
   }
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+  if (gemm_kernel() == GemmKernel::kRowMajorReference) {
+    // Historical i-k-j loop: stride-1 over both operands, but for every
+    // output row it re-streams all of B — the L2 miss bill that motivates
+    // the tiled kernel below.
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = data_[i * cols_ + k];
+        if (a == 0.0) continue;
+        const double* brow = &other.data_[k * other.cols_];
+        double* orow = &out.data_[i * other.cols_];
+        for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      }
     }
+    return;
   }
+  // Cache-blocked kernel (nn/gemm_tiled.hpp): (j, k) panels with row-quad
+  // register blocking, order-preserving by construction — every out(i,j)
+  // receives the same ascending-k add sequence as the reference loop above,
+  // so the bits are identical (tests/test_gemm_tiled.cpp).
+  g_tiled_rows(data_.data(), other.data_.data(), out.data_.data(), row_begin, row_end, cols_,
+               other.cols_);
 }
 
 void Matrix::debug_check_finite(const char* what) const {

@@ -10,6 +10,15 @@
 
 namespace crowdlearn::nn {
 
+/// Which GEMM kernel backs the matmul family. kTiled (the default) is the
+/// cache-blocked kernel that carries serving-scale batches;
+/// kRowMajorReference is the original i-k-j loop, retained as the readable
+/// spec and the differential-test / perf-regression baseline. The tiling is
+/// order-preserving — every out(i,j) still receives its products in
+/// ascending-k order, with the same zero-skip — so the two kernels produce
+/// byte-identical outputs (tests/test_gemm_tiled.cpp).
+enum class GemmKernel { kTiled, kRowMajorReference };
+
 class Matrix {
  public:
   Matrix() = default;
@@ -58,6 +67,12 @@ class Matrix {
   /// bias first, then ascending-k products (the naive convolution order).
   void matmul_rows_accumulate(const Matrix& other, Matrix& out, std::size_t row_begin,
                               std::size_t row_end) const;
+
+  /// Process-wide GEMM kernel selector for tests and benchmarks — mirrors
+  /// Conv2D::set_kernel_mode. Not for use while matmuls are in flight on
+  /// other threads.
+  static void set_gemm_kernel(GemmKernel k);
+  static GemmKernel gemm_kernel();
 
   /// Throw std::domain_error if any entry is non-finite. The matmul kernels
   /// skip zero left operands, which silently drops 0*inf = NaN propagation —

@@ -1,5 +1,6 @@
 #include "nn/workspace.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace crowdlearn::nn {
@@ -10,9 +11,16 @@ Matrix& Workspace::buffer(std::size_t layer_id, std::size_t slot, std::size_t ro
   const std::uint64_t key = (static_cast<std::uint64_t>(layer_id) << 8) | slot;
   for (auto& [k, m] : buffers_) {
     if (k == key) {
-      const std::size_t cap = m->data().capacity();
+      const std::size_t needed = rows * cols;
+      if (needed > m->data().capacity()) {
+        // Geometric growth: a serving workload that ramps batch sizes
+        // (1 -> 64 -> 1024 images through the coalescer) would otherwise
+        // reallocate-and-copy on every step up; doubling bounds the total
+        // copy bill at O(final size) across any ramp.
+        m->data().reserve(std::max(needed, 2 * m->data().capacity()));
+        ++grow_count_;
+      }
       m->reshape(rows, cols);
-      if (m->data().capacity() != cap) ++grow_count_;
       return *m;
     }
   }

@@ -1,0 +1,142 @@
+#pragma once
+// Cross-tenant inference batching for the serving path (docs/SERVING.md).
+//
+// A BatchCoalescer sits between the request front door and the
+// TenantManager: classify requests land in per-tenant lanes, and instead of
+// running committee inference once per request, a lane is drained in large
+// batches — one TenantManager::classify call per batch, which routes
+// through ExpertCommittee::expert_votes_batch and amortizes the per-call
+// model activation, workspace reshaping and pool fan-out over many images.
+// Results are demultiplexed back to the per-request futures in submission
+// order.
+//
+// Determinism contract (tests/test_serving.cpp):
+//   * Results never depend on batch composition. classify is a pure
+//     per-image read of the tenant's current trained state, so
+//     classify(a ++ b) is element-wise identical to classify(a) ++
+//     classify(b) — batched answers are byte-identical to per-request
+//     answers for the same arrival order.
+//   * Batch composition itself is deterministic given a fixed arrival
+//     order and flush schedule: a full batch always cuts at the same
+//     request boundary (greedy prefix whose image count reaches
+//     max_batch_images), independent of worker timing. Only the linger
+//     timer introduces timing dependence, and it affects latency, never
+//     results.
+//
+// Dispatch happens on the TenantManager's shared pool (one in-flight
+// dispatch task per lane, like ServiceQueue), triggered by three events:
+// a lane reaching max_batch_images, the linger deadline of its oldest
+// queued request, or an explicit flush().
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "service/tenant.hpp"
+
+namespace crowdlearn::service {
+
+struct BatchCoalescerConfig {
+  /// Dispatch a lane as soon as its queued image count reaches this. A
+  /// single request larger than the cap still dispatches (alone).
+  std::size_t max_batch_images = 64;
+  /// Upper bound on how long a queued request may wait for its batch to
+  /// fill before the lane is dispatched anyway. Zero disables the timer:
+  /// partial batches then dispatch only on flush() or destruction —
+  /// the deterministic mode the tests use.
+  std::chrono::milliseconds max_linger{2};
+  /// Cross-tenant serving metrics (batch-size histogram, queue-depth
+  /// gauge). Deliberately separate from any tenant's own registry: serving
+  /// telemetry is host-scheduling detail and must not perturb per-tenant
+  /// deterministic exports. Null = no metrics.
+  obs::Observability* observability = nullptr;
+};
+
+/// Running totals since construction (mutex-consistent snapshot).
+struct CoalescerStats {
+  std::size_t requests = 0;       ///< submit_classify calls accepted
+  std::size_t images = 0;         ///< images across those requests
+  std::size_t batches = 0;        ///< classify calls issued
+  std::size_t largest_batch = 0;  ///< images in the largest batch so far
+};
+
+class BatchCoalescer {
+ public:
+  /// The manager must outlive the coalescer. Starts the linger thread when
+  /// cfg.max_linger > 0.
+  explicit BatchCoalescer(TenantManager& manager, BatchCoalescerConfig cfg = {});
+  /// Flushes every pending request, then joins the linger thread.
+  ~BatchCoalescer();
+
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  /// Queue a classify request on the tenant's lane. The future carries the
+  /// per-image predictions in the order of `image_ids`; errors from the
+  /// batched classify call (unknown tenant, rehydrate failure) surface
+  /// through every future of the failed batch.
+  std::future<std::vector<std::size_t>> submit_classify(const std::string& tenant,
+                                                        std::vector<std::size_t> image_ids);
+
+  /// Dispatch every queued request now (partial batches included) and block
+  /// until all of them — plus any already in flight — have completed.
+  /// Requests submitted concurrently with flush() extend the wait; like
+  /// ServiceQueue::drain, quiescence is whatever the queue reaches. Must
+  /// not be called from a pool worker task.
+  void flush();
+
+  /// Requests accepted but not yet completed (queued + in flight).
+  std::size_t pending() const;
+
+  CoalescerStats stats() const;
+
+  /// Test hook: invoked once per dispatched batch (on the dispatch thread,
+  /// no locks held) with the tenant name, request count and image count of
+  /// the batch. Set before the first submit; not thread-safe to change
+  /// while requests are in flight.
+  void set_batch_observer(
+      std::function<void(const std::string&, std::size_t, std::size_t)> observer);
+
+ private:
+  struct Request {
+    std::vector<std::size_t> ids;
+    std::promise<std::vector<std::size_t>> promise;
+  };
+  struct Lane {
+    std::deque<Request> fifo;
+    std::size_t queued_images = 0;
+    bool active = false;          ///< a dispatch task for this lane is queued/running
+    bool flush_requested = false; ///< drain to empty, ignoring max_batch_images
+    std::chrono::steady_clock::time_point oldest{};  ///< linger anchor of fifo front
+  };
+
+  void schedule_locked(const std::string& tenant, Lane& lane, std::vector<std::string>* out);
+  void dispatch_lane(const std::string& tenant);
+  void linger_loop();
+
+  TenantManager& mgr_;
+  BatchCoalescerConfig cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;    ///< flush() waiters
+  std::condition_variable linger_cv_;  ///< linger thread wakeups
+  std::map<std::string, Lane> lanes_;
+  std::size_t in_flight_ = 0;          ///< requests accepted, promise not yet set
+  std::size_t active_dispatches_ = 0;  ///< dispatch tasks queued or running
+  bool stopping_ = false;
+  CoalescerStats stats_;
+  std::function<void(const std::string&, std::size_t, std::size_t)> batch_observer_;
+  obs::Histogram* obs_batch_size_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  std::thread linger_thread_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace crowdlearn::service

@@ -1,5 +1,7 @@
 #include "service/queue.hpp"
 
+#include "service/coalescer.hpp"
+
 namespace crowdlearn::service {
 
 std::future<core::CycleOutcome> ServiceQueue::submit_cycle(const std::string& tenant) {
@@ -8,6 +10,11 @@ std::future<core::CycleOutcome> ServiceQueue::submit_cycle(const std::string& te
 
 std::future<std::vector<std::size_t>> ServiceQueue::submit_classify(
     const std::string& tenant, std::vector<std::size_t> image_ids) {
+  // With a coalescer attached, classify requests take the batched path.
+  // classify is a pure read of the tenant's current state, so lifting it
+  // out of the per-tenant lane cannot change any result the lane computes
+  // — it only stops a cheap read from queueing behind a full cycle.
+  if (coalescer_) return coalescer_->submit_classify(tenant, std::move(image_ids));
   return enqueue(tenant, [this, tenant, ids = std::move(image_ids)] {
     return mgr_.classify(tenant, ids);
   });
@@ -39,6 +46,10 @@ void ServiceQueue::drain_lane(const std::string& tenant) {
 }
 
 void ServiceQueue::drain() {
+  // Flush coalesced classify batches first: their dispatch tasks run on the
+  // same pool, and flushing before waiting on our own lanes keeps the
+  // "quiescent after drain()" contract covering both paths.
+  if (coalescer_) coalescer_->flush();
   std::unique_lock<std::mutex> lk(mutex_);
   // Both conditions matter: in_flight_ == 0 says every request completed;
   // active_lanes_ == 0 says every drain task has retired and will touch no

@@ -26,9 +26,19 @@
 
 namespace crowdlearn::service {
 
+class BatchCoalescer;
+
 class ServiceQueue {
  public:
   explicit ServiceQueue(TenantManager& manager) : mgr_(manager) {}
+  /// Batched front door: classify requests bypass the per-request lanes and
+  /// go through `coalescer` (src/service/coalescer.hpp), which groups them
+  /// into committee-inference batches; cycle requests still drain per
+  /// request. The coalescer must outlive this queue (the destructor's
+  /// drain() flushes it). Results are byte-identical either way
+  /// (docs/SERVING.md).
+  ServiceQueue(TenantManager& manager, BatchCoalescer* coalescer)
+      : mgr_(manager), coalescer_(coalescer) {}
   /// Drains every pending request before destruction.
   ~ServiceQueue() { drain(); }
 
@@ -43,7 +53,14 @@ class ServiceQueue {
   std::future<std::vector<std::size_t>> submit_classify(const std::string& tenant,
                                                         std::vector<std::size_t> image_ids);
 
-  /// Block until every request submitted so far has completed.
+  /// Block until the queue is quiescent: every request submitted so far has
+  /// completed (and, with a coalescer attached, every coalesced classify
+  /// batch has been flushed). Safe to call concurrently with submits from
+  /// other threads — those submits simply extend the wait, and drain()
+  /// returns at whatever quiescent point the queue reaches; it never
+  /// deadlocks (tests/test_serving.cpp pins this under a watchdog). The one
+  /// forbidden caller is a pool worker task: drain() inside a task would
+  /// wait for itself.
   void drain();
 
   /// Requests submitted but not yet completed (queued + running).
@@ -60,6 +77,7 @@ class ServiceQueue {
   void drain_lane(const std::string& tenant);
 
   TenantManager& mgr_;
+  BatchCoalescer* coalescer_ = nullptr;  ///< not owned; may be null
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   std::map<std::string, Lane> lanes_;

@@ -24,6 +24,7 @@
 #include "core/recorder.hpp"
 #include "experts/bovw.hpp"
 #include "runtime/supervisor.hpp"
+#include "stats/distribution.hpp"
 
 #ifndef CROWDLEARN_GOLDEN_DIR
 #error "CROWDLEARN_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
@@ -200,6 +201,67 @@ TEST(GoldenTrace, TraceIsThreadCountInvariant) {
   std::ostringstream metrics;
   core::write_metrics_json_deterministic(serial.observability(), metrics);
   EXPECT_EQ(at_pinned.metrics_json, metrics.str());
+}
+
+// The serving path promises pure reads: a golden run with a batched
+// inference workload interleaved between its cycles — the exact committee
+// read TenantManager::classify issues for every coalesced batch
+// (docs/SERVING.md) — must still reproduce the committed goldens byte for
+// byte. Serving telemetry is excluded from the deterministic exports by
+// design (core/recorder.cpp's host-execution filter plus the coalescer's
+// separate registry), so nothing about request volume may leak into them.
+TEST(GoldenTrace, ServingWorkloadInterleavedWithCyclesMatchesCommittedGolden) {
+  if (regen_requested()) GTEST_SKIP() << "regen handled by the plain-loop tests";
+  const std::string expected_csv = read_or_empty(golden_path("golden_trace.csv"));
+  const std::string expected_json = read_or_empty(golden_path("golden_metrics.json"));
+  ASSERT_FALSE(expected_csv.empty()) << "missing golden files — run scripts/make_golden.sh";
+  ASSERT_FALSE(expected_json.empty());
+
+  const core::ExperimentSetup& setup = golden_setup();
+  core::CrowdLearnSystem system = golden_system();
+  system.initialize(setup.data, setup.pilot);
+
+  crowd::PlatformConfig pcfg = setup.platform_cfg;
+  pcfg.seed = setup.seed + 17;
+  pcfg.faults.straggler_prob = 0.10;
+  pcfg.faults.duplicate_prob = 0.05;
+  crowd::CrowdPlatform platform(&setup.data, pcfg);
+
+  // The classify read path, batch-sized like a coalesced dispatch.
+  const auto classify_batch = [&](const std::vector<std::size_t>& ids) {
+    const auto votes = system.committee().expert_votes_batch(setup.data, ids);
+    std::vector<std::size_t> predictions(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      predictions[i] = stats::argmax(system.committee().committee_vote(votes[i]));
+    return predictions;
+  };
+
+  const dataset::SensingCycleStream stream(setup.data, setup.stream_cfg);
+  std::vector<core::CycleOutcome> outcomes;
+  std::size_t cycle_index = 0;
+  for (const dataset::SensingCycle& cycle : stream.cycles()) {
+    // Varying batch shapes per cycle: a large coalesced batch and a few
+    // singletons, all against the current trained state.
+    std::vector<std::size_t> big;
+    for (std::size_t i = 0; i < 32; ++i) big.push_back((cycle_index * 13 + i) % 150);
+    EXPECT_EQ(classify_batch(big).size(), 32u);
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(classify_batch({(cycle_index + i) % 150}).size(), 1u);
+    outcomes.push_back(system.run_cycle(setup.data, platform, cycle));
+    ++cycle_index;
+  }
+
+  core::CycleLogOptions opts;
+  opts.include_wall_clock = false;
+  std::ostringstream csv;
+  core::write_cycle_log(setup.data, outcomes, csv, opts);
+  EXPECT_EQ(expected_csv, csv.str())
+      << "an interleaved serving workload moved the committed trace" << kRegenHint;
+
+  std::ostringstream metrics;
+  core::write_metrics_json_deterministic(system.observability(), metrics);
+  EXPECT_EQ(expected_json, metrics.str())
+      << "an interleaved serving workload moved the committed metrics" << kRegenHint;
 }
 
 // The supervised runtime promises byte-identical recovery: a run that hits

@@ -3,6 +3,7 @@
 // discipline, atomic_write_file offset-class semantics, the bounded
 // generation ring's corruption fallback, and the typed exit-code taxonomy.
 
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -22,7 +23,11 @@ namespace fs = std::filesystem;
 /// RAII temp directory under the gtest temp root.
 struct TempDir {
   std::string path;
-  explicit TempDir(const std::string& name) : path(::testing::TempDir() + "/" + name) {
+  // pid-suffixed: gtest_discover_tests runs each TEST as its own process, so
+  // under `ctest -j` two tests sharing a fixture name would otherwise race on
+  // the same directory (one destructor deleting the other's live ring).
+  explicit TempDir(const std::string& name)
+      : path(::testing::TempDir() + "/" + name + "." + std::to_string(::getpid())) {
     fs::remove_all(path);
     fs::create_directories(path);
   }

@@ -7,6 +7,7 @@
 // Around it: lifecycle phases, LRU victim selection, per-tenant rejection
 // surfacing (RehydrateError), queue ordering, and classify purity.
 
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -21,6 +22,7 @@
 #include "core/experiment.hpp"
 #include "core/recorder.hpp"
 #include "experts/bovw.hpp"
+#include "service/coalescer.hpp"
 #include "service/queue.hpp"
 #include "service/tenant.hpp"
 
@@ -34,7 +36,11 @@ constexpr std::uint64_t kSeedBase = 20260808;
 
 struct TempDir {
   std::string path;
-  explicit TempDir(const std::string& name) : path(::testing::TempDir() + "/" + name) {
+  // pid-suffixed: gtest_discover_tests runs each TEST as its own process, so
+  // under `ctest -j` two tests sharing a fixture name would otherwise race on
+  // the same directory (one destructor deleting the other's live ring).
+  explicit TempDir(const std::string& name)
+      : path(::testing::TempDir() + "/" + name + "." + std::to_string(::getpid())) {
     fs::remove_all(path);
     fs::create_directories(path);
   }
@@ -391,6 +397,52 @@ TEST(ServiceClassify, InterleavedInferenceLeavesTraceUntouched) {
   }
   EXPECT_EQ(predictions.size(), 6u);
   expect_equal(service_artifacts(mgr, "a", outcomes), standalone, "classify-interleaved");
+}
+
+/// Classify racing eviction (docs/SERVING.md): requests queued in a
+/// coalescer lane while the tenant is paged out must rehydrate it on
+/// dispatch and answer correctly — and the rehydrate round trip plus the
+/// batched reads must leave the tenant's cycle trace byte-identical to the
+/// standalone run.
+TEST(ServiceClassify, CoalescedClassifySurvivesEvictionRace) {
+  const TenantSpec spec = tenant_spec("a", kSeedBase, false);
+  const RunArtifacts standalone = standalone_run(spec, /*num_threads=*/2);
+
+  TempDir root("service_classify_evict");
+  TenantManagerConfig mcfg;
+  mcfg.root_dir = root.path;
+  mcfg.max_resident = 1;
+  mcfg.num_threads = 2;
+  TenantManager mgr(mcfg);
+  mgr.add_tenant(spec);
+  mgr.add_tenant(tenant_spec("b", kSeedBase + 1, false));
+
+  std::vector<core::CycleOutcome> outcomes;
+  outcomes.push_back(mgr.run_next_cycle("a"));
+  const std::vector<std::size_t> ids = {0, 1, 2, 3, 4, 5};
+  const std::vector<std::size_t> want = mgr.classify("a", ids);
+
+  // Queue requests below the dispatch threshold (linger disabled), then
+  // evict the tenant out from under them before anything can run.
+  BatchCoalescerConfig ccfg;
+  ccfg.max_batch_images = 1024;
+  ccfg.max_linger = std::chrono::milliseconds{0};
+  BatchCoalescer coalescer(mgr, ccfg);
+  std::future<std::vector<std::size_t>> f1 = coalescer.submit_classify("a", ids);
+  std::future<std::vector<std::size_t>> f2 = coalescer.submit_classify("a", ids);
+  mgr.run_next_cycle("b");  // displaces a (max_resident = 1)
+  ASSERT_EQ(mgr.stats("a").phase, TenantPhase::kEvicted);
+
+  coalescer.flush();  // dispatch rehydrates a from its generation ring
+  EXPECT_EQ(f1.get(), want);
+  EXPECT_EQ(f2.get(), want);
+  EXPECT_GE(mgr.stats("a").rehydrations, 1u);
+  EXPECT_EQ(coalescer.stats().batches, 1u);  // one rehydrate, one batch
+
+  // The race left no mark: the remaining cycles replay to the standalone
+  // trace byte for byte.
+  for (std::size_t c = 1; c < kCycles; ++c) outcomes.push_back(mgr.run_next_cycle("a"));
+  expect_equal(service_artifacts(mgr, "a", outcomes), standalone, "classify-evict-race");
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // byte-for-byte: cycle-log CSV, deterministic metrics JSON, final expert
 // weights — at 1, 2 and 8 worker threads.
 
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -32,7 +33,11 @@ constexpr std::uint64_t kSeed = 20250808;
 
 struct TempDir {
   std::string path;
-  explicit TempDir(const std::string& name) : path(::testing::TempDir() + "/" + name) {
+  // pid-suffixed: gtest_discover_tests runs each TEST as its own process, so
+  // under `ctest -j` two tests sharing a fixture name would otherwise race on
+  // the same directory (one destructor deleting the other's live ring).
+  explicit TempDir(const std::string& name)
+      : path(::testing::TempDir() + "/" + name + "." + std::to_string(::getpid())) {
     fs::remove_all(path);
     fs::create_directories(path);
   }
