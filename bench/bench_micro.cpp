@@ -9,7 +9,9 @@
 #include <limits>
 
 #include "bandit/ucb_alp.hpp"
+#include "cache/artifact_cache.hpp"
 #include "ckpt/io.hpp"
+#include "core/cqc_module.hpp"
 #include "core/experiment.hpp"
 #include "crowd/platform.hpp"
 #include "experts/bovw.hpp"
@@ -276,6 +278,83 @@ void BM_CqcRetrainExact(benchmark::State& state) {
   cqc_retrain_bench(state, gbdt::SplitEngine::kExactReference);
 }
 BENCHMARK(BM_CqcRetrainExact)->Arg(1)->Arg(10)->Arg(100);
+
+// --- Artifact-cached retrains (src/cache, docs/CACHING.md) ---
+//
+// One "retrain step" = committee train + committee fine-tune + CQC fit, all
+// routed through a content-addressed ArtifactCache. Arg = corpus-scale
+// multiplier for the CQC leg (56 labeled queries at 1x). Cold clears the
+// store before every iteration (every step computes + stores); Warm
+// pre-populates once, so every iteration is served from disk — key digest,
+// sharded read, CRC validation, state restore. The perf-regression gate is
+// time(cold) / time(warm) >= 5 at the 10x scale (scripts/bench_json.sh,
+// docs/PERFORMANCE.md); the hit≡recompute contract behind the speedup is
+// pinned by tests/test_cache.cpp.
+
+void cached_retrain_step(cache::ArtifactCache& cache, const dataset::Dataset& data,
+                         const std::vector<truth::LabeledQuery>& corpus,
+                         const std::vector<std::size_t>& queried_ids,
+                         const std::vector<std::size_t>& truth_labels) {
+  const ckpt::Digest128 dd = data.content_digest();
+  Rng rng(99);
+  experts::BovwConfig bovw;  // production-shaped epochs: the step being memoized
+  bovw.train.epochs = 30;
+  bovw.train.learning_rate = 0.05;
+  std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+  roster.push_back(std::make_unique<experts::BovwClassifier>(bovw));
+  roster.push_back(std::make_unique<experts::BovwClassifier>(bovw));
+  experts::ExpertCommittee committee(std::move(roster));
+  committee.train_all(data, data.train_indices, rng, &cache, dd);
+  committee.retrain_all(data, queried_ids, truth_labels, rng, &cache, dd);
+  truth::CqcConfig cfg;  // production default rounds (truth/cqc.hpp)
+  cfg.gbdt.engine = gbdt::SplitEngine::kHistogram;
+  core::CqcModule cqc(cfg);
+  cqc.set_artifact_cache(&cache);
+  cqc.fit(corpus);
+  benchmark::DoNotOptimize(cqc.trained());
+}
+
+void cached_retrain_bench(benchmark::State& state, bool warm) {
+  const auto scale = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const std::vector<truth::LabeledQuery> corpus = cqc_bench_corpus(56 * scale, rng);
+  dataset::DatasetConfig dcfg;
+  dcfg.total_images = 90;
+  dcfg.train_images = 50;
+  const dataset::Dataset data = dataset::generate_dataset(dcfg);
+  std::vector<std::size_t> queried_ids(data.train_indices.begin(),
+                                       data.train_indices.begin() + 8);
+  const std::vector<std::size_t> truth_labels = data.labels(queried_ids);
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "crowdlearn_bench_cache").string();
+  std::filesystem::remove_all(root);
+  cache::ArtifactCache cache({root, 0});
+  if (warm)
+    cached_retrain_step(cache, data, corpus, queried_ids, truth_labels);  // populate
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      std::filesystem::remove_all(root);
+      state.ResumeTiming();
+    }
+    cached_retrain_step(cache, data, corpus, queried_ids, truth_labels);
+  }
+  const cache::CacheStats stats = cache.stats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+  state.counters["read_mb"] = static_cast<double>(stats.read_bytes) / (1024.0 * 1024.0);
+  std::filesystem::remove_all(root);
+}
+
+void BM_CqcRetrainCachedCold(benchmark::State& state) {
+  cached_retrain_bench(state, /*warm=*/false);
+}
+BENCHMARK(BM_CqcRetrainCachedCold)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_CqcRetrainCachedWarm(benchmark::State& state) {
+  cached_retrain_bench(state, /*warm=*/true);
+}
+BENCHMARK(BM_CqcRetrainCachedWarm)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_AlpSolve(benchmark::State& state) {
   Rng rng(4);
@@ -618,6 +697,79 @@ void BM_ServiceCycles(benchmark::State& state) {
 BENCHMARK(BM_ServiceCycles)->ArgName("resident")->Arg(100)->Arg(25)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Cross-tenant dedup through the shared artifact cache (docs/CACHING.md):
+// 8 tenants with IDENTICAL specs (clone deployments over the same corpus)
+// run their full streams through the ServiceQueue. cache:0 is the baseline
+// — every tenant trains and retrains from scratch; cache:1 wires a shared
+// ArtifactCache through TenantManagerConfig::cache_dir, so the first tenant
+// computes and the other seven restore its artifacts (hits/misses counters
+// show the dedup). Not speed-gated — the Cold/Warm pair above carries the
+// gated claim; this shows the ratio at service level.
+
+void BM_ServiceCyclesDedup(benchmark::State& state) {
+  constexpr std::size_t kTenants = 8;
+  constexpr std::size_t kCyclesPerTenant = 3;
+  const bool cached = state.range(0) != 0;
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "crowdlearn_bench_dedup").string();
+
+  auto spec_for = [](std::size_t i) {
+    crowdlearn::service::TenantSpec spec;
+    spec.name = "clone" + std::to_string(i);
+    spec.experiment.dataset.total_images = 90;
+    spec.experiment.dataset.train_images = 50;
+    spec.experiment.stream.num_cycles = kCyclesPerTenant;
+    spec.experiment.stream.images_per_cycle = 4;
+    spec.experiment.stream.grouped_contexts = false;
+    spec.experiment.pilot.queries_per_cell = 4;
+    spec.experiment.seed = 7300;  // identical across tenants: clone deployments
+    spec.queries_per_cycle = 2;
+    spec.total_budget_cents = 300.0;
+    spec.committee_factory = [] {
+      experts::BovwConfig fast;
+      fast.train.epochs = 8;
+      fast.train.learning_rate = 0.05;
+      std::vector<std::unique_ptr<experts::DdaAlgorithm>> roster;
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      roster.push_back(std::make_unique<experts::BovwClassifier>(fast));
+      return experts::ExpertCommittee(std::move(roster));
+    };
+    return spec;
+  };
+
+  std::uint64_t hits = 0, misses = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(root);
+    state.ResumeTiming();
+    crowdlearn::service::TenantManagerConfig mcfg;
+    mcfg.root_dir = root + "/tenants";
+    mcfg.num_threads = 4;
+    if (cached) mcfg.cache_dir = root + "/artifacts";
+    crowdlearn::service::TenantManager mgr(mcfg);
+    for (std::size_t i = 0; i < kTenants; ++i) mgr.add_tenant(spec_for(i));
+    {
+      crowdlearn::service::ServiceQueue queue(mgr);
+      for (std::size_t c = 0; c < kCyclesPerTenant; ++c)
+        for (std::size_t i = 0; i < kTenants; ++i)
+          queue.submit_cycle("clone" + std::to_string(i));
+      queue.drain();
+    }
+    if (cached) {
+      const crowdlearn::cache::CacheStats stats = mgr.artifact_cache()->stats();
+      hits = stats.hits;
+      misses = stats.misses;
+    }
+    benchmark::DoNotOptimize(mgr.total_evictions());
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["misses"] = static_cast<double>(misses);
+  state.counters["tenants"] = static_cast<double>(kTenants);
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_ServiceCyclesDedup)->ArgName("cache")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // ---- Serving throughput through the batch coalescer -----------------------
 // A saturation load of single-image classify requests across 3 warm tenants,
 // driven through the BatchCoalescer front door at max_batch 1, 64 and 1024
@@ -700,6 +852,31 @@ static int run(int argc, char** argv) {
     if (argv[i][0] == '-') args.push_back(argv[i]);
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
+  // The system libbenchmark bakes ITS OWN compile mode into the JSON
+  // context's library_build_type, which says nothing about how this binary
+  // was compiled. Publish our own build type (injected by bench/CMakeLists
+  // from the active CMake configuration) so scripts/bench_json.sh can refuse
+  // to gate or snapshot numbers from a non-Release build.
+#if defined(CROWDLEARN_BENCH_BUILD_TYPE)
+  benchmark::AddCustomContext("crowdlearn_build_type", CROWDLEARN_BENCH_BUILD_TYPE);
+#else
+  benchmark::AddCustomContext("crowdlearn_build_type", "unknown");
+#endif
+  // Sanitized builds keep a Release-family build type but distort every
+  // timing ratio (ASan flattens the GEMM advantage; TSan is worse), so the
+  // script needs to see the instrumentation too.
+#if defined(CROWDLEARN_BENCH_SANITIZE)
+  benchmark::AddCustomContext(
+      "crowdlearn_sanitize",
+      CROWDLEARN_BENCH_SANITIZE[0] != '\0' ? CROWDLEARN_BENCH_SANITIZE : "none");
+#else
+  benchmark::AddCustomContext("crowdlearn_sanitize", "unknown");
+#endif
+#if defined(NDEBUG)
+  benchmark::AddCustomContext("crowdlearn_assertions", "off");
+#else
+  benchmark::AddCustomContext("crowdlearn_assertions", "on");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -22,6 +22,10 @@
 //   --cycle-log PATH    write/append the deterministic per-cycle CSV log
 //   --metrics-json PATH write the deterministic metrics JSON snapshot
 //   --weights-out PATH  final expert weights, one hexfloat per line
+//   --cache-dir DIR     memoize expert/CQC retrains through a
+//                       content-addressed artifact cache rooted at DIR
+//                       (docs/CACHING.md; outputs identical either way)
+//   --no-cache          explicitly disable the cache (the default)
 //
 // Supervised runtime (docs/RECOVERY.md):
 //   --supervise DIR     run under runtime::Supervisor with a checkpoint
@@ -52,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "ckpt/io.hpp"
 #include "core/experiment.hpp"
 #include "core/recorder.hpp"
@@ -76,6 +81,8 @@ struct CliOptions {
   std::string cycle_log_path;
   std::string metrics_json_path;
   std::string weights_out_path;
+  std::string cache_dir;  // empty = no artifact cache (the default)
+  bool no_cache = false;
   // Supervised runtime.
   std::string supervise_dir;
   std::size_t ckpt_every = 2;
@@ -122,6 +129,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.metrics_json_path = value(i, a);
     else if (std::strcmp(a, "--weights-out") == 0)
       opt.weights_out_path = value(i, a);
+    else if (std::strcmp(a, "--cache-dir") == 0)
+      opt.cache_dir = value(i, a);
+    else if (std::strcmp(a, "--no-cache") == 0)
+      opt.no_cache = true;
     else if (std::strcmp(a, "--supervise") == 0)
       opt.supervise_dir = value(i, a);
     else if (std::strcmp(a, "--ckpt-every") == 0)
@@ -142,6 +153,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.seed = std::strtoull(a, nullptr, 10);
   }
   if (opt.num_cycles == 0) throw std::invalid_argument("--cycles must be positive");
+  if (opt.no_cache && !opt.cache_dir.empty())
+    throw std::invalid_argument("--no-cache and --cache-dir are mutually exclusive");
   if (opt.train_images >= opt.total_images)
     throw std::invalid_argument("--train must be smaller than --images");
   if (!opt.supervise_dir.empty()) {
@@ -194,6 +207,12 @@ static int run(int argc, char** argv) {
       setup, /*queries_per_cycle=*/5,
       /*total_budget_cents=*/8.0 * 5.0 * static_cast<double>(opt.num_cycles));
   cl_cfg.num_threads = opt.num_threads;
+  if (!opt.cache_dir.empty()) {
+    cl_cfg.artifact_cache =
+        std::make_shared<cache::ArtifactCache>(cache::ArtifactCacheConfig{opt.cache_dir, 0});
+    std::cout << "Artifact cache at " << opt.cache_dir
+              << " (retrains memoized; outputs unchanged — docs/CACHING.md)\n";
+  }
 
   std::unique_ptr<core::CrowdLearnRunner> runner;
   if (opt.fast_committee) {
@@ -299,6 +318,12 @@ static int run(int argc, char** argv) {
   table.print_ascii(std::cout);
 
   std::cout << "\nTotal crowd spend: " << platform.total_spent_cents() << " cents\n";
+
+  if (cl_cfg.artifact_cache) {
+    const cache::CacheStats cs = cl_cfg.artifact_cache->stats();
+    std::cout << "Artifact cache: " << cs.hits << " hits / " << cs.misses
+              << " misses, " << cs.stores << " stores\n";
+  }
 
   if (supervisor) {
     const runtime::RecoveryStats& rs = supervisor->stats();

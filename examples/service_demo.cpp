@@ -18,6 +18,8 @@
 //   --images N        dataset size per tenant (default 120)
 //   --root DIR        checkpoint root directory (default service_demo_ckpt)
 //   --faults          arm a deployment fault profile on every odd tenant
+//   --cache-dir DIR   artifact-cache root (default <root>/_artifacts)
+//   --no-cache        disable the shared retrain cache (docs/CACHING.md)
 
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "experts/bovw.hpp"
 #include "runtime/exit.hpp"
 #include "service/queue.hpp"
@@ -46,6 +49,8 @@ struct CliOptions {
   std::size_t images = 120;
   std::string root = "service_demo_ckpt";
   bool faults = false;
+  std::string cache_dir;  // empty = default <root>/_artifacts
+  bool no_cache = false;
 };
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -74,6 +79,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.root = value(i, a);
     else if (std::strcmp(a, "--faults") == 0)
       opt.faults = true;
+    else if (std::strcmp(a, "--cache-dir") == 0)
+      opt.cache_dir = value(i, a);
+    else if (std::strcmp(a, "--no-cache") == 0)
+      opt.no_cache = true;
     else if (a[0] == '-')
       throw std::invalid_argument(std::string("unknown flag: ") + a);
     else
@@ -83,6 +92,8 @@ CliOptions parse_cli(int argc, char** argv) {
   if (opt.cycles == 0) throw std::invalid_argument("--cycles must be positive");
   if (opt.images < 40) throw std::invalid_argument("--images must be at least 40");
   if (opt.root.empty()) throw std::invalid_argument("--root must be non-empty");
+  if (opt.no_cache && !opt.cache_dir.empty())
+    throw std::invalid_argument("--no-cache and --cache-dir are mutually exclusive");
   return opt;
 }
 
@@ -143,6 +154,11 @@ static int run(int argc, char** argv) {
   mgr_cfg.max_resident = opt.max_resident;
   mgr_cfg.max_generations = 2;
   mgr_cfg.num_threads = opt.threads;
+  // The shared retrain cache is on by default, rooted next to the rings so
+  // a scrubbed demo directory also scrubs its artifacts; --cache-dir moves
+  // it somewhere persistent (where a rerun's retrains all hit).
+  if (!opt.no_cache)
+    mgr_cfg.cache_dir = opt.cache_dir.empty() ? opt.root + "/_artifacts" : opt.cache_dir;
   service::TenantManager manager(mgr_cfg);
   for (std::size_t i = 0; i < opt.tenants; ++i) manager.add_tenant(make_spec(opt, i));
 
@@ -193,7 +209,16 @@ static int run(int argc, char** argv) {
 
   std::cout << "\nResidency: " << manager.resident_count() << "/" << opt.tenants
             << " tenants in memory, " << manager.total_evictions()
-            << " evictions total (rings under " << opt.root << "/<tenant>/)\n"
+            << " evictions total (rings under " << opt.root << "/<tenant>/)\n";
+  if (cache::ArtifactCache* c = manager.artifact_cache()) {
+    const cache::CacheStats cs = c->stats();
+    std::cout << "Artifact cache: " << cs.hits << " hits / " << cs.misses
+              << " misses, " << cs.stores << " stores ("
+              << c->config().dir << "; hit==recompute, docs/CACHING.md)\n";
+  } else {
+    std::cout << "Artifact cache: disabled (--no-cache)\n";
+  }
+  std::cout
             << "\nEvery tenant's trace above is byte-identical to running it "
                "standalone —\nsee docs/TENANCY.md and tests/test_service.cpp.\n";
   return 0;

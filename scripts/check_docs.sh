@@ -20,7 +20,7 @@ err() {
   fail=1
 }
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md docs/TENANCY.md docs/SERVING.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/CHECKPOINTING.md docs/PERFORMANCE.md docs/GBDT.md docs/RECOVERY.md docs/TENANCY.md docs/SERVING.md docs/CACHING.md"
 
 for doc in $DOCS; do
   [ -f "$doc" ] || { err "missing doc: $doc"; }
@@ -86,7 +86,7 @@ done
 # --- 4. ctest labels stay in sync with tests/CMakeLists.txt -----------------
 # The label sets are wired as `list(APPEND labels <name>)`; every label the
 # docs tell readers to pass to `ctest -L` must actually be appended somewhere.
-for label in concurrency faults ckpt golden perf gbdt recovery tenancy serving; do
+for label in concurrency faults ckpt golden perf gbdt recovery tenancy serving cache; do
   grep -q "list(APPEND labels $label)" tests/CMakeLists.txt \
     || err "ctest label '$label' is not wired in tests/CMakeLists.txt"
 done
@@ -112,7 +112,7 @@ done
 [ -f scripts/bench_json.sh ] || err "missing scripts/bench_json.sh (docs/PERFORMANCE.md documents it)"
 [ -x scripts/bench_json.sh ] || err "scripts/bench_json.sh is not executable"
 if [ -f BENCH_micro.json ]; then
-  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact BM_ServiceCycles BM_GemmTiled BM_GemmReference BM_ServeThroughput; do
+  for b in BM_Conv2DForward BM_SequentialTrainStep BM_CqcRetrainHist BM_CqcRetrainExact BM_ServiceCycles BM_ServiceCyclesDedup BM_GemmTiled BM_GemmReference BM_ServeThroughput BM_CqcRetrainCachedCold BM_CqcRetrainCachedWarm; do
     grep -q "\"name\": \"$b" BENCH_micro.json \
       || err "BENCH_micro.json does not record $b (rerun scripts/bench_json.sh)"
   done
@@ -141,6 +141,23 @@ if [ -f docs/PERFORMANCE.md ]; then
   for b in BM_GemmTiled BM_GemmReference BM_ServeThroughput; do
     grep -q "$b" docs/PERFORMANCE.md \
       || err "docs/PERFORMANCE.md does not mention $b (serving/GEMM pair)"
+  done
+fi
+
+# --- 10. artifact-cache docs stay wired --------------------------------------
+# docs/CACHING.md documents the src/cache layer (key derivation, the
+# hit≡recompute contract, GC knobs, on-disk layout); the README, the
+# architecture map and the tenancy doc must link it, and the cold/warm
+# cached-retrain pair must be named in docs/PERFORMANCE.md next to the
+# other bench names.
+for doc in README.md docs/ARCHITECTURE.md docs/TENANCY.md; do
+  [ -f "$doc" ] && grep -q "docs/CACHING.md" "$doc" \
+    || err "$doc does not link docs/CACHING.md"
+done
+if [ -f docs/PERFORMANCE.md ]; then
+  for b in BM_CqcRetrainCachedCold BM_CqcRetrainCachedWarm BM_ServiceCyclesDedup; do
+    grep -q "$b" docs/PERFORMANCE.md \
+      || err "docs/PERFORMANCE.md does not mention $b (artifact-cache pair)"
   done
 fi
 

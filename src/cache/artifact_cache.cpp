@@ -1,0 +1,213 @@
+#include "cache/artifact_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "ckpt/io.hpp"
+
+namespace crowdlearn::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr char kArtifactTag[4] = {'A', 'R', 'T', '1'};
+}
+
+ArtifactCache::ArtifactCache(ArtifactCacheConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty())
+    throw std::invalid_argument("ArtifactCache: config.dir must be non-empty");
+  hits_ = &metrics_.counter("crowdlearn_cache_hits_total");
+  misses_ = &metrics_.counter("crowdlearn_cache_misses_total");
+  stores_ = &metrics_.counter("crowdlearn_cache_stores_total");
+  corrupt_ = &metrics_.counter("crowdlearn_cache_corrupt_entries_total");
+  wrong_key_ = &metrics_.counter("crowdlearn_cache_wrong_key_total");
+  waits_ = &metrics_.counter("crowdlearn_cache_single_flight_waits_total");
+  evictions_ = &metrics_.counter("crowdlearn_cache_evictions_total");
+  read_bytes_ = &metrics_.counter("crowdlearn_cache_read_bytes_total");
+  written_bytes_ = &metrics_.counter("crowdlearn_cache_written_bytes_total");
+}
+
+std::string ArtifactCache::entry_path(const ckpt::Digest128& key) const {
+  const std::string hex = key.hex();
+  return cfg_.dir + "/" + hex.substr(0, 2) + "/" + hex + ".art";
+}
+
+std::optional<std::string> ArtifactCache::lookup(const ckpt::Digest128& key) {
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    misses_->inc();
+    return std::nullopt;
+  }
+  std::string payload;
+  try {
+    payload = ckpt::read_file(path);
+  } catch (const ckpt::CkptError&) {
+    // Truncated / bit-flipped / unreadable entry: a typed miss, never an
+    // error — the caller recomputes and the next store overwrites the file.
+    corrupt_->inc();
+    misses_->inc();
+    return std::nullopt;
+  }
+  std::string artifact;
+  try {
+    ckpt::Reader r(std::move(payload));
+    r.expect_section(kArtifactTag);
+    const std::uint64_t hi = r.u64();
+    const std::uint64_t lo = r.u64();
+    if (hi != key.hi || lo != key.lo) {
+      // Key echo mismatch: a renamed or cross-copied entry. Refuse it —
+      // deserializing someone else's artifact would violate hit≡recompute.
+      wrong_key_->inc();
+      misses_->inc();
+      return std::nullopt;
+    }
+    artifact = r.str();
+    r.expect_end();
+  } catch (const ckpt::CkptError&) {
+    corrupt_->inc();
+    misses_->inc();
+    return std::nullopt;
+  }
+  // LRU bookkeeping for gc(): a hit makes the entry recently-used. Racing
+  // an eviction's unlink is harmless (the bump just fails).
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  hits_->inc();
+  read_bytes_->inc(artifact.size());
+  return artifact;
+}
+
+void ArtifactCache::store(const ckpt::Digest128& key, const std::string& payload) {
+  ckpt::Writer w;
+  w.begin_section(kArtifactTag);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.str(payload);
+  const std::string image = ckpt::file_image(w);
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  ckpt::atomic_write_file(image, path);
+  stores_->inc();
+  written_bytes_->inc(image.size());
+  if (cfg_.max_bytes > 0) gc();
+}
+
+void ArtifactCache::invalidate(const ckpt::Digest128& key) {
+  std::error_code ec;
+  fs::remove(entry_path(key), ec);
+  corrupt_->inc();
+}
+
+std::size_t ArtifactCache::gc() {
+  if (cfg_.max_bytes == 0) return 0;
+  struct Entry {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(cfg_.dir, ec), end;
+  if (ec) return 0;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec) || it->path().extension() != ".art") continue;
+    Entry e;
+    e.path = it->path();
+    e.size = static_cast<std::uint64_t>(it->file_size(ec));
+    if (ec) continue;
+    e.mtime = it->last_write_time(ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= cfg_.max_bytes) return 0;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;  // deterministic victim order on mtime ties
+  });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= cfg_.max_bytes) break;
+    if (!fs::remove(e.path, ec) || ec) continue;
+    total -= e.size;
+    ++removed;
+    evictions_->inc();
+  }
+  return removed;
+}
+
+FetchResult ArtifactCache::fetch_or_compute(const ckpt::Digest128& key,
+                                            const std::function<std::string()>& compute) {
+  const std::pair<std::uint64_t, std::uint64_t> k{key.hi, key.lo};
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lk(flights_mutex_);
+      auto it = flights_.find(k);
+      if (it == flights_.end()) {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(k, flight);
+        owner = true;
+      } else {
+        flight = it->second;
+      }
+    }
+    if (!owner) {
+      waits_->inc();
+      std::unique_lock<std::mutex> lk(flight->m);
+      flight->cv.wait(lk, [&] { return flight->done; });
+      if (flight->ok) return {flight->payload, /*computed=*/false};
+      continue;  // the owner failed; loop and (maybe) become the owner
+    }
+    auto finish = [&](bool ok, const std::string& payload) {
+      {
+        std::lock_guard<std::mutex> lk(flight->m);
+        flight->done = true;
+        flight->ok = ok;
+        flight->payload = payload;
+      }
+      {
+        std::lock_guard<std::mutex> lk(flights_mutex_);
+        flights_.erase(k);
+      }
+      flight->cv.notify_all();
+    };
+    FetchResult out;
+    try {
+      if (std::optional<std::string> disk = lookup(key)) {
+        out.payload = std::move(*disk);
+        out.computed = false;
+      } else {
+        out.payload = compute();
+        out.computed = true;
+        store(key, out.payload);
+      }
+    } catch (...) {
+      finish(/*ok=*/false, std::string());
+      throw;
+    }
+    finish(/*ok=*/true, out.payload);
+    return out;
+  }
+}
+
+CacheStats ArtifactCache::stats() const {
+  CacheStats s;
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.stores = stores_->value();
+  s.corrupt_entries = corrupt_->value();
+  s.wrong_key = wrong_key_->value();
+  s.single_flight_waits = waits_->value();
+  s.evictions = evictions_->value();
+  s.read_bytes = read_bytes_->value();
+  s.written_bytes = written_bytes_->value();
+  return s;
+}
+
+}  // namespace crowdlearn::cache

@@ -1,0 +1,138 @@
+#pragma once
+// Content-addressed artifact store (docs/CACHING.md) — the vcpkg-style
+// binary cache behind the expert/CQC retrain memoization. Every entry is
+// named by the 128-bit digest of ALL of its inputs (ckpt/digest.hpp), so a
+// lookup either misses or returns bytes that are bit-identical to what the
+// computation would produce: a cache hit is indistinguishable from a
+// recompute (the hit≡recompute contract, pinned by tests/test_cache.cpp).
+//
+// On-disk layout: <root>/<hex[0..1]>/<hex>.art, a sharded two-level
+// directory of CRC-guarded ckpt containers. Each entry echoes its own key
+// inside the payload, so a renamed/cross-copied file is rejected as a typed
+// wrong-key miss rather than deserialized into the wrong model. All writes
+// go through ckpt::atomic_write_file (temp + flush + rename, like
+// GenerationRing), so a crash mid-store never leaves a torn entry.
+//
+// Every failure mode is a MISS, never an error: absent entry, corrupt
+// container (truncation/bit flips -> typed ckpt::CkptError), wrong key,
+// or unparsable inner payload all fall back to recompute and are counted
+// in the cache's own metrics registry. Like the PR 9 serving registry,
+// that registry is deliberately non-deterministic side state: it is never
+// checkpointed and never feeds the deterministic per-tenant exports.
+//
+// Thread safety: one ArtifactCache may be shared by every tenant in a
+// process (docs/TENANCY.md). fetch_or_compute() is single-flight per key —
+// concurrent callers with the same key block on one computation and all
+// receive its bytes; callers with different keys proceed independently.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ckpt/digest.hpp"
+#include "obs/metrics.hpp"
+
+namespace crowdlearn::cache {
+
+struct ArtifactCacheConfig {
+  /// Root of the sharded store; created on first write. Must be non-empty.
+  std::string dir;
+  /// Size cap for the on-disk store in bytes; 0 = unbounded. Enforced after
+  /// every store by evicting least-recently-used entries (mtime order —
+  /// hits bump their entry's mtime) until the total is back under the cap.
+  std::uint64_t max_bytes = 0;
+};
+
+/// Monotonic counters, snapshotted from the cache's metrics registry.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;            ///< absent + corrupt + wrong-key
+  std::uint64_t stores = 0;
+  std::uint64_t corrupt_entries = 0;   ///< typed container/payload failures
+  std::uint64_t wrong_key = 0;         ///< entry key echo != requested key
+  std::uint64_t single_flight_waits = 0;
+  std::uint64_t evictions = 0;         ///< entries removed by the LRU GC
+  std::uint64_t read_bytes = 0;        ///< artifact payload bytes served
+  std::uint64_t written_bytes = 0;     ///< entry file bytes written
+};
+
+/// Result of fetch_or_compute: `computed` is true when THIS call ran the
+/// compute closure (the caller's live objects already hold the result);
+/// false when the bytes came from disk or from another thread's in-flight
+/// computation (the caller must apply `payload` to its own objects).
+struct FetchResult {
+  std::string payload;
+  bool computed = false;
+};
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(ArtifactCacheConfig cfg);
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Single-flight memoization. Looks the key up on disk; on a miss, runs
+  /// `compute` (exactly once per key across concurrent callers) and stores
+  /// its bytes. Concurrent same-key callers block and receive the winner's
+  /// bytes with computed=false. If `compute` throws, the exception
+  /// propagates to its caller and any waiters retry (one of them becomes
+  /// the next computer).
+  FetchResult fetch_or_compute(const ckpt::Digest128& key,
+                               const std::function<std::string()>& compute);
+
+  /// Validated read of one entry. Absent/corrupt/wrong-key entries return
+  /// nullopt and count as (typed) misses. A hit bumps the entry's mtime.
+  std::optional<std::string> lookup(const ckpt::Digest128& key);
+
+  /// Write one entry atomically, then enforce max_bytes.
+  void store(const ckpt::Digest128& key, const std::string& payload);
+
+  /// Remove one entry (used when a fetched payload fails to apply: the
+  /// entry is poisoned, so drop it and let the caller recompute).
+  void invalidate(const ckpt::Digest128& key);
+
+  /// Evict LRU entries until the store is within max_bytes (no-op when the
+  /// cap is 0). Returns the number of entries removed. Safe to race with
+  /// lookups and stores: a reader that loses the race sees an absent miss.
+  std::size_t gc();
+
+  CacheStats stats() const;
+  const ArtifactCacheConfig& config() const { return cfg_; }
+  std::string entry_path(const ckpt::Digest128& key) const;
+
+  /// The cache's own (non-deterministic, never checkpointed) registry.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    std::string payload;
+  };
+
+  ArtifactCacheConfig cfg_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* stores_;
+  obs::Counter* corrupt_;
+  obs::Counter* wrong_key_;
+  obs::Counter* waits_;
+  obs::Counter* evictions_;
+  obs::Counter* read_bytes_;
+  obs::Counter* written_bytes_;
+
+  std::mutex flights_mutex_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace crowdlearn::cache

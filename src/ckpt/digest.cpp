@@ -1,0 +1,89 @@
+#include "ckpt/digest.hpp"
+
+#include <cstring>
+
+namespace crowdlearn::ckpt {
+
+std::string Digest128::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xF];
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xF];
+  return out;
+}
+
+namespace {
+
+// FNV-1a 128-bit prime 2^88 + 2^8 + 0x3B = 0x0000000001000000'000000000000013B.
+constexpr std::uint64_t kPrimeHi = 0x0000000001000000ULL;
+constexpr std::uint64_t kPrimeLo = 0x000000000000013BULL;
+
+/// (hi, lo) * prime mod 2^128, with 64x64->128 partial products.
+inline void mul_prime(std::uint64_t& hi, std::uint64_t& lo) {
+  const unsigned __int128 low_product =
+      static_cast<unsigned __int128>(lo) * kPrimeLo;
+  const std::uint64_t cross = hi * kPrimeLo + lo * kPrimeHi;  // mod 2^64
+  lo = static_cast<std::uint64_t>(low_product);
+  hi = cross + static_cast<std::uint64_t>(low_product >> 64);
+}
+
+}  // namespace
+
+void Hasher128::update(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hi = hi_;
+  std::uint64_t lo = lo_;
+  for (std::size_t i = 0; i < size; ++i) {
+    lo ^= p[i];
+    mul_prime(hi, lo);
+  }
+  hi_ = hi;
+  lo_ = lo;
+}
+
+void Hasher128::u32(std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  update(b, sizeof(b));
+}
+
+void Hasher128::u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  update(b, sizeof(b));
+}
+
+void Hasher128::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Hasher128::str(const std::string& s) {
+  u64(s.size());
+  update(s.data(), s.size());
+}
+
+void Hasher128::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  // Doubles are folded via their raw bit patterns; the vector's backing
+  // store is exactly those bytes on every platform the container supports
+  // (little-endian IEEE-754, the Writer::f64 contract).
+  if (!v.empty()) update(v.data(), v.size() * sizeof(double));
+}
+
+void Hasher128::vec_sizes(const std::vector<std::size_t>& v) {
+  u64(v.size());
+  for (std::size_t s : v) u64(static_cast<std::uint64_t>(s));
+}
+
+Digest128 digest_bytes(const std::string& bytes) {
+  Hasher128 h;
+  h.update(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+}  // namespace crowdlearn::ckpt

@@ -1,0 +1,67 @@
+#pragma once
+// 128-bit FNV-1a content digest (docs/CACHING.md), the strong companion to
+// the container's CRC-32 (io.hpp). The CRC guards a checkpoint file against
+// corruption; the digest *names* content: the artifact cache (src/cache)
+// keys every memoized retrain by the digest of all of its inputs, so two
+// byte-distinct inputs must land on distinct keys with overwhelming
+// probability. 128-bit FNV-1a gives that with a trivially portable
+// implementation and no lookup tables; it is not a cryptographic hash and
+// the cache does not need one (keys are derived from trusted local state,
+// not adversarial input).
+//
+// Streaming: Hasher128 folds bytes in one at a time, so update(a); update(b)
+// digests identically to update(a+b). Typed helpers length-prefix their
+// encodings where the raw bytes would otherwise be ambiguous across field
+// boundaries (str, vec_*), mirroring the Writer framing discipline.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crowdlearn::ckpt {
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters, hi first — the on-disk entry name in the
+  /// artifact cache's sharded layout (<root>/<hex[0..1]>/<hex>.art).
+  std::string hex() const;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) { return !(a == b); }
+};
+
+/// Streaming 128-bit FNV-1a hasher.
+class Hasher128 {
+ public:
+  /// Fold `size` raw bytes into the running state.
+  void update(const void* data, std::size_t size);
+
+  /// Typed helpers. Fixed-width integers fold their little-endian bytes;
+  /// doubles fold the raw IEEE-754 bit pattern (bit-exact, like Writer::f64);
+  /// variable-length values are u64-length-prefixed.
+  void u8(std::uint8_t v) { update(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void vec_f64(const std::vector<double>& v);
+  void vec_sizes(const std::vector<std::size_t>& v);
+
+  /// The digest of everything folded so far (the hasher remains usable).
+  Digest128 digest() const { return {hi_, lo_}; }
+
+ private:
+  // FNV-1a 128-bit offset basis 0x6C62272E07BB014262B821756295C58D.
+  std::uint64_t hi_ = 0x6C62272E07BB0142ULL;
+  std::uint64_t lo_ = 0x62B821756295C58DULL;
+};
+
+/// One-shot digest of a byte string.
+Digest128 digest_bytes(const std::string& bytes);
+
+}  // namespace crowdlearn::ckpt

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "cache/artifact_cache.hpp"
+#include "ckpt/io.hpp"
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::core {
@@ -43,7 +45,33 @@ void CqcModule::fit_from_pilot(const crowd::PilotResult& pilot, const dataset::D
 }
 
 void CqcModule::fit(const std::vector<truth::LabeledQuery>& training) {
-  aggregator_.fit(training);
+  if (cache_ == nullptr) {
+    aggregator_.fit(training);
+    return;
+  }
+  ckpt::Hasher128 h;
+  h.str("crowdlearn.cqc.fit.v1");
+  truth::hash_config(h, aggregator_.config());
+  truth::hash_training(h, training);
+  const ckpt::Digest128 key = h.digest();
+  cache::FetchResult fetched = cache_->fetch_or_compute(key, [&] {
+    aggregator_.fit(training);
+    ckpt::Writer w;
+    aggregator_.save_state(w);
+    return w.payload();
+  });
+  if (fetched.computed) return;  // this call ran the fit; the forest is live
+  try {
+    ckpt::Reader r(std::move(fetched.payload));
+    aggregator_.load_state(r);
+    r.expect_end();
+  } catch (const ckpt::CkptError&) {
+    // Stored payload does not match the current forest schema: drop the
+    // poisoned entry and fit for real (load_state either fully applies or
+    // leaves the previous forest — either way the refit overwrites it).
+    cache_->invalidate(key);
+    aggregator_.fit(training);
+  }
 }
 
 std::vector<std::vector<double>> CqcModule::refine(

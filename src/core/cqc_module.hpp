@@ -7,6 +7,10 @@
 #include "obs/observability.hpp"
 #include "truth/cqc.hpp"
 
+namespace crowdlearn::cache {
+class ArtifactCache;
+}
+
 namespace crowdlearn::core {
 
 class CqcModule {
@@ -16,8 +20,15 @@ class CqcModule {
   /// Fit on all pilot-study responses (their images carry golden labels).
   void fit_from_pilot(const crowd::PilotResult& pilot, const dataset::Dataset& data);
 
-  /// Fit on explicitly labeled queries.
+  /// Fit on explicitly labeled queries. With an artifact cache attached the
+  /// fit is memoized (src/cache, docs/CACHING.md): the key digests the full
+  /// CQC config plus the training corpus, and a hit restores the stored
+  /// forest bit-identically to refitting (the fit consumes no external RNG
+  /// stream — the GBDT seeds internally from its config).
   void fit(const std::vector<truth::LabeledQuery>& training);
+
+  /// Attach / detach the shared artifact cache (not owned; may be null).
+  void set_artifact_cache(cache::ArtifactCache* cache) { cache_ = cache; }
 
   /// Truthful label distribution per query response.
   std::vector<std::vector<double>> refine(const std::vector<crowd::QueryResponse>& responses);
@@ -47,6 +58,7 @@ class CqcModule {
 
  private:
   truth::CqcAggregator aggregator_;
+  cache::ArtifactCache* cache_ = nullptr;  ///< not owned; nullptr = uncached
 
   obs::Observability* obs_ = nullptr;  ///< not owned; nullptr = no metrics
   obs::Counter* obs_refined_ = nullptr;

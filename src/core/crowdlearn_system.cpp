@@ -36,6 +36,7 @@ CrowdLearnSystem::CrowdLearnSystem(experts::ExpertCommittee committee,
       rng_(cfg.seed) {
   committee_.set_thread_pool(pool_.get());
   cqc_.set_thread_pool(pool_.get());
+  cqc_.set_artifact_cache(cfg_.artifact_cache.get());
   if (cfg_.observability.enabled) enable_observability();
 }
 
@@ -67,7 +68,14 @@ void CrowdLearnSystem::enable_observability() {
 void CrowdLearnSystem::initialize(const dataset::Dataset& data,
                                   const crowd::PilotResult& pilot) {
   // A committee cloned from a previous run arrives pre-trained; reuse it.
-  if (!committee_.all_trained()) committee_.train_all(data, data.train_indices, rng_);
+  if (!committee_.all_trained()) {
+    if (cfg_.artifact_cache != nullptr) {
+      committee_.train_all(data, data.train_indices, rng_, cfg_.artifact_cache.get(),
+                           data.content_digest());
+    } else {
+      committee_.train_all(data, data.train_indices, rng_);
+    }
+  }
   cqc_.fit_from_pilot(pilot, data);
   ipd_.warm_start_from_pilot(pilot);
   initialized_ = true;
@@ -234,7 +242,12 @@ CycleOutcome CrowdLearnSystem::run_cycle(const dataset::Dataset& data,
   if (!truth_labels.empty()) {
     obs::SpanScope retrain_span(obs::tracer_of(obs_.get()), "mic.retrain", "core");
     retrain_span.arg("labels", static_cast<double>(truth_labels.size()));
-    mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
+    if (cfg_.artifact_cache != nullptr) {
+      mic_.retrain(committee_, data, ok_ids, truth_labels, rng_, cfg_.artifact_cache.get(),
+                   data.content_digest());
+    } else {
+      mic_.retrain(committee_, data, ok_ids, truth_labels, rng_);
+    }
   }
 
   stage(CycleStage::kRecord);

@@ -52,6 +52,13 @@ struct CrowdLearnConfig {
   /// num_threads). A borrowed pool never has this system's observability
   /// attached — several tenants may share it.
   std::shared_ptr<util::ThreadPool> shared_pool;
+  /// Content-addressed artifact cache memoizing expert fine-tunes and CQC
+  /// fits (src/cache, docs/CACHING.md). Like shared_pool it is a process
+  /// resource, may be shared across tenants, and is excluded from the
+  /// checkpoint config fingerprint. A cache hit restores bit-identical model
+  /// and RNG state, so outputs are byte-identical with caching on or off.
+  /// Null = every retrain computes.
+  std::shared_ptr<cache::ArtifactCache> artifact_cache;
 };
 
 /// Everything observable about one executed sensing cycle.

@@ -54,6 +54,16 @@ class Mic {
                const std::vector<std::size_t>& queried_ids,
                const std::vector<std::size_t>& truth_labels, Rng& rng) const;
 
+  /// Cached variant (src/cache, docs/CACHING.md): per-expert fine-tunes are
+  /// memoized in `cache` keyed by the dataset content digest plus the queried
+  /// ids, labels, each expert's spec and pre-retrain state, and its RNG child
+  /// stream. Bit-identical to the uncached overload at any thread count; a
+  /// null cache degrades to it exactly.
+  void retrain(experts::ExpertCommittee& committee, const dataset::Dataset& data,
+               const std::vector<std::size_t>& queried_ids,
+               const std::vector<std::size_t>& truth_labels, Rng& rng,
+               cache::ArtifactCache* cache, const ckpt::Digest128& data_digest) const;
+
   const MicConfig& config() const { return cfg_; }
   bool offloading_enabled() const { return cfg_.enable_offloading; }
 

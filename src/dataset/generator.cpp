@@ -194,4 +194,30 @@ std::size_t Dataset::failure_count(const std::vector<std::size_t>& ids) const {
   return n;
 }
 
+ckpt::Digest128 Dataset::content_digest() const {
+  if (content_digest_memo == nullptr) {
+    ckpt::Hasher128 h;
+    h.str("crowdlearn.dataset.v1");
+    h.u64(images.size());
+    for (const DisasterImage& img : images) {
+      h.u64(img.id);
+      h.u64(label_index(img.true_label));
+      h.u64(label_index(img.apparent_label));
+      h.u64(static_cast<std::uint64_t>(img.failure));
+      h.u64(img.pixels.shape().channels);
+      h.u64(img.pixels.shape().height);
+      h.u64(img.pixels.shape().width);
+      h.vec_f64(img.pixels.data());
+      h.vec_f64(img.handcrafted);
+      h.vec_f64(img.truth_questionnaire.to_vector());
+      h.u8(img.crowd_confusing ? 1 : 0);
+      h.u64(img.confusable_label);
+    }
+    h.vec_sizes(train_indices);
+    h.vec_sizes(test_indices);
+    content_digest_memo = std::make_shared<const ckpt::Digest128>(h.digest());
+  }
+  return *content_digest_memo;
+}
+
 }  // namespace crowdlearn::dataset

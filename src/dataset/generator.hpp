@@ -4,8 +4,10 @@
 // train / 400 test, with a configurable fraction of Figure-1 failure-mode
 // images whose low-level appearance contradicts the golden label.
 
+#include <memory>
 #include <vector>
 
+#include "ckpt/digest.hpp"
 #include "dataset/disaster_image.hpp"
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
@@ -44,6 +46,17 @@ struct Dataset {
 
   /// Count of failure-mode images among the given ids.
   std::size_t failure_count(const std::vector<std::size_t>& ids) const;
+
+  /// 128-bit digest of the full corpus content — every image's bytes and
+  /// metadata plus the train/test split — used as the dataset component of
+  /// artifact-cache keys (docs/CACHING.md). Computed once and memoized; the
+  /// memo travels with copies, so cloned tenants over the same corpus share
+  /// the work. Not part of equality and never checkpointed.
+  ckpt::Digest128 content_digest() const;
+
+  /// Lazily filled by content_digest(); shared so Dataset stays cheap to
+  /// copy and aggregate-initializable.
+  mutable std::shared_ptr<const ckpt::Digest128> content_digest_memo;
 };
 
 /// Generate the full dataset. Deterministic given cfg.seed.

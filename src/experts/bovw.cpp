@@ -1,5 +1,7 @@
 #include "experts/bovw.hpp"
 
+#include "ckpt/digest.hpp"
+
 #include "imaging/features.hpp"
 
 namespace crowdlearn::experts {
@@ -11,6 +13,11 @@ nn::Sequential BovwClassifier::build_model(Rng& rng) {
   m.add(std::make_unique<ReLU>(cfg_.hidden));
   m.add(std::make_unique<Dense>(cfg_.hidden, dataset::kNumSeverityClasses, rng));
   return m;
+}
+
+void BovwClassifier::hash_spec(ckpt::Hasher128& h) const {
+  h.u64(cfg_.hidden);
+  hash_neural_spec(h);
 }
 
 std::unique_ptr<DdaAlgorithm> BovwClassifier::clone() const {

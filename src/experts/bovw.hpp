@@ -22,6 +22,11 @@ class BovwClassifier : public NeuralDdaAlgorithm {
   std::string name() const override { return "BoVW"; }
   std::unique_ptr<DdaAlgorithm> clone() const override;
 
+  /// Artifact-cache identity (docs/CACHING.md): the hidden width plus the
+  /// shared neural hyperparameters fully determine this expert's step.
+  bool cacheable() const override { return true; }
+  void hash_spec(ckpt::Hasher128& h) const override;
+
  protected:
   nn::Sequential build_model(Rng& rng) override;
   std::vector<double> encode(const dataset::DisasterImage& image) const override;

@@ -149,32 +149,59 @@ std::vector<Rng> fork_per_expert(Rng& rng, std::size_t num_experts) {
 
 }  // namespace
 
-void ExpertCommittee::train_all(const dataset::Dataset& data,
-                                const std::vector<std::size_t>& image_ids, Rng& rng) {
+void ExpertCommittee::run_forked(
+    Rng& rng, const std::function<void(std::size_t, DdaAlgorithm&, Rng&)>& step) {
   std::vector<Rng> children = fork_per_expert(rng, experts_.size());
   if (pool_ != nullptr && pool_->size() > 1 && experts_.size() > 1) {
     pool_->parallel_for(experts_.size(),
-                        [&](std::size_t m) { experts_[m]->train(data, image_ids, children[m]); });
+                        [&](std::size_t m) { step(m, *experts_[m], children[m]); });
   } else {
-    for (std::size_t m = 0; m < experts_.size(); ++m)
-      experts_[m]->train(data, image_ids, children[m]);
+    for (std::size_t m = 0; m < experts_.size(); ++m) step(m, *experts_[m], children[m]);
   }
   reinstate_quarantined();
+}
+
+void ExpertCommittee::train_all(const dataset::Dataset& data,
+                                const std::vector<std::size_t>& image_ids, Rng& rng) {
+  run_forked(rng, [&](std::size_t, DdaAlgorithm& e, Rng& child) {
+    e.train(data, image_ids, child);
+  });
 }
 
 void ExpertCommittee::retrain_all(const dataset::Dataset& data,
                                   const std::vector<std::size_t>& image_ids,
                                   const std::vector<std::size_t>& crowd_labels, Rng& rng) {
-  std::vector<Rng> children = fork_per_expert(rng, experts_.size());
-  if (pool_ != nullptr && pool_->size() > 1 && experts_.size() > 1) {
-    pool_->parallel_for(experts_.size(), [&](std::size_t m) {
-      experts_[m]->retrain(data, image_ids, crowd_labels, children[m]);
-    });
-  } else {
-    for (std::size_t m = 0; m < experts_.size(); ++m)
-      experts_[m]->retrain(data, image_ids, crowd_labels, children[m]);
-  }
-  reinstate_quarantined();
+  run_forked(rng, [&](std::size_t, DdaAlgorithm& e, Rng& child) {
+    e.retrain(data, image_ids, crowd_labels, child);
+  });
+}
+
+namespace {
+// Schema tags versioning the cached artifact layouts; bump on any change to
+// the key derivation or the stored payload (docs/CACHING.md).
+constexpr const char* kTrainSchema = "crowdlearn.expert.train.v1";
+constexpr const char* kRetrainSchema = "crowdlearn.expert.retrain.v1";
+}  // namespace
+
+void ExpertCommittee::train_all(const dataset::Dataset& data,
+                                const std::vector<std::size_t>& image_ids, Rng& rng,
+                                cache::ArtifactCache* cache,
+                                const ckpt::Digest128& data_digest) {
+  run_forked(rng, [&](std::size_t, DdaAlgorithm& e, Rng& child) {
+    cached_expert_step(cache, kTrainSchema, e, data_digest, image_ids, {}, child,
+                       [&] { e.train(data, image_ids, child); });
+  });
+}
+
+void ExpertCommittee::retrain_all(const dataset::Dataset& data,
+                                  const std::vector<std::size_t>& image_ids,
+                                  const std::vector<std::size_t>& crowd_labels, Rng& rng,
+                                  cache::ArtifactCache* cache,
+                                  const ckpt::Digest128& data_digest) {
+  run_forked(rng, [&](std::size_t, DdaAlgorithm& e, Rng& child) {
+    cached_expert_step(cache, kRetrainSchema, e, data_digest, image_ids, crowd_labels,
+                       child, [&] { e.retrain(data, image_ids, crowd_labels, child); });
+  });
 }
 
 std::vector<std::vector<double>> ExpertCommittee::expert_votes(

@@ -59,6 +59,17 @@ class ExpertCommittee {
   void retrain_all(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
                    const std::vector<std::size_t>& crowd_labels, Rng& rng);
 
+  /// Cached variants (src/cache, docs/CACHING.md): identical RNG forking and
+  /// dispatch, but each expert's step runs through cached_expert_step, so a
+  /// previously-seen (spec, state, data, labels, stream) tuple restores the
+  /// stored post-step state instead of recomputing. Bit-identical to the
+  /// uncached overloads at any thread count; a null cache degrades to them.
+  void train_all(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                 Rng& rng, cache::ArtifactCache* cache, const ckpt::Digest128& data_digest);
+  void retrain_all(const dataset::Dataset& data, const std::vector<std::size_t>& image_ids,
+                   const std::vector<std::size_t>& crowd_labels, Rng& rng,
+                   cache::ArtifactCache* cache, const ckpt::Digest128& data_digest);
+
   /// Individual expert votes for one image (one distribution per expert).
   std::vector<std::vector<double>> expert_votes(const dataset::DisasterImage& image);
 
@@ -113,6 +124,13 @@ class ExpertCommittee {
   void load_state(ckpt::Reader& r);
 
  private:
+  /// Shared dispatch for every (re)train flavor: fork one RNG child per
+  /// expert in roster order (consuming the master stream identically on
+  /// every path), run `step(m, expert, child)` serially or pool-parallel,
+  /// then reinstate quarantined experts.
+  void run_forked(Rng& rng,
+                  const std::function<void(std::size_t, DdaAlgorithm&, Rng&)>& step);
+
   std::vector<std::unique_ptr<DdaAlgorithm>> experts_;
   std::vector<double> weights_;
   std::vector<char> quarantined_;     ///< 1 = excluded from votes/updates

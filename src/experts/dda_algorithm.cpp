@@ -3,7 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cache/artifact_cache.hpp"
+#include "ckpt/digest.hpp"
 #include "ckpt/io.hpp"
+#include "ckpt/state.hpp"
 #include "nn/serialize.hpp"
 
 #include "stats/distribution.hpp"
@@ -16,6 +19,93 @@ void DdaAlgorithm::save_state(ckpt::Writer&) const {
 
 void DdaAlgorithm::load_state(ckpt::Reader&) {
   throw std::logic_error("expert '" + name() + "' does not support checkpointing");
+}
+
+void DdaAlgorithm::hash_spec(ckpt::Hasher128&) const {
+  // Uncacheable experts (cacheable() == false) never reach a key
+  // derivation, so the default fold is deliberately empty.
+}
+
+std::string DdaAlgorithm::state_payload() const {
+  ckpt::Writer w;
+  save_state(w);
+  return w.payload();
+}
+
+void DdaAlgorithm::load_state_payload(const std::string& payload) {
+  ckpt::Reader r(payload);
+  load_state(r);
+  r.expect_end();
+}
+
+void hash_train_config(ckpt::Hasher128& h, const nn::TrainConfig& cfg) {
+  h.u64(cfg.epochs);
+  h.u64(cfg.batch_size);
+  h.f64(cfg.learning_rate);
+  h.f64(cfg.momentum);
+  h.f64(cfg.weight_decay);
+  h.u8(cfg.shuffle ? 1 : 0);
+  h.u8(static_cast<std::uint8_t>(cfg.optimizer));
+}
+
+void NeuralDdaAlgorithm::hash_neural_spec(ckpt::Hasher128& h) const {
+  hash_train_config(h, train_config());
+  hash_train_config(h, retrain_config());
+  h.u64(replay_per_new_label_);
+}
+
+void cached_expert_step(cache::ArtifactCache* cache, const char* schema_tag,
+                        DdaAlgorithm& expert, const ckpt::Digest128& data_digest,
+                        const std::vector<std::size_t>& image_ids,
+                        const std::vector<std::size_t>& labels, Rng& child,
+                        const std::function<void()>& compute) {
+  if (cache == nullptr || !expert.cacheable()) {
+    compute();
+    return;
+  }
+  const std::string child_state = child.serialize();
+  const std::string pre_state = expert.is_trained() ? expert.state_payload() : std::string();
+  ckpt::Hasher128 h;
+  h.str(schema_tag);
+  h.str(expert.name());
+  expert.hash_spec(h);
+  h.u64(data_digest.hi);
+  h.u64(data_digest.lo);
+  h.vec_sizes(image_ids);
+  h.vec_sizes(labels);
+  h.str(child_state);
+  // The pre-step model state: a retrain's output depends on the weights it
+  // started from. An untrained expert (initial train) has no state yet; the
+  // marker byte keeps trained/untrained keys disjoint.
+  h.u8(expert.is_trained() ? 1 : 0);
+  h.str(pre_state);
+  const ckpt::Digest128 key = h.digest();
+
+  auto run_and_pack = [&] {
+    compute();
+    ckpt::Writer w;
+    expert.save_state(w);
+    ckpt::save_rng(w, child);
+    return w.payload();
+  };
+  cache::FetchResult fetched = cache->fetch_or_compute(key, run_and_pack);
+  if (fetched.computed) return;  // this call ran compute(); state is live
+  try {
+    ckpt::Reader r(std::move(fetched.payload));
+    expert.load_state(r);
+    ckpt::load_rng(r, child);
+    r.expect_end();
+  } catch (const ckpt::CkptError&) {
+    // The entry passed container validation but its payload does not match
+    // this expert's schema (e.g. a stale artifact from an older layout).
+    // Drop the poisoned entry, roll the expert and RNG stream back to their
+    // exact pre-step bits (the apply may have died halfway through), and
+    // recompute — never surface a cache error, never run from partial state.
+    cache->invalidate(key);
+    child.deserialize(child_state);
+    if (!pre_state.empty()) expert.load_state_payload(pre_state);
+    compute();
+  }
 }
 
 std::size_t DdaAlgorithm::predict(const dataset::DisasterImage& image) {

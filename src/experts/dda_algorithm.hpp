@@ -4,6 +4,7 @@
 // three severity classes — its "expert vote". The system interacts with
 // experts only through this interface, mirroring the black-box assumption.
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -15,6 +16,12 @@
 namespace crowdlearn::ckpt {
 class Writer;
 class Reader;
+class Hasher128;
+struct Digest128;
+}
+
+namespace crowdlearn::cache {
+class ArtifactCache;
 }
 
 namespace crowdlearn::util {
@@ -62,6 +69,23 @@ class DdaAlgorithm {
   /// system checkpoints must override both.
   virtual void save_state(ckpt::Writer& w) const;
   virtual void load_state(ckpt::Reader& r);
+
+  /// Cache identity (src/cache, docs/CACHING.md). An expert that returns
+  /// true from cacheable() promises that its (re)train step is a pure
+  /// function of (spec, checkpoint state, data, labels, RNG stream): two
+  /// instances with equal name, equal hash_spec folds and equal save_state
+  /// bytes produce bit-identical post-states from identical inputs.
+  /// hash_spec must fold every knob that parameterizes train()/retrain()
+  /// beyond the mutable state — hyperparameters, architecture sizes,
+  /// encoder identity. The default is uncacheable: an expert the cache does
+  /// not understand is always recomputed, never wrongly deduplicated.
+  virtual bool cacheable() const { return false; }
+  virtual void hash_spec(ckpt::Hasher128& h) const;
+
+  /// save_state/load_state as a raw byte payload (no container framing) —
+  /// the artifact image the cache keys and stores.
+  std::string state_payload() const;
+  void load_state_payload(const std::string& payload);
 
   /// Argmax of predict_proba.
   std::size_t predict(const dataset::DisasterImage& image);
@@ -129,6 +153,11 @@ class NeuralDdaAlgorithm : public DdaAlgorithm {
   nn::Matrix encode_batch(const dataset::Dataset& data,
                           const std::vector<std::size_t>& ids) const;
 
+  /// Fold the shared neural knobs (train/retrain hyperparameters, replay
+  /// rate) into a cache key; concrete experts call this from hash_spec()
+  /// and add their architecture sizes on top.
+  void hash_neural_spec(ckpt::Hasher128& h) const;
+
   /// Copy the trained model and bookkeeping from another instance (used by
   /// the concrete experts' clone() implementations).
   void copy_neural_state(const NeuralDdaAlgorithm& src);
@@ -146,5 +175,22 @@ class NeuralDdaAlgorithm : public DdaAlgorithm {
   std::vector<std::size_t> base_training_ids_;
   std::size_t replay_per_new_label_ = 8;
 };
+
+/// Fold an nn::TrainConfig into a cache key, field by field.
+void hash_train_config(ckpt::Hasher128& h, const nn::TrainConfig& cfg);
+
+/// One expert's (re)train step through the artifact cache (docs/CACHING.md).
+/// `compute` must run the actual step on `expert` consuming `child`; the
+/// cache key covers (schema_tag, expert name + spec, dataset digest, image
+/// ids, labels, the child RNG's stream position, and — when the expert is
+/// already trained — its full pre-step checkpoint state). On a miss,
+/// `compute` runs and the post-step state + post-step RNG stream are stored;
+/// on a hit both are restored, so a hit is bit-identical to recompute. With
+/// a null cache or an uncacheable expert this is exactly `compute()`.
+void cached_expert_step(cache::ArtifactCache* cache, const char* schema_tag,
+                        DdaAlgorithm& expert, const ckpt::Digest128& data_digest,
+                        const std::vector<std::size_t>& image_ids,
+                        const std::vector<std::size_t>& labels, Rng& child,
+                        const std::function<void()>& compute);
 
 }  // namespace crowdlearn::experts

@@ -1,5 +1,7 @@
 #include "experts/ddm.hpp"
 
+#include "ckpt/digest.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -48,6 +50,17 @@ void DdmClassifier::on_model_loaded() {
   }
   if (!found)
     throw std::runtime_error("DdmClassifier: loaded model has no convolutional layer");
+}
+
+void DdmClassifier::hash_spec(ckpt::Hasher128& h) const {
+  h.u64(cfg_.conv1_channels);
+  h.u64(cfg_.conv2_channels);
+  h.u64(cfg_.hidden);
+  h.f64(cfg_.heatmap_blend);
+  h.f64(cfg_.activation_threshold);
+  h.f64(cfg_.moderate_area);
+  h.f64(cfg_.severe_area);
+  hash_neural_spec(h);
 }
 
 std::unique_ptr<DdaAlgorithm> DdmClassifier::clone() const {

@@ -38,6 +38,12 @@ class DdmClassifier : public NeuralDdaAlgorithm {
   /// Blend of the CNN posterior and the heatmap-extent prior.
   std::vector<double> predict_proba(const dataset::DisasterImage& image) override;
 
+  /// Artifact-cache identity (docs/CACHING.md): architecture sizes, the
+  /// heatmap-blend knobs and the shared neural hyperparameters fully
+  /// determine this expert's step.
+  bool cacheable() const override { return true; }
+  void hash_spec(ckpt::Hasher128& h) const override;
+
   /// Grad-CAM damage heatmap for the given class over the last conv layer's
   /// spatial grid. Requires a trained model.
   nn::Tensor3 damage_heatmap(const dataset::DisasterImage& image, std::size_t cls);

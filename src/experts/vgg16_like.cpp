@@ -1,5 +1,7 @@
 #include "experts/vgg16_like.hpp"
 
+#include "ckpt/digest.hpp"
+
 namespace crowdlearn::experts {
 
 nn::Sequential Vgg16Like::build_model(Rng& rng) {
@@ -27,6 +29,13 @@ nn::Sequential Vgg16Like::build_model(Rng& rng) {
   m.add(std::make_unique<ReLU>(cfg_.hidden));
   m.add(std::make_unique<Dense>(cfg_.hidden, dataset::kNumSeverityClasses, rng));
   return m;
+}
+
+void Vgg16Like::hash_spec(ckpt::Hasher128& h) const {
+  h.u64(cfg_.conv1_channels);
+  h.u64(cfg_.conv2_channels);
+  h.u64(cfg_.hidden);
+  hash_neural_spec(h);
 }
 
 std::unique_ptr<DdaAlgorithm> Vgg16Like::clone() const {

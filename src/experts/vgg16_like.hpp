@@ -24,6 +24,11 @@ class Vgg16Like : public NeuralDdaAlgorithm {
   std::string name() const override { return "VGG16"; }
   std::unique_ptr<DdaAlgorithm> clone() const override;
 
+  /// Artifact-cache identity (docs/CACHING.md): channel/hidden sizes plus
+  /// the shared neural hyperparameters fully determine this expert's step.
+  bool cacheable() const override { return true; }
+  void hash_spec(ckpt::Hasher128& h) const override;
+
  protected:
   nn::Sequential build_model(Rng& rng) override;
   std::vector<double> encode(const dataset::DisasterImage& image) const override;

@@ -55,6 +55,12 @@ class Gbdt {
   void save_state(ckpt::Writer& w) const;
   void load_state(ckpt::Reader& r);
 
+  /// save_state/load_state as a raw byte payload (no container framing) —
+  /// the artifact image the content-addressed cache stores for a memoized
+  /// CQC fit (src/cache, docs/CACHING.md).
+  std::string state_payload() const;
+  void load_state_payload(const std::string& payload);
+
  private:
   std::size_t k_ = 0;
   double base_score_ = 0.0;
@@ -70,5 +76,11 @@ class Gbdt {
                      const GbdtConfig& cfg, Rng& rng);
   std::vector<double> raw_scores(const std::vector<double>& features) const;
 };
+
+/// Fold every fit-relevant GbdtConfig knob into a cache key: rounds,
+/// shrinkage, subsampling, split engine + bins, tree shape and seed. The
+/// tree's thread pool is deliberately excluded — fitted models are
+/// byte-identical at any thread count (TreeConfig::pool contract).
+void hash_config(ckpt::Hasher128& h, const GbdtConfig& cfg);
 
 }  // namespace crowdlearn::gbdt

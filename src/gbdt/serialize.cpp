@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/digest.hpp"
 #include "ckpt/io.hpp"
 #include "gbdt/adaboost.hpp"
 #include "gbdt/gbdt.hpp"
@@ -205,6 +206,32 @@ void AdaBoostSamme::load_state(ckpt::Reader& r) {
   k_ = static_cast<std::size_t>(k);
   learners_ = std::move(learners);
   alphas_ = std::move(alphas);
+}
+
+std::string Gbdt::state_payload() const {
+  ckpt::Writer w;
+  save_state(w);
+  return w.payload();
+}
+
+void Gbdt::load_state_payload(const std::string& payload) {
+  ckpt::Reader r(payload);
+  load_state(r);
+  r.expect_end();
+}
+
+void hash_config(ckpt::Hasher128& h, const GbdtConfig& cfg) {
+  h.u64(cfg.num_rounds);
+  h.f64(cfg.learning_rate);
+  h.f64(cfg.subsample);
+  h.u8(static_cast<std::uint8_t>(cfg.engine));
+  h.u64(cfg.max_bins);
+  h.u64(cfg.tree.max_depth);
+  h.u64(cfg.tree.min_samples_leaf);
+  h.f64(cfg.tree.lambda);
+  h.f64(cfg.tree.min_gain);
+  h.f64(cfg.tree.colsample);
+  h.u64(cfg.seed);
 }
 
 }  // namespace crowdlearn::gbdt

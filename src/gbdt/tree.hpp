@@ -16,6 +16,7 @@ class ThreadPool;
 namespace crowdlearn::ckpt {
 class Writer;
 class Reader;
+class Hasher128;
 }
 
 namespace crowdlearn::gbdt {

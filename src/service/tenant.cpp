@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cache/artifact_cache.hpp"
 #include "experts/committee.hpp"
 #include "stats/distribution.hpp"
 
@@ -32,6 +33,9 @@ TenantManager::TenantManager(TenantManagerConfig cfg)
     throw std::invalid_argument("TenantManager: root_dir is empty");
   if (cfg_.max_generations == 0)
     throw std::invalid_argument("TenantManager: max_generations must be >= 1");
+  if (!cfg_.cache_dir.empty())
+    cache_ = std::make_shared<cache::ArtifactCache>(
+        cache::ArtifactCacheConfig{cfg_.cache_dir, cfg_.cache_max_bytes});
 }
 
 TenantManager::~TenantManager() = default;
@@ -205,6 +209,7 @@ void TenantManager::build_resident(Tenant& t) {
       *t.setup, t.spec.queries_per_cycle, t.spec.total_budget_cents);
   cfg.observability.enabled = t.spec.observability;
   cfg.shared_pool = pool_;
+  cfg.artifact_cache = cache_;
   t.system = std::make_unique<core::CrowdLearnSystem>(std::move(committee), cfg);
   t.platform = std::make_unique<crowd::CrowdPlatform>(
       core::make_platform(*t.setup, /*run_index=*/0, t.spec.faults));

@@ -89,6 +89,13 @@ struct TenantManagerConfig {
   /// Shared worker-pool size. 0 = auto (same resolution as
   /// CrowdLearnConfig::num_threads).
   std::size_t num_threads = 1;
+  /// Root of the shared content-addressed artifact cache (docs/CACHING.md).
+  /// Empty = caching off. One ArtifactCache serves every tenant, so tenants
+  /// with identical specs deduplicate their expert fine-tunes and CQC fits;
+  /// cache hits never change any tenant's byte-level trace.
+  std::string cache_dir;
+  /// Size cap for the artifact cache; 0 = unbounded (LRU GC above the cap).
+  std::uint64_t cache_max_bytes = 0;
 };
 
 /// Thrown when a tenant must be rehydrated but no on-disk generation passes
@@ -153,6 +160,11 @@ class TenantManager {
   util::ThreadPool& pool() { return *pool_; }
   const TenantManagerConfig& config() const { return cfg_; }
 
+  /// The process-wide artifact cache every tenant shares; nullptr when
+  /// cfg.cache_dir is empty. Exposes hit/miss/eviction stats for demos and
+  /// benches.
+  cache::ArtifactCache* artifact_cache() { return cache_.get(); }
+
  private:
   struct Tenant {
     TenantSpec spec;
@@ -203,6 +215,8 @@ class TenantManager {
 
   TenantManagerConfig cfg_;
   std::shared_ptr<util::ThreadPool> pool_;
+  /// Shared across tenants like pool_; built once in the constructor.
+  std::shared_ptr<cache::ArtifactCache> cache_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// Stable addresses: tenants are never removed, so Tenant& stays valid.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/digest.hpp"
 #include "stats/distribution.hpp"
 
 namespace crowdlearn::truth {
@@ -96,6 +97,26 @@ std::vector<std::vector<double>> CqcAggregator::aggregate(
   out.reserve(batch.size());
   for (const QueryResponse& q : batch) out.push_back(model_.predict_proba(features_for(q)));
   return out;
+}
+
+void hash_config(ckpt::Hasher128& h, const CqcConfig& cfg) {
+  gbdt::hash_config(h, cfg.gbdt);
+  h.u8(cfg.use_questionnaire ? 1 : 0);
+  h.f64(cfg.delay_scale);
+}
+
+void hash_training(ckpt::Hasher128& h, const std::vector<LabeledQuery>& training) {
+  h.u64(training.size());
+  for (const LabeledQuery& q : training) {
+    h.u64(q.true_label);
+    h.u64(q.response.answers.size());
+    for (const crowd::WorkerAnswer& a : q.response.answers) {
+      h.u64(a.worker_id);
+      h.u64(a.label);
+      h.vec_f64(a.questionnaire);
+      h.f64(a.delay_seconds);
+    }
+  }
 }
 
 }  // namespace crowdlearn::truth

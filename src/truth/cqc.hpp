@@ -70,4 +70,15 @@ class CqcAggregator : public Aggregator {
   std::vector<double> features_for(const QueryResponse& response) const;
 };
 
+/// Artifact-cache key folds (src/cache, docs/CACHING.md): a memoized CQC fit
+/// is keyed by the full configuration plus the training corpus bytes.
+/// hash_config covers every knob the fit consumes (the GbdtConfig including
+/// split engine, bins and seed; the questionnaire ablation; the delay
+/// normalization) — but not the thread pool, which never changes the fitted
+/// bits. hash_training covers everything feature extraction reads from each
+/// labeled query (worker answers, questionnaires, delays) plus the gold
+/// labels.
+void hash_config(ckpt::Hasher128& h, const CqcConfig& cfg);
+void hash_training(ckpt::Hasher128& h, const std::vector<LabeledQuery>& training);
+
 }  // namespace crowdlearn::truth
